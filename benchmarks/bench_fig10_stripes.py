@@ -1,0 +1,36 @@
+"""Figure 10 / Experiment A.3: impact of the number of stripes.
+
+Paper claims reproduced here:
+
+* more stripes give Algorithm 1 more freedom, moving FastPR toward the
+  optimum;
+* from ~400 stripes on, FastPR is close to the optimum (paper: within
+  15%; we assert a generous envelope since our simulator also charges
+  the contention the closed form ignores).
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig10_stripes
+
+RUNS = 2
+
+
+def test_fig10_stripes(benchmark, save_result):
+    exp = run_once(benchmark, fig10_stripes, runs=RUNS)
+    save_result(exp)
+
+    for panel in exp.panels:
+        fastpr = panel.values_of("fastpr")
+        optimum = panel.values_of("optimum")
+        ratios = [f / o for f, o in zip(fastpr, optimum)]
+        # Optimum is a lower bound everywhere.
+        assert min(ratios) >= 0.95
+        # The few-stripes points are the farthest from optimal.
+        assert ratios[0] >= min(ratios) - 1e-9
+        # >= 400 stripes: near-optimal (generous envelope).
+        for xtick, ratio in zip(panel.xticks, ratios):
+            if int(xtick) >= 400:
+                assert ratio < 1.7, (
+                    f"{panel.title}@{xtick} stripes: FastPR {ratio:.2f}x optimum"
+                )

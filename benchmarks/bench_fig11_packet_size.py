@@ -1,0 +1,32 @@
+"""Figure 11 / Experiment B.1: impact of the packet size (testbed).
+
+Paper claims reproduced here:
+
+* multi-threaded packet pipelining cuts repair time: chunk-sized
+  packets (no pipelining) are slower than small packets (paper: 31.4%
+  reduction from 64 MB to 4 MB packets for FastPR);
+* FastPR beats both baselines at every packet size.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig11_packet_size
+
+RUNS = 1
+
+
+def test_fig11_packet_size(benchmark, save_result):
+    exp = run_once(benchmark, fig11_packet_size, runs=RUNS)
+    save_result(exp)
+
+    for panel in exp.panels:
+        fastpr = panel.values_of("fastpr")
+        # Chunk-sized packets (last tick) slower than 4MB-equivalent
+        # packets (second tick) for FastPR.
+        assert fastpr[-1] > fastpr[1] * 1.02, (
+            f"{panel.title}: pipelining should help "
+            f"({fastpr[-1]:.4f} !> {fastpr[1]:.4f})"
+        )
+        for i in range(len(panel.xticks)):
+            assert fastpr[i] <= panel.values_of("reconstruction")[i] * 1.10
+            assert fastpr[i] <= panel.values_of("migration")[i] * 1.10

@@ -1,0 +1,31 @@
+"""Figure 12 / Experiment B.2: impact of the chunk size (testbed).
+
+Paper claims reproduced here:
+
+* repair time per chunk grows with the chunk size for every approach;
+* FastPR stays the fastest across all chunk sizes (paper: 31.1-47.9%
+  below migration-only and 10.0-28.3% below reconstruction-only).
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig12_chunk_size
+
+RUNS = 1
+
+
+def test_fig12_chunk_size(benchmark, save_result):
+    exp = run_once(benchmark, fig12_chunk_size, runs=RUNS)
+    save_result(exp)
+
+    for panel in exp.panels:
+        for label in ("fastpr", "reconstruction", "migration"):
+            values = panel.values_of(label)
+            assert values[-1] > values[0], (
+                f"{panel.title}/{label}: per-chunk time should grow with "
+                "chunk size"
+            )
+        fastpr = panel.values_of("fastpr")
+        for i in range(len(panel.xticks)):
+            assert fastpr[i] <= panel.values_of("reconstruction")[i] * 1.10
+            assert fastpr[i] <= panel.values_of("migration")[i] * 1.10

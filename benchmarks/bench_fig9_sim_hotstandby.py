@@ -1,0 +1,40 @@
+"""Figure 9 / Experiment A.2: simulated hot-standby repair.
+
+Paper claims reproduced here:
+
+* repair time varies little with M (the standbys are the bottleneck);
+* with h=3, FastPR substantially cuts both baselines (paper: 57.7% vs
+  migration-only, 41.0% vs reconstruction-only);
+* FastPR stays close to the optimum (paper: +5.4% on average).
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig9_sim_hotstandby
+from repro.bench.harness import reduction
+
+RUNS = 2
+
+
+def test_fig9_sim_hotstandby(benchmark, save_result):
+    exp = run_once(benchmark, fig9_sim_hotstandby, runs=RUNS)
+    save_result(exp)
+
+    panel_a = exp.panel("Fig 9(a) — varying M")
+    fastpr = panel_a.values_of("fastpr")
+    assert max(fastpr) / min(fastpr) < 1.6, "roughly flat in M"
+    for i in range(len(fastpr)):
+        assert fastpr[i] <= panel_a.values_of("reconstruction")[i] * 1.05
+        assert fastpr[i] <= panel_a.values_of("migration")[i] * 1.05
+
+    panel_b = exp.panel("Fig 9(b) — varying h")
+    idx = panel_b.xticks.index("3")
+    vs_migration = reduction(
+        panel_b.values_of("migration")[idx], panel_b.values_of("fastpr")[idx]
+    )
+    vs_recon = reduction(
+        panel_b.values_of("reconstruction")[idx],
+        panel_b.values_of("fastpr")[idx],
+    )
+    assert vs_migration > 0.30, f"got {vs_migration:.2%} (paper: 57.7%)"
+    assert vs_recon > 0.15, f"got {vs_recon:.2%} (paper: 41.0%)"

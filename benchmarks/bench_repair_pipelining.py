@@ -1,0 +1,86 @@
+"""Ablation: FastPR vs repair pipelining (related work [20], ATC'17).
+
+The paper positions FastPR against repair-efficient *techniques* like
+repair pipelining, which chains helpers into partial-sum pipelines so
+the repairing node ingests one chunk instead of k.  Both are
+implemented here; this bench compares them (and their combination) on
+the emulated testbed at a bandwidth-constrained operating point:
+
+* pipelining collapses reconstruction's k-fold ingest, slashing
+  reconstruction-only repair time;
+* FastPR's migration/reconstruction coupling composes with it —
+  pipelined FastPR is at least as fast as pipelined reconstruction.
+"""
+
+from conftest import run_once
+
+from repro.bench.harness import Experiment, Panel
+from repro.core.planner import (
+    FastPRPlanner,
+    MigrationOnlyPlanner,
+    ReconstructionOnlyPlanner,
+)
+from repro.ec import make_codec
+from repro.runtime.testbed import EmulatedTestbed
+from repro.sim.workload import SimulationConfig, fixed_stf_chunk_count
+
+
+def run_pipelining_ablation(runs: int = 1) -> Experiment:
+    exp = Experiment(
+        "repair_pipelining",
+        "Star vs pipelined reconstruction on the emulated testbed",
+    )
+    panel = Panel(
+        "RS(9,6), 21 nodes, bn/bd = 1.5 (network-constrained)",
+        "strategy",
+    )
+    acc = {}
+    for run in range(runs):
+        cfg = SimulationConfig(
+            num_nodes=21,
+            num_stripes=28,
+            n=9,
+            k=6,
+            num_hot_standby=3,
+            chunk_size=1024 * 1024,
+            disk_bandwidth=20e6,
+            network_bandwidth=30e6,
+            seed=31 + 97 * run,
+        )
+        cluster, stf = fixed_stf_chunk_count(cfg, 8)
+        codec = make_codec("rs(9,6)")
+        strategies = [
+            ("migration", MigrationOnlyPlanner()),
+            ("recon_star", ReconstructionOnlyPlanner(seed=run)),
+            ("recon_pipelined", ReconstructionOnlyPlanner(seed=run, pipelined=True)),
+            ("fastpr_star", FastPRPlanner(seed=run)),
+            ("fastpr_pipelined", FastPRPlanner(seed=run, pipelined=True)),
+        ]
+        with EmulatedTestbed(
+            cluster, codec, packet_size=64 * 1024
+        ) as testbed:
+            testbed.load_random_data(seed=cfg.seed)
+            for label, planner in strategies:
+                plan = planner.plan(cluster, stf)
+                result = testbed.execute(plan)
+                testbed.verify_plan(plan)
+                acc.setdefault(label, []).append(result.time_per_chunk)
+    panel.add_point(
+        "per-chunk", {label: sum(v) / len(v) for label, v in acc.items()}
+    )
+    exp.panels.append(panel)
+    return exp
+
+
+def test_repair_pipelining(benchmark, save_result):
+    exp = run_once(benchmark, run_pipelining_ablation)
+    save_result(exp)
+    panel = exp.panels[0]
+    values = {s.label: s.values[0] for s in panel.series}
+    # Pipelining slashes star reconstruction at this operating point.
+    assert values["recon_pipelined"] < values["recon_star"] * 0.75
+    # FastPR composes with pipelining: no slower than pipelined recon.
+    assert values["fastpr_pipelined"] <= values["recon_pipelined"] * 1.10
+    # And pipelined FastPR is the best (or ties best) overall.
+    best = min(values.values())
+    assert values["fastpr_pipelined"] <= best * 1.10

@@ -1,0 +1,41 @@
+"""Shared helpers for the figure benchmarks.
+
+Each bench regenerates one paper figure, saves the rendered series to
+``benchmarks/results/<fig>.txt``, and asserts the paper's qualitative
+shape (who wins, rough factors, crossovers).  Absolute numbers differ
+from the paper — our substrate is a simulator / scaled local testbed,
+not the authors' EC2 deployment (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Persist a rendered experiment so bench output survives capture.
+
+    Writes both the human-readable text and a JSON document the report
+    generator (:mod:`repro.bench.report`) consumes.
+    """
+    import json
+
+    def _save(experiment) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        base = RESULTS_DIR / experiment.experiment_id
+        base.with_suffix(".txt").write_text(experiment.render())
+        base.with_suffix(".json").write_text(
+            json.dumps(experiment.to_dict(), indent=2)
+        )
+
+    return _save
+
+
+def run_once(benchmark, factory, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(factory, kwargs=kwargs, rounds=1, iterations=1)

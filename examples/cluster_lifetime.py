@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Months of cluster life: alarms, repairs, turnover, rebalancing.
+
+Runs the same 120-day disk-telemetry horizon against two repair
+strategies — FastPR and migration-only — and compares the cumulative
+repair time (the cluster's total window of vulnerability).
+
+Run:
+    python examples/cluster_lifetime.py
+"""
+
+from repro.cluster import StorageCluster
+from repro.failure import LogisticPredictor, SmartTraceGenerator
+from repro.sim import ClusterLifetime, EventKind
+
+
+def run_strategy(planner: str, seed: int = 90):
+    num_nodes = 24
+    cluster = StorageCluster.random(
+        num_nodes, 100, 9, 6, num_hot_standby=3, seed=seed
+    )
+    traces = SmartTraceGenerator(
+        num_nodes, horizon_days=120, annual_failure_rate=0.6, seed=seed
+    ).generate()
+    history = SmartTraceGenerator(
+        300, horizon_days=120, annual_failure_rate=0.25, seed=seed + 1
+    ).generate()
+    predictor = LogisticPredictor(seed=0).fit(history)
+    lifetime = ClusterLifetime(
+        cluster,
+        traces,
+        predictor,
+        planner=planner,
+        rebalance_every=14,
+        group_size=48,
+        seed=0,
+    )
+    return lifetime.run()
+
+
+def main() -> None:
+    reports = {}
+    for planner in ("fastpr", "migration"):
+        report = reports[planner] = run_strategy(planner)
+        print(f"=== strategy: {planner} ===")
+        for event in report.events:
+            if event.kind is EventKind.REBALANCE:
+                print(f"  day {event.day:3d}: rebalanced ({event.moves} moves)")
+                continue
+            lead = (
+                "false alarm"
+                if event.kind is EventKind.PREDICTIVE_REPAIR
+                and event.lead_days is None
+                else (
+                    f"{event.lead_days}d lead"
+                    if event.kind is EventKind.PREDICTIVE_REPAIR
+                    else "no warning"
+                )
+            )
+            print(
+                f"  day {event.day:3d}: {event.kind.value:17s} node "
+                f"{event.node_id:2d} — {event.chunks} chunks in "
+                f"{event.repair_time:6.0f}s ({lead})"
+            )
+        print(f"  {report.summary()}\n")
+
+    fast = reports["fastpr"].total_repair_time
+    slow = reports["migration"].total_repair_time
+    if slow > 0:
+        print(
+            f"FastPR spent {fast:.0f}s repairing over the horizon vs "
+            f"{slow:.0f}s for migration-only — a "
+            f"{1 - fast / slow:.0%} smaller window of vulnerability."
+        )
+
+
+if __name__ == "__main__":
+    main()

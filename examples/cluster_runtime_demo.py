@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Run FastPR on the emulated testbed: real bytes, real verification.
+
+This is the offline counterpart of the paper's EC2 deployment: every
+node is an agent with an on-disk chunk store and emulated disk/NIC
+bandwidths; the coordinator drives repair rounds, chunks travel as
+packets, destinations decode with GF(2^8) streaming coefficients, and
+every repaired chunk's bytes are checked against the originals.
+
+Run:
+    python examples/cluster_runtime_demo.py
+"""
+
+from repro.cluster import StorageCluster
+from repro.core import (
+    FastPRPlanner,
+    MigrationOnlyPlanner,
+    ReconstructionOnlyPlanner,
+)
+from repro.core.plan import RepairScenario
+from repro.ec import make_codec
+from repro.runtime import EmulatedTestbed
+
+
+def main() -> None:
+    # Scaled-down EC2 setup: 12 storage nodes + 3 hot-standbys,
+    # RS(9,6), 1 MiB chunks, 10 MB/s disks, 44 MB/s network (the EC2
+    # bn/bd ratio).
+    cluster = StorageCluster.random(
+        num_nodes=12,
+        num_stripes=24,
+        n=9,
+        k=6,
+        num_hot_standby=3,
+        seed=5,
+        disk_bandwidth=10e6,
+        network_bandwidth=44e6,
+        chunk_size=1024 * 1024,
+    )
+    stf = max(cluster.storage_node_ids(), key=cluster.load_of)
+    cluster.node(stf).mark_soon_to_fail()
+    codec = make_codec("rs(9,6)")
+    print(f"{cluster}; STF node {stf} stores {cluster.load_of(stf)} chunks")
+
+    with EmulatedTestbed(cluster, codec, packet_size=64 * 1024) as testbed:
+        print("encoding and loading stripes onto the agents' stores...")
+        testbed.load_random_data(seed=6)
+        for scenario in (RepairScenario.SCATTERED, RepairScenario.HOT_STANDBY):
+            print(f"\n--- {scenario.value} repair ---")
+            for planner in (
+                FastPRPlanner(scenario=scenario, seed=1),
+                ReconstructionOnlyPlanner(scenario=scenario, seed=1),
+                MigrationOnlyPlanner(scenario=scenario),
+            ):
+                plan = planner.plan(cluster, stf)
+                result = testbed.execute(plan)
+                testbed.verify_plan(plan)  # byte-exact check
+                print(
+                    f"{planner.name:16s} rounds={plan.num_rounds:2d} "
+                    f"wall={result.total_time:6.2f}s "
+                    f"per-chunk={result.time_per_chunk:6.3f}s "
+                    f"traffic={result.bytes_transferred / 2**20:7.1f} MiB "
+                    "(verified)"
+                )
+    print("\nall repaired chunks matched their original bytes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — reproduction of "Fast Predictive Repair in Erasure-Coded Storage".
+
+The package reimplements, in pure Python, the complete FastPR system
+from Shen, Li and Lee (DSN 2019): the erasure-coding substrate, the
+cluster model, the reconstruction-set and repair-scheduling algorithms,
+the Section-III analytical model, a discrete-event simulator, an
+emulated coordinator/agent testbed runtime, and a disk-failure
+prediction substrate.
+
+Quickstart::
+
+    from repro import make_codec, StorageCluster, FastPRPlanner
+    from repro.sim import RepairSimulator
+
+See ``examples/quickstart.py`` for a runnable tour.
+"""
+
+from .ec import (
+    ErasureCodec,
+    LocalReconstructionCodec,
+    MsrCodec,
+    ReedSolomonCodec,
+    make_codec,
+)
+from .cluster import StorageCluster, Stripe, ChunkLocation
+from .core import (
+    AnalyticalModel,
+    BandwidthProfile,
+    FastPRPlanner,
+    MigrationOnlyPlanner,
+    ReconstructionOnlyPlanner,
+    RepairPlan,
+    RepairRound,
+    RepairScenario,
+    find_reconstruction_sets,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ErasureCodec",
+    "LocalReconstructionCodec",
+    "MsrCodec",
+    "ReedSolomonCodec",
+    "make_codec",
+    "StorageCluster",
+    "Stripe",
+    "ChunkLocation",
+    "AnalyticalModel",
+    "BandwidthProfile",
+    "FastPRPlanner",
+    "MigrationOnlyPlanner",
+    "ReconstructionOnlyPlanner",
+    "RepairPlan",
+    "RepairRound",
+    "RepairScenario",
+    "find_reconstruction_sets",
+    "__version__",
+]

@@ -1,0 +1,152 @@
+"""Experiment result containers and text rendering.
+
+Every paper figure is regenerated as an :class:`Experiment` holding one
+:class:`Panel` per sub-figure; a panel holds one :class:`Series` per
+curve/bar group.  ``render()`` prints the same rows the paper plots,
+e.g.::
+
+    Fig 8(b) — Varying RS(n,k)  [repair time per chunk, seconds]
+    x               optimum   fastpr   reconstruction   migration
+    RS(9,6)           0.248    0.330            0.440       1.879
+    ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Dict, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+@dataclass
+class Series:
+    """One curve: a label plus a y value per panel x tick."""
+
+    label: str
+    values: List[float] = field(default_factory=list)
+
+
+@dataclass
+class Panel:
+    """One sub-figure: x ticks plus the series drawn over them."""
+
+    title: str
+    xlabel: str
+    xticks: List[str] = field(default_factory=list)
+    series: List[Series] = field(default_factory=list)
+    ylabel: str = "repair time per chunk (s)"
+
+    def add_point(self, xtick: str, values: Dict[str, float]) -> None:
+        """Append one x position with a value per series label."""
+        self.xticks.append(str(xtick))
+        for label, value in values.items():
+            serie = self.get(label)
+            if serie is None:
+                serie = Series(label=label)
+                self.series.append(serie)
+            serie.values.append(value)
+
+    def get(self, label: str):
+        for serie in self.series:
+            if serie.label == label:
+                return serie
+        return None
+
+    def values_of(self, label: str) -> List[float]:
+        serie = self.get(label)
+        if serie is None:
+            raise KeyError(f"no series {label!r} in panel {self.title!r}")
+        return serie.values
+
+    def render(self) -> str:
+        labels = [s.label for s in self.series]
+        xwidth = max([len(self.xlabel)] + [len(x) for x in self.xticks]) + 2
+        widths = [max(len(label), 9) + 2 for label in labels]
+        lines = [f"{self.title}  [{self.ylabel}]"]
+        header = self.xlabel.ljust(xwidth) + "".join(
+            label.rjust(w) for label, w in zip(labels, widths)
+        )
+        lines.append(header)
+        for i, xtick in enumerate(self.xticks):
+            row = xtick.ljust(xwidth)
+            for serie, w in zip(self.series, widths):
+                value = serie.values[i] if i < len(serie.values) else float("nan")
+                row += f"{value:>{w}.4f}"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+@dataclass
+class Experiment:
+    """A full figure reproduction."""
+
+    experiment_id: str
+    title: str
+    panels: List[Panel] = field(default_factory=list)
+
+    def panel(self, title: str) -> Panel:
+        for panel in self.panels:
+            if panel.title == title:
+                return panel
+        raise KeyError(f"no panel {title!r} in {self.experiment_id}")
+
+    def render(self) -> str:
+        out = [f"=== {self.experiment_id}: {self.title} ==="]
+        for panel in self.panels:
+            out.append(panel.render())
+            out.append("")
+        return "\n".join(out)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (used by the report generator)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "panels": [
+                {
+                    "title": p.title,
+                    "xlabel": p.xlabel,
+                    "ylabel": p.ylabel,
+                    "xticks": list(p.xticks),
+                    "series": [
+                        {"label": s.label, "values": list(s.values)}
+                        for s in p.series
+                    ],
+                }
+                for p in self.panels
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "Experiment":
+        """Inverse of :meth:`to_dict`."""
+        exp = cls(document["experiment_id"], document["title"])
+        for pdoc in document["panels"]:
+            panel = Panel(
+                pdoc["title"],
+                pdoc["xlabel"],
+                xticks=list(pdoc["xticks"]),
+                ylabel=pdoc.get("ylabel", "repair time per chunk (s)"),
+            )
+            panel.series = [
+                Series(label=s["label"], values=list(s["values"]))
+                for s in pdoc["series"]
+            ]
+            exp.panels.append(panel)
+        return exp
+
+
+def average_runs(values: Sequence[float]) -> float:
+    """Mean with an explicit error for empty inputs."""
+    if not values:
+        raise ValueError("no values to average")
+    return mean(values)
+
+
+def reduction(baseline: float, improved: float) -> float:
+    """Fractional reduction of ``improved`` vs ``baseline`` (0..1)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return 1.0 - improved / baseline

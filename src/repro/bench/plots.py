@@ -1,0 +1,201 @@
+"""Dependency-free SVG figure rendering from bench results.
+
+The paper presents its evaluation as grouped bar charts; this module
+re-draws them from the benches' JSON results without any plotting
+library (the reproduction environment is offline), emitting one SVG
+per panel::
+
+    python -m repro.bench.plots benchmarks/results -o figures/
+
+Charts are grouped bars — one group per x tick, one bar per series —
+with a y axis in the panel's unit and a legend, which is exactly the
+visual form of Figures 2-3 and 8-15.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .harness import Experiment, Panel
+
+#: categorical palette (paper-like: blue/orange/green/red + extras)
+PALETTE = ["#4878a8", "#e49444", "#6a9f58", "#d1605e", "#85b6b2", "#997db5"]
+
+_CHART = dict(
+    width=640,
+    height=360,
+    margin_left=70,
+    margin_right=20,
+    margin_top=48,
+    margin_bottom=64,
+)
+
+
+def _slug(text: str) -> str:
+    text = re.sub(r"[^0-9A-Za-z]+", "_", text).strip("_").lower()
+    return text or "panel"
+
+
+def _nice_ceiling(value: float) -> float:
+    """Round up to a 1/2/5 x 10^n grid for a tidy y axis."""
+    if value <= 0:
+        return 1.0
+    import math
+
+    exp = math.floor(math.log10(value))
+    for mult in (1.0, 2.0, 5.0, 10.0):
+        candidate = mult * 10.0**exp
+        if candidate >= value - 1e-12:
+            return candidate
+    return 10.0 ** (exp + 1)
+
+
+def render_panel_svg(panel: Panel, title_prefix: str = "") -> str:
+    """Render one panel as a grouped-bar SVG document."""
+    cfg = _CHART
+    plot_w = cfg["width"] - cfg["margin_left"] - cfg["margin_right"]
+    plot_h = cfg["height"] - cfg["margin_top"] - cfg["margin_bottom"]
+    series = panel.series
+    xticks = panel.xticks
+    max_value = max(
+        (v for s in series for v in s.values if v is not None), default=1.0
+    )
+    y_max = _nice_ceiling(max_value * 1.05)
+    groups = max(len(xticks), 1)
+    group_w = plot_w / groups
+    bar_w = max(2.0, 0.8 * group_w / max(len(series), 1))
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{cfg["width"]}" '
+        f'height="{cfg["height"]}" font-family="Helvetica, Arial, sans-serif">'
+    )
+    parts.append(
+        f'<rect width="{cfg["width"]}" height="{cfg["height"]}" fill="white"/>'
+    )
+    title = f"{title_prefix}{panel.title}"
+    parts.append(
+        f'<text x="{cfg["width"] / 2}" y="20" text-anchor="middle" '
+        f'font-size="14" font-weight="bold">{_escape(title)}</text>'
+    )
+    # Y axis: 5 gridlines.
+    for i in range(5):
+        frac = i / 4
+        y = cfg["margin_top"] + plot_h * (1 - frac)
+        value = y_max * frac
+        parts.append(
+            f'<line x1="{cfg["margin_left"]}" y1="{y:.1f}" '
+            f'x2="{cfg["width"] - cfg["margin_right"]}" y2="{y:.1f}" '
+            f'stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{cfg["margin_left"] - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end" font-size="11">{value:g}</text>'
+        )
+    parts.append(
+        f'<text x="16" y="{cfg["margin_top"] + plot_h / 2:.1f}" font-size="11" '
+        f'text-anchor="middle" transform="rotate(-90 16 '
+        f'{cfg["margin_top"] + plot_h / 2:.1f})">{_escape(panel.ylabel)}</text>'
+    )
+    # Bars.
+    for gi, xtick in enumerate(xticks):
+        group_x = cfg["margin_left"] + gi * group_w
+        total_bar_w = bar_w * len(series)
+        start = group_x + (group_w - total_bar_w) / 2
+        for si, serie in enumerate(series):
+            value = serie.values[gi] if gi < len(serie.values) else None
+            if value is None:
+                continue
+            h = plot_h * min(value, y_max) / y_max
+            x = start + si * bar_w
+            y = cfg["margin_top"] + plot_h - h
+            color = PALETTE[si % len(PALETTE)]
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                f'height="{h:.1f}" fill="{color}">'
+                f"<title>{_escape(serie.label)} @ {_escape(xtick)}: "
+                f"{value:.4f}</title></rect>"
+            )
+        parts.append(
+            f'<text x="{group_x + group_w / 2:.1f}" '
+            f'y="{cfg["margin_top"] + plot_h + 16}" text-anchor="middle" '
+            f'font-size="11">{_escape(xtick)}</text>'
+        )
+    # X axis label and baseline.
+    parts.append(
+        f'<line x1="{cfg["margin_left"]}" y1="{cfg["margin_top"] + plot_h}" '
+        f'x2="{cfg["width"] - cfg["margin_right"]}" '
+        f'y2="{cfg["margin_top"] + plot_h}" stroke="#333" stroke-width="1"/>'
+    )
+    parts.append(
+        f'<text x="{cfg["margin_left"] + plot_w / 2:.1f}" '
+        f'y="{cfg["height"] - 30}" text-anchor="middle" font-size="12">'
+        f"{_escape(panel.xlabel)}</text>"
+    )
+    # Legend (bottom row).
+    legend_x = cfg["margin_left"]
+    legend_y = cfg["height"] - 12
+    for si, serie in enumerate(series):
+        color = PALETTE[si % len(PALETTE)]
+        parts.append(
+            f'<rect x="{legend_x}" y="{legend_y - 9}" width="10" height="10" '
+            f'fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 14}" y="{legend_y}" font-size="11">'
+            f"{_escape(serie.label)}</text>"
+        )
+        legend_x += 24 + 7 * len(serie.label)
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _escape(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def render_experiment(experiment: Experiment, out_dir: Path) -> List[Path]:
+    """Write one SVG per panel; returns the created paths."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for panel in experiment.panels:
+        name = f"{experiment.experiment_id}_{_slug(panel.title)}.svg"
+        path = out_dir / name
+        path.write_text(render_panel_svg(panel))
+        written.append(path)
+    return written
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Draw SVG charts from benchmarks/results/*.json."
+    )
+    parser.add_argument("results_dir")
+    parser.add_argument("-o", "--output", default="figures")
+    args = parser.parse_args(argv)
+    results_dir = Path(args.results_dir)
+    files = sorted(results_dir.glob("*.json"))
+    if not files:
+        print(f"no result JSON files in {results_dir}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.output)
+    total = 0
+    for path in files:
+        experiment = Experiment.from_dict(json.loads(path.read_text()))
+        total += len(render_experiment(experiment, out_dir))
+    print(f"wrote {total} SVG charts to {out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,267 @@
+"""Command-line interface for the FastPR reproduction.
+
+Figure regeneration (the original entry point)::
+
+    fastpr list                     # available experiments
+    fastpr fig8 --runs 3            # one figure
+    fastpr all                      # everything
+
+Operational commands::
+
+    fastpr snapshot --nodes 30 --stripes 120 --code "rs(9,6)" -o c.json
+    fastpr plan --snapshot c.json --stf 3 [--scenario hot_standby]
+    fastpr fleet --disks 200 --days 120 -o fleet.csv
+    fastpr predict --fleet fleet.csv
+
+``plan`` marks the node soon-to-fail, runs FastPR and both baselines,
+and prints each plan with its cost-model repair time.  ``fleet`` and
+``predict`` exercise the failure-prediction substrate on CSV dumps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .bench.experiments import ALL_EXPERIMENTS
+
+_FIGURE_WORDS = set(ALL_EXPERIMENTS) | {"all", "list"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fastpr",
+        description="Reproduce 'Fast Predictive Repair in Erasure-Coded "
+        "Storage' (DSN 2019): figures, planning, failure prediction.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    figures = sub.add_parser(
+        "figures", help="regenerate a paper figure (fig2..fig15, all, list)"
+    )
+    figures.add_argument("experiment")
+    figures.add_argument("--runs", type=int, default=None)
+
+    snapshot = sub.add_parser(
+        "snapshot", help="generate a random cluster snapshot (JSON)"
+    )
+    snapshot.add_argument("--nodes", type=int, default=30)
+    snapshot.add_argument("--stripes", type=int, default=120)
+    snapshot.add_argument("--code", default="rs(9,6)")
+    snapshot.add_argument("--hot-standby", type=int, default=3)
+    snapshot.add_argument("--seed", type=int, default=None)
+    snapshot.add_argument("-o", "--output", required=True)
+
+    plan = sub.add_parser(
+        "plan", help="plan the repair of an STF node from a snapshot"
+    )
+    plan.add_argument("--snapshot", required=True)
+    plan.add_argument("--stf", type=int, required=True)
+    plan.add_argument(
+        "--scenario",
+        choices=("scattered", "hot_standby"),
+        default="scattered",
+    )
+    plan.add_argument("--seed", type=int, default=0)
+
+    fleet = sub.add_parser(
+        "fleet", help="generate a synthetic SMART fleet (CSV)"
+    )
+    fleet.add_argument("--disks", type=int, default=200)
+    fleet.add_argument("--days", type=int, default=120)
+    fleet.add_argument("--afr", type=float, default=0.1)
+    fleet.add_argument("--seed", type=int, default=None)
+    fleet.add_argument("-o", "--output", required=True)
+
+    predict = sub.add_parser(
+        "predict", help="train/evaluate the failure predictor on a fleet CSV"
+    )
+    predict.add_argument("--fleet", required=True)
+    predict.add_argument("--train-fraction", type=float, default=0.7)
+    predict.add_argument("--seed", type=int, default=0)
+    predict.add_argument(
+        "--model",
+        choices=("logistic", "cart", "threshold"),
+        default="logistic",
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# figures
+# ----------------------------------------------------------------------
+
+
+def run_experiment(name: str, runs: Optional[int]) -> str:
+    factory = ALL_EXPERIMENTS[name]
+    kwargs = {}
+    if runs is not None and "runs" in factory.__code__.co_varnames:
+        kwargs["runs"] = runs
+    started = time.perf_counter()
+    experiment = factory(**kwargs)
+    elapsed = time.perf_counter() - started
+    return experiment.render() + f"\n[{name} completed in {elapsed:.1f}s]\n"
+
+
+def _cmd_figures(args) -> int:
+    if args.experiment == "list":
+        for name, factory in ALL_EXPERIMENTS.items():
+            doc = (factory.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        return 0
+    if args.experiment == "all":
+        for name in ALL_EXPERIMENTS:
+            print(run_experiment(name, args.runs))
+        return 0
+    if args.experiment not in ALL_EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+    print(run_experiment(args.experiment, args.runs))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# operational commands
+# ----------------------------------------------------------------------
+
+
+def _cmd_snapshot(args) -> int:
+    from .cluster import StorageCluster
+    from .cluster import snapshot as snapshot_mod
+    from .ec import make_codec
+
+    codec = make_codec(args.code)
+    cluster = StorageCluster.random(
+        args.nodes,
+        args.stripes,
+        codec.n,
+        codec.k,
+        num_hot_standby=args.hot_standby,
+        seed=args.seed,
+    )
+    snapshot_mod.save(cluster, args.output)
+    print(
+        f"wrote {cluster} with {args.code} stripes to {args.output}"
+    )
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from .cluster import snapshot as snapshot_mod
+    from .core.plan import RepairScenario
+    from .core.planner import (
+        FastPRPlanner,
+        MigrationOnlyPlanner,
+        ReconstructionOnlyPlanner,
+    )
+    from .sim.cost_model import evaluate_plan
+
+    cluster = snapshot_mod.load(args.snapshot)
+    scenario = RepairScenario(args.scenario)
+    node = cluster.node(args.stf)
+    if node.is_failed:
+        print(f"node {args.stf} already failed", file=sys.stderr)
+        return 2
+    node.mark_soon_to_fail()
+    chunks = cluster.load_of(args.stf)
+    print(f"{cluster}; STF node {args.stf} stores {chunks} chunks\n")
+    print(
+        f"{'planner':16s} {'rounds':>6s} {'migrate':>8s} {'reconstruct':>12s} "
+        f"{'time (s)':>9s} {'s/chunk':>8s}"
+    )
+    for planner in (
+        FastPRPlanner(scenario=scenario, seed=args.seed),
+        ReconstructionOnlyPlanner(scenario=scenario, seed=args.seed),
+        MigrationOnlyPlanner(scenario=scenario),
+    ):
+        plan = planner.plan(cluster, args.stf)
+        plan.validate(cluster)
+        result = evaluate_plan(cluster, plan)
+        print(
+            f"{planner.name:16s} {plan.num_rounds:>6d} "
+            f"{plan.migrated_chunks:>8d} {plan.reconstructed_chunks:>12d} "
+            f"{result.total_time:>9.1f} {result.time_per_chunk:>8.3f}"
+        )
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    from .failure import SmartTraceGenerator, save_traces
+
+    traces = SmartTraceGenerator(
+        args.disks,
+        horizon_days=args.days,
+        annual_failure_rate=args.afr,
+        seed=args.seed,
+    ).generate()
+    save_traces(traces, args.output)
+    failing = sum(t.will_fail for t in traces)
+    print(
+        f"wrote {len(traces)} disks x {args.days} days "
+        f"({failing} failing) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from .failure import (
+        CartPredictor,
+        LogisticPredictor,
+        ThresholdPredictor,
+        evaluate,
+        load_traces,
+    )
+
+    traces = load_traces(args.fleet)
+    split = int(len(traces) * args.train_fraction)
+    train, test = traces[:split], traces[split:]
+    if not train or not test:
+        print("fleet too small to split", file=sys.stderr)
+        return 2
+    try:
+        if args.model == "logistic":
+            predictor = LogisticPredictor(seed=args.seed).fit(train)
+        elif args.model == "cart":
+            predictor = CartPredictor().fit(train)
+        else:
+            predictor = ThresholdPredictor()
+    except ValueError as exc:
+        print(f"training failed: {exc}", file=sys.stderr)
+        return 2
+    metrics = evaluate(predictor, test)
+    print(
+        f"model: {args.model}; disks: {len(train)} train / {len(test)} test\n"
+        f"precision={metrics.precision:.3f} recall={metrics.recall:.3f} "
+        f"false-alarm rate={metrics.false_alarm_rate:.4f} "
+        f"mean lead={metrics.mean_lead_days:.1f} days"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Backward compatibility: `fastpr fig8` == `fastpr figures fig8`.
+    if argv and argv[0] in _FIGURE_WORDS:
+        argv = ["figures"] + argv
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    handler = {
+        "figures": _cmd_figures,
+        "snapshot": _cmd_snapshot,
+        "plan": _cmd_plan,
+        "fleet": _cmd_fleet,
+        "predict": _cmd_predict,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

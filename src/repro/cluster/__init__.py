@@ -1,0 +1,45 @@
+"""Storage-cluster metadata model: nodes, stripes, placement, rebalance."""
+
+from .chunk import ChunkLocation, NodeId, Stripe, StripeCatalog, StripeId
+from .cluster import ClusterError, StorageCluster
+from .node import Node, NodeRole, NodeState
+from .placement import (
+    ParityDeclusteredPlacement,
+    PlacementPolicy,
+    RandomPlacement,
+    RoundRobinPlacement,
+    placement_balance,
+)
+from .rebalance import RebalanceMove, Rebalancer
+from .topology import (
+    RackAwarePlacement,
+    RackTopology,
+    RackViolationError,
+    verify_rack_tolerance,
+)
+from . import snapshot
+
+__all__ = [
+    "ChunkLocation",
+    "ClusterError",
+    "Node",
+    "NodeId",
+    "NodeRole",
+    "NodeState",
+    "ParityDeclusteredPlacement",
+    "PlacementPolicy",
+    "RackAwarePlacement",
+    "RackTopology",
+    "RackViolationError",
+    "verify_rack_tolerance",
+    "RandomPlacement",
+    "RebalanceMove",
+    "Rebalancer",
+    "RoundRobinPlacement",
+    "StorageCluster",
+    "Stripe",
+    "StripeCatalog",
+    "StripeId",
+    "placement_balance",
+    "snapshot",
+]

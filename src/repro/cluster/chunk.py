@@ -1,0 +1,162 @@
+"""Chunk and stripe metadata.
+
+These are the metadata objects the FastPR coordinator works on — the
+Python analogue of what the paper's coordinator extracts from the HDFS
+NameNode via ``hdfs fsck / -files -blocks -locations``: which stripe
+every chunk belongs to and which node stores it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+NodeId = int
+StripeId = int
+
+
+@dataclass(frozen=True)
+class ChunkLocation:
+    """Identifies one chunk: the stripe it belongs to, its index within
+    the stripe (0..n-1), and the node that stores it."""
+
+    stripe_id: StripeId
+    chunk_index: int
+    node_id: NodeId
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"S{self.stripe_id}:C{self.chunk_index}@N{self.node_id}"
+
+
+class Stripe:
+    """A stripe of ``n`` erasure-coded chunks placed on distinct nodes.
+
+    The placement maps chunk index -> node id and must stay injective
+    on nodes (at most one chunk of a stripe per node) so that any
+    ``n - k`` node failures are tolerable.
+    """
+
+    __slots__ = ("stripe_id", "n", "k", "_placement")
+
+    def __init__(
+        self,
+        stripe_id: StripeId,
+        n: int,
+        k: int,
+        placement: Sequence[NodeId],
+    ):
+        if len(placement) != n:
+            raise ValueError(
+                f"stripe {stripe_id}: placement has {len(placement)} nodes, "
+                f"expected n={n}"
+            )
+        if len(set(placement)) != n:
+            raise ValueError(
+                f"stripe {stripe_id}: placement must use distinct nodes, "
+                f"got {list(placement)}"
+            )
+        if not 0 < k < n:
+            raise ValueError(f"require 0 < k < n, got n={n}, k={k}")
+        self.stripe_id = stripe_id
+        self.n = n
+        self.k = k
+        self._placement: List[NodeId] = list(placement)
+
+    @property
+    def placement(self) -> Tuple[NodeId, ...]:
+        """Node id per chunk index."""
+        return tuple(self._placement)
+
+    @property
+    def nodes(self) -> frozenset:
+        """Set of nodes currently storing chunks of this stripe."""
+        return frozenset(self._placement)
+
+    def node_of(self, chunk_index: int) -> NodeId:
+        """Node storing the chunk at ``chunk_index``."""
+        return self._placement[chunk_index]
+
+    def chunk_index_on(self, node_id: NodeId) -> int:
+        """Chunk index stored on ``node_id``.
+
+        Raises:
+            KeyError: if the node stores no chunk of this stripe.
+        """
+        try:
+            return self._placement.index(node_id)
+        except ValueError:
+            raise KeyError(
+                f"node {node_id} stores no chunk of stripe {self.stripe_id}"
+            ) from None
+
+    def stores_on(self, node_id: NodeId) -> bool:
+        """True if the stripe has a chunk on ``node_id``."""
+        return node_id in self._placement
+
+    def relocate(self, chunk_index: int, new_node: NodeId) -> None:
+        """Move the chunk at ``chunk_index`` to ``new_node``.
+
+        Raises:
+            ValueError: if ``new_node`` already stores a chunk of this
+                stripe (would break node-level fault tolerance).
+        """
+        if new_node in self._placement:
+            raise ValueError(
+                f"stripe {self.stripe_id}: node {new_node} already stores "
+                f"chunk {self._placement.index(new_node)}"
+            )
+        self._placement[chunk_index] = new_node
+
+    def locations(self) -> Iterator[ChunkLocation]:
+        """Iterate the locations of all chunks of this stripe."""
+        for idx, node in enumerate(self._placement):
+            yield ChunkLocation(self.stripe_id, idx, node)
+
+    def surviving_indices(self, failed_nodes: frozenset) -> List[int]:
+        """Chunk indices not stored on any node in ``failed_nodes``."""
+        return [
+            idx
+            for idx, node in enumerate(self._placement)
+            if node not in failed_nodes
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Stripe(id={self.stripe_id}, n={self.n}, k={self.k}, "
+            f"placement={self._placement})"
+        )
+
+
+@dataclass
+class StripeCatalog:
+    """Mutable index of stripes by id with per-node chunk lookup."""
+
+    stripes: Dict[StripeId, Stripe] = field(default_factory=dict)
+
+    def add(self, stripe: Stripe) -> None:
+        if stripe.stripe_id in self.stripes:
+            raise ValueError(f"duplicate stripe id {stripe.stripe_id}")
+        self.stripes[stripe.stripe_id] = stripe
+
+    def __getitem__(self, stripe_id: StripeId) -> Stripe:
+        return self.stripes[stripe_id]
+
+    def __iter__(self) -> Iterator[Stripe]:
+        return iter(self.stripes.values())
+
+    def __len__(self) -> int:
+        return len(self.stripes)
+
+    def chunks_on_node(self, node_id: NodeId) -> List[ChunkLocation]:
+        """All chunk locations stored on a node (linear scan)."""
+        found = []
+        for stripe in self.stripes.values():
+            if stripe.stores_on(node_id):
+                found.append(
+                    ChunkLocation(
+                        stripe.stripe_id,
+                        stripe.chunk_index_on(node_id),
+                        node_id,
+                    )
+                )
+        return found

@@ -1,0 +1,83 @@
+"""Storage-node metadata.
+
+Nodes may be regular storage nodes, dedicated hot-standby nodes
+(Section II-C of the paper), or marked soon-to-fail / failed by the
+failure-prediction substrate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .chunk import NodeId
+
+
+class NodeState(enum.Enum):
+    """Lifecycle of a storage node."""
+
+    HEALTHY = "healthy"
+    #: flagged by the failure predictor; still readable (paper assumption 3)
+    SOON_TO_FAIL = "soon_to_fail"
+    FAILED = "failed"
+
+
+class NodeRole(enum.Enum):
+    """Whether the node serves stripes or waits as a hot standby."""
+
+    STORAGE = "storage"
+    HOT_STANDBY = "hot_standby"
+
+
+@dataclass
+class Node:
+    """A storage node with its state and bandwidth endowment.
+
+    Attributes:
+        node_id: cluster-unique id.
+        role: storage vs hot-standby.
+        state: healthy / soon-to-fail / failed.
+        disk_bandwidth: sequential disk bandwidth in bytes/s (the
+            paper's ``bd``); ``None`` inherits the cluster default.
+        network_bandwidth: NIC bandwidth in bytes/s (the paper's
+            ``bn``); ``None`` inherits the cluster default.
+    """
+
+    node_id: NodeId
+    role: NodeRole = NodeRole.STORAGE
+    state: NodeState = NodeState.HEALTHY
+    disk_bandwidth: float = None  # type: ignore[assignment]
+    network_bandwidth: float = None  # type: ignore[assignment]
+    tags: dict = field(default_factory=dict)
+
+    @property
+    def is_healthy(self) -> bool:
+        return self.state is NodeState.HEALTHY
+
+    @property
+    def is_stf(self) -> bool:
+        return self.state is NodeState.SOON_TO_FAIL
+
+    @property
+    def is_failed(self) -> bool:
+        return self.state is NodeState.FAILED
+
+    @property
+    def is_standby(self) -> bool:
+        return self.role is NodeRole.HOT_STANDBY
+
+    def mark_soon_to_fail(self) -> None:
+        """Flag the node as STF (predictor hit). Idempotent."""
+        if self.state is NodeState.FAILED:
+            raise ValueError(f"node {self.node_id} already failed")
+        self.state = NodeState.SOON_TO_FAIL
+
+    def mark_failed(self) -> None:
+        """Mark the node as actually failed."""
+        self.state = NodeState.FAILED
+
+    def mark_healthy(self) -> None:
+        """Clear an STF flag (false alarm cleared after repair)."""
+        if self.state is NodeState.FAILED:
+            raise ValueError(f"node {self.node_id} already failed")
+        self.state = NodeState.HEALTHY

@@ -1,0 +1,94 @@
+"""Stripe-placement policies.
+
+The paper's simulations place stripes uniformly at random; its related
+work discusses parity declustering (Holland et al.), which spreads
+stripes so that repair load is even across nodes.  Both are provided,
+plus a deterministic round-robin used in unit tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+from .chunk import NodeId
+from .cluster import StorageCluster
+
+
+class PlacementPolicy(ABC):
+    """Chooses the ``n`` nodes for each new stripe."""
+
+    @abstractmethod
+    def choose(self, cluster: StorageCluster, n: int) -> List[NodeId]:
+        """Return ``n`` distinct storage-node ids for the next stripe."""
+
+    def populate(
+        self, cluster: StorageCluster, num_stripes: int, n: int, k: int
+    ) -> None:
+        """Add ``num_stripes`` stripes to the cluster using this policy."""
+        for _ in range(num_stripes):
+            cluster.add_stripe(n, k, self.choose(cluster, n))
+
+
+class RandomPlacement(PlacementPolicy):
+    """Uniform random placement (the paper's simulation default)."""
+
+    def __init__(self, seed: Optional[int] = None):
+        self._rng = random.Random(seed)
+
+    def choose(self, cluster: StorageCluster, n: int) -> List[NodeId]:
+        candidates = cluster.storage_node_ids()
+        if n > len(candidates):
+            raise ValueError(f"n={n} exceeds {len(candidates)} storage nodes")
+        return self._rng.sample(candidates, n)
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Deterministic rotation; every node gets near-identical load."""
+
+    def __init__(self):
+        self._cursor = 0
+
+    def choose(self, cluster: StorageCluster, n: int) -> List[NodeId]:
+        candidates = cluster.storage_node_ids()
+        if n > len(candidates):
+            raise ValueError(f"n={n} exceeds {len(candidates)} storage nodes")
+        chosen = [
+            candidates[(self._cursor + i) % len(candidates)] for i in range(n)
+        ]
+        self._cursor = (self._cursor + n) % len(candidates)
+        return chosen
+
+
+class ParityDeclusteredPlacement(PlacementPolicy):
+    """Least-loaded placement approximating parity declustering.
+
+    Each stripe goes to the ``n`` currently least-loaded nodes (random
+    tie-break), which evens out both storage load and — crucially for
+    repair — the number of stripes any one node participates in.
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self._rng = random.Random(seed)
+
+    def choose(self, cluster: StorageCluster, n: int) -> List[NodeId]:
+        candidates = cluster.storage_node_ids()
+        if n > len(candidates):
+            raise ValueError(f"n={n} exceeds {len(candidates)} storage nodes")
+        self._rng.shuffle(candidates)
+        candidates.sort(key=cluster.load_of)
+        return candidates[:n]
+
+
+def placement_balance(cluster: StorageCluster) -> float:
+    """Return max/mean chunk-count ratio across storage nodes.
+
+    1.0 means perfectly balanced; used by tests and the rebalancer.
+    """
+    loads = [cluster.load_of(nid) for nid in cluster.storage_node_ids()]
+    mean = sum(loads) / len(loads)
+    if mean == 0:
+        return 1.0
+    return max(loads) / mean

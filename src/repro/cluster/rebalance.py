@@ -1,0 +1,87 @@
+"""Background chunk rebalancing.
+
+The paper assumes the cluster "periodically rebalances the chunk
+distribution in the background" after repairs skew it (Section II-B,
+assumptions).  :class:`Rebalancer` implements a simple greedy mover:
+repeatedly shift one chunk from the most-loaded node to the
+least-loaded node that can legally accept it (no two chunks of a
+stripe on one node), until the load spread is within tolerance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .chunk import NodeId, StripeId
+from .cluster import StorageCluster
+
+
+@dataclass(frozen=True)
+class RebalanceMove:
+    """One chunk movement performed by the rebalancer."""
+
+    stripe_id: StripeId
+    chunk_index: int
+    source: NodeId
+    destination: NodeId
+
+
+class Rebalancer:
+    """Greedy load rebalancer over a :class:`StorageCluster`.
+
+    Args:
+        tolerance: stop once ``max_load - min_load <= tolerance``.
+        max_moves: safety cap on the number of chunk movements.
+        seed: randomizes which chunk is moved among equals.
+    """
+
+    def __init__(
+        self,
+        tolerance: int = 1,
+        max_moves: int = 100_000,
+        seed: Optional[int] = None,
+    ):
+        if tolerance < 1:
+            raise ValueError("tolerance must be >= 1")
+        self.tolerance = tolerance
+        self.max_moves = max_moves
+        self._rng = random.Random(seed)
+
+    def run(self, cluster: StorageCluster) -> List[RebalanceMove]:
+        """Rebalance in place; return the moves performed."""
+        moves: List[RebalanceMove] = []
+        while len(moves) < self.max_moves:
+            move = self._next_move(cluster)
+            if move is None:
+                break
+            cluster.relocate_chunk(move.stripe_id, move.chunk_index, move.destination)
+            moves.append(move)
+        return moves
+
+    def _next_move(self, cluster: StorageCluster) -> Optional[RebalanceMove]:
+        healthy = cluster.healthy_storage_nodes()
+        if len(healthy) < 2:
+            return None
+        loads: List[Tuple[int, NodeId]] = sorted(
+            (cluster.load_of(nid), nid) for nid in healthy
+        )
+        min_load, _ = loads[0]
+        max_load, busiest = loads[-1]
+        if max_load - min_load <= self.tolerance:
+            return None
+        # Try to hand one of the busiest node's chunks to the least
+        # loaded node that does not already hold a chunk of the stripe.
+        chunks = cluster.chunks_on_node(busiest)
+        self._rng.shuffle(chunks)
+        for load, candidate in loads[:-1]:
+            if load >= max_load - self.tolerance:
+                break
+            for chunk in chunks:
+                stripe = cluster.stripe(chunk.stripe_id)
+                if not stripe.stores_on(candidate):
+                    return RebalanceMove(
+                        chunk.stripe_id, chunk.chunk_index, busiest, candidate
+                    )
+        return None

@@ -1,0 +1,126 @@
+"""Cluster-state snapshots (JSON import/export).
+
+The paper's coordinator rebuilds its view of the cluster from HDFS
+metadata (``hdfs fsck``).  This module provides the equivalent ops
+tooling for our cluster model: serialize the full metadata state —
+nodes, roles, health, bandwidths, and every stripe placement — to a
+JSON document, and restore an identical :class:`StorageCluster` from
+it.  Snapshots round-trip exactly, so they can checkpoint long
+experiments or ship failure scenarios between machines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .cluster import StorageCluster
+from .node import Node, NodeRole, NodeState
+
+#: schema version written into every snapshot
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(ValueError):
+    """Raised on malformed or incompatible snapshot documents."""
+
+
+def to_dict(cluster: StorageCluster) -> dict:
+    """Serialize a cluster to a JSON-compatible dictionary."""
+    return {
+        "version": SNAPSHOT_VERSION,
+        "defaults": {
+            "disk_bandwidth": cluster.disk_bandwidth,
+            "network_bandwidth": cluster.network_bandwidth,
+            "chunk_size": cluster.chunk_size,
+        },
+        "nodes": [
+            {
+                "node_id": node.node_id,
+                "role": node.role.value,
+                "state": node.state.value,
+                "disk_bandwidth": node.disk_bandwidth,
+                "network_bandwidth": node.network_bandwidth,
+            }
+            for node in sorted(cluster.nodes.values(), key=lambda n: n.node_id)
+        ],
+        "stripes": [
+            {
+                "stripe_id": stripe.stripe_id,
+                "n": stripe.n,
+                "k": stripe.k,
+                "placement": list(stripe.placement),
+            }
+            for stripe in cluster.stripes()
+        ],
+    }
+
+
+def from_dict(document: dict) -> StorageCluster:
+    """Rebuild a cluster from a snapshot dictionary.
+
+    Raises:
+        SnapshotError: on schema or consistency problems.
+    """
+    version = document.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {version!r} "
+            f"(expected {SNAPSHOT_VERSION})"
+        )
+    try:
+        defaults = document["defaults"]
+        node_docs = document["nodes"]
+        stripe_docs = document["stripes"]
+    except KeyError as exc:
+        raise SnapshotError(f"snapshot missing section {exc}") from exc
+    storage = [n for n in node_docs if n["role"] == NodeRole.STORAGE.value]
+    standby = [n for n in node_docs if n["role"] == NodeRole.HOT_STANDBY.value]
+    if len(storage) + len(standby) != len(node_docs):
+        raise SnapshotError("node documents contain unknown roles")
+    expected_ids = list(range(len(node_docs)))
+    if sorted(n["node_id"] for n in node_docs) != expected_ids:
+        raise SnapshotError("node ids must be dense 0..N-1")
+    cluster = StorageCluster(
+        len(storage),
+        num_hot_standby=len(standby),
+        disk_bandwidth=defaults["disk_bandwidth"],
+        network_bandwidth=defaults["network_bandwidth"],
+        chunk_size=defaults["chunk_size"],
+    )
+    for doc in node_docs:
+        node = cluster.node(doc["node_id"])
+        expected_role = NodeRole(doc["role"])
+        if node.role is not expected_role:
+            raise SnapshotError(
+                f"node {doc['node_id']}: snapshot role {expected_role.value} "
+                "conflicts with the id layout (storage ids must precede "
+                "standby ids)"
+            )
+        node.state = NodeState(doc["state"])
+        node.disk_bandwidth = doc.get("disk_bandwidth")
+        node.network_bandwidth = doc.get("network_bandwidth")
+    for doc in sorted(stripe_docs, key=lambda d: d["stripe_id"]):
+        stripe = cluster.add_stripe(doc["n"], doc["k"], doc["placement"])
+        if stripe.stripe_id != doc["stripe_id"]:
+            raise SnapshotError(
+                f"non-contiguous stripe ids: got {doc['stripe_id']}, "
+                f"assigned {stripe.stripe_id}"
+            )
+    cluster.verify_fault_tolerance()
+    return cluster
+
+
+def save(cluster: StorageCluster, path: Union[str, Path]) -> None:
+    """Write a snapshot to a JSON file."""
+    Path(path).write_text(json.dumps(to_dict(cluster), indent=2))
+
+
+def load(path: Union[str, Path]) -> StorageCluster:
+    """Read a snapshot from a JSON file."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"invalid JSON in {path}: {exc}") from exc
+    return from_dict(document)

@@ -1,0 +1,123 @@
+"""FastPR core: matching, Algorithms 1-2, analysis, planners."""
+
+from .analysis import (
+    AnalyticalModel,
+    BandwidthProfile,
+    PAPER_DEFAULT_PROFILE,
+    gbit_per_s,
+    mb_per_s,
+    mib,
+)
+from .matching import (
+    DinicMaxFlow,
+    IncrementalStripeMatcher,
+    hopcroft_karp,
+    match_one_per_target,
+    stripe_helper_flow,
+)
+from .placement import (
+    HotStandbyPlacer,
+    PlacementError,
+    assign_scattered_destinations,
+)
+from .plan import (
+    ChunkRepairAction,
+    RepairMethod,
+    RepairPlan,
+    RepairRound,
+    RepairScenario,
+)
+from .planner import (
+    FastPRPlanner,
+    MigrationOnlyPlanner,
+    ReconstructionOnlyPlanner,
+    RepairPlanner,
+    apply_plan,
+    model_for,
+    plan_predictive_repair,
+    profile_from_cluster,
+)
+from .lrc_support import (
+    LrcFastPRPlanner,
+    LrcReconstructionOnlyPlanner,
+    build_lrc_cluster,
+    lrc_helper_candidates,
+    split_by_repair_locality,
+)
+from .precompute import (
+    CacheStats,
+    PrecomputedFastPRPlanner,
+    ReconstructionSetCache,
+)
+from .reactive import (
+    MultiFailureRepairPlanner,
+    UnrecoverableStripeError,
+    plan_failed_node_repair,
+    repair_after_failures,
+    replan_after_midrepair_failure,
+)
+from .reconstruction_sets import (
+    Algorithm1Stats,
+    ReconstructionSetFinder,
+    find_reconstruction_sets,
+    helper_assignment,
+)
+from .scheduling import (
+    RoundComposition,
+    migration_quota,
+    schedule_migration_only,
+    schedule_reconstruction_only,
+    schedule_repair_rounds,
+)
+
+__all__ = [
+    "Algorithm1Stats",
+    "AnalyticalModel",
+    "BandwidthProfile",
+    "ChunkRepairAction",
+    "DinicMaxFlow",
+    "FastPRPlanner",
+    "HotStandbyPlacer",
+    "IncrementalStripeMatcher",
+    "LrcFastPRPlanner",
+    "LrcReconstructionOnlyPlanner",
+    "MigrationOnlyPlanner",
+    "build_lrc_cluster",
+    "lrc_helper_candidates",
+    "split_by_repair_locality",
+    "MultiFailureRepairPlanner",
+    "PAPER_DEFAULT_PROFILE",
+    "PrecomputedFastPRPlanner",
+    "CacheStats",
+    "ReconstructionSetCache",
+    "UnrecoverableStripeError",
+    "plan_failed_node_repair",
+    "repair_after_failures",
+    "replan_after_midrepair_failure",
+    "PlacementError",
+    "ReconstructionOnlyPlanner",
+    "ReconstructionSetFinder",
+    "RepairMethod",
+    "RepairPlan",
+    "RepairPlanner",
+    "RepairRound",
+    "RepairScenario",
+    "RoundComposition",
+    "apply_plan",
+    "assign_scattered_destinations",
+    "find_reconstruction_sets",
+    "gbit_per_s",
+    "helper_assignment",
+    "hopcroft_karp",
+    "match_one_per_target",
+    "mb_per_s",
+    "mib",
+    "migration_quota",
+    "model_for",
+    "plan_predictive_repair",
+    "profile_from_cluster",
+    "schedule_migration_only",
+    "schedule_reconstruction_only",
+    "schedule_repair_rounds",
+    "stripe_helper_flow",
+]

@@ -1,0 +1,263 @@
+"""LRC-aware predictive repair (the paper's Section III extension).
+
+The paper notes that FastPR's methodology "also applies to
+repair-efficient codes, which retrieve available data from k' healthy
+nodes ... such that the amount of repair traffic is less than the total
+size of k chunks", and derives the LRC case: ``k' = k / l`` helpers
+from the lost chunk's *local group*, and up to ``G' <= (M-1)/k'``
+parallel groups per round.
+
+This module wires an :class:`~repro.ec.lrc.LocalReconstructionCodec`
+into the FastPR machinery:
+
+* :func:`lrc_helper_candidates` — candidate helpers for a locally
+  repairable chunk are its local-group members;
+* :class:`LrcFastPRPlanner` — Algorithm 1 with fan-in ``k'`` over the
+  local groups, ``k'`` fed into the Algorithm 2 quota; the stripe's
+  *global parities* (which a local repair cannot rebuild) are assigned
+  to migration, the cheapest way to restore them;
+* :class:`LrcReconstructionOnlyPlanner` — the reactive baseline:
+  local chunks repair via their groups, global parities via ordinary
+  ``k``-helper reconstruction rounds.
+
+Plans carry the local-group helpers in their actions, so the emulated
+testbed repairs LRC chunks end-to-end: the coordinator asks the codec
+for recovery coefficients (all 1 for a local repair, i.e. pure XOR) and
+the destination stream-decodes exactly as for RS.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..cluster.chunk import ChunkLocation, NodeId
+from ..cluster.cluster import StorageCluster
+from ..ec.lrc import LocalReconstructionCodec
+from .placement import assign_scattered_destinations
+from .plan import ChunkRepairAction, RepairMethod, RepairRound
+from .planner import FastPRPlanner, ReconstructionOnlyPlanner, model_for
+from .reconstruction_sets import ReconstructionSetFinder, helper_assignment
+from .scheduling import (
+    RoundComposition,
+    schedule_reconstruction_only,
+    schedule_repair_rounds,
+)
+
+
+def lrc_helper_candidates(
+    cluster: StorageCluster,
+    codec: LocalReconstructionCodec,
+    stf_node: NodeId,
+) -> Callable[[ChunkLocation], List[NodeId]]:
+    """Helper-candidate function for local LRC repair.
+
+    For a chunk with a local group (data or local parity), the
+    candidates are the healthy holders of the other group members;
+    repairing it needs *all* ``k'`` of them (XOR), so Algorithm 1's
+    matching degenerates to a disjointness check over local groups —
+    exactly the paper's G' formulation.
+    """
+
+    def candidates(chunk: ChunkLocation) -> List[NodeId]:
+        if chunk.chunk_index >= codec.k + codec.l:
+            raise ValueError(
+                f"chunk {chunk} is a global parity; it has no local group"
+            )
+        stripe = cluster.stripe(chunk.stripe_id)
+        group = codec.group_of(chunk.chunk_index)
+        members = [
+            m
+            for m in codec.local_group_members(group)
+            if m != chunk.chunk_index
+        ]
+        nodes = [stripe.node_of(m) for m in members]
+        healthy = set(cluster.healthy_storage_nodes(exclude={stf_node}))
+        return [n for n in nodes if n in healthy]
+
+    return candidates
+
+
+def split_by_repair_locality(
+    codec: LocalReconstructionCodec, chunks: List[ChunkLocation]
+) -> Tuple[List[ChunkLocation], List[ChunkLocation]]:
+    """Split STF chunks into (locally repairable, global parity)."""
+    local = [c for c in chunks if c.chunk_index < codec.k + codec.l]
+    global_ = [c for c in chunks if c.chunk_index >= codec.k + codec.l]
+    return local, global_
+
+
+def _check_codec_matches(cluster: StorageCluster, codec) -> None:
+    for stripe in cluster.stripes():
+        if stripe.n != codec.n or stripe.k != codec.k:
+            raise ValueError(
+                f"stripe {stripe.stripe_id} is ({stripe.n},{stripe.k}) but "
+                f"the codec is ({codec.n},{codec.k})"
+            )
+        break  # planner contract guarantees uniformity
+
+
+class _LrcRoundBuilder:
+    """Shared round construction for the LRC planners.
+
+    Rounds whose reconstruction chunks are locally repairable use the
+    local-group fan-in ``k'``; rounds of global parities fall back to
+    ordinary ``k``-helper reconstruction.
+    """
+
+    codec: LocalReconstructionCodec
+
+    def _build_round(self, cluster, stf_node, index, comp, standby_placer):
+        all_chunks = comp.reconstruction + comp.migration
+        if standby_placer is not None:
+            destinations = standby_placer.assign(all_chunks)
+        else:
+            destinations = assign_scattered_destinations(
+                cluster, stf_node, all_chunks
+            )
+        helpers = {}
+        if comp.reconstruction:
+            is_local = (
+                comp.reconstruction[0].chunk_index < self.codec.k + self.codec.l
+            )
+            if is_local:
+                helpers = helper_assignment(
+                    cluster,
+                    stf_node,
+                    comp.reconstruction,
+                    fanin=self.codec.group_size,
+                    helper_fn=lrc_helper_candidates(
+                        cluster, self.codec, stf_node
+                    ),
+                )
+            else:
+                helpers = helper_assignment(
+                    cluster, stf_node, comp.reconstruction
+                )
+        round_ = RepairRound(index=index)
+        for chunk in comp.reconstruction:
+            round_.reconstructions.append(
+                ChunkRepairAction(
+                    stripe_id=chunk.stripe_id,
+                    chunk_index=chunk.chunk_index,
+                    method=RepairMethod.RECONSTRUCTION,
+                    sources=tuple(helpers[chunk.stripe_id]),
+                    destination=destinations[(chunk.stripe_id, chunk.chunk_index)],
+                )
+            )
+        for chunk in comp.migration:
+            round_.migrations.append(
+                ChunkRepairAction(
+                    stripe_id=chunk.stripe_id,
+                    chunk_index=chunk.chunk_index,
+                    method=RepairMethod.MIGRATION,
+                    sources=(stf_node,),
+                    destination=destinations[(chunk.stripe_id, chunk.chunk_index)],
+                )
+            )
+        return round_
+
+
+class LrcFastPRPlanner(_LrcRoundBuilder, FastPRPlanner):
+    """FastPR with local-group reconstruction for LRC stripes."""
+
+    name = "fastpr-lrc"
+
+    def __init__(self, codec: LocalReconstructionCodec, **kwargs):
+        kwargs.setdefault("k_prime", codec.group_size)
+        super().__init__(**kwargs)
+        self.codec = codec
+
+    def compose_rounds(self, cluster, stf_node, chunks):
+        _check_codec_matches(cluster, self.codec)
+        local, global_ = split_by_repair_locality(self.codec, list(chunks))
+        compositions: List[RoundComposition] = []
+        if local:
+            finder = ReconstructionSetFinder(
+                cluster,
+                stf_node,
+                optimize=self.optimize,
+                group_size=self.group_size,
+                seed=self.seed,
+                fanin=self.codec.group_size,
+                helper_fn=lrc_helper_candidates(cluster, self.codec, stf_node),
+            )
+            sets = finder.find_all(local)
+            self.last_stats = finder.stats
+            model = model_for(
+                cluster,
+                self.scenario,
+                k=self.codec.k,
+                profile=self.profile,
+                k_prime=self.codec.group_size,
+            )
+            compositions = schedule_repair_rounds(
+                sets, model, seed=self.seed, rounding=self.rounding
+            )
+        # Global parities migrate: a local repair cannot rebuild them
+        # and a k-helper decode costs k reads vs migration's one.
+        if global_:
+            if compositions:
+                compositions[0].migration.extend(global_)
+            else:
+                compositions = [RoundComposition(migration=global_)]
+        return compositions
+
+
+class LrcReconstructionOnlyPlanner(_LrcRoundBuilder, ReconstructionOnlyPlanner):
+    """Reactive baseline using LRC local repair where possible."""
+
+    name = "reconstruction-lrc"
+
+    def __init__(self, codec: LocalReconstructionCodec, **kwargs):
+        super().__init__(**kwargs)
+        self.codec = codec
+
+    def compose_rounds(self, cluster, stf_node, chunks):
+        _check_codec_matches(cluster, self.codec)
+        local, global_ = split_by_repair_locality(self.codec, list(chunks))
+        compositions: List[RoundComposition] = []
+        if local:
+            finder = ReconstructionSetFinder(
+                cluster,
+                stf_node,
+                optimize=self.optimize,
+                group_size=self.group_size,
+                seed=self.seed,
+                fanin=self.codec.group_size,
+                helper_fn=lrc_helper_candidates(cluster, self.codec, stf_node),
+            )
+            compositions.extend(
+                schedule_reconstruction_only(finder.find_all(local))
+            )
+        if global_:
+            # Ordinary k-helper reconstruction rounds for the globals.
+            finder = ReconstructionSetFinder(
+                cluster,
+                stf_node,
+                optimize=self.optimize,
+                seed=self.seed,
+            )
+            compositions.extend(
+                schedule_reconstruction_only(finder.find_all(global_))
+            )
+        return compositions
+
+
+def build_lrc_cluster(
+    codec: LocalReconstructionCodec,
+    num_nodes: int,
+    num_stripes: int,
+    num_hot_standby: int = 0,
+    seed: Optional[int] = None,
+    **cluster_kwargs,
+) -> StorageCluster:
+    """Random cluster whose stripes match an LRC codec's (n, k)."""
+    return StorageCluster.random(
+        num_nodes,
+        num_stripes,
+        codec.n,
+        codec.k,
+        num_hot_standby=num_hot_standby,
+        seed=seed,
+        **cluster_kwargs,
+    )

@@ -1,0 +1,117 @@
+"""Destination selection for repaired chunks (Fig. 4(c)).
+
+Scattered repair must place each repaired chunk on a healthy node that
+stores no chunk of the same stripe, and — within a round — every
+repaired chunk on a distinct node, so writes parallelize.  The paper
+solves this as a bipartite maximum matching (stripes x nodes) and notes
+that with ``M - n >= c_m + c_r`` Hall's theorem guarantees a perfect
+matching.
+
+Hot-standby repair simply spreads repaired chunks evenly over the ``h``
+standby nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cluster.chunk import ChunkLocation, NodeId
+from ..cluster.cluster import StorageCluster
+from .matching import match_one_per_target
+
+ChunkKey = Tuple[int, int]  # (stripe_id, chunk_index)
+
+
+class PlacementError(RuntimeError):
+    """Raised when no valid destination assignment exists."""
+
+
+def assign_scattered_destinations(
+    cluster: StorageCluster,
+    stf_node: NodeId,
+    chunks: Sequence[ChunkLocation],
+    allow_reuse_fallback: bool = True,
+    stripe_reservations: Optional[Dict[int, set]] = None,
+) -> Dict[ChunkKey, NodeId]:
+    """Choose one destination node per repaired chunk of a round.
+
+    Args:
+        cluster: cluster metadata.
+        stf_node: the STF node (never a destination).
+        chunks: the round's repaired chunks (migrations + reconstructions).
+        allow_reuse_fallback: if the strict one-node-per-chunk matching
+            is infeasible (small clusters violating ``M - n >= c_m+c_r``),
+            fall back to least-loaded placement that may reuse a
+            destination within the round.
+        stripe_reservations: stripe_id -> nodes already promised a
+            repaired chunk of that stripe by a concurrent plan (used by
+            multi-failure repair so two plans never co-locate two
+            chunks of one stripe).
+
+    Returns:
+        (stripe_id, chunk_index) -> destination node id.
+
+    Raises:
+        PlacementError: if some stripe has no eligible destination at
+            all (fault tolerance could not be preserved).
+    """
+    reservations = stripe_reservations or {}
+    candidates: Dict[ChunkKey, List[NodeId]] = {}
+    for chunk in chunks:
+        reserved = reservations.get(chunk.stripe_id, set())
+        eligible = [
+            node
+            for node in cluster.eligible_destinations(
+                chunk.stripe_id, exclude={stf_node}
+            )
+            if node not in reserved
+        ]
+        if not eligible:
+            raise PlacementError(
+                f"no eligible destination for stripe {chunk.stripe_id}: "
+                "every healthy node already stores one of its chunks"
+            )
+        candidates[(chunk.stripe_id, chunk.chunk_index)] = eligible
+    matched = match_one_per_target(candidates)
+    if matched is not None:
+        return dict(matched)
+    if not allow_reuse_fallback:
+        raise PlacementError(
+            f"cannot place {len(chunks)} repaired chunks on distinct nodes; "
+            f"cluster too small (Hall condition violated)"
+        )
+    # Fallback: greedy least-loaded, allowing intra-round reuse.
+    assignment: Dict[ChunkKey, NodeId] = {}
+    extra_load: Dict[NodeId, int] = {}
+    for key, eligible in candidates.items():
+        best = min(
+            eligible,
+            key=lambda nid: (cluster.load_of(nid) + extra_load.get(nid, 0), nid),
+        )
+        assignment[key] = best
+        extra_load[best] = extra_load.get(best, 0) + 1
+    return assignment
+
+
+class HotStandbyPlacer:
+    """Round-robin spreader over the hot-standby nodes.
+
+    Keeps a cursor across rounds so the total distribution stays even
+    (the paper: "we simply evenly distribute the repaired chunks to all
+    h hot-standby nodes").
+    """
+
+    def __init__(self, cluster: StorageCluster, standby_ids: Optional[Iterable[NodeId]] = None):
+        ids = list(standby_ids) if standby_ids is not None else cluster.hot_standby_ids()
+        if not ids:
+            raise PlacementError("hot-standby repair requires standby nodes")
+        self._ids = sorted(ids)
+        self._cursor = 0
+
+    def assign(self, chunks: Sequence[ChunkLocation]) -> Dict[ChunkKey, NodeId]:
+        assignment: Dict[ChunkKey, NodeId] = {}
+        for chunk in chunks:
+            node = self._ids[self._cursor % len(self._ids)]
+            self._cursor += 1
+            assignment[(chunk.stripe_id, chunk.chunk_index)] = node
+        return assignment

@@ -1,0 +1,209 @@
+"""Repair-plan data structures.
+
+A :class:`RepairPlan` is the output of a planner (FastPR or a
+baseline): an ordered list of :class:`RepairRound`\\ s, each holding the
+chunk-level migration and reconstruction actions to execute in parallel
+— exactly the per-round command batches the paper's coordinator sends
+to its agents (Section V).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from ..cluster.chunk import NodeId, StripeId
+
+
+class RepairScenario(enum.Enum):
+    """Where repaired chunks are stored (Section II-C)."""
+
+    SCATTERED = "scattered"
+    HOT_STANDBY = "hot_standby"
+
+
+class RepairMethod(enum.Enum):
+    """How a chunk is restored."""
+
+    MIGRATION = "migration"
+    RECONSTRUCTION = "reconstruction"
+
+
+@dataclass(frozen=True)
+class ChunkRepairAction:
+    """Repair of one chunk of the STF node.
+
+    Attributes:
+        stripe_id: stripe the chunk belongs to.
+        chunk_index: the chunk's index within the stripe.
+        method: migration or reconstruction.
+        sources: nodes read from — the STF node itself for migration,
+            or the ``k`` helper nodes for reconstruction.
+        destination: node that stores the repaired chunk.
+        pipelined: reconstruct via a helper chain (repair pipelining,
+            Li et al. ATC'17 — the paper's related work [20]): helpers
+            forward partial sums ``sources[0] -> ... -> sources[-1] ->
+            destination`` instead of all sending to the destination.
+            The destination then ingests one chunk instead of ``k``.
+    """
+
+    stripe_id: StripeId
+    chunk_index: int
+    method: RepairMethod
+    sources: Tuple[NodeId, ...]
+    destination: NodeId
+    pipelined: bool = False
+
+    def __post_init__(self):
+        if self.method is RepairMethod.MIGRATION and len(self.sources) != 1:
+            raise ValueError("migration reads from exactly one source (the STF node)")
+        if self.method is RepairMethod.RECONSTRUCTION and len(self.sources) < 1:
+            raise ValueError("reconstruction needs at least one helper")
+
+
+@dataclass
+class RepairRound:
+    """One parallel batch of repairs (a repair round, Section IV)."""
+
+    index: int
+    reconstructions: List[ChunkRepairAction] = field(default_factory=list)
+    migrations: List[ChunkRepairAction] = field(default_factory=list)
+
+    @property
+    def cr(self) -> int:
+        """Chunks reconstructed this round (the paper's c_r)."""
+        return len(self.reconstructions)
+
+    @property
+    def cm(self) -> int:
+        """Chunks migrated this round (the paper's c_m)."""
+        return len(self.migrations)
+
+    def actions(self) -> Iterator[ChunkRepairAction]:
+        yield from self.reconstructions
+        yield from self.migrations
+
+    def helper_nodes(self) -> List[NodeId]:
+        """All distinct helper nodes read by reconstructions this round."""
+        nodes = set()
+        for action in self.reconstructions:
+            nodes.update(action.sources)
+        return sorted(nodes)
+
+
+@dataclass
+class RepairPlan:
+    """A complete schedule for repairing one STF node."""
+
+    stf_node: NodeId
+    scenario: RepairScenario
+    rounds: List[RepairRound] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def total_chunks(self) -> int:
+        return sum(r.cr + r.cm for r in self.rounds)
+
+    @property
+    def migrated_chunks(self) -> int:
+        return sum(r.cm for r in self.rounds)
+
+    @property
+    def reconstructed_chunks(self) -> int:
+        return sum(r.cr for r in self.rounds)
+
+    def actions(self) -> Iterator[ChunkRepairAction]:
+        for round_ in self.rounds:
+            yield from round_.actions()
+
+    def validate(self, cluster, stf_chunks=None) -> None:
+        """Check plan invariants against a cluster's metadata.
+
+        * every STF chunk repaired exactly once;
+        * reconstruction helpers hold chunks of the stripe and exclude
+          the STF node; each helper serves at most one chunk per round;
+        * migrations read from the STF node;
+        * scattered destinations hold no chunk of the stripe and
+          receive at most one repaired chunk per round (write path);
+        * hot-standby destinations are standby nodes.
+
+        Raises:
+            ValueError: on the first violated invariant.
+        """
+        from ..cluster.node import NodeRole
+
+        if stf_chunks is None:
+            stf_chunks = cluster.chunks_on_node(self.stf_node)
+        expected = {(c.stripe_id, c.chunk_index) for c in stf_chunks}
+        seen: Dict[Tuple[StripeId, int], int] = {}
+        for round_ in self.rounds:
+            helpers_this_round: Dict[NodeId, int] = {}
+            for action in round_.actions():
+                key = (action.stripe_id, action.chunk_index)
+                seen[key] = seen.get(key, 0) + 1
+                stripe = cluster.stripe(action.stripe_id)
+                if action.method is RepairMethod.MIGRATION:
+                    if action.sources != (self.stf_node,):
+                        raise ValueError(
+                            f"migration of {key} reads from {action.sources}, "
+                            f"not the STF node {self.stf_node}"
+                        )
+                else:
+                    for helper in action.sources:
+                        if helper == self.stf_node:
+                            raise ValueError(
+                                f"reconstruction of {key} uses the STF node"
+                            )
+                        if not stripe.stores_on(helper):
+                            raise ValueError(
+                                f"helper {helper} holds no chunk of stripe "
+                                f"{action.stripe_id}"
+                            )
+                        helpers_this_round[helper] = (
+                            helpers_this_round.get(helper, 0) + 1
+                        )
+                if self.scenario is RepairScenario.SCATTERED:
+                    if stripe.stores_on(action.destination):
+                        raise ValueError(
+                            f"destination {action.destination} already stores a "
+                            f"chunk of stripe {action.stripe_id}"
+                        )
+                    if cluster.node(action.destination).role is not NodeRole.STORAGE:
+                        raise ValueError(
+                            f"scattered repair must target storage nodes, got "
+                            f"{action.destination}"
+                        )
+                else:
+                    if not cluster.node(action.destination).is_standby:
+                        raise ValueError(
+                            f"hot-standby repair must target standby nodes, got "
+                            f"{action.destination}"
+                        )
+            over = [n for n, cnt in helpers_this_round.items() if cnt > 1]
+            if over:
+                raise ValueError(
+                    f"round {round_.index}: helper nodes {over} serve more "
+                    "than one reconstruction"
+                )
+        if set(seen) != expected:
+            missing = expected - set(seen)
+            extra = set(seen) - expected
+            raise ValueError(
+                f"plan covers wrong chunk set; missing={sorted(missing)[:5]} "
+                f"extra={sorted(extra)[:5]}"
+            )
+        repeated = [key for key, cnt in seen.items() if cnt > 1]
+        if repeated:
+            raise ValueError(f"chunks repaired more than once: {repeated[:5]}")
+
+    def summary(self) -> str:
+        """Human-readable one-liner for logs and examples."""
+        return (
+            f"RepairPlan(stf={self.stf_node}, {self.scenario.value}, "
+            f"rounds={self.num_rounds}, reconstructed={self.reconstructed_chunks}, "
+            f"migrated={self.migrated_chunks})"
+        )

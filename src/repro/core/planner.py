@@ -1,0 +1,316 @@
+"""Repair planners: FastPR and the paper's two baselines.
+
+* :class:`FastPRPlanner` — Algorithm 1 + Algorithm 2: couples
+  migration and reconstruction per round.
+* :class:`ReconstructionOnlyPlanner` — the conventional reactive
+  repair: Algorithm 1's sets, one per round, no migration.
+* :class:`MigrationOnlyPlanner` — relocate every chunk off the STF
+  node, serialized by its bandwidth.
+
+All planners emit a :class:`~repro.core.plan.RepairPlan` that the
+simulator (:mod:`repro.sim`) or the emulated testbed runtime
+(:mod:`repro.runtime`) can execute.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster.chunk import ChunkLocation, NodeId
+from ..cluster.cluster import StorageCluster
+from .analysis import AnalyticalModel, BandwidthProfile
+from .placement import (
+    HotStandbyPlacer,
+    assign_scattered_destinations,
+)
+from .plan import (
+    ChunkRepairAction,
+    RepairMethod,
+    RepairPlan,
+    RepairRound,
+    RepairScenario,
+)
+from .reconstruction_sets import (
+    ReconstructionSetFinder,
+    helper_assignment,
+)
+from .scheduling import (
+    RoundComposition,
+    schedule_migration_only,
+    schedule_reconstruction_only,
+    schedule_repair_rounds,
+)
+
+
+def profile_from_cluster(cluster: StorageCluster) -> BandwidthProfile:
+    """Build a :class:`BandwidthProfile` from a cluster's defaults."""
+    return BandwidthProfile(
+        chunk_size=cluster.chunk_size,
+        disk_bandwidth=cluster.disk_bandwidth,
+        network_bandwidth=cluster.network_bandwidth,
+    )
+
+
+def model_for(
+    cluster: StorageCluster,
+    scenario: RepairScenario,
+    k: int,
+    profile: Optional[BandwidthProfile] = None,
+    k_prime: Optional[int] = None,
+) -> AnalyticalModel:
+    """Analytical model matching a cluster + scenario configuration."""
+    if profile is None:
+        profile = profile_from_cluster(cluster)
+    hot_standby = None
+    if scenario is RepairScenario.HOT_STANDBY:
+        hot_standby = cluster.num_hot_standby
+        if hot_standby < 1:
+            raise ValueError(
+                "hot-standby repair requires at least one standby node"
+            )
+    return AnalyticalModel(
+        num_nodes=cluster.num_storage_nodes,
+        k=k,
+        profile=profile,
+        hot_standby=hot_standby,
+        k_prime=k_prime,
+    )
+
+
+class RepairPlanner(ABC):
+    """Common interface: produce a :class:`RepairPlan` for an STF node."""
+
+    #: short name used in experiment tables
+    name: str = "base"
+
+    def __init__(
+        self,
+        scenario: RepairScenario = RepairScenario.SCATTERED,
+        profile: Optional[BandwidthProfile] = None,
+        seed: Optional[int] = None,
+        pipelined: bool = False,
+    ):
+        self.scenario = scenario
+        self.profile = profile
+        self.seed = seed
+        #: reconstruct via helper chains (repair pipelining) instead of
+        #: fan-in at the destination
+        self.pipelined = pipelined
+
+    @abstractmethod
+    def compose_rounds(
+        self,
+        cluster: StorageCluster,
+        stf_node: NodeId,
+        chunks: List[ChunkLocation],
+    ) -> List[RoundComposition]:
+        """Return the per-round chunk partition for this strategy."""
+
+    def plan(
+        self,
+        cluster: StorageCluster,
+        stf_node: NodeId,
+        chunks: Optional[Sequence[ChunkLocation]] = None,
+    ) -> RepairPlan:
+        """Build the full repair plan (rounds, helpers, destinations)."""
+        if chunks is None:
+            chunks = cluster.chunks_on_node(stf_node)
+        chunks = list(chunks)
+        plan = RepairPlan(stf_node=stf_node, scenario=self.scenario)
+        if not chunks:
+            return plan
+        compositions = self.compose_rounds(cluster, stf_node, chunks)
+        standby_placer = None
+        if self.scenario is RepairScenario.HOT_STANDBY:
+            standby_placer = HotStandbyPlacer(cluster)
+        for index, comp in enumerate(compositions):
+            plan.rounds.append(
+                self._build_round(
+                    cluster, stf_node, index, comp, standby_placer
+                )
+            )
+        return plan
+
+    def _build_round(
+        self,
+        cluster: StorageCluster,
+        stf_node: NodeId,
+        index: int,
+        comp: RoundComposition,
+        standby_placer: Optional[HotStandbyPlacer],
+    ) -> RepairRound:
+        all_chunks = comp.reconstruction + comp.migration
+        if standby_placer is not None:
+            destinations = standby_placer.assign(all_chunks)
+        else:
+            destinations = assign_scattered_destinations(
+                cluster, stf_node, all_chunks
+            )
+        helpers: Dict[int, List[NodeId]] = {}
+        if comp.reconstruction:
+            helpers = helper_assignment(cluster, stf_node, comp.reconstruction)
+        round_ = RepairRound(index=index)
+        for chunk in comp.reconstruction:
+            round_.reconstructions.append(
+                ChunkRepairAction(
+                    stripe_id=chunk.stripe_id,
+                    chunk_index=chunk.chunk_index,
+                    method=RepairMethod.RECONSTRUCTION,
+                    sources=tuple(helpers[chunk.stripe_id]),
+                    destination=destinations[(chunk.stripe_id, chunk.chunk_index)],
+                    pipelined=self.pipelined,
+                )
+            )
+        for chunk in comp.migration:
+            round_.migrations.append(
+                ChunkRepairAction(
+                    stripe_id=chunk.stripe_id,
+                    chunk_index=chunk.chunk_index,
+                    method=RepairMethod.MIGRATION,
+                    sources=(stf_node,),
+                    destination=destinations[(chunk.stripe_id, chunk.chunk_index)],
+                )
+            )
+        return round_
+
+    # Shared helpers -----------------------------------------------------
+
+    def _uniform_k(
+        self, cluster: StorageCluster, chunks: Sequence[ChunkLocation]
+    ) -> int:
+        ks = {cluster.stripe(c.stripe_id).k for c in chunks}
+        if len(ks) != 1:
+            raise ValueError(
+                f"planner requires a uniform code over the STF chunks; "
+                f"found k values {sorted(ks)}"
+            )
+        return ks.pop()
+
+
+class FastPRPlanner(RepairPlanner):
+    """The paper's contribution: coupled migration + reconstruction.
+
+    Args:
+        scenario: scattered or hot-standby repair.
+        profile: bandwidth profile for the c_m computation; defaults to
+            the cluster's configured bandwidths.
+        optimize: enable Algorithm 1's swap optimization.
+        group_size: run Algorithm 1 per chunk group (Section IV-D).
+        seed: randomization for Algorithm 1 ordering and the R'_x split.
+        k_prime: repair fan-in override for repair-efficient codes.
+        rounding: integerization of c_m ("nearest" or "floor"); see
+            :func:`repro.core.scheduling.migration_quota`.
+    """
+
+    name = "fastpr"
+
+    def __init__(
+        self,
+        scenario: RepairScenario = RepairScenario.SCATTERED,
+        profile: Optional[BandwidthProfile] = None,
+        optimize: bool = True,
+        group_size: Optional[int] = None,
+        seed: Optional[int] = None,
+        k_prime: Optional[int] = None,
+        rounding: str = "nearest",
+        pipelined: bool = False,
+    ):
+        super().__init__(scenario, profile, seed, pipelined=pipelined)
+        self.optimize = optimize
+        self.group_size = group_size
+        self.k_prime = k_prime
+        self.rounding = rounding
+        #: stats of the last Algorithm 1 run (Experiment B.5)
+        self.last_stats = None
+
+    def compose_rounds(self, cluster, stf_node, chunks):
+        finder = ReconstructionSetFinder(
+            cluster,
+            stf_node,
+            optimize=self.optimize,
+            group_size=self.group_size,
+            seed=self.seed,
+        )
+        sets = finder.find_all(chunks)
+        self.last_stats = finder.stats
+        k = self._uniform_k(cluster, chunks)
+        model = model_for(
+            cluster, self.scenario, k, profile=self.profile, k_prime=self.k_prime
+        )
+        return schedule_repair_rounds(
+            sets, model, seed=self.seed, rounding=self.rounding
+        )
+
+
+class ReconstructionOnlyPlanner(RepairPlanner):
+    """Conventional reactive repair: reconstruction sets, no migration."""
+
+    name = "reconstruction"
+
+    def __init__(
+        self,
+        scenario: RepairScenario = RepairScenario.SCATTERED,
+        profile: Optional[BandwidthProfile] = None,
+        optimize: bool = True,
+        group_size: Optional[int] = None,
+        seed: Optional[int] = None,
+        pipelined: bool = False,
+    ):
+        super().__init__(scenario, profile, seed, pipelined=pipelined)
+        self.optimize = optimize
+        self.group_size = group_size
+
+    def compose_rounds(self, cluster, stf_node, chunks):
+        finder = ReconstructionSetFinder(
+            cluster,
+            stf_node,
+            optimize=self.optimize,
+            group_size=self.group_size,
+            seed=self.seed,
+        )
+        return schedule_reconstruction_only(finder.find_all(chunks))
+
+
+class MigrationOnlyPlanner(RepairPlanner):
+    """Relocate every chunk off the STF node (no decoding)."""
+
+    name = "migration"
+
+    def compose_rounds(self, cluster, stf_node, chunks):
+        return schedule_migration_only(chunks)
+
+
+def plan_predictive_repair(
+    cluster: StorageCluster,
+    scenario: RepairScenario = RepairScenario.SCATTERED,
+    **planner_kwargs,
+) -> List[RepairPlan]:
+    """Plan repair for the cluster's currently flagged STF nodes.
+
+    Implements the paper's single-STF assumption: with exactly one STF
+    node, FastPR runs; with several (rare; the paper cites 98%
+    single-node events), each node falls back to the conventional
+    reconstruction-only reactive repair.
+    """
+    stf_nodes = cluster.stf_nodes()
+    if not stf_nodes:
+        return []
+    if len(stf_nodes) == 1:
+        planner = FastPRPlanner(scenario=scenario, **planner_kwargs)
+        return [planner.plan(cluster, stf_nodes[0])]
+    fallback = ReconstructionOnlyPlanner(scenario=scenario)
+    return [fallback.plan(cluster, node) for node in stf_nodes]
+
+
+def apply_plan(cluster: StorageCluster, plan: RepairPlan) -> None:
+    """Commit a plan's placements to the cluster metadata.
+
+    After this, the STF node stores no chunks and can be decommissioned
+    (the runtime counterpart is the DataNodes' heartbeat reports that
+    update the NameNode, Section V).
+    """
+    for action in plan.actions():
+        cluster.relocate_chunk(
+            action.stripe_id, action.chunk_index, action.destination
+        )

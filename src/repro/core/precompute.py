@@ -1,0 +1,155 @@
+"""Precomputed reconstruction sets (Section IV-D, option 2).
+
+Algorithm 1's polynomial complexity "incurs high running time for
+large |C| and M".  Besides chunk grouping, the paper suggests running
+"Algorithm 1 for each possible STF node in advance and store the
+results when they are required".  This module implements that cache:
+
+* :class:`ReconstructionSetCache` — per-node memoization of the
+  reconstruction sets, keyed by the cluster's ``metadata_version`` so
+  any placement change (a repair, a rebalance move) invalidates stale
+  entries automatically;
+* :class:`PrecomputedFastPRPlanner` — a FastPR planner that consults
+  the cache in its planning path, turning the on-alarm latency into a
+  lookup when the warm-up ran ahead of time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..cluster.chunk import ChunkLocation, NodeId
+from ..cluster.cluster import StorageCluster
+from .planner import FastPRPlanner, model_for
+from .reconstruction_sets import ReconstructionSetFinder
+from .scheduling import schedule_repair_rounds
+
+
+@dataclass
+class _CacheEntry:
+    version: int
+    sets: List[List[ChunkLocation]]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting (observable behavior for tests and ops)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+
+class ReconstructionSetCache:
+    """Per-node cache of Algorithm 1's output.
+
+    Args:
+        cluster: cluster whose ``metadata_version`` keys validity.
+        optimize / group_size / seed: Algorithm 1 parameters, fixed for
+            the cache's lifetime (entries computed with different
+            parameters would not be interchangeable).
+    """
+
+    def __init__(
+        self,
+        cluster: StorageCluster,
+        optimize: bool = True,
+        group_size: Optional[int] = None,
+        seed: Optional[int] = None,
+    ):
+        self.cluster = cluster
+        self.optimize = optimize
+        self.group_size = group_size
+        self.seed = seed
+        self._entries: Dict[NodeId, _CacheEntry] = {}
+        self.stats = CacheStats()
+
+    def get(self, node_id: NodeId) -> List[List[ChunkLocation]]:
+        """Reconstruction sets for ``node_id`` (computed if stale/missing)."""
+        entry = self._entries.get(node_id)
+        if entry is not None:
+            if entry.version == self.cluster.metadata_version:
+                self.stats.hits += 1
+                return entry.sets
+            self.stats.invalidations += 1
+        self.stats.misses += 1
+        return self._compute(node_id)
+
+    def warm(self, nodes: Optional[Iterable[NodeId]] = None) -> int:
+        """Precompute sets for ``nodes`` (default: every storage node).
+
+        Returns the number of entries computed.  This is the offline
+        phase the paper describes; run it from a background job.
+        """
+        if nodes is None:
+            nodes = self.cluster.storage_node_ids()
+        computed = 0
+        for node_id in nodes:
+            entry = self._entries.get(node_id)
+            if entry is not None and entry.version == self.cluster.metadata_version:
+                continue
+            self._compute(node_id)
+            computed += 1
+        return computed
+
+    def _compute(self, node_id: NodeId) -> List[List[ChunkLocation]]:
+        finder = ReconstructionSetFinder(
+            self.cluster,
+            node_id,
+            optimize=self.optimize,
+            group_size=self.group_size,
+            seed=self.seed,
+        )
+        sets = finder.find_all()
+        self._entries[node_id] = _CacheEntry(
+            version=self.cluster.metadata_version, sets=sets
+        )
+        return sets
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class PrecomputedFastPRPlanner(FastPRPlanner):
+    """FastPR planner backed by a :class:`ReconstructionSetCache`.
+
+    The Algorithm 1 work happens at :meth:`ReconstructionSetCache.warm`
+    time; planning an actual repair only runs Algorithm 2 plus helper
+    and destination matching.
+    """
+
+    name = "fastpr-precomputed"
+
+    def __init__(self, cache: ReconstructionSetCache, **kwargs):
+        kwargs.setdefault("optimize", cache.optimize)
+        kwargs.setdefault("group_size", cache.group_size)
+        kwargs.setdefault("seed", cache.seed)
+        super().__init__(**kwargs)
+        self.cache = cache
+
+    def compose_rounds(self, cluster, stf_node, chunks):
+        if cluster is not self.cache.cluster:
+            raise ValueError("cache was built for a different cluster")
+        expected = {(c.stripe_id, c.chunk_index) for c in chunks}
+        sets = self.cache.get(stf_node)
+        covered = {
+            (c.stripe_id, c.chunk_index) for s in sets for c in s
+        }
+        if covered != expected:
+            # The caller restricted the chunk list; recompute exactly.
+            finder = ReconstructionSetFinder(
+                cluster,
+                stf_node,
+                optimize=self.optimize,
+                group_size=self.group_size,
+                seed=self.seed,
+            )
+            sets = finder.find_all(chunks)
+        k = self._uniform_k(cluster, chunks)
+        model = model_for(
+            cluster, self.scenario, k, profile=self.profile, k_prime=self.k_prime
+        )
+        return schedule_repair_rounds(
+            sets, model, seed=self.seed, rounding=self.rounding
+        )

@@ -1,0 +1,279 @@
+"""Algorithm 1: finding reconstruction sets.
+
+A *reconstruction set* is a group of STF-node chunks that can all be
+reconstructed in the same repair round: their stripes can be assigned
+``k`` helper nodes each, with every healthy node serving at most one
+chunk in the round (Section IV-B).
+
+The implementation follows the paper's pseudocode:
+
+* MATCH(R, Ci) — can ``R ∪ {Ci}`` still be fully matched?  Realized by
+  :class:`~repro.core.matching.IncrementalStripeMatcher.try_add`.
+* FIND(C) — grow an initial set greedily, then *optimize* it by
+  swapping one member ``Ci`` with an outside chunk ``Cj`` whenever that
+  lets additional chunks ``A_{i,j}`` join (Lines 18-38).
+* MAIN(C) — call FIND until every chunk is covered, yielding sets
+  ``R_1 … R_d``.
+
+``optimize=False`` reproduces the paper's ``d_ini`` baseline for the
+Experiment B.5 microbenchmark, and ``group_size`` implements the
+Section IV-D mitigation of running Algorithm 1 per chunk group.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster.chunk import ChunkLocation, NodeId
+from ..cluster.cluster import StorageCluster
+from .matching import IncrementalStripeMatcher
+
+
+@dataclass
+class Algorithm1Stats:
+    """Bookkeeping for the Experiment B.5 microbenchmarks."""
+
+    match_calls: int = 0
+    swaps_applied: int = 0
+    initial_sets_sizes: List[int] = field(default_factory=list)
+
+
+class ReconstructionSetFinder:
+    """Runs Algorithm 1 for one STF node on a cluster.
+
+    Args:
+        cluster: the cluster metadata.
+        stf_node: the soon-to-fail node whose chunks are repaired.
+        optimize: run the swap-optimization phase (Lines 18-38).
+        group_size: if set, partition the chunks into groups of this
+            size and run Algorithm 1 per group (Section IV-D).
+        seed: ordering randomization for tie-breaking; ``None`` keeps
+            catalog order (deterministic).
+        fanin: helpers needed per chunk; defaults to the stripes'
+            ``k``.  Repair-efficient codes pass ``k'`` (LRC: ``k/l``),
+            per the paper's Section III extension.
+        helper_fn: candidate-helper override, mapping a chunk to the
+            nodes its repair may read from.  Defaults to all healthy
+            holders of the stripe; an LRC passes the chunk's local
+            group (see :mod:`repro.core.lrc_support`).
+    """
+
+    def __init__(
+        self,
+        cluster: StorageCluster,
+        stf_node: NodeId,
+        optimize: bool = True,
+        group_size: Optional[int] = None,
+        seed: Optional[int] = None,
+        fanin: Optional[int] = None,
+        helper_fn=None,
+    ):
+        self.cluster = cluster
+        self.stf_node = stf_node
+        self.optimize = optimize
+        self.group_size = group_size
+        self.fanin = fanin
+        self.helper_fn = helper_fn
+        self._rng = random.Random(seed) if seed is not None else None
+        self.stats = Algorithm1Stats()
+        self._helpers_cache: Dict[tuple, List[NodeId]] = {}
+
+    # ------------------------------------------------------------------
+
+    def find_all(
+        self, chunks: Optional[Sequence[ChunkLocation]] = None
+    ) -> List[List[ChunkLocation]]:
+        """MAIN(C): return reconstruction sets covering every chunk."""
+        if chunks is None:
+            chunks = self.cluster.chunks_on_node(self.stf_node)
+        chunks = list(chunks)
+        if not chunks:
+            return []
+        self._k = self._uniform_k(chunks)
+        if self._rng is not None:
+            self._rng.shuffle(chunks)
+        if self.group_size is not None and self.group_size > 0:
+            sets: List[List[ChunkLocation]] = []
+            for start in range(0, len(chunks), self.group_size):
+                sets.extend(self._main(chunks[start : start + self.group_size]))
+            return sets
+        return self._main(chunks)
+
+    def _main(self, chunks: List[ChunkLocation]) -> List[List[ChunkLocation]]:
+        remaining = list(chunks)
+        sets: List[List[ChunkLocation]] = []
+        while remaining:
+            found, remaining = self._find(remaining)
+            if not found:
+                # Unrepairable chunk (fewer than k healthy helpers):
+                # surface it rather than looping forever.
+                bad = remaining[0]
+                raise ValueError(
+                    f"chunk {bad} cannot be reconstructed: fewer than "
+                    f"k={self._k} healthy helpers"
+                )
+            sets.append(found)
+        return sets
+
+    # ------------------------------------------------------------------
+
+    def _find(
+        self, chunks: List[ChunkLocation]
+    ) -> tuple[List[ChunkLocation], List[ChunkLocation]]:
+        """FIND(C): one reconstruction set plus the residual chunks."""
+        matcher = IncrementalStripeMatcher(self._k)
+        in_set: List[ChunkLocation] = []
+        residual: List[ChunkLocation] = []
+        for chunk in chunks:
+            self.stats.match_calls += 1
+            if matcher.try_add(chunk.stripe_id, self._helpers(chunk)):
+                in_set.append(chunk)
+            else:
+                residual.append(chunk)
+        self.stats.initial_sets_sizes.append(len(in_set))
+        if not self.optimize:
+            return in_set, residual
+        # Swap-optimization phase (Lines 18-38).
+        while True:
+            best_gain: List[ChunkLocation] = []
+            best_swap = None  # (Ci in R, Cj in C)
+            for ci in in_set:
+                base = self._matcher_without(in_set, ci)
+                if base is None:
+                    continue
+                for cj in residual:
+                    gained = self._swap_gain(base, cj, residual)
+                    if len(gained) > len(best_gain):
+                        best_gain = gained
+                        best_swap = (ci, cj)
+            if not best_swap or not best_gain:
+                break
+            ci, cj = best_swap
+            self.stats.swaps_applied += 1
+            in_set = [c for c in in_set if c is not ci] + [cj] + best_gain
+            gained_ids = {id(c) for c in best_gain}
+            residual = [
+                c
+                for c in residual
+                if c is not cj and id(c) not in gained_ids
+            ] + [ci]
+        return in_set, residual
+
+    def _matcher_without(
+        self, in_set: List[ChunkLocation], ci: ChunkLocation
+    ) -> Optional[IncrementalStripeMatcher]:
+        """Matcher for R − {Ci}; shared base for every Cj candidate."""
+        matcher = IncrementalStripeMatcher(self._k)
+        for member in in_set:
+            if member is ci:
+                continue
+            self.stats.match_calls += 1
+            if not matcher.try_add(member.stripe_id, self._helpers(member)):
+                return None  # cannot happen for a feasible R; be safe
+        return matcher
+
+    def _swap_gain(
+        self,
+        base: IncrementalStripeMatcher,
+        cj: ChunkLocation,
+        residual: List[ChunkLocation],
+    ) -> List[ChunkLocation]:
+        """Compute A_{i,j}: chunks addable to R ∪ {Cj} − {Ci}."""
+        matcher = base.clone()
+        self.stats.match_calls += 1
+        if not matcher.try_add(cj.stripe_id, self._helpers(cj)):
+            return []
+        gained: List[ChunkLocation] = []
+        for cl in residual:
+            if cl is cj:
+                continue
+            self.stats.match_calls += 1
+            if matcher.try_add(cl.stripe_id, self._helpers(cl)):
+                gained.append(cl)
+        return gained
+
+    # ------------------------------------------------------------------
+
+    def _helpers(self, chunk: ChunkLocation) -> List[NodeId]:
+        """Healthy candidate helper nodes for a chunk."""
+        key = (chunk.stripe_id, chunk.chunk_index)
+        cached = self._helpers_cache.get(key)
+        if cached is None:
+            if self.helper_fn is not None:
+                cached = list(self.helper_fn(chunk))
+            else:
+                cached = self.cluster.helper_nodes(
+                    chunk.stripe_id, exclude={self.stf_node}
+                )
+            self._helpers_cache[key] = cached
+        return cached
+
+    def _uniform_k(self, chunks: Sequence[ChunkLocation]) -> int:
+        if self.fanin is not None:
+            return self.fanin
+        ks = {self.cluster.stripe(c.stripe_id).k for c in chunks}
+        if len(ks) != 1:
+            raise ValueError(
+                f"Algorithm 1 requires a uniform code across the STF "
+                f"chunks; found k values {sorted(ks)}"
+            )
+        return ks.pop()
+
+
+def find_reconstruction_sets(
+    cluster: StorageCluster,
+    stf_node: NodeId,
+    chunks: Optional[Sequence[ChunkLocation]] = None,
+    optimize: bool = True,
+    group_size: Optional[int] = None,
+    seed: Optional[int] = None,
+    fanin: Optional[int] = None,
+    helper_fn=None,
+) -> List[List[ChunkLocation]]:
+    """Convenience wrapper around :class:`ReconstructionSetFinder`.
+
+    Returns the reconstruction sets ``R_1 … R_d`` (unordered; Algorithm
+    2 sorts them by size).
+    """
+    finder = ReconstructionSetFinder(
+        cluster,
+        stf_node,
+        optimize=optimize,
+        group_size=group_size,
+        seed=seed,
+        fanin=fanin,
+        helper_fn=helper_fn,
+    )
+    return finder.find_all(chunks)
+
+
+def helper_assignment(
+    cluster: StorageCluster,
+    stf_node: NodeId,
+    reconstruction_set: Sequence[ChunkLocation],
+    fanin: Optional[int] = None,
+    helper_fn=None,
+) -> Dict[int, List[NodeId]]:
+    """Assign k (or k') distinct helpers per stripe of a (feasible) set.
+
+    Returns stripe_id -> helper node list; raises if the set is not
+    actually reconstructable in parallel (which would indicate a bug in
+    Algorithm 1 or a cluster mutation since it ran).
+    """
+    if not reconstruction_set:
+        return {}
+    k = fanin or cluster.stripe(reconstruction_set[0].stripe_id).k
+    matcher = IncrementalStripeMatcher(k)
+    for chunk in reconstruction_set:
+        if helper_fn is not None:
+            helpers = list(helper_fn(chunk))
+        else:
+            helpers = cluster.helper_nodes(chunk.stripe_id, exclude={stf_node})
+        if not matcher.try_add(chunk.stripe_id, helpers):
+            raise ValueError(
+                f"reconstruction set infeasible at chunk {chunk}; was the "
+                "cluster mutated after Algorithm 1 ran?"
+            )
+    return matcher.assignment()

@@ -1,0 +1,171 @@
+"""Algorithm 2: repair scheduling.
+
+Given the reconstruction sets from Algorithm 1, decide per repair round
+which chunks reconstruct and which migrate (Section IV-C):
+
+* sort the sets by size, descending;
+* each round reconstructs the largest unconsumed set ``R_l`` (so
+  ``c_r = |R_l|``) and, in parallel, migrates ``c_m = t_r / t_m``
+  chunks taken from the *smallest* sets — small sets have little
+  parallelism and are better served by migration;
+* when the remaining small sets fit within ``c_m``, the schedule ends.
+
+The paper defines ``c_m = t_r / t_m``, which is fractional; an integer
+chunk count needs a rounding rule (the design-choice ablation in
+DESIGN.md §6.2).  ``"floor"`` guarantees migration never straggles
+(``c_m * t_m <= t_r``) but degenerates to ``c_m = 0`` — i.e. pure
+reconstruction — whenever ``t_r < t_m``, which happens in small
+clusters where reconstruction sets shrink to one or two chunks.
+``"nearest"`` (the default) lets migration overshoot a round by at most
+``t_m / 2`` and keeps the methods coupled in that regime.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..cluster.chunk import ChunkLocation
+from .analysis import AnalyticalModel
+
+
+@dataclass
+class RoundComposition:
+    """Which chunks reconstruct and which migrate in one round."""
+
+    reconstruction: List[ChunkLocation] = field(default_factory=list)
+    migration: List[ChunkLocation] = field(default_factory=list)
+
+    @property
+    def cr(self) -> int:
+        return len(self.reconstruction)
+
+    @property
+    def cm(self) -> int:
+        return len(self.migration)
+
+
+def migration_quota(
+    model: AnalyticalModel, cr: int, rounding: str = "nearest"
+) -> int:
+    """The paper's c_m: migrated chunks per round, given c_r.
+
+    ``c_m = t_r / t_m`` where ``t_r`` is the round's reconstruction
+    time (with ``G = c_r`` for hot-standby repair) and ``t_m`` the
+    per-chunk migration time.  ``rounding`` is ``"nearest"`` or
+    ``"floor"``; see the module docstring for the trade-off.
+    """
+    if cr <= 0:
+        return 0
+    t_r = model.reconstruction_time(groups=cr)
+    t_m = model.migration_time()
+    ratio = t_r / t_m
+    if rounding == "floor":
+        return int(ratio)
+    if rounding == "nearest":
+        return int(ratio + 0.5)
+    raise ValueError(f"unknown rounding mode {rounding!r}")
+
+
+def schedule_repair_rounds(
+    reconstruction_sets: Sequence[Sequence[ChunkLocation]],
+    model: AnalyticalModel,
+    seed: Optional[int] = None,
+    rounding: str = "nearest",
+) -> List[RoundComposition]:
+    """Algorithm 2 proper.
+
+    Args:
+        reconstruction_sets: the sets ``R_1 … R_d`` from Algorithm 1
+            (any order; this function sorts them).
+        model: analytical model supplying ``t_m``/``t_r`` — it must be
+            configured for the same scenario (scattered / hot-standby)
+            the plan targets.
+        seed: randomizes which chunks of the split set ``R_x`` migrate
+            (the paper picks ``R'_x ⊂ R_x`` randomly).
+        rounding: integerization of c_m; see :func:`migration_quota`.
+
+    Returns:
+        Round compositions in execution order.  Every input chunk
+        appears in exactly one round, exactly once.
+    """
+    rng = random.Random(seed)
+    sets: List[List[ChunkLocation]] = [
+        list(s) for s in reconstruction_sets if len(s) > 0
+    ]
+    if not sets:
+        return []
+    sets.sort(key=len, reverse=True)
+    rounds: List[RoundComposition] = []
+    l = 0
+    u = len(sets) - 1
+    while True:
+        current = sets[l]
+        quota = migration_quota(model, len(current), rounding=rounding)
+        tail_sizes = [len(sets[i]) for i in range(l + 1, u + 1)]
+        tail_total = sum(tail_sizes)
+        if tail_total <= quota:
+            migration = [c for i in range(l + 1, u + 1) for c in sets[i]]
+            rounds.append(
+                RoundComposition(reconstruction=list(current), migration=migration)
+            )
+            break
+        # Find the largest x with sum_{i=x}^{u} |R_i| > quota.
+        suffix = 0
+        x = u
+        for i in range(u, l, -1):
+            suffix += len(sets[i])
+            if suffix > quota:
+                x = i
+                break
+        # Split R_x: migrate a random subset R'_x so the round's
+        # migration volume is exactly the quota.
+        after_x = sum(len(sets[i]) for i in range(x + 1, u + 1))
+        need = quota - after_x
+        split_set = sets[x]
+        rng.shuffle(split_set)
+        migrated_part = split_set[:need]
+        sets[x] = split_set[need:]
+        migration = migrated_part + [
+            c for i in range(x + 1, u + 1) for c in sets[i]
+        ]
+        rounds.append(
+            RoundComposition(reconstruction=list(current), migration=migration)
+        )
+        l += 1
+        u = x
+        if l > u:  # defensive; cannot happen (x >= l+1 by construction)
+            break
+    # Any sets strictly between the final l and u were consumed; assert
+    # full coverage in debug builds (tests cover this invariant too).
+    return rounds
+
+
+def schedule_reconstruction_only(
+    reconstruction_sets: Sequence[Sequence[ChunkLocation]],
+) -> List[RoundComposition]:
+    """The reconstruction-only baseline: one round per set, no migration.
+
+    This corresponds to the paper's conventional reactive repair — it
+    still uses Algorithm 1's sets for parallelism, but never migrates.
+    """
+    return [
+        RoundComposition(reconstruction=list(s))
+        for s in sorted(
+            (s for s in reconstruction_sets if len(s) > 0), key=len, reverse=True
+        )
+    ]
+
+
+def schedule_migration_only(
+    chunks: Sequence[ChunkLocation],
+) -> List[RoundComposition]:
+    """The migration-only baseline: everything migrates in one batch.
+
+    Migration is serialized by the STF node's bandwidth regardless of
+    round structure, so a single round suffices.
+    """
+    if not chunks:
+        return []
+    return [RoundComposition(migration=list(chunks))]

@@ -1,0 +1,149 @@
+"""Erasure-codec abstractions.
+
+Defines the interface every erasure code in this repository implements,
+plus a small registry so that experiments can name codes by scheme
+string (e.g. ``"rs(9,6)"`` or ``"lrc(12,2,2)"``) the way the paper
+names them in its figures.
+
+A codec operates on *stripes*: ``k`` source chunks are encoded into
+``n`` coded chunks, and any allowed subset of coded chunks can rebuild
+the missing ones.  Chunks are ``bytes``-like buffers of equal length.
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+class DecodeError(ValueError):
+    """Raised when the surviving chunks cannot rebuild the lost ones."""
+
+
+@dataclass(frozen=True)
+class RepairCost:
+    """Cost of repairing a single lost chunk.
+
+    Attributes:
+        helpers: number of distinct helper nodes read from (the paper's
+            ``k'``; ``k`` for RS, ``k/l`` for a local LRC repair).
+        traffic_chunks: repair traffic in units of chunk size (equals
+            ``helpers`` for RS/LRC conventional repair).
+    """
+
+    helpers: int
+    traffic_chunks: float
+
+
+class ErasureCodec(ABC):
+    """Abstract erasure code over byte chunks.
+
+    Concrete codecs are immutable and safe to share across threads.
+    """
+
+    #: total chunks per stripe
+    n: int
+    #: source chunks per stripe
+    k: int
+
+    @abstractmethod
+    def encode(self, data_chunks: Sequence[bytes]) -> List[bytes]:
+        """Encode ``k`` equal-size data chunks into ``n`` coded chunks.
+
+        For systematic codes the first ``k`` outputs are the inputs.
+        """
+
+    @abstractmethod
+    def decode(
+        self,
+        available: Dict[int, bytes],
+        wanted: Sequence[int],
+    ) -> Dict[int, bytes]:
+        """Rebuild the chunks at the ``wanted`` indices.
+
+        Args:
+            available: mapping from chunk index (0..n-1) to its bytes.
+            wanted: indices of the chunks to reconstruct.
+
+        Returns:
+            Mapping from each wanted index to its reconstructed bytes.
+
+        Raises:
+            DecodeError: if ``available`` is insufficient.
+        """
+
+    @abstractmethod
+    def repair_helpers(self, lost_index: int, alive: Sequence[int]) -> List[int]:
+        """Choose the helper chunk indices used to repair one lost chunk.
+
+        Returns the (minimal, code-specific) set of surviving chunk
+        indices that a single-chunk repair reads.
+
+        Raises:
+            DecodeError: if the lost chunk is unrepairable from ``alive``.
+        """
+
+    def single_repair_cost(self) -> RepairCost:
+        """Cost of a single-chunk repair in the common (non-degraded) case."""
+        return RepairCost(helpers=self.k, traffic_chunks=float(self.k))
+
+    @property
+    def storage_overhead(self) -> float:
+        """Redundancy factor n/k."""
+        return self.n / self.k
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n}, k={self.k})"
+
+
+_REGISTRY: Dict[str, Callable[..., ErasureCodec]] = {}
+
+
+def register_codec(name: str, factory: Callable[..., ErasureCodec]) -> None:
+    """Register a codec factory under a scheme name (e.g. ``"rs"``)."""
+    _REGISTRY[name.lower()] = factory
+
+
+_SCHEME_RE = re.compile(r"^\s*([a-zA-Z_]+)\s*\(\s*([\d\s,]+)\)\s*$")
+
+
+def make_codec(scheme: str) -> ErasureCodec:
+    """Instantiate a codec from a scheme string.
+
+    Examples:
+        >>> make_codec("rs(9,6)").n
+        9
+        >>> make_codec("RS(14, 10)").k
+        10
+    """
+    match = _SCHEME_RE.match(scheme)
+    if not match:
+        raise ValueError(f"unparseable codec scheme: {scheme!r}")
+    name = match.group(1).lower()
+    params = [int(p) for p in match.group(2).split(",")]
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown codec {name!r}; registered: {sorted(_REGISTRY)}"
+        )
+    return factory(*params)
+
+
+def registered_schemes() -> List[str]:
+    """Return the registered scheme names."""
+    return sorted(_REGISTRY)
+
+
+def check_equal_sizes(chunks: Sequence[bytes], expected: Optional[int] = None) -> int:
+    """Validate that all chunks share one size; return that size."""
+    if not chunks:
+        raise ValueError("no chunks supplied")
+    size = len(chunks[0]) if expected is None else expected
+    for i, chunk in enumerate(chunks):
+        if len(chunk) != size:
+            raise ValueError(
+                f"chunk {i} has size {len(chunk)}, expected {size}"
+            )
+    return size

@@ -1,0 +1,204 @@
+"""Galois-field GF(2^8) arithmetic.
+
+This module provides the finite-field arithmetic that underlies every
+erasure code in this repository, playing the role that Jerasure v1.2
+plays in the paper's C++ prototype.
+
+The field is GF(2^8) built from the primitive polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D), the same polynomial used by
+Jerasure's default GF(2^8) implementation and by most storage-oriented
+Reed-Solomon codecs.  Elements are integers in ``[0, 255]``; addition is
+XOR, and multiplication is implemented with log/antilog tables so that
+both scalar and vectorized (numpy) operations are cheap.
+
+Two API levels are exposed:
+
+* scalar helpers (:func:`gf_add`, :func:`gf_mul`, :func:`gf_div`,
+  :func:`gf_pow`, :func:`gf_inv`) for matrix construction and tests, and
+* vectorized helpers (:func:`gf_mul_bytes`, :func:`gf_addmul_bytes`)
+  used on whole chunk buffers by the codecs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Primitive polynomial for GF(2^8): x^8 + x^4 + x^3 + x^2 + 1.
+PRIMITIVE_POLY = 0x11D
+
+#: Order of the multiplicative group of GF(2^8).
+GF_ORDER = 255
+
+#: Field size.
+GF_SIZE = 256
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Build the antilog (exp) and log tables for GF(2^8).
+
+    Returns a pair ``(exp_table, log_table)`` where ``exp_table`` has
+    512 entries (doubled to avoid a modulo in multiplication) and
+    ``log_table`` has 256 entries with ``log_table[0]`` unused.
+    """
+    exp_table = np.zeros(2 * GF_ORDER + 2, dtype=np.int32)
+    log_table = np.zeros(GF_SIZE, dtype=np.int32)
+    x = 1
+    for i in range(GF_ORDER):
+        exp_table[i] = x
+        log_table[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= PRIMITIVE_POLY
+    # Duplicate so that exp_table[log_a + log_b] never needs "% 255".
+    for i in range(GF_ORDER, 2 * GF_ORDER + 2):
+        exp_table[i] = exp_table[i - GF_ORDER]
+    return exp_table, log_table
+
+
+_EXP, _LOG = _build_tables()
+
+# A full 256x256 multiplication table.  64 KiB of int16 is a trivial
+# memory cost and turns vectorized chunk multiplication into a single
+# fancy-indexing operation.
+_MUL_TABLE = np.zeros((GF_SIZE, GF_SIZE), dtype=np.uint8)
+for _a in range(1, GF_SIZE):
+    for _b in range(1, GF_SIZE):
+        _MUL_TABLE[_a, _b] = _EXP[_LOG[_a] + _LOG[_b]]
+del _a, _b
+
+_INV_TABLE = np.zeros(GF_SIZE, dtype=np.uint8)
+for _a in range(1, GF_SIZE):
+    _INV_TABLE[_a] = _EXP[GF_ORDER - _LOG[_a]]
+del _a
+
+
+def gf_add(a: int, b: int) -> int:
+    """Return ``a + b`` in GF(2^8) (carry-less, i.e. XOR)."""
+    return a ^ b
+
+
+def gf_sub(a: int, b: int) -> int:
+    """Return ``a - b`` in GF(2^8); identical to addition."""
+    return a ^ b
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Return ``a * b`` in GF(2^8)."""
+    if a == 0 or b == 0:
+        return 0
+    return int(_EXP[_LOG[a] + _LOG[b]])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Return ``a / b`` in GF(2^8).
+
+    Raises:
+        ZeroDivisionError: if ``b`` is zero.
+    """
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(2^8)")
+    if a == 0:
+        return 0
+    return int(_EXP[_LOG[a] - _LOG[b] + GF_ORDER])
+
+
+def gf_inv(a: int) -> int:
+    """Return the multiplicative inverse of ``a`` in GF(2^8).
+
+    Raises:
+        ZeroDivisionError: if ``a`` is zero.
+    """
+    if a == 0:
+        raise ZeroDivisionError("zero has no inverse in GF(2^8)")
+    return int(_INV_TABLE[a])
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    """Return ``a ** exponent`` in GF(2^8) (exponent may be negative)."""
+    if exponent == 0:
+        return 1
+    if a == 0:
+        if exponent < 0:
+            raise ZeroDivisionError("zero has no inverse in GF(2^8)")
+        return 0
+    log_a = int(_LOG[a])
+    return int(_EXP[(log_a * exponent) % GF_ORDER])
+
+
+def gf_exp(power: int) -> int:
+    """Return the field generator raised to ``power``."""
+    return int(_EXP[power % GF_ORDER])
+
+
+def gf_log(a: int) -> int:
+    """Return the discrete log of ``a`` (base: field generator).
+
+    Raises:
+        ValueError: if ``a`` is zero (log of zero is undefined).
+    """
+    if a == 0:
+        raise ValueError("log of zero is undefined in GF(2^8)")
+    return int(_LOG[a])
+
+
+def gf_mul_bytes(coeff: int, data: np.ndarray) -> np.ndarray:
+    """Multiply every byte of ``data`` by the scalar ``coeff``.
+
+    Args:
+        coeff: field element in [0, 255].
+        data: a ``uint8`` numpy array (any shape).
+
+    Returns:
+        A new ``uint8`` array of the same shape.
+    """
+    if not 0 <= coeff < GF_SIZE:
+        raise ValueError(f"coefficient {coeff} outside GF(2^8)")
+    if coeff == 0:
+        return np.zeros_like(data)
+    if coeff == 1:
+        return data.copy()
+    return _MUL_TABLE[coeff][data]
+
+
+def gf_addmul_bytes(acc: np.ndarray, coeff: int, data: np.ndarray) -> None:
+    """In place, set ``acc ^= coeff * data`` byte-wise over GF(2^8).
+
+    This is the inner loop of erasure encoding/decoding: accumulate a
+    scaled source buffer into a destination parity buffer.
+    """
+    if not 0 <= coeff < GF_SIZE:
+        raise ValueError(f"coefficient {coeff} outside GF(2^8)")
+    if coeff == 0:
+        return
+    if coeff == 1:
+        np.bitwise_xor(acc, data, out=acc)
+        return
+    np.bitwise_xor(acc, _MUL_TABLE[coeff][data], out=acc)
+
+
+def gf_matmul_bytes(matrix: np.ndarray, shards: np.ndarray) -> np.ndarray:
+    """Multiply a GF(2^8) coefficient ``matrix`` by a stack of shards.
+
+    Args:
+        matrix: ``(r, s)`` uint8 array of coefficients.
+        shards: ``(s, L)`` uint8 array: ``s`` source buffers of ``L`` bytes.
+
+    Returns:
+        ``(r, L)`` uint8 array: each output row is the GF-linear
+        combination of the input shards given by the matrix row.
+    """
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    shards = np.asarray(shards, dtype=np.uint8)
+    if matrix.ndim != 2 or shards.ndim != 2:
+        raise ValueError("matrix and shards must both be 2-D")
+    if matrix.shape[1] != shards.shape[0]:
+        raise ValueError(
+            f"shape mismatch: matrix {matrix.shape} x shards {shards.shape}"
+        )
+    rows, _ = matrix.shape
+    out = np.zeros((rows, shards.shape[1]), dtype=np.uint8)
+    for r in range(rows):
+        acc = out[r]
+        for s, coeff in enumerate(matrix[r]):
+            gf_addmul_bytes(acc, int(coeff), shards[s])
+    return out

@@ -1,0 +1,159 @@
+"""Systematic Reed-Solomon codes RS(n, k) over GF(2^8).
+
+This is the reproduction of the paper's coding substrate (Jerasure
+v1.2 RS coding).  The generator matrix is systematic with a Cauchy
+parity block, so every ``k x k`` submatrix of the generator is
+invertible and the code is MDS: any ``k`` of the ``n`` coded chunks of
+a stripe can rebuild the original data — exactly the RS(n, k) property
+the paper relies on (Section II-A).
+
+Single-chunk repair reads ``k`` helper chunks (the k-fold repair
+traffic amplification that motivates FastPR).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .codec import (
+    DecodeError,
+    ErasureCodec,
+    check_equal_sizes,
+    register_codec,
+)
+from .galois import gf_matmul_bytes
+from .matrix import cauchy, identity, invert, SingularMatrixError
+
+
+class ReedSolomonCodec(ErasureCodec):
+    """Systematic RS(n, k) codec.
+
+    Args:
+        n: total chunks per stripe.
+        k: data chunks per stripe (k < n).
+
+    The first ``k`` coded chunks are the data chunks verbatim; the
+    remaining ``n - k`` are Cauchy-parity combinations.
+    """
+
+    def __init__(self, n: int, k: int):
+        if not 0 < k < n:
+            raise ValueError(f"require 0 < k < n, got n={n}, k={k}")
+        if n > 255:
+            raise ValueError("GF(2^8) RS supports at most n=255")
+        self.n = n
+        self.k = k
+        parity = cauchy(n - k, k)
+        self._generator = np.concatenate([identity(k), parity], axis=0)
+
+    @property
+    def generator_matrix(self) -> np.ndarray:
+        """The ``n x k`` systematic generator matrix (copy)."""
+        return self._generator.copy()
+
+    def encode(self, data_chunks: Sequence[bytes]) -> List[bytes]:
+        if len(data_chunks) != self.k:
+            raise ValueError(
+                f"RS({self.n},{self.k}) expects {self.k} data chunks, "
+                f"got {len(data_chunks)}"
+            )
+        check_equal_sizes(data_chunks)
+        shards = np.stack(
+            [np.frombuffer(c, dtype=np.uint8) for c in data_chunks]
+        )
+        parity_rows = self._generator[self.k :, :]
+        parity = gf_matmul_bytes(parity_rows, shards)
+        coded = [bytes(c) for c in data_chunks]
+        coded.extend(parity[i].tobytes() for i in range(self.n - self.k))
+        return coded
+
+    def decode(
+        self,
+        available: Dict[int, bytes],
+        wanted: Sequence[int],
+    ) -> Dict[int, bytes]:
+        wanted = list(wanted)
+        for idx in wanted:
+            if not 0 <= idx < self.n:
+                raise ValueError(f"chunk index {idx} outside stripe of {self.n}")
+        # Trivially satisfy wanted indices that are present.
+        result: Dict[int, bytes] = {}
+        missing = [i for i in wanted if i not in available]
+        for i in wanted:
+            if i in available:
+                result[i] = bytes(available[i])
+        if not missing:
+            return result
+
+        if len(available) < self.k:
+            raise DecodeError(
+                f"need {self.k} chunks to decode, have {len(available)}"
+            )
+        helper_ids = sorted(available)[: self.k]
+        size = check_equal_sizes([available[i] for i in helper_ids])
+        helper_shards = np.stack(
+            [np.frombuffer(available[i], dtype=np.uint8) for i in helper_ids]
+        )
+        # helpers = G[helper_ids] @ data  =>  data = inv(G[helper_ids]) @ helpers
+        sub = self._generator[helper_ids, :]
+        try:
+            sub_inv = invert(sub)
+        except SingularMatrixError as exc:  # cannot happen for Cauchy RS
+            raise DecodeError(f"singular decode submatrix: {exc}") from exc
+        data_shards = gf_matmul_bytes(sub_inv, helper_shards)
+        rebuild_rows = self._generator[missing, :]
+        rebuilt = gf_matmul_bytes(rebuild_rows, data_shards)
+        for row, idx in enumerate(missing):
+            result[idx] = rebuilt[row].tobytes()
+        for i in wanted:
+            if len(result[i]) != size:
+                raise AssertionError("decoded size mismatch")
+        return result
+
+    def repair_helpers(self, lost_index: int, alive: Sequence[int]) -> List[int]:
+        alive = [i for i in alive if i != lost_index]
+        if len(alive) < self.k:
+            raise DecodeError(
+                f"cannot repair chunk {lost_index}: only {len(alive)} "
+                f"survivors, need {self.k}"
+            )
+        return sorted(alive)[: self.k]
+
+    def recovery_coefficients(
+        self, lost_index: int, helper_ids: Sequence[int]
+    ) -> Dict[int, int]:
+        """GF coefficients for streaming single-chunk repair.
+
+        The lost chunk equals ``sum(coeff[h] * chunk[h])`` over the
+        ``k`` helpers, so a repairing node can accumulate each helper
+        packet as it arrives (the runtime's decode thread, Section V).
+
+        Raises:
+            DecodeError: if ``helper_ids`` is not exactly ``k`` distinct
+                surviving indices.
+        """
+        helper_ids = list(helper_ids)
+        if len(helper_ids) != self.k or len(set(helper_ids)) != self.k:
+            raise DecodeError(
+                f"need exactly k={self.k} distinct helpers, got {helper_ids}"
+            )
+        if lost_index in helper_ids:
+            raise DecodeError("lost chunk cannot be its own helper")
+        sub = self._generator[helper_ids, :]
+        try:
+            sub_inv = invert(sub)
+        except SingularMatrixError as exc:
+            raise DecodeError(f"singular helper submatrix: {exc}") from exc
+        from .matrix import matmul
+
+        row = matmul(self._generator[[lost_index], :], sub_inv)[0]
+        return {helper: int(row[i]) for i, helper in enumerate(helper_ids)}
+
+
+def _rs_factory(n: int, k: int) -> ReedSolomonCodec:
+    return ReedSolomonCodec(n, k)
+
+
+register_codec("rs", _rs_factory)

@@ -1,0 +1,196 @@
+"""Classification-tree disk-failure predictor (CART).
+
+The paper's prediction lineage includes Li et al.'s "Hard Drive
+Failure Prediction Using Classification and Regression Trees"
+(DSN 2014, the paper's reference [18]).  This module implements a CART
+classifier from scratch on numpy — Gini-impurity splits over the same
+windowed SMART features the logistic predictor uses — so the fleet
+experiments can compare a tree against the linear model, as that line
+of work does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .predictor import FailurePredictor, window_features
+from .smart import DiskTrace, SmartSample
+
+
+def training_windows(
+    traces: Sequence[DiskTrace], window_days: int, lead_days: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Feature matrix and labels over every full window of every trace.
+
+    A window is positive when its disk fails within ``lead_days`` of
+    the window's last day — the same labeling the logistic predictor
+    trains on.
+    """
+    rows: List[np.ndarray] = []
+    labels: List[int] = []
+    for trace in traces:
+        if not trace.samples:
+            continue
+        last_day = trace.samples[-1].day
+        for end in range(window_days - 1, last_day + 1):
+            window = trace.window(end, window_days)
+            if len(window) < window_days:
+                continue
+            rows.append(window_features(window))
+            positive = (
+                trace.will_fail and trace.failure_day - end <= lead_days
+            )
+            labels.append(1 if positive else 0)
+    if not rows:
+        raise ValueError("no training windows; traces too short?")
+    return np.vstack(rows), np.array(labels, dtype=np.int64)
+
+
+@dataclass
+class _Node:
+    """One CART node; a leaf when ``feature`` is None."""
+
+    prediction: float  # positive-class fraction at this node
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_Node"] = None  # feature <= threshold
+    right: Optional["_Node"] = None
+
+
+def _gini(labels: np.ndarray) -> float:
+    if len(labels) == 0:
+        return 0.0
+    p = labels.mean()
+    return 2.0 * p * (1.0 - p)
+
+
+class CartPredictor(FailurePredictor):
+    """CART classifier over windowed SMART features.
+
+    Args:
+        window_days / lead_days: windowing and labeling, as for
+            :class:`~repro.failure.predictor.LogisticPredictor`.
+        max_depth: tree depth cap.
+        min_samples_split: do not split smaller nodes.
+        max_thresholds: candidate split thresholds per feature
+            (quantile-sampled; bounds fit time on large fleets).
+        decision_threshold: leaf positive-fraction cutoff for flagging.
+    """
+
+    def __init__(
+        self,
+        window_days: int = 7,
+        lead_days: int = 10,
+        max_depth: int = 5,
+        min_samples_split: int = 40,
+        max_thresholds: int = 16,
+        decision_threshold: float = 0.8,
+    ):
+        self.window_days = window_days
+        self.lead_days = lead_days
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_thresholds = max_thresholds
+        self.decision_threshold = decision_threshold
+        self._root: Optional[_Node] = None
+        #: number of decision (non-leaf) nodes after fit
+        self.num_splits = 0
+
+    # -- training --------------------------------------------------------
+
+    def fit(self, traces: Sequence[DiskTrace]) -> "CartPredictor":
+        X, y = training_windows(traces, self.window_days, self.lead_days)
+        if len(np.unique(y)) < 2:
+            raise ValueError(
+                "training fleet needs both failing and surviving disks"
+            )
+        # Balance classes by weighting positives up in the impurity
+        # computation — implemented by oversampling indices, which keeps
+        # the split code simple.
+        pos = np.flatnonzero(y == 1)
+        neg = np.flatnonzero(y == 0)
+        factor = max(1, len(neg) // max(len(pos), 1) // 2)
+        index = np.concatenate([neg] + [pos] * factor)
+        self.num_splits = 0
+        self._root = self._build(X[index], y[index], depth=0)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(y.mean()) if len(y) else 0.0)
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or _gini(y) == 0.0
+        ):
+            return node
+        best = self._best_split(X, y)
+        if best is None:
+            return node
+        feature, threshold, _ = best
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        self.num_splits += 1
+        return node
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> Optional[Tuple[int, float, float]]:
+        parent = _gini(y)
+        best: Optional[Tuple[int, float, float]] = None
+        n = len(y)
+        for feature in range(X.shape[1]):
+            values = X[:, feature]
+            candidates = np.unique(
+                np.quantile(
+                    values,
+                    np.linspace(0.05, 0.95, self.max_thresholds),
+                    method="nearest",
+                )
+            )
+            for threshold in candidates:
+                mask = values <= threshold
+                left_n = int(mask.sum())
+                if left_n == 0 or left_n == n:
+                    continue
+                impurity = (
+                    left_n * _gini(y[mask]) + (n - left_n) * _gini(y[~mask])
+                ) / n
+                gain = parent - impurity
+                if gain > 1e-12 and (best is None or gain > best[2]):
+                    best = (feature, float(threshold), float(gain))
+        return best
+
+    # -- inference --------------------------------------------------------
+
+    def score(self, window: Sequence[SmartSample]) -> float:
+        if self._root is None:
+            raise RuntimeError("predictor not fitted; call fit() first")
+        x = window_features(window)
+        node = self._root
+        while node.feature is not None:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+    def predict(self, window: Sequence[SmartSample]) -> bool:
+        if len(window) < self.window_days:
+            return False
+        return self.score(window) >= self.decision_threshold
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.feature is None:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("predictor not fitted")
+        return walk(self._root)

@@ -1,0 +1,150 @@
+"""Cluster failure monitoring: predictor -> STF flag -> repair.
+
+Closes the loop the paper motivates: SMART telemetry feeds a failure
+predictor; the first alarm for a node marks it soon-to-fail on the
+cluster; a repair planner then restores its chunks *before* the actual
+failure.  False alarms still trigger a full repair (the paper's second
+assumption: "proactively repairing the chunks of the STF node is
+necessary, even though the STF node is a false alarm").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..cluster.chunk import NodeId
+from ..cluster.cluster import StorageCluster
+from ..core.plan import RepairPlan
+from .predictor import FailurePredictor
+from .smart import DiskTrace
+
+
+@dataclass(frozen=True)
+class StfEvent:
+    """A node flagged soon-to-fail by the predictor."""
+
+    day: int
+    node_id: NodeId
+    disk_id: int
+    #: None for a false alarm (the disk never actually fails)
+    actual_failure_day: Optional[int]
+
+    @property
+    def is_false_alarm(self) -> bool:
+        return self.actual_failure_day is None
+
+    @property
+    def lead_days(self) -> Optional[int]:
+        if self.actual_failure_day is None:
+            return None
+        return self.actual_failure_day - self.day
+
+
+@dataclass(frozen=True)
+class MissedFailure:
+    """A disk that failed with no prior alarm (needs reactive repair)."""
+
+    day: int
+    node_id: NodeId
+    disk_id: int
+
+
+@dataclass
+class MonitorReport:
+    """Everything that happened over the monitored horizon."""
+
+    stf_events: List[StfEvent] = field(default_factory=list)
+    missed_failures: List[MissedFailure] = field(default_factory=list)
+    plans: Dict[NodeId, RepairPlan] = field(default_factory=dict)
+
+    @property
+    def false_alarms(self) -> List[StfEvent]:
+        return [e for e in self.stf_events if e.is_false_alarm]
+
+    @property
+    def predicted_failures(self) -> List[StfEvent]:
+        return [e for e in self.stf_events if not e.is_false_alarm]
+
+
+class ClusterFailureMonitor:
+    """Replays disk traces against a cluster, day by day.
+
+    Args:
+        cluster: the storage cluster whose nodes map 1:1 to disks.
+        traces: one :class:`DiskTrace` per storage node, index-aligned
+            with ``node_bindings`` (default: node i <-> trace i).
+        predictor: the soon-to-fail classifier.
+        node_bindings: optional explicit disk-id -> node-id mapping.
+    """
+
+    def __init__(
+        self,
+        cluster: StorageCluster,
+        traces: Sequence[DiskTrace],
+        predictor: FailurePredictor,
+        node_bindings: Optional[Dict[int, NodeId]] = None,
+    ):
+        self.cluster = cluster
+        self.predictor = predictor
+        self.traces = list(traces)
+        if node_bindings is None:
+            node_ids = cluster.storage_node_ids()
+            if len(self.traces) > len(node_ids):
+                raise ValueError(
+                    f"{len(self.traces)} traces but only {len(node_ids)} nodes"
+                )
+            node_bindings = {
+                trace.disk_id: node_ids[i] for i, trace in enumerate(self.traces)
+            }
+        self.node_bindings = node_bindings
+
+    def run(
+        self,
+        on_stf: Optional[Callable[[StfEvent], Optional[RepairPlan]]] = None,
+        on_failure: Optional[Callable[[MissedFailure], None]] = None,
+    ) -> MonitorReport:
+        """Replay the horizon; invoke ``on_stf`` at each first alarm.
+
+        ``on_stf`` typically plans (and simulates/executes) the
+        predictive repair and returns the plan for the report.  The
+        node is flagged soon-to-fail on the cluster before the callback
+        runs.  ``on_failure`` fires for failures that arrive with no
+        prior alarm (the node is already marked failed) — the hook for
+        reactive repair.
+        """
+        report = MonitorReport()
+        alarmed: set = set()
+        horizon = max(s.day for t in self.traces for s in t.samples) + 1
+        for day in range(horizon):
+            for trace in self.traces:
+                node_id = self.node_bindings[trace.disk_id]
+                if trace.disk_id in alarmed:
+                    continue
+                # Actual failure without a preceding alarm: missed.
+                if trace.failure_day is not None and day >= trace.failure_day:
+                    alarmed.add(trace.disk_id)
+                    self.cluster.node(node_id).mark_failed()
+                    missed = MissedFailure(day, node_id, trace.disk_id)
+                    report.missed_failures.append(missed)
+                    if on_failure is not None:
+                        on_failure(missed)
+                    continue
+                window = trace.window(day, self.predictor.window_days)
+                if len(window) < self.predictor.window_days:
+                    continue
+                if self.predictor.predict(window):
+                    alarmed.add(trace.disk_id)
+                    event = StfEvent(
+                        day=day,
+                        node_id=node_id,
+                        disk_id=trace.disk_id,
+                        actual_failure_day=trace.failure_day,
+                    )
+                    self.cluster.node(node_id).mark_soon_to_fail()
+                    report.stf_events.append(event)
+                    if on_stf is not None:
+                        plan = on_stf(event)
+                        if plan is not None:
+                            report.plans[node_id] = plan
+        return report

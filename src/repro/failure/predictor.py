@@ -1,0 +1,253 @@
+"""Disk-failure predictors over SMART windows.
+
+Two predictor families the literature (and the paper's Section II-B)
+describes:
+
+* :class:`ThresholdPredictor` — RAIDShield-style [22]: flag a disk
+  once its reallocated-sector count exceeds a threshold.
+* :class:`LogisticPredictor` — a machine-learned classifier in the
+  spirit of [18], [23], [45]: logistic regression (implemented from
+  scratch on numpy) over windowed SMART features (levels + slopes).
+
+Both consume a fixed-length window of recent samples and answer
+"is this disk soon-to-fail?".  :func:`evaluate` computes the metrics
+the prediction papers report: precision, recall (failure-detection
+rate), false-alarm rate, and prediction lead time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .smart import DEGRADATION_ATTRIBUTES, DiskTrace, SmartSample
+
+
+class FailurePredictor(ABC):
+    """Binary soon-to-fail classifier over a window of samples."""
+
+    #: days of history the predictor expects
+    window_days: int = 7
+
+    @abstractmethod
+    def predict(self, window: Sequence[SmartSample]) -> bool:
+        """True if the disk behind ``window`` is predicted soon-to-fail."""
+
+    def score(self, window: Sequence[SmartSample]) -> float:
+        """Soft score in [0, 1] where available; default maps predict()."""
+        return 1.0 if self.predict(window) else 0.0
+
+
+class ThresholdPredictor(FailurePredictor):
+    """Flag when a monitored attribute exceeds a fixed threshold.
+
+    RAIDShield [22] uses the reallocated-sector count; that is the
+    default here.
+    """
+
+    def __init__(
+        self,
+        attribute: str = "smart_5_reallocated_sectors",
+        threshold: float = 20.0,
+        window_days: int = 1,
+    ):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.attribute = attribute
+        self.threshold = threshold
+        self.window_days = window_days
+
+    def predict(self, window: Sequence[SmartSample]) -> bool:
+        if not window:
+            return False
+        return window[-1].values.get(self.attribute, 0.0) >= self.threshold
+
+
+def window_features(window: Sequence[SmartSample]) -> np.ndarray:
+    """Feature vector: last level and within-window slope per attribute."""
+    if not window:
+        raise ValueError("empty window")
+    features: List[float] = []
+    days = np.array([s.day for s in window], dtype=float)
+    for name in DEGRADATION_ATTRIBUTES:
+        series = np.array([s.values.get(name, 0.0) for s in window])
+        features.append(float(series[-1]))
+        if len(series) >= 2 and np.ptp(days) > 0:
+            slope = float(np.polyfit(days, series, 1)[0])
+        else:
+            slope = 0.0
+        features.append(slope)
+    return np.array(features, dtype=float)
+
+
+class LogisticPredictor(FailurePredictor):
+    """Logistic regression trained with batch gradient descent.
+
+    Args:
+        window_days: samples per prediction window.
+        lead_days: during training, windows ending within this many
+            days of a disk's failure are labeled positive.
+        learning_rate / epochs / l2: optimizer hyper-parameters.
+        decision_threshold: probability cutoff for flagging.
+    """
+
+    def __init__(
+        self,
+        window_days: int = 7,
+        lead_days: int = 10,
+        learning_rate: float = 0.1,
+        epochs: int = 400,
+        l2: float = 1e-3,
+        decision_threshold: float = 0.5,
+        seed: Optional[int] = None,
+    ):
+        self.window_days = window_days
+        self.lead_days = lead_days
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.decision_threshold = decision_threshold
+        self._seed = seed
+        self._weights: Optional[np.ndarray] = None
+        self._bias: float = 0.0
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    # -- training --------------------------------------------------------
+
+    def fit(self, traces: Sequence[DiskTrace]) -> "LogisticPredictor":
+        """Train on a fleet of labeled traces; returns self."""
+        X, y = self._training_matrix(traces)
+        if len(np.unique(y)) < 2:
+            raise ValueError(
+                "training fleet needs both failing and surviving disks"
+            )
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        Xn = (X - self._mean) / self._std
+        rng = np.random.default_rng(self._seed)
+        weights = rng.normal(0, 0.01, Xn.shape[1])
+        bias = 0.0
+        # Weight positives up: failures are rare.
+        pos_weight = max(1.0, (y == 0).sum() / max((y == 1).sum(), 1))
+        sample_weight = np.where(y == 1, pos_weight, 1.0)
+        for _ in range(self.epochs):
+            z = Xn @ weights + bias
+            p = _sigmoid(z)
+            grad_common = sample_weight * (p - y)
+            grad_w = Xn.T @ grad_common / len(y) + self.l2 * weights
+            grad_b = float(grad_common.mean())
+            weights -= self.learning_rate * grad_w
+            bias -= self.learning_rate * grad_b
+        self._weights = weights
+        self._bias = bias
+        return self
+
+    def _training_matrix(
+        self, traces: Sequence[DiskTrace]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        rows: List[np.ndarray] = []
+        labels: List[int] = []
+        for trace in traces:
+            last_day = trace.samples[-1].day
+            for end in range(self.window_days - 1, last_day + 1):
+                window = trace.window(end, self.window_days)
+                if len(window) < self.window_days:
+                    continue
+                rows.append(window_features(window))
+                positive = (
+                    trace.will_fail
+                    and trace.failure_day - end <= self.lead_days
+                )
+                labels.append(1 if positive else 0)
+        if not rows:
+            raise ValueError("no training windows; traces too short?")
+        return np.vstack(rows), np.array(labels, dtype=float)
+
+    # -- inference --------------------------------------------------------
+
+    def score(self, window: Sequence[SmartSample]) -> float:
+        if self._weights is None:
+            raise RuntimeError("predictor not fitted; call fit() first")
+        x = (window_features(window) - self._mean) / self._std
+        return float(_sigmoid(x @ self._weights + self._bias))
+
+    def predict(self, window: Sequence[SmartSample]) -> bool:
+        if len(window) < self.window_days:
+            return False
+        return self.score(window) >= self.decision_threshold
+
+
+def _sigmoid(z):
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))
+
+
+@dataclass(frozen=True)
+class PredictionMetrics:
+    """Fleet-level evaluation of a predictor."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+    mean_lead_days: float
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def false_alarm_rate(self) -> float:
+        denom = self.false_positives + self.true_negatives
+        return self.false_positives / denom if denom else 0.0
+
+
+def evaluate(
+    predictor: FailurePredictor, traces: Sequence[DiskTrace]
+) -> PredictionMetrics:
+    """Per-disk evaluation: does the first alarm precede the failure?
+
+    A failing disk counts as a true positive if the predictor raises an
+    alarm on any day strictly before its failure day; a surviving disk
+    with any alarm is a false positive.
+    """
+    tp = fp = fn = tn = 0
+    leads: List[float] = []
+    for trace in traces:
+        alarm_day = first_alarm_day(predictor, trace)
+        if trace.will_fail:
+            if alarm_day is not None and alarm_day < trace.failure_day:
+                tp += 1
+                leads.append(trace.failure_day - alarm_day)
+            else:
+                fn += 1
+        else:
+            if alarm_day is not None:
+                fp += 1
+            else:
+                tn += 1
+    mean_lead = float(np.mean(leads)) if leads else 0.0
+    return PredictionMetrics(tp, fp, fn, tn, mean_lead)
+
+
+def first_alarm_day(
+    predictor: FailurePredictor, trace: DiskTrace
+) -> Optional[int]:
+    """The first day the predictor flags the disk, or None."""
+    for sample in trace.samples:
+        window = trace.window(sample.day, predictor.window_days)
+        if len(window) < predictor.window_days:
+            continue
+        if predictor.predict(window):
+            return sample.day
+    return None

@@ -1,0 +1,165 @@
+"""Synthetic SMART telemetry.
+
+The paper's predictive repair builds on published disk-failure
+predictors trained on SMART data ([6], [18], [23], [42], [43], [45]).
+No production SMART dataset ships offline, so this module generates
+Backblaze-like synthetic traces: healthy disks emit stable attributes
+with noise; failing disks show the superlinear growth of reallocated /
+pending / uncorrectable sector counts that those studies exploit,
+starting some days before the actual failure.
+
+The traces preserve the property the paper depends on: a learned or
+threshold predictor can flag a soon-to-fail disk days in advance with
+high precision and a small false-alarm rate (>= 95% accuracy is
+reported by [6], [18], [23], [45]).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+#: SMART attributes used by the predictors, by standard id.
+SMART_ATTRIBUTES = (
+    "smart_5_reallocated_sectors",
+    "smart_187_reported_uncorrectable",
+    "smart_188_command_timeout",
+    "smart_197_pending_sectors",
+    "smart_198_offline_uncorrectable",
+    "smart_194_temperature",
+    "smart_9_power_on_hours",
+)
+
+#: Attributes whose growth signals degradation (all but temp / hours).
+DEGRADATION_ATTRIBUTES = SMART_ATTRIBUTES[:5]
+
+
+@dataclass(frozen=True)
+class SmartSample:
+    """One daily SMART reading of one disk."""
+
+    disk_id: int
+    day: int
+    values: Dict[str, float]
+
+    def vector(self, attributes: Sequence[str] = SMART_ATTRIBUTES) -> List[float]:
+        return [self.values[name] for name in attributes]
+
+
+@dataclass
+class DiskTrace:
+    """A disk's full observation window plus ground truth.
+
+    Attributes:
+        disk_id: unique id.
+        samples: daily samples, ordered by day.
+        failure_day: the day the disk actually fails, or ``None`` for a
+            disk that survives the horizon.
+    """
+
+    disk_id: int
+    samples: List[SmartSample] = field(default_factory=list)
+    failure_day: Optional[int] = None
+
+    @property
+    def will_fail(self) -> bool:
+        return self.failure_day is not None
+
+    def window(self, end_day: int, length: int) -> List[SmartSample]:
+        """The ``length`` samples ending at ``end_day`` (inclusive)."""
+        return [s for s in self.samples if end_day - length < s.day <= end_day]
+
+
+class SmartTraceGenerator:
+    """Generates a fleet of synthetic disk traces.
+
+    Args:
+        num_disks: fleet size.
+        horizon_days: observation window length.
+        annual_failure_rate: fraction of the fleet failing per year
+            (field studies report 1-9%; default 4%).
+        degradation_days: mean number of days over which a failing
+            disk's error counters ramp up before failure.
+        seed: RNG seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        num_disks: int,
+        horizon_days: int = 120,
+        annual_failure_rate: float = 0.04,
+        degradation_days: float = 21.0,
+        seed: Optional[int] = None,
+    ):
+        if num_disks <= 0 or horizon_days <= 0:
+            raise ValueError("num_disks and horizon_days must be positive")
+        if not 0 <= annual_failure_rate <= 1:
+            raise ValueError("annual_failure_rate must be in [0, 1]")
+        self.num_disks = num_disks
+        self.horizon_days = horizon_days
+        self.annual_failure_rate = annual_failure_rate
+        self.degradation_days = degradation_days
+        self._rng = random.Random(seed)
+
+    def generate(self) -> List[DiskTrace]:
+        """Build the full fleet of traces."""
+        return [self._one_disk(disk_id) for disk_id in range(self.num_disks)]
+
+    def _one_disk(self, disk_id: int) -> DiskTrace:
+        rng = self._rng
+        horizon_failure_prob = (
+            1.0 - (1.0 - self.annual_failure_rate) ** (self.horizon_days / 365.0)
+        )
+        failure_day: Optional[int] = None
+        if rng.random() < horizon_failure_prob:
+            # Leave room for a degradation ramp inside the horizon.
+            failure_day = rng.randint(
+                min(int(self.degradation_days), self.horizon_days - 1),
+                self.horizon_days - 1,
+            )
+        ramp = max(3.0, rng.gauss(self.degradation_days, self.degradation_days / 4))
+        base_temp = rng.uniform(28, 38)
+        start_hours = rng.uniform(2_000, 40_000)
+        # A small share of healthy disks carry benign static error counts
+        # — the false-alarm bait of threshold predictors.
+        benign_offset = {
+            name: (rng.expovariate(1 / 12.0) if rng.random() < 0.08 else 0.0)
+            for name in DEGRADATION_ATTRIBUTES
+        }
+        trace = DiskTrace(disk_id=disk_id, failure_day=failure_day)
+        severity = {
+            name: rng.uniform(0.5, 2.0) for name in DEGRADATION_ATTRIBUTES
+        }
+        for day in range(self.horizon_days):
+            if failure_day is not None and day > failure_day:
+                break
+            values: Dict[str, float] = {}
+            for name in DEGRADATION_ATTRIBUTES:
+                level = benign_offset[name]
+                if failure_day is not None:
+                    remaining = failure_day - day
+                    if remaining < ramp:
+                        progress = 1.0 - remaining / ramp
+                        # Superlinear counter growth toward failure.
+                        level += severity[name] * 120.0 * progress**2
+                level += abs(rng.gauss(0, 0.3))
+                values[name] = round(level, 2)
+            values["smart_194_temperature"] = round(
+                base_temp + rng.gauss(0, 1.5), 1
+            )
+            values["smart_9_power_on_hours"] = round(start_hours + 24.0 * day, 1)
+            trace.samples.append(SmartSample(disk_id, day, values))
+        return trace
+
+
+def daily_samples(traces: Sequence[DiskTrace]) -> Iterator[List[SmartSample]]:
+    """Iterate the fleet day by day (what a monitor would observe)."""
+    horizon = max(s.day for t in traces for s in t.samples) + 1
+    by_day: Dict[int, List[SmartSample]] = {}
+    for trace in traces:
+        for sample in trace.samples:
+            by_day.setdefault(sample.day, []).append(sample)
+    for day in range(horizon):
+        yield by_day.get(day, [])

@@ -1,0 +1,103 @@
+"""CSV import/export of SMART traces (Backblaze-style layout).
+
+The disk-failure prediction literature the paper builds on trains on
+daily per-drive CSV dumps (one row per disk-day with SMART columns and
+a ``failure`` flag on a drive's final day).  This module reads and
+writes that layout so synthetic fleets can be persisted, inspected
+with standard tooling, or swapped for real dumps where available.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from .smart import SMART_ATTRIBUTES, DiskTrace, SmartSample
+
+#: fixed leading columns; SMART attributes follow in canonical order
+HEADER = ("disk_id", "day", "failure") + SMART_ATTRIBUTES
+
+
+class TraceFormatError(ValueError):
+    """Raised on malformed trace CSV files."""
+
+
+def save_traces(traces: Sequence[DiskTrace], path: Union[str, Path]) -> None:
+    """Write traces as one CSV row per disk-day.
+
+    The ``failure`` column is 1 only on a failing disk's last observed
+    day, matching the Backblaze convention.
+    """
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(HEADER)
+        for trace in traces:
+            for sample in trace.samples:
+                is_failure_day = (
+                    trace.will_fail and sample.day == trace.samples[-1].day
+                )
+                writer.writerow(
+                    [trace.disk_id, sample.day, int(is_failure_day)]
+                    + [sample.values.get(a, 0.0) for a in SMART_ATTRIBUTES]
+                )
+
+
+def load_traces(path: Union[str, Path]) -> List[DiskTrace]:
+    """Read traces written by :func:`save_traces`.
+
+    Returns traces ordered by disk id, with ``failure_day`` set to the
+    day of the row flagged ``failure=1`` (if any).
+
+    Raises:
+        TraceFormatError: on header or row problems.
+    """
+    by_disk: Dict[int, DiskTrace] = {}
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise TraceFormatError(f"{path}: empty file") from None
+        if tuple(header) != HEADER:
+            raise TraceFormatError(
+                f"{path}: unexpected header {header[:4]}...; expected "
+                f"{list(HEADER[:4])}..."
+            )
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(HEADER):
+                raise TraceFormatError(
+                    f"{path}:{line_no}: {len(row)} columns, expected "
+                    f"{len(HEADER)}"
+                )
+            try:
+                disk_id = int(row[0])
+                day = int(row[1])
+                failed = bool(int(row[2]))
+                values = {
+                    attr: float(row[3 + i])
+                    for i, attr in enumerate(SMART_ATTRIBUTES)
+                }
+            except ValueError as exc:
+                raise TraceFormatError(f"{path}:{line_no}: {exc}") from exc
+            trace = by_disk.setdefault(disk_id, DiskTrace(disk_id=disk_id))
+            trace.samples.append(SmartSample(disk_id, day, values))
+            if failed:
+                if trace.failure_day is not None:
+                    raise TraceFormatError(
+                        f"{path}:{line_no}: disk {disk_id} flagged failed "
+                        "twice"
+                    )
+                trace.failure_day = day
+    traces = [by_disk[disk_id] for disk_id in sorted(by_disk)]
+    for trace in traces:
+        trace.samples.sort(key=lambda s: s.day)
+        if trace.failure_day is not None and (
+            trace.failure_day != trace.samples[-1].day
+        ):
+            raise TraceFormatError(
+                f"disk {trace.disk_id}: failure flagged on day "
+                f"{trace.failure_day}, but samples continue to "
+                f"{trace.samples[-1].day}"
+            )
+    return traces

@@ -1,0 +1,49 @@
+"""Emulated coordinator/agent testbed (the EC2/HDFS substitute)."""
+
+from .agent import Agent, AgentError
+from .client import ClientStats, StorageClient
+from .scrub import CorruptChunk, ScrubReport, Scrubber
+from .coordinator import COORDINATOR_ID, Coordinator, RuntimeResult
+from .datanode import ChunkStore
+from .messages import (
+    ActionKey,
+    DataPacket,
+    ReceiveCommand,
+    RelayCommand,
+    RepairAck,
+    SendCommand,
+    Shutdown,
+    WriteComplete,
+)
+from .testbed import EmulatedTestbed, VerificationError
+from .throttle import RateLimiter, reserve_transfer, sleep_until
+from .transport import Endpoint, Network
+
+__all__ = [
+    "ActionKey",
+    "Agent",
+    "AgentError",
+    "COORDINATOR_ID",
+    "ChunkStore",
+    "ClientStats",
+    "CorruptChunk",
+    "ScrubReport",
+    "Scrubber",
+    "StorageClient",
+    "Coordinator",
+    "DataPacket",
+    "EmulatedTestbed",
+    "Endpoint",
+    "Network",
+    "RateLimiter",
+    "ReceiveCommand",
+    "RelayCommand",
+    "RepairAck",
+    "RuntimeResult",
+    "SendCommand",
+    "Shutdown",
+    "WriteComplete",
+    "VerificationError",
+    "reserve_transfer",
+    "sleep_until",
+]

@@ -1,0 +1,429 @@
+"""The per-node repair agent (Section V).
+
+Each storage node runs an :class:`Agent` with:
+
+* a *dispatcher* thread draining the node's inbox,
+* a *send worker* that streams chunks out — one chunk at a time as a
+  synchronous round trip (the next chunk starts only after the
+  destination confirms the previous one is written, matching the
+  sequential read->transmit->write decomposition of Eq. (4)); within a
+  chunk, a reader thread and the sender loop pipeline packets (the
+  paper's multi-threaded pipeline, Experiment B.1),
+* one *decode thread per chunk being assembled*, which applies the
+  GF(2^8) recovery coefficient to each arriving packet and writes the
+  fully decoded chunk to disk (the paper's "one thread for decoding the
+  received packets").
+
+Migration and reconstruction share one code path: a migration is an
+assembly with a single source whose coefficient is 1.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..cluster.chunk import NodeId
+from ..ec.galois import gf_addmul_bytes
+from .datanode import ChunkStore
+from .messages import (
+    ActionKey,
+    DataPacket,
+    ReceiveCommand,
+    RelayCommand,
+    RepairAck,
+    SendCommand,
+    Shutdown,
+    WriteComplete,
+)
+from .transport import Network
+
+#: cap on buffered packets awaiting a late Receive/Relay registration
+MAX_PENDING_PACKETS = 4096
+
+
+class AgentError(RuntimeError):
+    """Raised (and recorded) on protocol violations inside an agent."""
+
+
+class _Assembly:
+    """Accumulates coefficient-scaled packets into a repaired chunk.
+
+    Each packet offset is decoded in memory; once every source has
+    contributed to an offset, that packet is written to disk — so
+    receive, decode and write pipeline across packets, matching the
+    prototype's multi-threaded repair path (Section V).
+    """
+
+    def __init__(self, command: ReceiveCommand, store: ChunkStore):
+        self.command = command
+        self.store = store
+        self.packets: "queue.Queue" = queue.Queue()
+        self._buffer = np.zeros(command.chunk_size, dtype=np.uint8)
+        self._arrived: Dict[int, int] = {}
+        self._remaining_offsets = self._count_offsets()
+
+    def _count_offsets(self) -> int:
+        size, packet = self.command.chunk_size, self.command.packet_size
+        return (size + packet - 1) // packet
+
+    def run(self) -> None:
+        """Decode-thread body: drain packets until the chunk completes."""
+        num_sources = len(self.command.sources)
+        size = self.command.chunk_size
+        while self._remaining_offsets > 0:
+            packet: DataPacket = self.packets.get()
+            coeff = self.command.sources.get(packet.source)
+            if coeff is None:
+                raise AgentError(
+                    f"unexpected packet source {packet.source} for "
+                    f"{self.command.key}"
+                )
+            data = np.frombuffer(packet.payload, dtype=np.uint8)
+            end = packet.offset + len(data)
+            if end > size:
+                raise AgentError(f"packet overruns chunk at {packet.offset}")
+            gf_addmul_bytes(self._buffer[packet.offset : end], coeff, data)
+            count = self._arrived.get(packet.offset, 0) + 1
+            if count == num_sources:
+                self._arrived.pop(packet.offset, None)
+                self._remaining_offsets -= 1
+                # Fully decoded packet: write it out (throttled).
+                self.store.write_packet(
+                    self.command.stripe_id,
+                    packet.offset,
+                    self._buffer[packet.offset : end].tobytes(),
+                    size,
+                )
+            else:
+                self._arrived[packet.offset] = count
+
+
+class _Relay:
+    """One stage of a repair pipeline (Li et al.'s repair pipelining).
+
+    Reads the node's own chunk of the stripe packet by packet, scales
+    it by the recovery coefficient, XORs in the upstream stage's
+    partial sum (unless this is the first stage), and forwards the
+    result to the next hop.
+    """
+
+    def __init__(self, command: RelayCommand, store: ChunkStore, agent: "Agent"):
+        self.command = command
+        self.store = store
+        self.agent = agent
+        self.packets: "queue.Queue" = queue.Queue()
+
+    def run(self) -> None:
+        command = self.command
+        size = self.store.size(command.stripe_id)
+        if size != command.chunk_size:
+            raise AgentError(
+                f"relay chunk size mismatch: stored {size}, command "
+                f"{command.chunk_size}"
+            )
+        packet_size = min(command.packet_size, size)
+        from ..ec.galois import gf_mul_bytes
+
+        for offset in range(0, size, packet_size):
+            length = min(packet_size, size - offset)
+            own = np.frombuffer(
+                self.store.read_packet(command.stripe_id, offset, length),
+                dtype=np.uint8,
+            )
+            out = gf_mul_bytes(command.coeff, own)
+            if not command.first:
+                upstream: DataPacket = self.packets.get()
+                if upstream.offset != offset:
+                    raise AgentError(
+                        f"pipeline packet out of order: got offset "
+                        f"{upstream.offset}, expected {offset}"
+                    )
+                np.bitwise_xor(
+                    out,
+                    np.frombuffer(upstream.payload, dtype=np.uint8),
+                    out=out,
+                )
+            self.agent.network.send(
+                self.agent.node_id,
+                command.destination,
+                DataPacket(
+                    stripe_id=command.stripe_id,
+                    chunk_index=command.chunk_index,
+                    source=self.agent.node_id,
+                    offset=offset,
+                    payload=out.tobytes(),
+                ),
+            )
+
+
+class Agent:
+    """A storage node's repair agent.
+
+    Args:
+        node_id: this node.
+        store: the node's chunk store.
+        network: shared in-process network (already attached).
+        coordinator_id: where to send :class:`RepairAck` messages.
+        pipeline_depth: bounded queue between the packet reader and the
+            packet sender; 0 disables pipelining (read the whole chunk,
+            then send).
+        ack_timeout: seconds a sender waits for a destination's
+            :class:`WriteComplete` before giving up.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        store: ChunkStore,
+        network: Network,
+        coordinator_id: NodeId,
+        pipeline_depth: int = 2,
+        ack_timeout: float = 120.0,
+    ):
+        self.node_id = node_id
+        self.store = store
+        self.network = network
+        self.coordinator_id = coordinator_id
+        self.pipeline_depth = pipeline_depth
+        self.ack_timeout = ack_timeout
+        self._endpoint = network.endpoint(node_id)
+        self._assemblies: Dict[ActionKey, _Assembly] = {}
+        self._relays: Dict[ActionKey, _Relay] = {}
+        self._pending: Dict[ActionKey, list] = {}
+        self._assembly_lock = threading.Lock()
+        self._send_queue: "queue.Queue" = queue.Queue()
+        self._write_acks: Dict[ActionKey, threading.Event] = {}
+        self._ack_lock = threading.Lock()
+        self._threads = []
+        self.errors = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for target, name in (
+            (self._dispatch_loop, "dispatch"),
+            (self._send_loop, "send"),
+        ):
+            thread = threading.Thread(
+                target=self._guard(target),
+                name=f"agent-{self.node_id}-{name}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        """Stop both worker loops and join them."""
+        self._endpoint.inbox.put(Shutdown())
+        self._send_queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=30)
+        self._threads = []
+        self._started = False
+
+    def _guard(self, fn):
+        def runner():
+            try:
+                fn()
+            except Exception as exc:  # pragma: no cover - surfaced in tests
+                self.errors.append(exc)
+
+        return runner
+
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            message = self._endpoint.inbox.get()
+            if isinstance(message, Shutdown):
+                return
+            try:
+                self._dispatch_one(message)
+            except Exception as exc:
+                # Record and keep serving: one malformed message must
+                # not wedge the whole node.
+                self.errors.append(exc)
+
+    def _dispatch_one(self, message) -> None:
+        if isinstance(message, ReceiveCommand):
+            self._start_assembly(message)
+        elif isinstance(message, SendCommand):
+            self._send_queue.put(message)
+        elif isinstance(message, RelayCommand):
+            self._start_relay(message)
+        elif isinstance(message, DataPacket):
+            self._route_packet(message)
+        elif isinstance(message, WriteComplete):
+            self._ack_event(message.key).set()
+        else:
+            raise AgentError(f"unknown message {message!r}")
+
+    def _ack_event(self, key: ActionKey) -> threading.Event:
+        with self._ack_lock:
+            event = self._write_acks.get(key)
+            if event is None:
+                event = threading.Event()
+                self._write_acks[key] = event
+            return event
+
+    def _start_assembly(self, command: ReceiveCommand) -> None:
+        assembly = _Assembly(command, self.store)
+        with self._assembly_lock:
+            if command.key in self._assemblies:
+                raise AgentError(f"duplicate assembly {command.key}")
+            self._assemblies[command.key] = assembly
+            for packet in self._pending.pop(command.key, []):
+                assembly.packets.put(packet)
+        thread = threading.Thread(
+            target=self._guard(lambda: self._run_assembly(assembly)),
+            name=f"agent-{self.node_id}-decode-{command.key}",
+            daemon=True,
+        )
+        thread.start()
+
+    def _start_relay(self, command: RelayCommand) -> None:
+        relay = _Relay(command, self.store, self)
+        with self._assembly_lock:
+            if command.key in self._relays:
+                raise AgentError(f"duplicate relay {command.key}")
+            self._relays[command.key] = relay
+            for packet in self._pending.pop(command.key, []):
+                relay.packets.put(packet)
+        thread = threading.Thread(
+            target=self._guard(lambda: self._run_relay(relay)),
+            name=f"agent-{self.node_id}-relay-{command.key}",
+            daemon=True,
+        )
+        thread.start()
+
+    def _run_relay(self, relay: _Relay) -> None:
+        try:
+            relay.run()
+        finally:
+            with self._assembly_lock:
+                self._relays.pop(relay.command.key, None)
+
+    def _run_assembly(self, assembly: _Assembly) -> None:
+        assembly.run()
+        key = assembly.command.key
+        with self._assembly_lock:
+            del self._assemblies[key]
+        # Unblock every source's synchronous round trip...
+        for source in assembly.command.sources:
+            self.network.send(
+                self.node_id, source, WriteComplete(key[0], key[1])
+            )
+        # ...then report completion to the coordinator.
+        self.network.send(
+            self.node_id,
+            self.coordinator_id,
+            RepairAck(key[0], key[1], self.node_id),
+        )
+
+    def _route_packet(self, packet: DataPacket) -> None:
+        with self._assembly_lock:
+            target = self._assemblies.get(packet.key) or self._relays.get(
+                packet.key
+            )
+            if target is None:
+                # The Receive/Relay command may still be in flight on a
+                # pipelined path; buffer until it registers.
+                pending = self._pending.setdefault(packet.key, [])
+                if len(pending) >= MAX_PENDING_PACKETS:
+                    raise AgentError(
+                        f"pending-packet overflow for {packet.key} at node "
+                        f"{self.node_id}: no Receive/Relay command arrived"
+                    )
+                pending.append(packet)
+                return
+        target.packets.put(packet)
+
+    # ------------------------------------------------------------------
+
+    def _send_loop(self) -> None:
+        while True:
+            command: Optional[SendCommand] = self._send_queue.get()
+            if command is None:
+                return
+            key = (command.stripe_id, command.chunk_index)
+            event = self._ack_event(key)
+            self._stream_chunk(command)
+            # Synchronous round trip: wait until the destination has
+            # durably written the repaired chunk.
+            if not event.wait(timeout=self.ack_timeout):
+                raise AgentError(
+                    f"node {self.node_id}: no WriteComplete for {key} "
+                    f"within {self.ack_timeout}s"
+                )
+            with self._ack_lock:
+                self._write_acks.pop(key, None)
+
+    def _stream_chunk(self, command: SendCommand) -> None:
+        """Read the local chunk packet-by-packet and stream it out."""
+        size = self.store.size(command.stripe_id)
+        packet_size = min(command.packet_size, size)
+        offsets = list(range(0, size, packet_size))
+        if self.pipeline_depth > 0 and len(offsets) > 1:
+            buffer: "queue.Queue" = queue.Queue(maxsize=self.pipeline_depth)
+
+            def reader():
+                for offset in offsets:
+                    length = min(packet_size, size - offset)
+                    buffer.put(
+                        (
+                            offset,
+                            self.store.read_packet(
+                                command.stripe_id, offset, length
+                            ),
+                        )
+                    )
+
+            reader_thread = threading.Thread(
+                target=self._guard(reader),
+                name=f"agent-{self.node_id}-read",
+                daemon=True,
+            )
+            reader_thread.start()
+            for _ in offsets:
+                offset, payload = buffer.get()
+                self._send_packet(command, offset, payload)
+            reader_thread.join()
+        else:
+            # No pipelining: read everything, then send (64 MB packets
+            # in Experiment B.1).
+            packets = [
+                (
+                    offset,
+                    self.store.read_packet(
+                        command.stripe_id,
+                        offset,
+                        min(packet_size, size - offset),
+                    ),
+                )
+                for offset in offsets
+            ]
+            for offset, payload in packets:
+                self._send_packet(command, offset, payload)
+
+    def _send_packet(
+        self, command: SendCommand, offset: int, payload: bytes
+    ) -> None:
+        self.network.send(
+            self.node_id,
+            command.destination,
+            DataPacket(
+                stripe_id=command.stripe_id,
+                chunk_index=command.chunk_index,
+                source=self.node_id,
+                offset=offset,
+                payload=payload,
+            ),
+        )

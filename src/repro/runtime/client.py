@@ -1,0 +1,109 @@
+"""Client-side reads, including degraded reads.
+
+A storage client reads chunks by (stripe, chunk index).  While a node
+is failed — or an STF node has been shut down before its predictive
+repair finished — reads of its chunks fall back to a *degraded read*:
+fetch ``k`` surviving chunks of the stripe and decode the requested one
+on the fly.  This is the read path whose latency amplification
+motivates fast repair in the first place (the paper's introduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cluster.chunk import StripeId
+from ..cluster.node import NodeState
+from ..ec.codec import DecodeError, ErasureCodec
+
+
+@dataclass
+class ClientStats:
+    """Read-path accounting."""
+
+    direct_reads: int = 0
+    degraded_reads: int = 0
+    bytes_fetched: int = 0
+
+
+class StorageClient:
+    """Reads chunks from an :class:`~repro.runtime.testbed.EmulatedTestbed`.
+
+    Args:
+        testbed: supplies stores, cluster metadata and the codec.
+        throttled: charge reads against the nodes' disk limiters
+            (realistic timing); disable for fast tests.
+    """
+
+    def __init__(self, testbed, throttled: bool = True):
+        self.testbed = testbed
+        self.throttled = throttled
+        self.stats = ClientStats()
+
+    @property
+    def _cluster(self):
+        return self.testbed.cluster
+
+    @property
+    def _codec(self) -> ErasureCodec:
+        return self.testbed.codec
+
+    def read(
+        self, stripe_id: StripeId, chunk_index: int, allow_degraded: bool = True
+    ) -> bytes:
+        """Read one chunk, decoding from survivors if its node is down.
+
+        Raises:
+            DecodeError: if the chunk is unavailable and a degraded
+                read is disallowed or impossible.
+        """
+        stripe = self._cluster.stripe(stripe_id)
+        node_id = stripe.node_of(chunk_index)
+        node = self._cluster.node(node_id)
+        store = self.testbed.stores[node_id]
+        if node.state is not NodeState.FAILED and store.has(stripe_id):
+            data = store.read(stripe_id, throttled=self.throttled)
+            self.stats.direct_reads += 1
+            self.stats.bytes_fetched += len(data)
+            return data
+        if not allow_degraded:
+            raise DecodeError(
+                f"chunk ({stripe_id}, {chunk_index}) unavailable and "
+                "degraded reads are disabled"
+            )
+        return self._degraded_read(stripe, chunk_index)
+
+    def _degraded_read(self, stripe, chunk_index: int) -> bytes:
+        """Fetch k surviving chunks and decode the requested one."""
+        available = {}
+        for index, node_id in enumerate(stripe.placement):
+            if index == chunk_index:
+                continue
+            node = self._cluster.node(node_id)
+            store = self.testbed.stores[node_id]
+            if node.state is NodeState.FAILED or not store.has(stripe.stripe_id):
+                continue
+            available[index] = store.read(
+                stripe.stripe_id, throttled=self.throttled
+            )
+            if len(available) == self._codec.k:
+                break
+        if len(available) < self._codec.k:
+            raise DecodeError(
+                f"stripe {stripe.stripe_id}: only {len(available)} chunks "
+                f"readable, need {self._codec.k}"
+            )
+        self.stats.degraded_reads += 1
+        self.stats.bytes_fetched += sum(len(c) for c in available.values())
+        return self._codec.decode(available, [chunk_index])[chunk_index]
+
+    def read_stripe_data(self, stripe_id: StripeId) -> bytes:
+        """Read a stripe's original data payload (first k chunks joined).
+
+        Only meaningful for systematic codecs (RS, LRC), whose first
+        ``k`` chunks are the data.
+        """
+        return b"".join(
+            self.read(stripe_id, index) for index in range(self._codec.k)
+        )

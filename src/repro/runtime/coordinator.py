@@ -1,0 +1,209 @@
+"""The FastPR coordinator (Section V).
+
+Deployed alongside the NameNode in the paper; here it drives the
+emulated testbed.  Per repair round it sends every destination a
+:class:`ReceiveCommand` (with GF recovery coefficients) and every
+source a :class:`SendCommand`, then blocks until all repaired chunks
+are acknowledged before starting the next round.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..cluster.chunk import NodeId
+from ..cluster.cluster import StorageCluster
+from ..core.plan import ChunkRepairAction, RepairMethod, RepairPlan
+from ..ec.codec import ErasureCodec
+from .messages import (
+    ActionKey,
+    ReceiveCommand,
+    RelayCommand,
+    RepairAck,
+    SendCommand,
+)
+from .transport import Network
+
+#: conventional coordinator node id (never a storage node)
+COORDINATOR_ID: NodeId = -1
+
+
+@dataclass
+class RuntimeResult:
+    """Wall-clock outcome of executing a plan on the emulated testbed."""
+
+    total_time: float
+    round_times: List[float] = field(default_factory=list)
+    chunks_repaired: int = 0
+    bytes_transferred: int = 0
+
+    @property
+    def time_per_chunk(self) -> float:
+        if self.chunks_repaired == 0:
+            return 0.0
+        return self.total_time / self.chunks_repaired
+
+
+class Coordinator:
+    """Issues repair commands round by round and awaits ACKs.
+
+    Args:
+        network: the shared transport (the coordinator attaches itself
+            under :data:`COORDINATOR_ID` with unthrottled control links).
+        cluster: metadata for stripe lookups.
+        codec: the erasure codec of the stripes (uniform).
+        packet_size: packet granularity for all transfers.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        cluster: StorageCluster,
+        codec: ErasureCodec,
+        packet_size: int,
+    ):
+        self.network = network
+        self.cluster = cluster
+        self.codec = codec
+        self.packet_size = packet_size
+        self._endpoint = network.attach(COORDINATOR_ID, None)
+
+    def execute(
+        self, plan: RepairPlan, packet_size: Optional[int] = None
+    ) -> RuntimeResult:
+        """Run the plan to completion; returns wall-clock timings.
+
+        Args:
+            plan: the repair plan.
+            packet_size: per-run override of the transfer granularity
+                (Experiment B.1 varies it without rebuilding the testbed).
+        """
+        packet = packet_size or self.packet_size
+        transferred_before = self.network.bytes_transferred
+        round_times: List[float] = []
+        start = time.monotonic()
+        for round_ in plan.rounds:
+            round_start = time.monotonic()
+            expected = self._issue_round(
+                plan.stf_node, list(round_.actions()), packet
+            )
+            self._await_acks(expected)
+            round_times.append(time.monotonic() - round_start)
+        total = time.monotonic() - start
+        return RuntimeResult(
+            total_time=total,
+            round_times=round_times,
+            chunks_repaired=plan.total_chunks,
+            bytes_transferred=self.network.bytes_transferred - transferred_before,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _issue_round(
+        self,
+        stf_node: NodeId,
+        actions: List[ChunkRepairAction],
+        packet_size: int,
+    ) -> Set[ActionKey]:
+        expected: Set[ActionKey] = set()
+        chunk_size = self.cluster.chunk_size
+        for action in actions:
+            if (
+                action.method is RepairMethod.RECONSTRUCTION
+                and action.pipelined
+            ):
+                self._issue_pipelined(action, chunk_size, packet_size)
+            else:
+                self._issue_star(action, chunk_size, packet_size)
+            expected.add((action.stripe_id, action.chunk_index))
+        return expected
+
+    def _issue_star(
+        self, action: ChunkRepairAction, chunk_size: int, packet_size: int
+    ) -> None:
+        """Conventional fan-in: every source sends to the destination."""
+        sources = self._source_coefficients(action)
+        receive = ReceiveCommand(
+            stripe_id=action.stripe_id,
+            chunk_index=action.chunk_index,
+            chunk_size=chunk_size,
+            packet_size=packet_size,
+            sources=sources,
+        )
+        # The ReceiveCommand must precede any data packet; per-inbox
+        # FIFO plus issuing it first guarantees that.
+        self.network.send(COORDINATOR_ID, action.destination, receive)
+        for source in action.sources:
+            self.network.send(
+                COORDINATOR_ID,
+                source,
+                SendCommand(
+                    stripe_id=action.stripe_id,
+                    chunk_index=action.chunk_index,
+                    destination=action.destination,
+                    packet_size=packet_size,
+                ),
+            )
+
+    def _issue_pipelined(
+        self, action: ChunkRepairAction, chunk_size: int, packet_size: int
+    ) -> None:
+        """Repair pipelining: helpers chain partial sums to the destination."""
+        coeffs = self._source_coefficients(action)
+        chain = list(action.sources)
+        last = chain[-1]
+        self.network.send(
+            COORDINATOR_ID,
+            action.destination,
+            ReceiveCommand(
+                stripe_id=action.stripe_id,
+                chunk_index=action.chunk_index,
+                chunk_size=chunk_size,
+                packet_size=packet_size,
+                sources={last: 1},
+            ),
+        )
+        # Register stages downstream-first so each hop (usually) exists
+        # before its upstream starts; late packets buffer regardless.
+        for i in reversed(range(len(chain))):
+            node = chain[i]
+            next_hop = action.destination if i == len(chain) - 1 else chain[i + 1]
+            self.network.send(
+                COORDINATOR_ID,
+                node,
+                RelayCommand(
+                    stripe_id=action.stripe_id,
+                    chunk_index=action.chunk_index,
+                    destination=next_hop,
+                    packet_size=packet_size,
+                    chunk_size=chunk_size,
+                    coeff=coeffs[node],
+                    first=(i == 0),
+                    upstream=chain[i - 1] if i > 0 else -1,
+                ),
+            )
+
+    def _source_coefficients(
+        self, action: ChunkRepairAction
+    ) -> Dict[NodeId, int]:
+        if action.method is RepairMethod.MIGRATION:
+            return {action.sources[0]: 1}
+        stripe = self.cluster.stripe(action.stripe_id)
+        helper_chunks = [stripe.chunk_index_on(node) for node in action.sources]
+        coeffs = self.codec.recovery_coefficients(
+            action.chunk_index, helper_chunks
+        )
+        return {
+            node: coeffs[stripe.chunk_index_on(node)] for node in action.sources
+        }
+
+    def _await_acks(self, expected: Set[ActionKey]) -> None:
+        pending = set(expected)
+        while pending:
+            message = self._endpoint.inbox.get(timeout=120)
+            if isinstance(message, RepairAck):
+                pending.discard(message.key)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"coordinator got unexpected {message!r}")

@@ -1,0 +1,138 @@
+"""Wire protocol of the coordinator/agent runtime (Section V).
+
+The coordinator instructs agents with command messages; agents move
+chunk data as packet messages and acknowledge completed repairs.  All
+messages are small dataclasses delivered over the in-process transport;
+only :class:`DataPacket` payloads are bandwidth-throttled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..cluster.chunk import NodeId, StripeId
+
+#: identifies one chunk-repair action: (stripe, chunk index)
+ActionKey = Tuple[StripeId, int]
+
+
+@dataclass(frozen=True)
+class ReceiveCommand:
+    """Tell the destination agent to expect and assemble a chunk.
+
+    The destination accumulates ``coeff * packet`` from every source —
+    coefficient 1 from a single source is a migration; ``k`` erasure-
+    coding coefficients implement streaming reconstruction decode.
+
+    Attributes:
+        stripe_id / chunk_index: the chunk being repaired.
+        chunk_size: total bytes of the chunk.
+        packet_size: packet granularity of the incoming transfers.
+        sources: source node -> GF(2^8) coefficient.
+    """
+
+    stripe_id: StripeId
+    chunk_index: int
+    chunk_size: int
+    packet_size: int
+    sources: Dict[NodeId, int] = field(default_factory=dict)
+
+    @property
+    def key(self) -> ActionKey:
+        return (self.stripe_id, self.chunk_index)
+
+
+@dataclass(frozen=True)
+class SendCommand:
+    """Tell an agent to stream its locally stored chunk of a stripe.
+
+    For migration the sender is the STF node sending the repaired
+    chunk itself; for reconstruction the sender is a helper sending its
+    own chunk of the same stripe.
+    """
+
+    stripe_id: StripeId
+    #: the repaired chunk's index (names the assembly at the destination)
+    chunk_index: int
+    destination: NodeId
+    packet_size: int
+
+
+@dataclass(frozen=True)
+class RelayCommand:
+    """Tell a helper to act as one stage of a repair pipeline.
+
+    The helper scales its own chunk of the stripe by ``coeff`` and
+    forwards it packet-by-packet to ``destination`` (the next pipeline
+    stage, or the repairing node).  Unless ``first`` is set, it waits
+    for the upstream stage's partial-sum packet for each offset and
+    XORs its own contribution into it before forwarding — the repair
+    pipelining of Li et al. (ATC'17).
+    """
+
+    stripe_id: StripeId
+    #: the repaired chunk's index (names the stream across hops)
+    chunk_index: int
+    destination: NodeId
+    packet_size: int
+    chunk_size: int
+    coeff: int
+    first: bool
+    #: the upstream node (unset when first)
+    upstream: NodeId = -1
+
+    @property
+    def key(self) -> ActionKey:
+        return (self.stripe_id, self.chunk_index)
+
+
+@dataclass(frozen=True)
+class DataPacket:
+    """One packet of chunk data in flight."""
+
+    stripe_id: StripeId
+    chunk_index: int
+    source: NodeId
+    offset: int
+    payload: bytes
+
+    @property
+    def key(self) -> ActionKey:
+        return (self.stripe_id, self.chunk_index)
+
+
+@dataclass(frozen=True)
+class RepairAck:
+    """Destination -> coordinator: one chunk fully repaired."""
+
+    stripe_id: StripeId
+    chunk_index: int
+    node_id: NodeId
+
+    @property
+    def key(self) -> ActionKey:
+        return (self.stripe_id, self.chunk_index)
+
+
+@dataclass(frozen=True)
+class WriteComplete:
+    """Destination -> source: the repaired chunk is durably written.
+
+    Lets a sender run its chunk transfers as synchronous round trips —
+    the next chunk's read only starts after the previous chunk is
+    written at the destination, matching the sequential
+    read->transmit->write decomposition of Eq. (4).
+    """
+
+    stripe_id: StripeId
+    chunk_index: int
+
+    @property
+    def key(self) -> ActionKey:
+        return (self.stripe_id, self.chunk_index)
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Coordinator -> agent: stop the dispatcher loop."""

@@ -1,0 +1,184 @@
+"""The emulated testbed: our stand-in for the paper's EC2 deployment.
+
+The paper evaluates FastPR on 25 EC2 instances running HDFS.  Offline,
+we substitute a local multi-threaded deployment: every node is an
+:class:`~repro.runtime.agent.Agent` with an on-disk chunk store and
+emulated disk/NIC bandwidths; the coordinator drives repair rounds over
+an in-process network.  Real chunk bytes are encoded, transferred
+packet by packet, decoded with GF(2^8) arithmetic, and verified after
+repair — the full data path of the prototype, at scaled-down chunk
+sizes and bandwidths (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster.chunk import NodeId
+from ..cluster.cluster import StorageCluster
+from ..core.plan import RepairPlan
+from ..ec.codec import ErasureCodec
+from .agent import Agent
+from .coordinator import Coordinator, RuntimeResult
+from .datanode import ChunkStore
+from .throttle import RateLimiter
+from .transport import Network
+
+
+class VerificationError(AssertionError):
+    """Raised when a repaired chunk's bytes do not match the original."""
+
+
+class EmulatedTestbed:
+    """A local cluster of agents with bandwidth emulation.
+
+    Args:
+        cluster: metadata (placements, bandwidths, chunk size).  The
+            cluster's ``disk_bandwidth``/``network_bandwidth`` become
+            the emulated rates; the chunk size is used verbatim, so
+            scale it down (e.g. 1 MiB) for fast runs.
+        codec: erasure codec matching the cluster's stripes.
+        packet_size: transfer granularity (the paper's Experiment B.1
+            knob); defaults to chunk_size / 16.
+        workdir: directory for chunk files; a temp dir by default.
+        pipeline_depth: reader->sender queue depth inside agents; 0
+            disables multi-threaded pipelining.
+    """
+
+    def __init__(
+        self,
+        cluster: StorageCluster,
+        codec: ErasureCodec,
+        packet_size: Optional[int] = None,
+        workdir: Optional[Path] = None,
+        pipeline_depth: int = 2,
+    ):
+        self.cluster = cluster
+        self.codec = codec
+        self.packet_size = packet_size or max(cluster.chunk_size // 16, 4096)
+        self._own_workdir = workdir is None
+        self.workdir = Path(workdir) if workdir else Path(tempfile.mkdtemp(prefix="fastpr-"))
+        self.network = Network()
+        self.stores: Dict[NodeId, ChunkStore] = {}
+        self.agents: Dict[NodeId, Agent] = {}
+        self._checksums: Dict[Tuple[int, int], str] = {}
+        self.pipeline_depth = pipeline_depth
+        self._build_nodes()
+        self.coordinator = Coordinator(
+            self.network, cluster, codec, self.packet_size
+        )
+        self._started = False
+
+    def _build_nodes(self) -> None:
+        for node_id, node in sorted(self.cluster.nodes.items()):
+            self.network.attach(
+                node_id,
+                node.network_bandwidth or self.cluster.network_bandwidth,
+            )
+            disk = RateLimiter(
+                node.disk_bandwidth or self.cluster.disk_bandwidth,
+                name=f"disk[{node_id}]",
+            )
+            store = ChunkStore(self.workdir / f"node_{node_id}", node_id, disk)
+            self.stores[node_id] = store
+            self.agents[node_id] = Agent(
+                node_id,
+                store,
+                self.network,
+                coordinator_id=-1,
+                pipeline_depth=0,  # reset below via set_pipeline_depth
+            )
+        self.set_pipeline_depth(self.pipeline_depth)
+
+    def set_pipeline_depth(self, depth: int) -> None:
+        """Configure multi-threaded packet pipelining on every agent."""
+        for agent in self.agents.values():
+            agent.pipeline_depth = depth
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        for agent in self.agents.values():
+            agent.start()
+        self._started = True
+
+    def shutdown(self) -> None:
+        for agent in self.agents.values():
+            agent.stop()
+        self._started = False
+        if self._own_workdir:
+            shutil.rmtree(self.workdir, ignore_errors=True)
+
+    def __enter__(self) -> "EmulatedTestbed":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+
+    def load_random_data(self, seed: Optional[int] = None) -> None:
+        """Encode and store every stripe's chunks (unthrottled bulk load).
+
+        Remembers per-chunk checksums so :meth:`verify_plan` can prove
+        the repair restored the exact original bytes.
+        """
+        rng = random.Random(seed)
+        chunk_size = self.cluster.chunk_size
+        for stripe in self.cluster.stripes():
+            data_chunks = [
+                rng.getrandbits(8 * chunk_size).to_bytes(chunk_size, "little")
+                for _ in range(stripe.k)
+            ]
+            coded = self.codec.encode(data_chunks)
+            for index, node_id in enumerate(stripe.placement):
+                self.stores[node_id].put(stripe.stripe_id, coded[index])
+                self._checksums[(stripe.stripe_id, index)] = _digest(coded[index])
+
+    def execute(
+        self, plan: RepairPlan, packet_size: Optional[int] = None
+    ) -> RuntimeResult:
+        """Run a repair plan; agents must be started."""
+        if not self._started:
+            raise RuntimeError("call start() (or use as a context manager) first")
+        result = self.coordinator.execute(plan, packet_size=packet_size)
+        self._raise_agent_errors()
+        return result
+
+    def verify_plan(self, plan: RepairPlan) -> None:
+        """Check every repaired chunk's bytes at its destination.
+
+        Raises:
+            VerificationError: on any mismatch or missing chunk.
+        """
+        for action in plan.actions():
+            store = self.stores[action.destination]
+            if not store.has(action.stripe_id):
+                raise VerificationError(
+                    f"destination {action.destination} has no chunk of "
+                    f"stripe {action.stripe_id}"
+                )
+            actual = _digest(store.read(action.stripe_id))
+            expected = self._checksums[(action.stripe_id, action.chunk_index)]
+            if actual != expected:
+                raise VerificationError(
+                    f"chunk ({action.stripe_id}, {action.chunk_index}) "
+                    f"restored incorrectly at node {action.destination}"
+                )
+
+    def _raise_agent_errors(self) -> None:
+        for agent in self.agents.values():
+            if agent.errors:
+                raise agent.errors[0]
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()

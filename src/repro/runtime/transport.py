@@ -1,0 +1,72 @@
+"""In-process network transport with NIC bandwidth emulation.
+
+Stands in for the EC2 instances' network in the paper's testbed.
+Every node gets an inbox queue and a pair of NIC rate limiters
+(ingress/egress); delivering a :class:`DataPacket` reserves both the
+sender's egress and the receiver's ingress for the packet duration,
+so cross-traffic at a node serializes exactly as on a real NIC.
+Control messages (commands, ACKs) are delivered unthrottled.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Dict, Optional
+
+from ..cluster.chunk import NodeId
+from .messages import DataPacket
+from .throttle import RateLimiter, reserve_transfer, sleep_until
+
+
+class Endpoint:
+    """One node's attachment to the network."""
+
+    def __init__(self, node_id: NodeId, bandwidth: Optional[float]):
+        self.node_id = node_id
+        self.inbox: "queue.Queue" = queue.Queue()
+        self.nic_in = RateLimiter(bandwidth, name=f"nic_in[{node_id}]")
+        self.nic_out = RateLimiter(bandwidth, name=f"nic_out[{node_id}]")
+
+
+class Network:
+    """Registry of endpoints plus the send primitive."""
+
+    def __init__(self):
+        self._endpoints: Dict[NodeId, Endpoint] = {}
+        self._lock = threading.Lock()
+        #: total throttled payload bytes moved (telemetry)
+        self.bytes_transferred = 0
+
+    def attach(self, node_id: NodeId, bandwidth: Optional[float]) -> Endpoint:
+        """Register a node; returns its endpoint."""
+        with self._lock:
+            if node_id in self._endpoints:
+                raise ValueError(f"node {node_id} already attached")
+            endpoint = Endpoint(node_id, bandwidth)
+            self._endpoints[node_id] = endpoint
+            return endpoint
+
+    def endpoint(self, node_id: NodeId) -> Endpoint:
+        try:
+            return self._endpoints[node_id]
+        except KeyError:
+            raise KeyError(f"node {node_id} not attached") from None
+
+    def send(self, src: NodeId, dst: NodeId, message) -> None:
+        """Deliver a message; DataPackets pay for bandwidth.
+
+        The sender thread blocks for the emulated transfer duration
+        (back-pressure), then the packet appears in the receiver inbox.
+        """
+        sender = self.endpoint(src)
+        receiver = self.endpoint(dst)
+        if isinstance(message, DataPacket):
+            if src == dst:
+                raise ValueError("loopback data transfer is not modeled")
+            nbytes = len(message.payload)
+            deadline = reserve_transfer(sender.nic_out, receiver.nic_in, nbytes)
+            sleep_until(deadline)
+            with self._lock:
+                self.bytes_transferred += nbytes
+        receiver.inbox.put(message)

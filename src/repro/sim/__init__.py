@@ -1,0 +1,47 @@
+"""Discrete-event simulation of repair plans."""
+
+from .cost_model import CostModelSimulator, evaluate_plan
+from .events import Acquire, Delay, Process, Release, Resource, Simulation, SimulationError, use
+from .resources import DeviceMap, NodeDevices
+from .simulator import DeviceUtilization, RepairResult, RepairSimulator, simulate_repair
+from .timeline import (
+    ClusterLifetime,
+    EventKind,
+    TimelineEvent,
+    TimelineReport,
+)
+from .workload import (
+    PAPER_SIM_CONFIG,
+    SimulationConfig,
+    build_cluster,
+    build_cluster_with_stf,
+    fixed_stf_chunk_count,
+)
+
+__all__ = [
+    "Acquire",
+    "ClusterLifetime",
+    "CostModelSimulator",
+    "EventKind",
+    "TimelineEvent",
+    "TimelineReport",
+    "evaluate_plan",
+    "Delay",
+    "DeviceMap",
+    "DeviceUtilization",
+    "NodeDevices",
+    "PAPER_SIM_CONFIG",
+    "Process",
+    "Release",
+    "RepairResult",
+    "RepairSimulator",
+    "Resource",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationError",
+    "build_cluster",
+    "build_cluster_with_stf",
+    "fixed_stf_chunk_count",
+    "simulate_repair",
+    "use",
+]

@@ -1,0 +1,123 @@
+"""Per-node bandwidth resources for the repair simulator.
+
+Each storage node owns three serial devices, mirroring the paper's
+cost model (Section III):
+
+* a disk with sequential bandwidth ``b_d`` shared by reads and writes,
+* a NIC egress at ``b_n``,
+* a NIC ingress at ``b_n``.
+
+A chunk transfer occupies the sender's egress and the receiver's
+ingress simultaneously for ``size / b_n`` — which is what yields the
+``k * c / b_n`` receive serialization of reconstruction (Eq. 5) and
+the hot-standby ingest bottleneck (Eq. 6) without hard-coding either
+equation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..cluster.chunk import NodeId
+from .events import Acquire, Delay, Process, Release, Resource
+
+
+@dataclass
+class NodeDevices:
+    """The three serial devices of one node."""
+
+    node_id: NodeId
+    disk_bandwidth: float
+    network_bandwidth: float
+    disk: Resource = field(init=False)
+    nic_in: Resource = field(init=False)
+    nic_out: Resource = field(init=False)
+
+    def __post_init__(self):
+        if self.disk_bandwidth <= 0 or self.network_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        self.disk = Resource(f"disk[{self.node_id}]")
+        self.nic_in = Resource(f"nic_in[{self.node_id}]")
+        self.nic_out = Resource(f"nic_out[{self.node_id}]")
+
+    def read_time(self, size: int) -> float:
+        return size / self.disk_bandwidth
+
+    def write_time(self, size: int) -> float:
+        return size / self.disk_bandwidth
+
+    def transfer_time(self, size: int) -> float:
+        return size / self.network_bandwidth
+
+
+class DeviceMap:
+    """Lazily builds :class:`NodeDevices` for a cluster's nodes."""
+
+    def __init__(self, cluster):
+        self._cluster = cluster
+        self._devices: Dict[NodeId, NodeDevices] = {}
+        #: traffic accounting in bytes
+        self.bytes_read: int = 0
+        self.bytes_transferred: int = 0
+        self.bytes_written: int = 0
+
+    def __getitem__(self, node_id: NodeId) -> NodeDevices:
+        devices = self._devices.get(node_id)
+        if devices is None:
+            node = self._cluster.node(node_id)
+            devices = NodeDevices(
+                node_id=node_id,
+                disk_bandwidth=node.disk_bandwidth or self._cluster.disk_bandwidth,
+                network_bandwidth=(
+                    node.network_bandwidth or self._cluster.network_bandwidth
+                ),
+            )
+            self._devices[node_id] = devices
+        return devices
+
+    # -- composite process steps ----------------------------------------
+
+    def read_chunk(self, node_id: NodeId, size: int) -> Process:
+        """Process fragment: read ``size`` bytes from a node's disk."""
+        devices = self[node_id]
+        self.bytes_read += size
+        yield Acquire(devices.disk)
+        yield Delay(devices.read_time(size))
+        yield Release(devices.disk)
+
+    def write_chunk(self, node_id: NodeId, size: int) -> Process:
+        """Process fragment: write ``size`` bytes to a node's disk."""
+        devices = self[node_id]
+        self.bytes_written += size
+        yield Acquire(devices.disk)
+        yield Delay(devices.write_time(size))
+        yield Release(devices.disk)
+
+    #: packets per chunk transfer (see :meth:`transfer_chunk`)
+    TRANSFER_PACKETS = 8
+
+    def transfer_chunk(self, src: NodeId, dst: NodeId, size: int) -> Process:
+        """Process fragment: move ``size`` bytes from ``src`` to ``dst``.
+
+        The transfer is split into :data:`TRANSFER_PACKETS` packets;
+        each packet holds the sender's egress and the receiver's
+        ingress for its duration.  Packetization approximates the fair
+        bandwidth sharing of real NICs: when many flows converge on one
+        receiver (the hot-standby ingest bottleneck), they interleave
+        packet-by-packet instead of queueing whole chunks FCFS —
+        without it, a single migration chunk would wait behind an
+        entire round of reconstruction traffic.
+        """
+        self.bytes_transferred += size
+        src_dev = self[src]
+        dst_dev = self[dst]
+        rate = min(src_dev.network_bandwidth, dst_dev.network_bandwidth)
+        packets = max(1, self.TRANSFER_PACKETS)
+        packet_time = size / rate / packets
+        for _ in range(packets):
+            yield Acquire(src_dev.nic_out)
+            yield Acquire(dst_dev.nic_in)
+            yield Delay(packet_time)
+            yield Release(dst_dev.nic_in)
+            yield Release(src_dev.nic_out)

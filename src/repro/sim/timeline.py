@@ -1,0 +1,239 @@
+"""Cluster-lifetime simulation: prediction, repair and upkeep over months.
+
+Ties the whole reproduction together the way an operator would run it:
+SMART telemetry streams in daily; the predictor raises soon-to-fail
+alarms; each alarm triggers a predictive repair (FastPR by default)
+that is timed with the cost model and committed to the metadata;
+unpredicted failures fall back to reactive repair; repaired nodes are
+decommissioned; and the rebalancer periodically evens the chunk
+distribution (the paper's background-rebalance assumption).
+
+The resulting :class:`TimelineReport` aggregates what the paper's
+motivation cares about: how much repair time — and therefore window of
+vulnerability — predictive repair saved over the horizon.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..cluster.cluster import StorageCluster
+from ..cluster.rebalance import Rebalancer
+from ..core.plan import RepairPlan, RepairScenario
+from ..core.planner import (
+    FastPRPlanner,
+    MigrationOnlyPlanner,
+    ReconstructionOnlyPlanner,
+    apply_plan,
+)
+from ..core.reactive import plan_failed_node_repair
+from ..failure.monitor import ClusterFailureMonitor, MissedFailure, StfEvent
+from ..failure.predictor import FailurePredictor
+from ..failure.smart import DiskTrace
+from .cost_model import evaluate_plan
+
+PLANNERS = {
+    "fastpr": FastPRPlanner,
+    "reconstruction": ReconstructionOnlyPlanner,
+    "migration": MigrationOnlyPlanner,
+}
+
+
+class EventKind(enum.Enum):
+    PREDICTIVE_REPAIR = "predictive_repair"
+    REACTIVE_REPAIR = "reactive_repair"
+    REBALANCE = "rebalance"
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One operational event over the horizon."""
+
+    day: int
+    kind: EventKind
+    node_id: int
+    chunks: int = 0
+    repair_time: float = 0.0
+    #: lead time in days for predictive repairs (None: false alarm)
+    lead_days: Optional[int] = None
+    moves: int = 0
+
+
+@dataclass
+class TimelineReport:
+    """Aggregated outcome of a lifetime run."""
+
+    events: List[TimelineEvent] = field(default_factory=list)
+
+    def of_kind(self, kind: EventKind) -> List[TimelineEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    @property
+    def predictive_repairs(self) -> List[TimelineEvent]:
+        return self.of_kind(EventKind.PREDICTIVE_REPAIR)
+
+    @property
+    def reactive_repairs(self) -> List[TimelineEvent]:
+        return self.of_kind(EventKind.REACTIVE_REPAIR)
+
+    @property
+    def total_repair_time(self) -> float:
+        return sum(e.repair_time for e in self.events)
+
+    @property
+    def total_chunks_repaired(self) -> int:
+        return sum(e.chunks for e in self.events)
+
+    @property
+    def false_alarm_repairs(self) -> List[TimelineEvent]:
+        return [
+            e for e in self.predictive_repairs if e.lead_days is None
+        ]
+
+    def summary(self) -> str:
+        return (
+            f"TimelineReport(predictive={len(self.predictive_repairs)}, "
+            f"reactive={len(self.reactive_repairs)}, "
+            f"false_alarms={len(self.false_alarm_repairs)}, "
+            f"chunks={self.total_chunks_repaired}, "
+            f"repair_time={self.total_repair_time:.0f}s)"
+        )
+
+
+class ClusterLifetime:
+    """Runs a cluster through a telemetry horizon with automated upkeep.
+
+    Args:
+        cluster: the cluster; mutated in place.
+        traces: one disk trace per storage node.
+        predictor: soon-to-fail classifier.
+        planner: "fastpr" | "reconstruction" | "migration" — the
+            strategy used for predictive repairs (reactive repairs are
+            always reconstruction-only: a dead node cannot migrate).
+        scenario: scattered or hot-standby repair.
+        rebalance_every: run the background rebalancer every N days
+            after the first repair (0 disables).
+        group_size: Algorithm 1 chunk-grouping (planner speed knob).
+        seed: planner randomization.
+    """
+
+    def __init__(
+        self,
+        cluster: StorageCluster,
+        traces: Sequence[DiskTrace],
+        predictor: FailurePredictor,
+        planner: str = "fastpr",
+        scenario: RepairScenario = RepairScenario.SCATTERED,
+        rebalance_every: int = 0,
+        group_size: Optional[int] = None,
+        seed: Optional[int] = None,
+    ):
+        if planner not in PLANNERS:
+            raise ValueError(
+                f"unknown planner {planner!r}; choose from {sorted(PLANNERS)}"
+            )
+        self.cluster = cluster
+        self.traces = list(traces)
+        self.predictor = predictor
+        self.planner_name = planner
+        self.scenario = scenario
+        self.rebalance_every = rebalance_every
+        self.group_size = group_size
+        self.seed = seed
+        self._last_rebalance_day: Optional[int] = None
+
+    def _make_planner(self):
+        cls = PLANNERS[self.planner_name]
+        kwargs = {"scenario": self.scenario, "seed": self.seed}
+        if cls is not MigrationOnlyPlanner and self.group_size:
+            kwargs["group_size"] = self.group_size
+        return cls(**kwargs)
+
+    def run(self) -> TimelineReport:
+        """Replay the horizon; returns the event log and aggregates."""
+        report = TimelineReport()
+
+        def on_stf(event: StfEvent) -> Optional[RepairPlan]:
+            plan = self._make_planner().plan(self.cluster, event.node_id)
+            result = evaluate_plan(self.cluster, plan)
+            apply_plan(self.cluster, plan)
+            self.cluster.decommission(event.node_id)
+            self._turn_over_standbys()
+            report.events.append(
+                TimelineEvent(
+                    day=event.day,
+                    kind=EventKind.PREDICTIVE_REPAIR,
+                    node_id=event.node_id,
+                    chunks=plan.total_chunks,
+                    repair_time=result.total_time,
+                    lead_days=event.lead_days,
+                )
+            )
+            self._maybe_rebalance(event.day, report)
+            return plan
+
+        def on_failure(missed: MissedFailure) -> None:
+            plan = plan_failed_node_repair(
+                self.cluster,
+                missed.node_id,
+                scenario=self.scenario,
+                seed=self.seed,
+            )
+            result = evaluate_plan(self.cluster, plan)
+            apply_plan(self.cluster, plan)
+            self._turn_over_standbys()
+            report.events.append(
+                TimelineEvent(
+                    day=missed.day,
+                    kind=EventKind.REACTIVE_REPAIR,
+                    node_id=missed.node_id,
+                    chunks=plan.total_chunks,
+                    repair_time=result.total_time,
+                )
+            )
+            self._maybe_rebalance(missed.day, report)
+
+        monitor = ClusterFailureMonitor(
+            self.cluster, self.traces, self.predictor
+        )
+        monitor.run(on_stf=on_stf, on_failure=on_failure)
+        self.cluster.verify_fault_tolerance()
+        return report
+
+    def _turn_over_standbys(self) -> None:
+        """After a hot-standby repair, the standbys go into service.
+
+        The paper's standby nodes "take over the service of the STF
+        node after repair" (Section II-C); the operator then racks
+        replacement standbys, keeping ``h`` constant for the next
+        repair.
+        """
+        if self.scenario is not RepairScenario.HOT_STANDBY:
+            return
+        consumed = self.cluster.hot_standby_ids()
+        for node_id in consumed:
+            self.cluster.promote_standby(node_id)
+        if consumed:
+            self.cluster.add_hot_standby(len(consumed))
+
+    def _maybe_rebalance(self, day: int, report: TimelineReport) -> None:
+        if not self.rebalance_every:
+            return
+        if (
+            self._last_rebalance_day is not None
+            and day - self._last_rebalance_day < self.rebalance_every
+        ):
+            return
+        moves = Rebalancer(seed=self.seed).run(self.cluster)
+        self._last_rebalance_day = day
+        if moves:
+            report.events.append(
+                TimelineEvent(
+                    day=day,
+                    kind=EventKind.REBALANCE,
+                    node_id=-1,
+                    moves=len(moves),
+                )
+            )

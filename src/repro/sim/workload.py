@@ -1,0 +1,115 @@
+"""Workload builders for the paper's experiments.
+
+Centralizes the default configuration of Section VI-A:
+
+    M = 100 nodes, b_d = 100 MB/s, b_n = 1 Gb/s, RS(9,6),
+    chunk size 64 MB, 1,000 randomly placed stripes, h = 3.
+
+Builders return a cluster with one node already flagged soon-to-fail,
+ready to be planned and simulated.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..cluster.cluster import StorageCluster
+from ..core.analysis import gbit_per_s, mb_per_s, mib
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of the paper's simulation experiments."""
+
+    num_nodes: int = 100
+    num_stripes: int = 1000
+    n: int = 9
+    k: int = 6
+    num_hot_standby: int = 3
+    chunk_size: int = mib(64)
+    disk_bandwidth: float = mb_per_s(100)
+    network_bandwidth: float = gbit_per_s(1)
+    seed: Optional[int] = None
+
+    def with_(self, **kwargs) -> "SimulationConfig":
+        from dataclasses import replace
+
+        return replace(self, **kwargs)
+
+
+#: Paper defaults (Section VI-A).
+PAPER_SIM_CONFIG = SimulationConfig()
+
+
+def build_cluster(config: SimulationConfig) -> StorageCluster:
+    """Cluster with randomly placed stripes per the configuration."""
+    return StorageCluster.random(
+        num_nodes=config.num_nodes,
+        num_stripes=config.num_stripes,
+        n=config.n,
+        k=config.k,
+        num_hot_standby=config.num_hot_standby,
+        seed=config.seed,
+        disk_bandwidth=config.disk_bandwidth,
+        network_bandwidth=config.network_bandwidth,
+        chunk_size=config.chunk_size,
+    )
+
+
+def build_cluster_with_stf(
+    config: SimulationConfig,
+) -> Tuple[StorageCluster, int]:
+    """Cluster plus a randomly chosen STF node (already flagged).
+
+    The STF node is drawn among the nodes that actually store chunks,
+    so every run repairs a non-trivial chunk set.
+    """
+    cluster = build_cluster(config)
+    rng = random.Random(None if config.seed is None else config.seed + 7919)
+    candidates = [
+        node_id
+        for node_id in cluster.storage_node_ids()
+        if cluster.load_of(node_id) > 0
+    ]
+    if not candidates:
+        raise ValueError("no node stores any chunk; increase num_stripes")
+    stf_node = rng.choice(candidates)
+    cluster.node(stf_node).mark_soon_to_fail()
+    return cluster, stf_node
+
+
+def fixed_stf_chunk_count(
+    config: SimulationConfig, stf_chunks: int, stf_node: int = 0
+) -> Tuple[StorageCluster, int]:
+    """Cluster where the STF node stores exactly ``stf_chunks`` chunks.
+
+    Mirrors the EC2 testbed setup (Section VI-B): "the number of chunks
+    in the STF node being repaired is fixed as 50 chunks in each
+    experimental run for consistent benchmarking".  Stripes touching
+    the STF node are placed through it deliberately; the rest avoid it.
+    """
+    cluster = StorageCluster(
+        config.num_nodes,
+        num_hot_standby=config.num_hot_standby,
+        disk_bandwidth=config.disk_bandwidth,
+        network_bandwidth=config.network_bandwidth,
+        chunk_size=config.chunk_size,
+    )
+    rng = random.Random(config.seed)
+    node_ids = cluster.storage_node_ids()
+    others = [nid for nid in node_ids if nid != stf_node]
+    if len(others) < config.n:
+        raise ValueError("cluster too small for the stripe width")
+    for i in range(config.num_stripes):
+        if i < stf_chunks:
+            placement = [stf_node] + rng.sample(others, config.n - 1)
+            rng.shuffle(placement)
+        else:
+            placement = rng.sample(others, config.n)
+        cluster.add_stripe(config.n, config.k, placement)
+    if cluster.load_of(stf_node) != stf_chunks:
+        raise AssertionError("STF chunk count construction failed")
+    cluster.node(stf_node).mark_soon_to_fail()
+    return cluster, stf_node

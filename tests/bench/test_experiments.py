@@ -1,0 +1,104 @@
+"""Smoke tests for the experiment functions (small scales).
+
+The full paper-scale sweeps live in ``benchmarks/``; here we verify the
+machinery itself: structure of results, qualitative invariants, and the
+helper utilities, at configurations that run in seconds.
+"""
+
+import pytest
+
+# NOTE: `testbed_point` and `TestbedConfig` are imported via the module
+# to keep pytest from collecting them as tests/fixtures by name.
+from repro.bench import experiments as exps
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    fig2_math_scattered,
+    fig3_math_hotstandby,
+    fig15_microbench,
+    sim_group_size,
+    simulate_point,
+)
+from repro.core.plan import RepairScenario
+from repro.sim.workload import SimulationConfig
+
+
+class TestRegistry:
+    def test_every_figure_present(self):
+        expected = {
+            "fig2",
+            "fig3",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+        }
+        assert expected <= set(ALL_EXPERIMENTS)
+
+
+class TestAnalysisFigures:
+    def test_fig2_structure(self):
+        exp = fig2_math_scattered()
+        assert exp.experiment_id == "fig2"
+        assert len(exp.panels) == 4
+        for panel in exp.panels:
+            assert {s.label for s in panel.series} == {"predictive", "reactive"}
+
+    def test_fig3_structure(self):
+        exp = fig3_math_hotstandby()
+        assert len(exp.panels) == 2
+
+
+class TestSimulatePoint:
+    def test_ordering_invariant(self):
+        cfg = SimulationConfig(
+            num_nodes=30, num_stripes=100, seed=3
+        )
+        point = simulate_point(cfg, RepairScenario.SCATTERED, runs=1)
+        assert point["optimum"] <= point["fastpr"] * 1.01
+        assert point["fastpr"] <= point["reconstruction"] * 1.05
+        assert point["migration"] >= point["fastpr"]
+
+    def test_exclude_migration(self):
+        cfg = SimulationConfig(num_nodes=30, num_stripes=80, seed=4)
+        point = simulate_point(
+            cfg, RepairScenario.SCATTERED, runs=1, include_migration=False
+        )
+        assert "migration" not in point
+
+    def test_group_size_heuristic(self):
+        assert sim_group_size(100, 6) == 64
+        assert sim_group_size(20, 6) == 24  # floor at 24
+
+
+class TestTestbedPoint:
+    def test_small_testbed_point(self):
+        config = exps.TestbedConfig(
+            num_nodes=12,
+            stf_chunks=4,
+            extra_stripes=8,
+            chunk_size=128 * 1024,
+            packet_size=32 * 1024,
+            disk_bandwidth=200e6,
+            network_bandwidth=880e6,
+        )
+        point = exps.testbed_point(config, RepairScenario.SCATTERED, runs=1)
+        assert set(point) == {"fastpr", "reconstruction", "migration"}
+        assert all(v > 0 for v in point.values())
+
+
+class TestFig15:
+    def test_tiny_sweep(self):
+        exp = fig15_microbench(sizes=(10, 20), runs=1)
+        reductions = exp.panel(
+            "Fig 15(a) — reduction of d_opt over d_ini"
+        ).values_of("reduction")
+        assert len(reductions) == 2
+        assert all(r >= 0 for r in reductions)
+        times = exp.panel(
+            "Fig 15(b) — running time of Algorithm 1"
+        ).values_of("algorithm1")
+        assert all(t >= 0 for t in times)

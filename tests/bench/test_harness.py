@@ -1,0 +1,66 @@
+"""Tests for the experiment result containers."""
+
+import math
+
+import pytest
+
+from repro.bench.harness import Experiment, Panel, Series, average_runs, reduction
+
+
+class TestPanel:
+    def test_add_point_builds_series(self):
+        panel = Panel("p", "x")
+        panel.add_point(1, {"a": 1.0, "b": 2.0})
+        panel.add_point(2, {"a": 3.0, "b": 4.0})
+        assert panel.xticks == ["1", "2"]
+        assert panel.values_of("a") == [1.0, 3.0]
+        assert panel.values_of("b") == [2.0, 4.0]
+
+    def test_unknown_series(self):
+        panel = Panel("p", "x")
+        panel.add_point(1, {"a": 1.0})
+        with pytest.raises(KeyError):
+            panel.values_of("zzz")
+
+    def test_render_contains_data(self):
+        panel = Panel("Fig X", "nodes")
+        panel.add_point(10, {"fastpr": 0.5})
+        text = panel.render()
+        assert "Fig X" in text
+        assert "fastpr" in text
+        assert "0.5000" in text
+
+    def test_get_missing_returns_none(self):
+        assert Panel("p", "x").get("a") is None
+
+
+class TestExperiment:
+    def test_panel_lookup(self):
+        exp = Experiment("fig0", "t")
+        exp.panels.append(Panel("alpha", "x"))
+        assert exp.panel("alpha").title == "alpha"
+        with pytest.raises(KeyError):
+            exp.panel("beta")
+
+    def test_render_includes_all_panels(self):
+        exp = Experiment("fig0", "title")
+        for name in ("one", "two"):
+            panel = Panel(name, "x")
+            panel.add_point(0, {"s": 1.0})
+            exp.panels.append(panel)
+        text = exp.render()
+        assert "fig0" in text
+        assert "one" in text and "two" in text
+
+
+class TestHelpers:
+    def test_average_runs(self):
+        assert average_runs([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            average_runs([])
+
+    def test_reduction(self):
+        assert reduction(2.0, 1.0) == pytest.approx(0.5)
+        assert reduction(2.0, 2.0) == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            reduction(0.0, 1.0)

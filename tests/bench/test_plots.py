@@ -1,0 +1,88 @@
+"""Tests for the SVG chart renderer."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import Experiment, Panel
+from repro.bench.plots import (
+    _nice_ceiling,
+    main,
+    render_experiment,
+    render_panel_svg,
+)
+
+
+@pytest.fixture
+def experiment():
+    exp = Experiment("fig8", "Simulation: scattered repair")
+    panel = Panel("Fig 8(a) — varying M", "# of nodes")
+    panel.add_point(20, {"optimum": 0.84, "fastpr": 0.92, "migration": 1.88})
+    panel.add_point(100, {"optimum": 0.25, "fastpr": 0.32, "migration": 1.88})
+    exp.panels.append(panel)
+    return exp
+
+
+class TestNiceCeiling:
+    def test_grid_values(self):
+        assert _nice_ceiling(0.9) == pytest.approx(1.0)
+        assert _nice_ceiling(1.2) == pytest.approx(2.0)
+        assert _nice_ceiling(3.7) == pytest.approx(5.0)
+        assert _nice_ceiling(7.2) == pytest.approx(10.0)
+        assert _nice_ceiling(0.034) == pytest.approx(0.05)
+
+    def test_degenerate(self):
+        assert _nice_ceiling(0.0) == 1.0
+
+
+class TestRenderPanel:
+    def test_valid_svg_with_all_elements(self, experiment):
+        svg = render_panel_svg(experiment.panels[0])
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        # 3 series x 2 groups = 6 bars + 3 legend swatches.
+        assert svg.count("<rect") >= 10  # incl. background + legend
+        for label in ("optimum", "fastpr", "migration"):
+            assert label in svg
+        assert "Fig 8(a)" in svg
+        assert "# of nodes" in svg
+
+    def test_escapes_markup(self):
+        panel = Panel("a < b & c", "x<y")
+        panel.add_point("t>0", {"s&1": 1.0})
+        svg = render_panel_svg(panel)
+        assert "a &lt; b &amp; c" in svg
+        assert "<y" not in svg.replace("&lt;y", "")
+
+    def test_bar_heights_scale(self, experiment):
+        svg = render_panel_svg(experiment.panels[0])
+        # The tallest bar (1.88 at y_max=2.0) takes ~94% of plot height.
+        import re
+
+        heights = [
+            float(m)
+            for m in re.findall(r'height="([0-9.]+)" fill="#', svg)
+        ]
+        assert max(heights) > 0.9 * 248  # plot height = 360-48-64 = 248
+
+
+class TestRenderExperiment:
+    def test_writes_one_svg_per_panel(self, experiment, tmp_path):
+        paths = render_experiment(experiment, tmp_path)
+        assert len(paths) == 1
+        assert paths[0].name.startswith("fig8_")
+        assert paths[0].read_text().startswith("<svg")
+
+
+class TestCli:
+    def test_end_to_end(self, experiment, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig8.json").write_text(json.dumps(experiment.to_dict()))
+        out = tmp_path / "figs"
+        assert main([str(results), "-o", str(out)]) == 0
+        assert list(out.glob("*.svg"))
+        assert "wrote 1 SVG charts" in capsys.readouterr().out
+
+    def test_empty_dir(self, tmp_path, capsys):
+        assert main([str(tmp_path)]) == 2

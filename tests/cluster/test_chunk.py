@@ -1,0 +1,98 @@
+"""Tests for stripe and chunk metadata."""
+
+import pytest
+
+from repro.cluster.chunk import ChunkLocation, Stripe, StripeCatalog
+
+
+class TestStripe:
+    def test_basic_properties(self):
+        stripe = Stripe(3, 5, 3, [10, 11, 12, 13, 14])
+        assert stripe.placement == (10, 11, 12, 13, 14)
+        assert stripe.nodes == frozenset({10, 11, 12, 13, 14})
+        assert stripe.node_of(2) == 12
+
+    def test_wrong_placement_length(self):
+        with pytest.raises(ValueError, match="placement has"):
+            Stripe(0, 5, 3, [1, 2, 3])
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError, match="distinct nodes"):
+            Stripe(0, 4, 2, [1, 2, 2, 3])
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            Stripe(0, 4, 4, [1, 2, 3, 4])
+        with pytest.raises(ValueError):
+            Stripe(0, 4, 0, [1, 2, 3, 4])
+
+    def test_chunk_index_on(self):
+        stripe = Stripe(0, 3, 2, [7, 8, 9])
+        assert stripe.chunk_index_on(8) == 1
+        with pytest.raises(KeyError):
+            stripe.chunk_index_on(99)
+
+    def test_stores_on(self):
+        stripe = Stripe(0, 3, 2, [7, 8, 9])
+        assert stripe.stores_on(7)
+        assert not stripe.stores_on(10)
+
+    def test_relocate(self):
+        stripe = Stripe(0, 3, 2, [7, 8, 9])
+        stripe.relocate(0, 20)
+        assert stripe.node_of(0) == 20
+        assert not stripe.stores_on(7)
+
+    def test_relocate_onto_member_rejected(self):
+        stripe = Stripe(0, 3, 2, [7, 8, 9])
+        with pytest.raises(ValueError, match="already stores"):
+            stripe.relocate(0, 9)
+
+    def test_locations(self):
+        stripe = Stripe(5, 3, 2, [1, 2, 3])
+        locs = list(stripe.locations())
+        assert locs[0] == ChunkLocation(5, 0, 1)
+        assert len(locs) == 3
+
+    def test_surviving_indices(self):
+        stripe = Stripe(0, 4, 2, [1, 2, 3, 4])
+        assert stripe.surviving_indices(frozenset({2, 4})) == [0, 2]
+
+
+class TestStripeCatalog:
+    def test_add_and_lookup(self):
+        catalog = StripeCatalog()
+        stripe = Stripe(0, 3, 2, [1, 2, 3])
+        catalog.add(stripe)
+        assert catalog[0] is stripe
+        assert len(catalog) == 1
+
+    def test_duplicate_id_rejected(self):
+        catalog = StripeCatalog()
+        catalog.add(Stripe(0, 3, 2, [1, 2, 3]))
+        with pytest.raises(ValueError):
+            catalog.add(Stripe(0, 3, 2, [4, 5, 6]))
+
+    def test_chunks_on_node(self):
+        catalog = StripeCatalog()
+        catalog.add(Stripe(0, 3, 2, [1, 2, 3]))
+        catalog.add(Stripe(1, 3, 2, [2, 3, 4]))
+        found = catalog.chunks_on_node(2)
+        assert {(c.stripe_id, c.chunk_index) for c in found} == {(0, 1), (1, 0)}
+
+    def test_iteration(self):
+        catalog = StripeCatalog()
+        catalog.add(Stripe(0, 3, 2, [1, 2, 3]))
+        catalog.add(Stripe(1, 3, 2, [4, 5, 6]))
+        assert sorted(s.stripe_id for s in catalog) == [0, 1]
+
+
+class TestChunkLocation:
+    def test_str(self):
+        assert str(ChunkLocation(3, 1, 9)) == "S3:C1@N9"
+
+    def test_equality_and_hash(self):
+        a = ChunkLocation(1, 2, 3)
+        b = ChunkLocation(1, 2, 3)
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,185 @@
+"""Tests for the StorageCluster metadata model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import ClusterError, NodeRole, StorageCluster
+
+
+class TestConstruction:
+    def test_node_counts(self):
+        cluster = StorageCluster(10, num_hot_standby=3)
+        assert cluster.num_storage_nodes == 10
+        assert cluster.num_hot_standby == 3
+        assert len(cluster.nodes) == 13
+
+    def test_standby_ids_follow_storage(self):
+        cluster = StorageCluster(4, num_hot_standby=2)
+        assert cluster.storage_node_ids() == [0, 1, 2, 3]
+        assert cluster.hot_standby_ids() == [4, 5]
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            StorageCluster(1)
+
+    def test_negative_standby(self):
+        with pytest.raises(ValueError):
+            StorageCluster(5, num_hot_standby=-1)
+
+
+class TestStripeManagement:
+    def test_add_stripe(self):
+        cluster = StorageCluster(6)
+        stripe = cluster.add_stripe(3, 2, [0, 1, 2])
+        assert cluster.num_stripes == 1
+        assert cluster.stripe(stripe.stripe_id) is stripe
+        assert cluster.load_of(0) == 1
+
+    def test_ids_are_sequential(self):
+        cluster = StorageCluster(6)
+        s0 = cluster.add_stripe(3, 2, [0, 1, 2])
+        s1 = cluster.add_stripe(3, 2, [3, 4, 5])
+        assert (s0.stripe_id, s1.stripe_id) == (0, 1)
+
+    def test_unknown_node_rejected(self):
+        cluster = StorageCluster(4)
+        with pytest.raises(ClusterError):
+            cluster.add_stripe(3, 2, [0, 1, 99])
+
+    def test_standby_placement_rejected(self):
+        cluster = StorageCluster(4, num_hot_standby=1)
+        with pytest.raises(ClusterError, match="hot-standby"):
+            cluster.add_stripe(3, 2, [0, 1, 4])
+
+    def test_unknown_stripe(self):
+        cluster = StorageCluster(4)
+        with pytest.raises(ClusterError):
+            cluster.stripe(0)
+
+
+class TestQueries:
+    def test_chunks_on_node(self):
+        cluster = StorageCluster(6)
+        cluster.add_stripe(3, 2, [0, 1, 2])
+        cluster.add_stripe(3, 2, [0, 3, 4])
+        chunks = cluster.chunks_on_node(0)
+        assert len(chunks) == 2
+        assert all(c.node_id == 0 for c in chunks)
+
+    def test_healthy_storage_nodes_excludes_stf(self):
+        cluster = StorageCluster(5)
+        cluster.node(2).mark_soon_to_fail()
+        assert 2 not in cluster.healthy_storage_nodes()
+        assert cluster.stf_nodes() == [2]
+
+    def test_healthy_excludes_standby(self):
+        cluster = StorageCluster(4, num_hot_standby=2)
+        assert cluster.healthy_storage_nodes() == [0, 1, 2, 3]
+
+    def test_helper_nodes(self):
+        cluster = StorageCluster(6)
+        stripe = cluster.add_stripe(4, 2, [0, 1, 2, 3])
+        assert cluster.helper_nodes(stripe.stripe_id, exclude={0}) == [1, 2, 3]
+
+    def test_helper_nodes_excludes_failed(self):
+        cluster = StorageCluster(6)
+        stripe = cluster.add_stripe(4, 2, [0, 1, 2, 3])
+        cluster.node(1).mark_failed()
+        assert cluster.helper_nodes(stripe.stripe_id, exclude={0}) == [2, 3]
+
+    def test_eligible_destinations(self):
+        cluster = StorageCluster(6)
+        stripe = cluster.add_stripe(4, 2, [0, 1, 2, 3])
+        assert cluster.eligible_destinations(stripe.stripe_id, exclude={0}) == [4, 5]
+
+    def test_verify_fault_tolerance_passes(self):
+        cluster = StorageCluster.random(10, 20, 5, 3, seed=1)
+        cluster.verify_fault_tolerance()
+
+
+class TestMutations:
+    def test_relocate_chunk(self):
+        cluster = StorageCluster(6)
+        stripe = cluster.add_stripe(3, 2, [0, 1, 2])
+        cluster.relocate_chunk(stripe.stripe_id, 0, 5)
+        assert stripe.node_of(0) == 5
+        assert cluster.load_of(0) == 0
+        assert cluster.load_of(5) == 1
+
+    def test_relocate_noop_same_node(self):
+        cluster = StorageCluster(6)
+        stripe = cluster.add_stripe(3, 2, [0, 1, 2])
+        cluster.relocate_chunk(stripe.stripe_id, 0, 0)
+        assert cluster.load_of(0) == 1
+
+    def test_relocate_to_unknown_node(self):
+        cluster = StorageCluster(6)
+        stripe = cluster.add_stripe(3, 2, [0, 1, 2])
+        with pytest.raises(ClusterError):
+            cluster.relocate_chunk(stripe.stripe_id, 0, 42)
+
+    def test_decommission_requires_empty(self):
+        cluster = StorageCluster(6)
+        stripe = cluster.add_stripe(3, 2, [0, 1, 2])
+        with pytest.raises(ClusterError, match="still stores"):
+            cluster.decommission(0)
+        cluster.relocate_chunk(stripe.stripe_id, 0, 5)
+        cluster.decommission(0)
+        assert cluster.node(0).is_failed
+
+    def test_promote_standby(self):
+        cluster = StorageCluster(4, num_hot_standby=1)
+        cluster.promote_standby(4)
+        assert cluster.node(4).role is NodeRole.STORAGE
+        with pytest.raises(ClusterError):
+            cluster.promote_standby(0)
+
+    def test_add_hot_standby(self):
+        cluster = StorageCluster(4, num_hot_standby=1)
+        added = cluster.add_hot_standby(2)
+        assert added == [5, 6]
+        assert cluster.num_hot_standby == 3
+        assert all(cluster.node(n).is_standby for n in added)
+        with pytest.raises(ValueError):
+            cluster.add_hot_standby(0)
+
+    def test_standby_turnover_cycle(self):
+        cluster = StorageCluster(4, num_hot_standby=2)
+        for node_id in cluster.hot_standby_ids():
+            cluster.promote_standby(node_id)
+        assert cluster.num_hot_standby == 0
+        cluster.add_hot_standby(2)
+        assert cluster.num_hot_standby == 2
+        assert cluster.num_storage_nodes == 6
+
+    def test_metadata_version_bumps(self):
+        cluster = StorageCluster(6)
+        v0 = cluster.metadata_version
+        stripe = cluster.add_stripe(3, 2, [0, 1, 2])
+        assert cluster.metadata_version == v0 + 1
+        cluster.relocate_chunk(stripe.stripe_id, 0, 5)
+        assert cluster.metadata_version == v0 + 2
+
+
+class TestRandomBuilder:
+    def test_reproducible(self):
+        a = StorageCluster.random(10, 15, 5, 3, seed=3)
+        b = StorageCluster.random(10, 15, 5, 3, seed=3)
+        for sid in range(15):
+            assert a.stripe(sid).placement == b.stripe(sid).placement
+
+    def test_stripe_width_exceeds_cluster(self):
+        with pytest.raises(ValueError):
+            StorageCluster.random(4, 5, 5, 3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(5, 20),
+        st.integers(1, 30),
+        st.integers(0, 2**16),
+    )
+    def test_random_clusters_are_valid(self, num_nodes, num_stripes, seed):
+        cluster = StorageCluster.random(num_nodes, num_stripes, 5, 3, seed=seed)
+        cluster.verify_fault_tolerance()
+        total = sum(cluster.load_of(n) for n in cluster.storage_node_ids())
+        assert total == 5 * num_stripes

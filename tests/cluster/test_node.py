@@ -1,0 +1,51 @@
+"""Tests for node state transitions."""
+
+import pytest
+
+from repro.cluster.node import Node, NodeRole, NodeState
+
+
+class TestNode:
+    def test_defaults(self):
+        node = Node(5)
+        assert node.is_healthy
+        assert not node.is_stf
+        assert not node.is_failed
+        assert not node.is_standby
+        assert node.role is NodeRole.STORAGE
+
+    def test_mark_soon_to_fail(self):
+        node = Node(0)
+        node.mark_soon_to_fail()
+        assert node.is_stf
+        assert node.state is NodeState.SOON_TO_FAIL
+        # Idempotent.
+        node.mark_soon_to_fail()
+        assert node.is_stf
+
+    def test_mark_failed(self):
+        node = Node(0)
+        node.mark_failed()
+        assert node.is_failed
+
+    def test_stf_after_failure_rejected(self):
+        node = Node(0)
+        node.mark_failed()
+        with pytest.raises(ValueError):
+            node.mark_soon_to_fail()
+
+    def test_false_alarm_cleared(self):
+        node = Node(0)
+        node.mark_soon_to_fail()
+        node.mark_healthy()
+        assert node.is_healthy
+
+    def test_heal_after_failure_rejected(self):
+        node = Node(0)
+        node.mark_failed()
+        with pytest.raises(ValueError):
+            node.mark_healthy()
+
+    def test_hot_standby_role(self):
+        node = Node(9, role=NodeRole.HOT_STANDBY)
+        assert node.is_standby

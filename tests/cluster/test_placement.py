@@ -1,0 +1,91 @@
+"""Tests for stripe placement policies."""
+
+import pytest
+
+from repro.cluster import (
+    ParityDeclusteredPlacement,
+    RandomPlacement,
+    RoundRobinPlacement,
+    StorageCluster,
+    placement_balance,
+)
+
+
+def make_cluster(num_nodes=10, standby=0):
+    return StorageCluster(num_nodes, num_hot_standby=standby)
+
+
+class TestRandomPlacement:
+    def test_distinct_nodes(self):
+        cluster = make_cluster()
+        policy = RandomPlacement(seed=1)
+        for _ in range(20):
+            chosen = policy.choose(cluster, 5)
+            assert len(set(chosen)) == 5
+
+    def test_deterministic_with_seed(self):
+        cluster = make_cluster()
+        a = RandomPlacement(seed=5).choose(cluster, 4)
+        b = RandomPlacement(seed=5).choose(cluster, 4)
+        assert a == b
+
+    def test_too_wide(self):
+        cluster = make_cluster(4)
+        with pytest.raises(ValueError):
+            RandomPlacement(seed=0).choose(cluster, 5)
+
+    def test_populate(self):
+        cluster = make_cluster()
+        RandomPlacement(seed=2).populate(cluster, 12, 5, 3)
+        assert cluster.num_stripes == 12
+        cluster.verify_fault_tolerance()
+
+    def test_never_uses_standby(self):
+        cluster = make_cluster(6, standby=2)
+        policy = RandomPlacement(seed=3)
+        for _ in range(30):
+            assert all(n < 6 for n in policy.choose(cluster, 4))
+
+
+class TestRoundRobinPlacement:
+    def test_rotates(self):
+        cluster = make_cluster(6)
+        policy = RoundRobinPlacement()
+        first = policy.choose(cluster, 3)
+        second = policy.choose(cluster, 3)
+        assert first == [0, 1, 2]
+        assert second == [3, 4, 5]
+
+    def test_wraps(self):
+        cluster = make_cluster(5)
+        policy = RoundRobinPlacement()
+        policy.choose(cluster, 4)
+        assert policy.choose(cluster, 3) == [4, 0, 1]
+
+    def test_perfectly_balanced(self):
+        cluster = make_cluster(6)
+        RoundRobinPlacement().populate(cluster, 10, 3, 2)
+        assert placement_balance(cluster) == pytest.approx(1.0)
+
+
+class TestParityDeclusteredPlacement:
+    def test_better_balance_than_worst_case(self):
+        cluster = make_cluster(12)
+        ParityDeclusteredPlacement(seed=0).populate(cluster, 50, 5, 3)
+        assert placement_balance(cluster) < 1.2
+
+    def test_valid_placements(self):
+        cluster = make_cluster(8)
+        ParityDeclusteredPlacement(seed=1).populate(cluster, 30, 5, 3)
+        cluster.verify_fault_tolerance()
+
+
+class TestPlacementBalance:
+    def test_empty_cluster(self):
+        assert placement_balance(make_cluster()) == 1.0
+
+    def test_skewed(self):
+        cluster = make_cluster(4)
+        cluster.add_stripe(2, 1, [0, 1])
+        cluster.add_stripe(2, 1, [0, 1])
+        assert placement_balance(cluster) == pytest.approx(2.0)

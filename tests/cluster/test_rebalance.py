@@ -1,0 +1,62 @@
+"""Tests for the background rebalancer."""
+
+import pytest
+
+from repro.cluster import Rebalancer, StorageCluster, placement_balance
+
+
+def skewed_cluster():
+    """All stripes pile their first chunks onto nodes 0-4."""
+    cluster = StorageCluster(12)
+    for _ in range(20):
+        cluster.add_stripe(5, 3, [0, 1, 2, 3, 4])
+    return cluster
+
+
+class TestRebalancer:
+    def test_reduces_spread(self):
+        cluster = skewed_cluster()
+        before = placement_balance(cluster)
+        moves = Rebalancer(seed=0).run(cluster)
+        after = placement_balance(cluster)
+        assert moves, "skewed cluster should trigger moves"
+        assert after < before
+
+    def test_reaches_tolerance(self):
+        cluster = skewed_cluster()
+        Rebalancer(tolerance=1, seed=0).run(cluster)
+        loads = [cluster.load_of(n) for n in cluster.storage_node_ids()]
+        assert max(loads) - min(loads) <= 1
+
+    def test_preserves_fault_tolerance(self):
+        cluster = skewed_cluster()
+        Rebalancer(seed=1).run(cluster)
+        cluster.verify_fault_tolerance()
+
+    def test_noop_on_balanced(self):
+        cluster = StorageCluster(5)
+        for start in range(5):
+            cluster.add_stripe(3, 2, [(start + i) % 5 for i in range(3)])
+        assert Rebalancer(seed=0).run(cluster) == []
+
+    def test_max_moves_cap(self):
+        cluster = skewed_cluster()
+        moves = Rebalancer(max_moves=3, seed=0).run(cluster)
+        assert len(moves) == 3
+
+    def test_moves_are_replayable(self):
+        cluster = skewed_cluster()
+        reference = skewed_cluster()
+        moves = Rebalancer(seed=2).run(cluster)
+        for move in moves:
+            reference.relocate_chunk(move.stripe_id, move.chunk_index, move.destination)
+        for sid in range(reference.num_stripes):
+            assert reference.stripe(sid).placement == cluster.stripe(sid).placement
+
+    def test_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            Rebalancer(tolerance=0)
+
+    def test_conftest_fixture_balanced_enough(self, small_cluster):
+        Rebalancer(seed=3).run(small_cluster)
+        small_cluster.verify_fault_tolerance()

@@ -1,0 +1,94 @@
+"""Tests for cluster snapshots."""
+
+import json
+
+import pytest
+
+from repro.cluster import StorageCluster
+from repro.cluster.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    from_dict,
+    load,
+    save,
+    to_dict,
+)
+
+
+@pytest.fixture
+def cluster():
+    c = StorageCluster.random(
+        10,
+        20,
+        5,
+        3,
+        num_hot_standby=2,
+        seed=17,
+        disk_bandwidth=123.0,
+        network_bandwidth=456.0,
+        chunk_size=789,
+    )
+    c.node(3).mark_soon_to_fail()
+    c.node(7).disk_bandwidth = 999.0
+    return c
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_everything(self, cluster):
+        restored = from_dict(to_dict(cluster))
+        assert restored.num_storage_nodes == cluster.num_storage_nodes
+        assert restored.num_hot_standby == cluster.num_hot_standby
+        assert restored.chunk_size == cluster.chunk_size
+        assert restored.disk_bandwidth == cluster.disk_bandwidth
+        for sid in range(cluster.num_stripes):
+            assert restored.stripe(sid).placement == cluster.stripe(sid).placement
+        assert restored.node(3).is_stf
+        assert restored.node(7).disk_bandwidth == 999.0
+
+    def test_file_roundtrip(self, cluster, tmp_path):
+        path = tmp_path / "cluster.json"
+        save(cluster, path)
+        restored = load(path)
+        assert restored.num_stripes == cluster.num_stripes
+        assert json.loads(path.read_text())["version"] == SNAPSHOT_VERSION
+
+    def test_failed_nodes_survive(self, cluster, tmp_path):
+        # Drain node 0 first (decommission requires it to be empty).
+        for chunk in cluster.chunks_on_node(0):
+            dest = cluster.eligible_destinations(chunk.stripe_id, exclude={0})[0]
+            cluster.relocate_chunk(chunk.stripe_id, chunk.chunk_index, dest)
+        cluster.decommission(0)
+        restored = from_dict(to_dict(cluster))
+        assert restored.node(0).is_failed
+
+
+class TestValidation:
+    def test_bad_version(self, cluster):
+        doc = to_dict(cluster)
+        doc["version"] = 99
+        with pytest.raises(SnapshotError, match="version"):
+            from_dict(doc)
+
+    def test_missing_section(self, cluster):
+        doc = to_dict(cluster)
+        del doc["stripes"]
+        with pytest.raises(SnapshotError, match="missing"):
+            from_dict(doc)
+
+    def test_sparse_node_ids(self, cluster):
+        doc = to_dict(cluster)
+        doc["nodes"][0]["node_id"] = 100
+        with pytest.raises(SnapshotError, match="dense"):
+            from_dict(doc)
+
+    def test_corrupt_placement_caught(self, cluster):
+        doc = to_dict(cluster)
+        doc["stripes"][0]["placement"][1] = doc["stripes"][0]["placement"][0]
+        with pytest.raises(ValueError):
+            from_dict(doc)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SnapshotError, match="invalid JSON"):
+            load(path)

@@ -1,0 +1,84 @@
+"""Tests for the codec-parameterized analysis (RS vs LRC vs MSR)."""
+
+import pytest
+
+from repro.core.analysis import AnalyticalModel, PAPER_DEFAULT_PROFILE
+from repro.ec import make_codec
+
+
+class TestTrafficFraction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnalyticalModel(num_nodes=100, k=6, traffic_fraction=0.0)
+        with pytest.raises(ValueError):
+            AnalyticalModel(num_nodes=100, k=6, traffic_fraction=1.5)
+
+    def test_fraction_scales_transmission(self):
+        full = AnalyticalModel(num_nodes=100, k=6)
+        half = AnalyticalModel(num_nodes=100, k=6, traffic_fraction=0.5)
+        p = PAPER_DEFAULT_PROFILE
+        assert full.reconstruction_time() - half.reconstruction_time() == (
+            pytest.approx(3 * p.network_time)
+        )
+
+    def test_default_matches_eq5(self):
+        model = AnalyticalModel(num_nodes=100, k=6, traffic_fraction=1.0)
+        p = PAPER_DEFAULT_PROFILE
+        assert model.reconstruction_time() == pytest.approx(
+            2 * p.disk_time + 6 * p.network_time
+        )
+
+
+class TestForCodec:
+    def test_rs_model(self):
+        model = AnalyticalModel.for_codec(make_codec("rs(9,6)"), num_nodes=100)
+        baseline = AnalyticalModel(num_nodes=100, k=6)
+        assert model.reconstruction_time() == pytest.approx(
+            baseline.reconstruction_time()
+        )
+        assert model.max_groups() == baseline.max_groups()
+
+    def test_lrc_model(self):
+        model = AnalyticalModel.for_codec(
+            make_codec("lrc(12,2,2)"), num_nodes=100
+        )
+        assert model.repair_fanin == 6  # k' = k/l
+        assert model.traffic_fraction == pytest.approx(1.0)
+        assert model.max_groups() == 99 // 6
+
+    def test_msr_model(self):
+        codec = make_codec("msr(11,6)")
+        model = AnalyticalModel.for_codec(codec, num_nodes=100)
+        assert model.repair_fanin == 10  # d = 2k - 2
+        assert model.traffic_fraction == pytest.approx(1 / 5)  # 1/alpha
+        # Transmission term: d * (1/alpha) = 2 chunks' worth.
+        p = PAPER_DEFAULT_PROFILE
+        assert model.reconstruction_time() == pytest.approx(
+            2 * p.disk_time + 2 * p.network_time
+        )
+
+    def test_msr_repairs_cheaper_than_rs_per_round(self):
+        rs = AnalyticalModel.for_codec(make_codec("rs(14,10)"), num_nodes=100)
+        msr = AnalyticalModel.for_codec(make_codec("msr(19,10)"), num_nodes=100)
+        # Per-round reconstruction is far cheaper for MSR (2 chunks of
+        # traffic vs 10)...
+        assert msr.reconstruction_time() < rs.reconstruction_time() / 2
+        # ...but MSR's d = 18 helpers reduce the per-round parallelism.
+        assert msr.max_groups() < rs.max_groups()
+
+    def test_reduction_ordering_at_paper_defaults(self):
+        """Predictive repair helps most where repair traffic is worst."""
+        rs = AnalyticalModel.for_codec(make_codec("rs(16,12)"), num_nodes=100)
+        lrc = AnalyticalModel.for_codec(
+            make_codec("lrc(12,2,2)"), num_nodes=100
+        )
+        assert rs.reduction_over_reactive() > lrc.reduction_over_reactive()
+
+    def test_hot_standby_for_codec(self):
+        model = AnalyticalModel.for_codec(
+            make_codec("msr(11,6)"), num_nodes=100, hot_standby=3
+        )
+        assert model.is_hot_standby
+        assert model.reconstruction_time(groups=3) < model.reconstruction_time(
+            groups=9
+        )

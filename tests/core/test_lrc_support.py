@@ -1,0 +1,153 @@
+"""Tests for LRC-aware predictive repair planning."""
+
+import pytest
+
+from repro.core.lrc_support import (
+    LrcFastPRPlanner,
+    LrcReconstructionOnlyPlanner,
+    build_lrc_cluster,
+    lrc_helper_candidates,
+    split_by_repair_locality,
+)
+from repro.core.plan import RepairMethod, RepairScenario
+from repro.core.planner import ReconstructionOnlyPlanner
+from repro.ec import make_codec
+from repro.sim.cost_model import evaluate_plan
+
+
+@pytest.fixture
+def codec():
+    return make_codec("lrc(6,2,2)")  # n=10, k=6, k'=3
+
+
+@pytest.fixture
+def lrc_cluster(codec):
+    cluster = build_lrc_cluster(
+        codec, num_nodes=20, num_stripes=60, num_hot_standby=2, seed=13
+    )
+    stf = max(cluster.storage_node_ids(), key=cluster.load_of)
+    cluster.node(stf).mark_soon_to_fail()
+    return cluster, stf
+
+
+class TestHelperCandidates:
+    def test_local_group_members_only(self, codec, lrc_cluster):
+        cluster, stf = lrc_cluster
+        candidates = lrc_helper_candidates(cluster, codec, stf)
+        for chunk in cluster.chunks_on_node(stf):
+            if chunk.chunk_index >= codec.k + codec.l:
+                continue
+            helpers = candidates(chunk)
+            stripe = cluster.stripe(chunk.stripe_id)
+            group = codec.group_of(chunk.chunk_index)
+            member_nodes = {
+                stripe.node_of(m)
+                for m in codec.local_group_members(group)
+                if m != chunk.chunk_index
+            }
+            assert set(helpers) <= member_nodes
+            assert len(helpers) <= codec.group_size
+
+    def test_global_parity_rejected(self, codec, lrc_cluster):
+        cluster, stf = lrc_cluster
+        candidates = lrc_helper_candidates(cluster, codec, stf)
+        globals_ = [
+            c
+            for c in cluster.chunks_on_node(stf)
+            if c.chunk_index >= codec.k + codec.l
+        ]
+        if not globals_:
+            pytest.skip("seed produced no global-parity chunk on STF node")
+        with pytest.raises(ValueError, match="global parity"):
+            candidates(globals_[0])
+
+
+class TestSplit:
+    def test_partition(self, codec, lrc_cluster):
+        cluster, stf = lrc_cluster
+        chunks = cluster.chunks_on_node(stf)
+        local, global_ = split_by_repair_locality(codec, chunks)
+        assert len(local) + len(global_) == len(chunks)
+        assert all(c.chunk_index < 8 for c in local)
+        assert all(c.chunk_index >= 8 for c in global_)
+
+
+class TestLrcFastPR:
+    def test_valid_plan(self, codec, lrc_cluster):
+        cluster, stf = lrc_cluster
+        plan = LrcFastPRPlanner(codec, seed=0).plan(cluster, stf)
+        plan.validate(cluster)
+        assert plan.total_chunks == cluster.load_of(stf)
+
+    def test_local_reconstructions_use_group_fanin(self, codec, lrc_cluster):
+        cluster, stf = lrc_cluster
+        plan = LrcFastPRPlanner(codec, seed=0).plan(cluster, stf)
+        for action in plan.actions():
+            if action.method is RepairMethod.RECONSTRUCTION:
+                assert len(action.sources) == codec.group_size
+                # Sources are exactly the chunk's local group members.
+                stripe = cluster.stripe(action.stripe_id)
+                group = codec.group_of(action.chunk_index)
+                member_nodes = {
+                    stripe.node_of(m)
+                    for m in codec.local_group_members(group)
+                    if m != action.chunk_index
+                }
+                assert set(action.sources) == member_nodes
+
+    def test_global_parities_migrate(self, codec, lrc_cluster):
+        cluster, stf = lrc_cluster
+        plan = LrcFastPRPlanner(codec, seed=0).plan(cluster, stf)
+        for action in plan.actions():
+            if action.chunk_index >= codec.k + codec.l:
+                assert action.method is RepairMethod.MIGRATION
+
+    def test_beats_rs_style_reconstruction(self, codec, lrc_cluster):
+        cluster, stf = lrc_cluster
+        lrc_plan = LrcFastPRPlanner(codec, seed=0).plan(cluster, stf)
+        rs_plan = ReconstructionOnlyPlanner(seed=0).plan(cluster, stf)
+        lrc_time = evaluate_plan(
+            cluster, lrc_plan, k_prime=codec.group_size
+        ).total_time
+        rs_time = evaluate_plan(cluster, rs_plan).total_time
+        assert lrc_time < rs_time
+
+    def test_hot_standby(self, codec, lrc_cluster):
+        cluster, stf = lrc_cluster
+        plan = LrcFastPRPlanner(
+            codec, scenario=RepairScenario.HOT_STANDBY, seed=0
+        ).plan(cluster, stf)
+        plan.validate(cluster)
+
+    def test_codec_mismatch_rejected(self, codec):
+        cluster = build_lrc_cluster(
+            make_codec("lrc(4,2,2)"), num_nodes=16, num_stripes=10, seed=1
+        )
+        cluster.node(0).mark_soon_to_fail()
+        with pytest.raises(ValueError, match="codec"):
+            LrcFastPRPlanner(codec).plan(cluster, 0)
+
+
+class TestLrcReconstructionOnly:
+    def test_valid_plan_no_migration_of_local_chunks(self, codec, lrc_cluster):
+        cluster, stf = lrc_cluster
+        plan = LrcReconstructionOnlyPlanner(codec, seed=0).plan(cluster, stf)
+        plan.validate(cluster)
+        assert plan.migrated_chunks == 0
+
+    def test_global_rounds_use_full_k(self, codec, lrc_cluster):
+        cluster, stf = lrc_cluster
+        plan = LrcReconstructionOnlyPlanner(codec, seed=0).plan(cluster, stf)
+        for action in plan.actions():
+            if action.chunk_index >= codec.k + codec.l:
+                assert len(action.sources) == codec.k
+            else:
+                assert len(action.sources) == codec.group_size
+
+    def test_more_parallelism_than_rs(self, codec, lrc_cluster):
+        # k' = 3 < k = 6 allows more parallel groups, so fewer or equal
+        # rounds for the locally repairable chunks.
+        cluster, stf = lrc_cluster
+        lrc_plan = LrcReconstructionOnlyPlanner(codec, seed=0).plan(cluster, stf)
+        rs_plan = ReconstructionOnlyPlanner(seed=0).plan(cluster, stf)
+        assert lrc_plan.num_rounds <= rs_plan.num_rounds + 2

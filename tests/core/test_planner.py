@@ -1,0 +1,176 @@
+"""Tests for the FastPR planner and its baselines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import StorageCluster
+from repro.core.analysis import BandwidthProfile
+from repro.core.plan import RepairMethod, RepairScenario
+from repro.core.planner import (
+    FastPRPlanner,
+    MigrationOnlyPlanner,
+    ReconstructionOnlyPlanner,
+    apply_plan,
+    model_for,
+    plan_predictive_repair,
+    profile_from_cluster,
+)
+
+
+class TestModelFor:
+    def test_profile_from_cluster(self, small_cluster):
+        profile = profile_from_cluster(small_cluster)
+        assert profile.chunk_size == small_cluster.chunk_size
+        assert profile.disk_bandwidth == small_cluster.disk_bandwidth
+
+    def test_scattered_model(self, small_cluster):
+        model = model_for(small_cluster, RepairScenario.SCATTERED, k=3)
+        assert not model.is_hot_standby
+        assert model.num_nodes == 12
+
+    def test_hot_standby_model(self, small_cluster):
+        model = model_for(small_cluster, RepairScenario.HOT_STANDBY, k=3)
+        assert model.hot_standby == 3
+
+    def test_hot_standby_without_standbys(self):
+        cluster = StorageCluster(6)
+        with pytest.raises(ValueError, match="standby"):
+            model_for(cluster, RepairScenario.HOT_STANDBY, k=3)
+
+
+class TestFastPRPlanner:
+    def test_valid_plan(self, stf_cluster):
+        cluster, stf = stf_cluster
+        plan = FastPRPlanner(seed=0).plan(cluster, stf)
+        plan.validate(cluster)
+        assert plan.total_chunks == cluster.load_of(stf)
+        assert plan.stf_node == stf
+
+    def test_couples_both_methods(self, medium_cluster):
+        stf = max(medium_cluster.storage_node_ids(), key=medium_cluster.load_of)
+        medium_cluster.node(stf).mark_soon_to_fail()
+        plan = FastPRPlanner(seed=0).plan(medium_cluster, stf)
+        assert plan.migrated_chunks > 0
+        assert plan.reconstructed_chunks > 0
+
+    def test_hot_standby_plan(self, stf_cluster):
+        cluster, stf = stf_cluster
+        plan = FastPRPlanner(
+            scenario=RepairScenario.HOT_STANDBY, seed=0
+        ).plan(cluster, stf)
+        plan.validate(cluster)
+        destinations = {a.destination for a in plan.actions()}
+        assert destinations <= set(cluster.hot_standby_ids())
+
+    def test_empty_stf_node(self):
+        cluster = StorageCluster(6)
+        plan = FastPRPlanner().plan(cluster, 0)
+        assert plan.total_chunks == 0
+        assert plan.rounds == []
+
+    def test_explicit_chunk_subset(self, stf_cluster):
+        cluster, stf = stf_cluster
+        chunks = cluster.chunks_on_node(stf)[:4]
+        plan = FastPRPlanner(seed=0).plan(cluster, stf, chunks=chunks)
+        plan.validate(cluster, stf_chunks=chunks)
+        assert plan.total_chunks == 4
+
+    def test_records_algorithm1_stats(self, stf_cluster):
+        cluster, stf = stf_cluster
+        planner = FastPRPlanner(seed=0)
+        planner.plan(cluster, stf)
+        assert planner.last_stats is not None
+        assert planner.last_stats.match_calls > 0
+
+    def test_deterministic_with_seed(self, stf_cluster):
+        cluster, stf = stf_cluster
+        plan_a = FastPRPlanner(seed=3).plan(cluster, stf)
+        plan_b = FastPRPlanner(seed=3).plan(cluster, stf)
+        keys = lambda p: [
+            (a.stripe_id, a.method.value, a.destination) for a in p.actions()
+        ]
+        assert keys(plan_a) == keys(plan_b)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 2**16))
+    def test_random_clusters_valid_plans(self, seed):
+        cluster = StorageCluster.random(
+            16, 50, 6, 4, num_hot_standby=2, seed=seed
+        )
+        stf = max(cluster.storage_node_ids(), key=cluster.load_of)
+        cluster.node(stf).mark_soon_to_fail()
+        for scenario in (RepairScenario.SCATTERED, RepairScenario.HOT_STANDBY):
+            plan = FastPRPlanner(scenario=scenario, seed=seed).plan(cluster, stf)
+            plan.validate(cluster)
+
+
+class TestBaselinePlanners:
+    def test_reconstruction_only(self, stf_cluster):
+        cluster, stf = stf_cluster
+        plan = ReconstructionOnlyPlanner(seed=0).plan(cluster, stf)
+        plan.validate(cluster)
+        assert plan.migrated_chunks == 0
+        assert plan.reconstructed_chunks == cluster.load_of(stf)
+
+    def test_migration_only(self, stf_cluster):
+        cluster, stf = stf_cluster
+        plan = MigrationOnlyPlanner().plan(cluster, stf)
+        plan.validate(cluster)
+        assert plan.reconstructed_chunks == 0
+        assert plan.num_rounds == 1
+        for action in plan.actions():
+            assert action.method is RepairMethod.MIGRATION
+            assert action.sources == (stf,)
+
+    def test_fastpr_no_more_rounds_than_reconstruction(self, medium_cluster):
+        stf = max(medium_cluster.storage_node_ids(), key=medium_cluster.load_of)
+        medium_cluster.node(stf).mark_soon_to_fail()
+        fast = FastPRPlanner(seed=1).plan(medium_cluster, stf)
+        recon = ReconstructionOnlyPlanner(seed=1).plan(medium_cluster, stf)
+        assert fast.num_rounds <= recon.num_rounds
+
+
+class TestApplyPlan:
+    def test_empties_stf_node(self, stf_cluster):
+        cluster, stf = stf_cluster
+        plan = FastPRPlanner(seed=0).plan(cluster, stf)
+        apply_plan(cluster, plan)
+        assert cluster.load_of(stf) == 0
+        cluster.verify_fault_tolerance()
+
+    def test_decommission_after_apply(self, stf_cluster):
+        cluster, stf = stf_cluster
+        apply_plan(cluster, FastPRPlanner(seed=0).plan(cluster, stf))
+        cluster.decommission(stf)
+        assert cluster.node(stf).is_failed
+
+
+class TestPlanPredictiveRepair:
+    def test_no_stf_nodes(self, small_cluster):
+        assert plan_predictive_repair(small_cluster) == []
+
+    def test_single_stf_uses_fastpr(self, stf_cluster):
+        cluster, stf = stf_cluster
+        plans = plan_predictive_repair(cluster, seed=0)
+        assert len(plans) == 1
+        assert plans[0].stf_node == stf
+        # FastPR couples methods when parallelism allows; at minimum the
+        # plan is valid.
+        plans[0].validate(cluster)
+
+    def test_multi_stf_falls_back_to_reactive(self, small_cluster):
+        small_cluster.node(0).mark_soon_to_fail()
+        small_cluster.node(1).mark_soon_to_fail()
+        plans = plan_predictive_repair(small_cluster)
+        assert len(plans) == 2
+        for plan in plans:
+            assert plan.migrated_chunks == 0
+
+
+class TestUniformKEnforcement:
+    def test_mixed_codes_rejected(self):
+        cluster = StorageCluster(10)
+        cluster.add_stripe(5, 3, [0, 1, 2, 3, 4])
+        cluster.add_stripe(5, 2, [0, 5, 6, 7, 8])
+        with pytest.raises(ValueError, match="uniform"):
+            FastPRPlanner().plan(cluster, 0)

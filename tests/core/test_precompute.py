@@ -1,0 +1,125 @@
+"""Tests for precomputed reconstruction sets (Section IV-D option 2)."""
+
+import pytest
+
+from repro.cluster import StorageCluster
+from repro.core.planner import FastPRPlanner, apply_plan
+from repro.core.precompute import (
+    PrecomputedFastPRPlanner,
+    ReconstructionSetCache,
+)
+
+
+@pytest.fixture
+def cluster():
+    c = StorageCluster.random(14, 50, 5, 3, num_hot_standby=2, seed=61)
+    return c
+
+
+class TestCache:
+    def test_miss_then_hit(self, cluster):
+        cache = ReconstructionSetCache(cluster, seed=0)
+        first = cache.get(0)
+        second = cache.get(0)
+        assert first is second
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_warm_all_nodes(self, cluster):
+        cache = ReconstructionSetCache(cluster, seed=0)
+        computed = cache.warm()
+        assert computed == cluster.num_storage_nodes
+        assert len(cache) == cluster.num_storage_nodes
+        cache.get(3)
+        assert cache.stats.hits == 1
+
+    def test_warm_skips_fresh_entries(self, cluster):
+        cache = ReconstructionSetCache(cluster, seed=0)
+        cache.warm([0, 1])
+        assert cache.warm([0, 1]) == 0
+
+    def test_metadata_change_invalidates(self, cluster):
+        cache = ReconstructionSetCache(cluster, seed=0)
+        cache.get(0)
+        stripe = cluster.stripe(0)
+        src = stripe.placement[0]
+        dest = cluster.eligible_destinations(0)[0]
+        cluster.relocate_chunk(0, 0, dest)
+        cache.get(0)
+        assert cache.stats.invalidations == 1
+        assert cache.stats.misses == 2
+
+    def test_cached_sets_match_direct_computation(self, cluster):
+        from repro.core.reconstruction_sets import find_reconstruction_sets
+
+        cache = ReconstructionSetCache(cluster, seed=5)
+        node = max(cluster.storage_node_ids(), key=cluster.load_of)
+        cached = cache.get(node)
+        direct = find_reconstruction_sets(cluster, node, seed=5)
+        key = lambda sets: sorted(
+            sorted((c.stripe_id, c.chunk_index) for c in s) for s in sets
+        )
+        assert key(cached) == key(direct)
+
+
+class TestPrecomputedPlanner:
+    def test_plan_equivalent_to_fastpr(self, cluster):
+        stf = max(cluster.storage_node_ids(), key=cluster.load_of)
+        cluster.node(stf).mark_soon_to_fail()
+        cache = ReconstructionSetCache(cluster, seed=0)
+        cache.warm()
+        precomputed = PrecomputedFastPRPlanner(cache).plan(cluster, stf)
+        direct = FastPRPlanner(seed=0).plan(cluster, stf)
+        precomputed.validate(cluster)
+        keys = lambda p: sorted(
+            (a.stripe_id, a.chunk_index, a.method.value) for a in p.actions()
+        )
+        assert keys(precomputed) == keys(direct)
+
+    def test_planning_hits_cache(self, cluster):
+        stf = 0
+        cluster.node(stf).mark_soon_to_fail()
+        cache = ReconstructionSetCache(cluster, seed=0)
+        cache.warm([stf])
+        misses_before = cache.stats.misses
+        PrecomputedFastPRPlanner(cache).plan(cluster, stf)
+        assert cache.stats.misses == misses_before
+        assert cache.stats.hits >= 1
+
+    def test_chunk_subset_recomputes(self, cluster):
+        stf = max(cluster.storage_node_ids(), key=cluster.load_of)
+        cluster.node(stf).mark_soon_to_fail()
+        cache = ReconstructionSetCache(cluster, seed=0)
+        cache.warm([stf])
+        subset = cluster.chunks_on_node(stf)[:3]
+        plan = PrecomputedFastPRPlanner(cache).plan(
+            cluster, stf, chunks=subset
+        )
+        plan.validate(cluster, stf_chunks=subset)
+        assert plan.total_chunks == 3
+
+    def test_wrong_cluster_rejected(self, cluster):
+        other = StorageCluster.random(14, 20, 5, 3, seed=62)
+        other.node(0).mark_soon_to_fail()
+        cache = ReconstructionSetCache(cluster, seed=0)
+        with pytest.raises(ValueError, match="different cluster"):
+            PrecomputedFastPRPlanner(cache).plan(other, 0)
+
+    def test_apply_plan_invalidates_future_plans(self, cluster):
+        stf = max(cluster.storage_node_ids(), key=cluster.load_of)
+        cluster.node(stf).mark_soon_to_fail()
+        cache = ReconstructionSetCache(cluster, seed=0)
+        cache.warm()
+        planner = PrecomputedFastPRPlanner(cache)
+        plan = planner.plan(cluster, stf)
+        apply_plan(cluster, plan)
+        # The next STF node's entry is stale now; the cache recomputes
+        # rather than serving pre-repair placements.
+        next_stf = max(
+            (n for n in cluster.healthy_storage_nodes()),
+            key=cluster.load_of,
+        )
+        cluster.node(next_stf).mark_soon_to_fail()
+        plan2 = planner.plan(cluster, next_stf)
+        plan2.validate(cluster)
+        assert cache.stats.invalidations >= 1

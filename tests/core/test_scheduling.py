@@ -1,0 +1,206 @@
+"""Tests for Algorithm 2 (repair scheduling)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.chunk import ChunkLocation
+from repro.core.analysis import AnalyticalModel, BandwidthProfile
+from repro.core.scheduling import (
+    migration_quota,
+    schedule_migration_only,
+    schedule_reconstruction_only,
+    schedule_repair_rounds,
+)
+
+
+def fake_sets(sizes, start_stripe=0):
+    """Build reconstruction sets of the given sizes with unique chunks."""
+    sets = []
+    stripe = start_stripe
+    for size in sizes:
+        chunk_set = []
+        for _ in range(size):
+            chunk_set.append(ChunkLocation(stripe, 0, 99))
+            stripe += 1
+        sets.append(chunk_set)
+    return sets
+
+
+def quota_model(quota):
+    """A scattered model whose migration quota is exactly ``quota``.
+
+    With b_d = 2 * b_n, t_m = 2 * c/b_n and t_r = (1 + k) * c/b_n, so
+    t_r / t_m = (1 + k) / 2; choosing k = 2 * quota - 1 puts the ratio
+    exactly at ``quota``, which "nearest" rounding preserves.
+    """
+    profile = BandwidthProfile(
+        chunk_size=1 << 20,
+        disk_bandwidth=2e8,
+        network_bandwidth=1e8,
+    )
+    return AnalyticalModel(
+        num_nodes=20 * quota, k=2 * quota - 1, profile=profile
+    )
+
+
+def all_chunks(rounds):
+    out = []
+    for r in rounds:
+        out.extend(r.reconstruction)
+        out.extend(r.migration)
+    return out
+
+
+class TestMigrationQuota:
+    def test_matches_model_ratio(self):
+        model = AnalyticalModel(num_nodes=100, k=6)
+        ratio = model.reconstruction_time() / model.migration_time()
+        assert migration_quota(model, cr=5) == int(ratio + 0.5)
+        assert migration_quota(model, cr=5, rounding="floor") == int(ratio)
+
+    def test_zero_for_empty_round(self):
+        model = AnalyticalModel(num_nodes=100, k=6)
+        assert migration_quota(model, cr=0) == 0
+
+    def test_hot_standby_quota_grows_with_cr(self):
+        model = AnalyticalModel(num_nodes=100, k=6, hot_standby=3)
+        assert migration_quota(model, 16) >= migration_quota(model, 2)
+
+    def test_floor_never_straggles(self):
+        # floor() guarantees c_m * t_m <= t_r for the round.
+        model = AnalyticalModel(num_nodes=100, k=6)
+        for cr in (1, 4, 16):
+            cm = migration_quota(model, cr, rounding="floor")
+            assert cm * model.migration_time() <= model.reconstruction_time(
+                groups=cr
+            ) * (1 + 1e-9)
+
+    def test_nearest_straggles_at_most_half_tm(self):
+        model = AnalyticalModel(num_nodes=100, k=6, hot_standby=3)
+        for cr in (1, 4, 16):
+            cm = migration_quota(model, cr)
+            t_m = model.migration_time()
+            assert cm * t_m <= model.reconstruction_time(groups=cr) + t_m / 2 + 1e-9
+
+    def test_nearest_nonzero_when_tr_close_to_tm(self):
+        # Small clusters: t_r(G=1) slightly below t_m must still give
+        # c_m = 1 (this is why "nearest" is the default).
+        profile = BandwidthProfile(
+            chunk_size=1 << 20,
+            disk_bandwidth=10e6,
+            network_bandwidth=44e6,
+        )
+        model = AnalyticalModel(
+            num_nodes=21, k=10, hot_standby=3, profile=profile
+        )
+        assert migration_quota(model, 1) >= 1
+        assert migration_quota(model, 1, rounding="floor") == 0
+
+    def test_unknown_rounding(self):
+        model = AnalyticalModel(num_nodes=100, k=6)
+        with pytest.raises(ValueError):
+            migration_quota(model, 4, rounding="ceil")
+
+
+class TestPaperFigure6:
+    """Sets of sizes [9,7,6,4,3,2,1] with c_m = 4 finish in 3 rounds."""
+
+    def test_three_rounds(self):
+        sets = fake_sets([9, 7, 6, 4, 3, 2, 1])
+        rounds = schedule_repair_rounds(sets, quota_model(4), seed=0)
+        assert len(rounds) == 3
+        assert [r.cr for r in rounds] == [9, 7, 6]
+        assert [r.cm for r in rounds] == [4, 4, 2]
+
+    def test_round1_takes_smallest_sets(self):
+        sets = fake_sets([9, 7, 6, 4, 3, 2, 1])
+        rounds = schedule_repair_rounds(sets, quota_model(4), seed=0)
+        migrated_round1 = {c.stripe_id for c in rounds[0].migration}
+        # R6 (2 chunks) and R7 (1 chunk) migrate whole; 1 chunk from R5.
+        sizes = [9, 7, 6, 4, 3, 2, 1]
+        r6_r7 = set()
+        offset = sum(sizes[:5])
+        r6_r7.update(range(offset, offset + 3))
+        assert r6_r7 <= migrated_round1
+        assert len(migrated_round1) == 4
+
+    def test_all_chunks_once(self):
+        sets = fake_sets([9, 7, 6, 4, 3, 2, 1])
+        rounds = schedule_repair_rounds(sets, quota_model(4), seed=1)
+        chunks = all_chunks(rounds)
+        assert len(chunks) == 32
+        assert len({c.stripe_id for c in chunks}) == 32
+
+
+class TestScheduleRepairRounds:
+    def test_single_set(self):
+        rounds = schedule_repair_rounds(fake_sets([5]), quota_model(3))
+        assert len(rounds) == 1
+        assert rounds[0].cr == 5
+        assert rounds[0].cm == 0
+
+    def test_everything_fits_one_round(self):
+        rounds = schedule_repair_rounds(fake_sets([5, 2, 1]), quota_model(4))
+        assert len(rounds) == 1
+        assert rounds[0].cm == 3
+
+    def test_empty_input(self):
+        assert schedule_repair_rounds([], quota_model(2)) == []
+        assert schedule_repair_rounds([[]], quota_model(2)) == []
+
+    def test_sorted_descending_reconstruction(self):
+        rounds = schedule_repair_rounds(
+            fake_sets([2, 9, 5, 1]), quota_model(2), seed=0
+        )
+        crs = [r.cr for r in rounds if r.cr]
+        assert crs == sorted(crs, reverse=True)
+
+    def test_migration_respects_quota(self):
+        model = quota_model(3)
+        rounds = schedule_repair_rounds(
+            fake_sets([8, 7, 6, 5, 4, 3, 2]), model, seed=2
+        )
+        for r in rounds[:-1]:  # last round may carry fewer
+            assert r.cm <= migration_quota(model, r.cr)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(1, 12), min_size=1, max_size=8),
+        st.integers(2, 8),
+        st.integers(0, 1000),
+    )
+    def test_cover_exactly_once_property(self, sizes, quota, seed):
+        sets = fake_sets(sizes)
+        rounds = schedule_repair_rounds(sets, quota_model(quota), seed=seed)
+        chunks = all_chunks(rounds)
+        assert len(chunks) == sum(sizes)
+        assert len({c.stripe_id for c in chunks}) == sum(sizes)
+        # Reconstructed sets remain subsets of original sets.
+        originals = [
+            {c.stripe_id for c in s} for s in fake_sets(sizes)
+        ]
+        for r in rounds:
+            if not r.reconstruction:
+                continue
+            recon_ids = {c.stripe_id for c in r.reconstruction}
+            assert any(recon_ids <= orig for orig in originals)
+
+
+class TestBaselines:
+    def test_reconstruction_only_one_round_per_set(self):
+        rounds = schedule_reconstruction_only(fake_sets([3, 5, 1]))
+        assert [r.cr for r in rounds] == [5, 3, 1]
+        assert all(r.cm == 0 for r in rounds)
+
+    def test_reconstruction_only_skips_empty(self):
+        assert schedule_reconstruction_only([[], []]) == []
+
+    def test_migration_only_single_batch(self):
+        chunks = [c for s in fake_sets([4]) for c in s]
+        rounds = schedule_migration_only(chunks)
+        assert len(rounds) == 1
+        assert rounds[0].cm == 4
+        assert rounds[0].cr == 0
+
+    def test_migration_only_empty(self):
+        assert schedule_migration_only([]) == []

@@ -1,0 +1,66 @@
+"""Tests for the codec registry and scheme parsing."""
+
+import pytest
+
+from repro.ec.codec import (
+    check_equal_sizes,
+    make_codec,
+    registered_schemes,
+)
+from repro.ec.lrc import LocalReconstructionCodec
+from repro.ec.reed_solomon import ReedSolomonCodec
+
+
+class TestRegistry:
+    def test_rs_registered(self):
+        assert "rs" in registered_schemes()
+
+    def test_lrc_registered(self):
+        assert "lrc" in registered_schemes()
+
+    def test_make_rs(self):
+        codec = make_codec("rs(9,6)")
+        assert isinstance(codec, ReedSolomonCodec)
+        assert (codec.n, codec.k) == (9, 6)
+
+    def test_make_rs_with_spaces_and_case(self):
+        codec = make_codec("RS( 14 , 10 )")
+        assert (codec.n, codec.k) == (14, 10)
+
+    def test_make_lrc(self):
+        codec = make_codec("lrc(12,2,2)")
+        assert isinstance(codec, LocalReconstructionCodec)
+        assert codec.n == 16
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown codec"):
+            make_codec("raptor(9,6)")
+
+    def test_msr_registered(self):
+        assert "msr" in registered_schemes()
+
+    def test_unparseable(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            make_codec("rs-9-6")
+
+    def test_paper_codes_instantiable(self):
+        for scheme in ("rs(9,6)", "rs(14,10)", "rs(16,12)"):
+            codec = make_codec(scheme)
+            assert codec.k < codec.n
+
+
+class TestCheckEqualSizes:
+    def test_ok(self):
+        assert check_equal_sizes([b"ab", b"cd"]) == 2
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            check_equal_sizes([])
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError, match="chunk 1"):
+            check_equal_sizes([b"ab", b"c"])
+
+    def test_expected_override(self):
+        with pytest.raises(ValueError):
+            check_equal_sizes([b"ab"], expected=3)

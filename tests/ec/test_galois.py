@@ -1,0 +1,173 @@
+"""Unit and property tests for GF(2^8) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ec.galois import (
+    GF_ORDER,
+    GF_SIZE,
+    gf_add,
+    gf_addmul_bytes,
+    gf_div,
+    gf_exp,
+    gf_inv,
+    gf_log,
+    gf_matmul_bytes,
+    gf_mul,
+    gf_mul_bytes,
+    gf_pow,
+    gf_sub,
+)
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestScalarBasics:
+    def test_add_is_xor(self):
+        assert gf_add(0b1010, 0b0110) == 0b1100
+
+    def test_sub_equals_add(self):
+        assert gf_sub(200, 77) == gf_add(200, 77)
+
+    def test_mul_by_zero(self):
+        assert gf_mul(0, 123) == 0
+        assert gf_mul(123, 0) == 0
+
+    def test_mul_by_one(self):
+        for a in range(256):
+            assert gf_mul(1, a) == a
+
+    def test_mul_known_value(self):
+        # 2 * 128 = 0x100 mod 0x11D = 0x1D.
+        assert gf_mul(2, 128) == 0x1D
+
+    def test_div_inverse_of_mul(self):
+        assert gf_div(gf_mul(57, 91), 91) == 57
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    def test_inv_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    def test_pow_zero_exponent(self):
+        assert gf_pow(0, 0) == 1
+        assert gf_pow(37, 0) == 1
+
+    def test_pow_of_zero(self):
+        assert gf_pow(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            gf_pow(0, -1)
+
+    def test_pow_negative_exponent(self):
+        a = 19
+        assert gf_mul(gf_pow(a, -1), a) == 1
+
+    def test_log_exp_roundtrip(self):
+        for a in range(1, 256):
+            assert gf_exp(gf_log(a)) == a
+
+    def test_log_of_zero_raises(self):
+        with pytest.raises(ValueError):
+            gf_log(0)
+
+    def test_generator_order(self):
+        # The generator's powers enumerate all 255 nonzero elements.
+        seen = {gf_exp(i) for i in range(GF_ORDER)}
+        assert len(seen) == GF_ORDER
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_mul_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_mul_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    @given(elements)
+    def test_add_self_is_zero(self, a):
+        assert gf_add(a, a) == 0
+
+    @given(nonzero, elements)
+    def test_div_roundtrip(self, a, b):
+        assert gf_mul(gf_div(b, a), a) == b
+
+
+class TestVectorOps:
+    def test_mul_bytes_zero_coeff(self):
+        data = np.arange(16, dtype=np.uint8)
+        assert not gf_mul_bytes(0, data).any()
+
+    def test_mul_bytes_one_coeff_copies(self):
+        data = np.arange(16, dtype=np.uint8)
+        out = gf_mul_bytes(1, data)
+        assert np.array_equal(out, data)
+        out[0] = 99
+        assert data[0] == 0, "must be a copy"
+
+    def test_mul_bytes_matches_scalar(self):
+        data = np.arange(256, dtype=np.uint8)
+        out = gf_mul_bytes(37, data)
+        for i in range(256):
+            assert out[i] == gf_mul(37, i)
+
+    def test_mul_bytes_bad_coeff(self):
+        with pytest.raises(ValueError):
+            gf_mul_bytes(256, np.zeros(4, dtype=np.uint8))
+
+    def test_addmul_accumulates(self):
+        acc = np.zeros(8, dtype=np.uint8)
+        data = np.full(8, 3, dtype=np.uint8)
+        gf_addmul_bytes(acc, 5, data)
+        gf_addmul_bytes(acc, 5, data)
+        assert not acc.any(), "adding the same term twice cancels"
+
+    def test_addmul_coeff_one_is_xor(self):
+        acc = np.array([1, 2, 3], dtype=np.uint8)
+        gf_addmul_bytes(acc, 1, np.array([1, 2, 3], dtype=np.uint8))
+        assert not acc.any()
+
+    def test_addmul_zero_coeff_noop(self):
+        acc = np.array([9, 9], dtype=np.uint8)
+        gf_addmul_bytes(acc, 0, np.array([1, 1], dtype=np.uint8))
+        assert list(acc) == [9, 9]
+
+    def test_matmul_identity(self):
+        shards = np.random.default_rng(0).integers(
+            0, 256, size=(3, 32), dtype=np.uint8
+        )
+        eye = np.eye(3, dtype=np.uint8)
+        assert np.array_equal(gf_matmul_bytes(eye, shards), shards)
+
+    def test_matmul_shape_errors(self):
+        with pytest.raises(ValueError):
+            gf_matmul_bytes(
+                np.zeros((2, 3), dtype=np.uint8), np.zeros((4, 8), dtype=np.uint8)
+            )
+        with pytest.raises(ValueError):
+            gf_matmul_bytes(
+                np.zeros(3, dtype=np.uint8), np.zeros((3, 8), dtype=np.uint8)
+            )
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_matmul_linear(self, c1, c2):
+        rng = np.random.default_rng(42)
+        shards = rng.integers(0, 256, size=(2, 16), dtype=np.uint8)
+        matrix = np.array([[c1, c2]], dtype=np.uint8)
+        out = gf_matmul_bytes(matrix, shards)[0]
+        expected = gf_mul_bytes(c1, shards[0]) ^ gf_mul_bytes(c2, shards[1])
+        assert np.array_equal(out, expected)

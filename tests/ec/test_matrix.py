@@ -1,0 +1,164 @@
+"""Tests for GF(2^8) matrix algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ec.galois import gf_mul
+from repro.ec.matrix import (
+    SingularMatrixError,
+    cauchy,
+    identity,
+    invert,
+    is_mds,
+    matmul,
+    rank,
+    systematize,
+    vandermonde,
+)
+
+
+class TestConstruction:
+    def test_identity(self):
+        eye = identity(4)
+        assert eye.shape == (4, 4)
+        assert eye.dtype == np.uint8
+        assert rank(eye) == 4
+
+    def test_vandermonde_shape_and_first_column(self):
+        v = vandermonde(5, 3)
+        assert v.shape == (5, 3)
+        assert all(v[i, 0] == 1 for i in range(5))
+
+    def test_vandermonde_row_zero(self):
+        v = vandermonde(4, 3)
+        # Row for x=0: [1, 0, 0].
+        assert list(v[0]) == [1, 0, 0]
+
+    def test_vandermonde_powers(self):
+        v = vandermonde(6, 4)
+        for i in range(1, 6):
+            for j in range(4):
+                expected = 1
+                for _ in range(j):
+                    expected = gf_mul(expected, i)
+                assert v[i, j] == expected
+
+    def test_vandermonde_too_many_rows(self):
+        with pytest.raises(ValueError):
+            vandermonde(257, 2)
+
+    def test_cauchy_full_rank(self):
+        c = cauchy(4, 6)
+        assert c.shape == (4, 6)
+        assert rank(c) == 4
+
+    def test_cauchy_every_square_submatrix_invertible(self):
+        # The defining property of Cauchy matrices.
+        c = cauchy(3, 5)
+        from itertools import combinations
+
+        for rows in combinations(range(3), 2):
+            for cols in combinations(range(5), 2):
+                sub = c[np.ix_(rows, cols)]
+                assert rank(sub) == 2
+
+    def test_cauchy_point_overflow(self):
+        with pytest.raises(ValueError):
+            cauchy(200, 100)
+
+
+class TestInvert:
+    def test_identity_inverse(self):
+        eye = identity(5)
+        assert np.array_equal(invert(eye), eye)
+
+    def test_inverse_roundtrip_cauchy(self):
+        c = cauchy(4, 4)
+        inv = invert(c)
+        assert np.array_equal(matmul(c, inv), identity(4))
+        assert np.array_equal(matmul(inv, c), identity(4))
+
+    def test_singular_raises(self):
+        singular = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(SingularMatrixError):
+            invert(singular)
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(SingularMatrixError):
+            invert(np.zeros((3, 3), dtype=np.uint8))
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            invert(np.zeros((2, 3), dtype=np.uint8))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_random_invertible_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        mat = rng.integers(0, 256, size=(4, 4), dtype=np.uint8)
+        if rank(mat) < 4:
+            return  # skip singular draws
+        inv = invert(mat)
+        assert np.array_equal(matmul(mat, inv), identity(4))
+
+
+class TestRank:
+    def test_rank_of_identity(self):
+        assert rank(identity(6)) == 6
+
+    def test_rank_deficient(self):
+        mat = np.array([[1, 2, 3], [2, 4, 6]], dtype=np.uint8)
+        # Row 2 = 2 * row 1 over GF(256): 2*1=2, 2*2=4, 2*3=6.
+        assert rank(mat) == 1
+
+    def test_rank_zero(self):
+        assert rank(np.zeros((3, 4), dtype=np.uint8)) == 0
+
+    def test_rank_wide_matrix(self):
+        assert rank(cauchy(2, 7)) == 2
+
+
+class TestSystematize:
+    def test_vandermonde_systematized(self):
+        gen = systematize(vandermonde(6, 4), 4)
+        assert np.array_equal(gen[:4], identity(4))
+
+    def test_systematic_code_is_mds_small(self):
+        gen = systematize(vandermonde(5, 3), 3)
+        assert is_mds(gen, 3)
+
+    def test_wrong_columns_raises(self):
+        with pytest.raises(ValueError):
+            systematize(vandermonde(5, 3), 4)
+
+    def test_too_few_rows_raises(self):
+        with pytest.raises(ValueError):
+            systematize(vandermonde(2, 3), 3)
+
+
+class TestMatmul:
+    def test_shapes(self):
+        out = matmul(cauchy(2, 3), cauchy(3, 4))
+        assert out.shape == (2, 4)
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            matmul(cauchy(2, 3), cauchy(2, 3))
+
+    def test_identity_neutral(self):
+        c = cauchy(3, 3)
+        assert np.array_equal(matmul(identity(3), c), c)
+        assert np.array_equal(matmul(c, identity(3)), c)
+
+
+class TestMds:
+    def test_cauchy_systematic_is_mds(self):
+        gen = np.concatenate([identity(3), cauchy(2, 3)], axis=0)
+        assert is_mds(gen, 3)
+
+    def test_repeated_rows_not_mds(self):
+        gen = np.concatenate([identity(3), identity(3)[:1]], axis=0)
+        # Duplicated row 0 means a k-subset with rank < k exists only if
+        # we pick both copies plus one more: rank 2 < 3.
+        assert not is_mds(gen, 3)

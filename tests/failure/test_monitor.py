@@ -1,0 +1,117 @@
+"""Tests for the cluster failure monitor and the predict->repair loop."""
+
+import pytest
+
+from repro.cluster import StorageCluster
+from repro.core.planner import FastPRPlanner, apply_plan
+from repro.failure.monitor import ClusterFailureMonitor
+from repro.failure.predictor import LogisticPredictor, ThresholdPredictor
+from repro.failure.smart import SmartTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    fleet = SmartTraceGenerator(
+        250, horizon_days=120, annual_failure_rate=0.25, seed=31
+    ).generate()
+    return LogisticPredictor(seed=0).fit(fleet)
+
+
+def make_setup(num_nodes=15, failure_rate=0.4, seed=33):
+    cluster = StorageCluster.random(
+        num_nodes, 40, 5, 3, num_hot_standby=2, seed=seed
+    )
+    traces = SmartTraceGenerator(
+        num_nodes,
+        horizon_days=120,
+        annual_failure_rate=failure_rate,
+        seed=seed,
+    ).generate()
+    return cluster, traces
+
+
+class TestMonitor:
+    def test_flags_before_failure(self, predictor):
+        cluster, traces = make_setup()
+        monitor = ClusterFailureMonitor(cluster, traces, predictor)
+        report = monitor.run()
+        for event in report.predicted_failures:
+            assert event.day < event.actual_failure_day
+            assert event.lead_days > 0
+
+    def test_marks_nodes_stf(self, predictor):
+        cluster, traces = make_setup()
+        monitor = ClusterFailureMonitor(cluster, traces, predictor)
+        report = monitor.run()
+        if report.stf_events:
+            # Events fire once per disk, and the node state reflects it
+            # unless the disk later actually failed.
+            node_events = {e.node_id for e in report.stf_events}
+            for node_id in node_events:
+                assert not cluster.node(node_id).is_healthy
+
+    def test_one_event_per_disk(self, predictor):
+        cluster, traces = make_setup()
+        report = ClusterFailureMonitor(cluster, traces, predictor).run()
+        disks = [e.disk_id for e in report.stf_events]
+        assert len(disks) == len(set(disks))
+
+    def test_callback_receives_events_and_stores_plans(self, predictor):
+        cluster, traces = make_setup()
+        monitor = ClusterFailureMonitor(cluster, traces, predictor)
+        seen = []
+
+        def on_stf(event):
+            seen.append(event)
+            planner = FastPRPlanner(seed=0)
+            plan = planner.plan(cluster, event.node_id)
+            apply_plan(cluster, plan)
+            return plan
+
+        report = monitor.run(on_stf=on_stf)
+        assert len(seen) == len(report.stf_events)
+        for event in report.stf_events:
+            assert cluster.load_of(event.node_id) == 0
+            assert report.plans[event.node_id].stf_node == event.node_id
+
+    def test_false_alarms_still_repaired(self, predictor):
+        # Paper assumption 2: false alarms trigger the full repair too.
+        cluster, traces = make_setup(seed=35)
+        threshold = ThresholdPredictor(threshold=8.0, window_days=1)
+        monitor = ClusterFailureMonitor(cluster, traces, threshold)
+        repaired = []
+        report = monitor.run(on_stf=lambda e: repaired.append(e.node_id) or None)
+        for event in report.false_alarms:
+            assert event.node_id in repaired
+
+    def test_missed_failure_recorded(self):
+        cluster, traces = make_setup(seed=36)
+        # A predictor that never fires: every actual failure is missed.
+        class NeverPredictor(ThresholdPredictor):
+            def predict(self, window):
+                return False
+
+        report = ClusterFailureMonitor(
+            cluster, traces, NeverPredictor()
+        ).run()
+        failing = sum(t.will_fail for t in traces)
+        assert len(report.missed_failures) == failing
+        assert report.stf_events == []
+        for miss in report.missed_failures:
+            assert cluster.node(miss.node_id).is_failed
+
+    def test_too_many_traces_rejected(self, predictor):
+        cluster, _ = make_setup(num_nodes=5)
+        traces = SmartTraceGenerator(10, seed=1).generate()
+        with pytest.raises(ValueError):
+            ClusterFailureMonitor(cluster, traces, predictor)
+
+    def test_explicit_bindings(self, predictor):
+        cluster, traces = make_setup()
+        bindings = {t.disk_id: (t.disk_id + 1) % 15 for t in traces}
+        monitor = ClusterFailureMonitor(
+            cluster, traces, predictor, node_bindings=bindings
+        )
+        report = monitor.run()
+        for event in report.stf_events:
+            assert event.node_id == bindings[event.disk_id]

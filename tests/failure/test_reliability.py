@@ -1,0 +1,110 @@
+"""Tests for the window-of-vulnerability estimator."""
+
+import math
+
+import pytest
+
+from repro.cluster import StorageCluster
+from repro.core.planner import FastPRPlanner, MigrationOnlyPlanner
+from repro.failure.reliability import (
+    ReliabilityConfig,
+    chunk_completion_times,
+    compare_predictive_vs_reactive,
+    estimate_vulnerability,
+)
+from repro.sim.cost_model import evaluate_plan
+
+
+@pytest.fixture
+def repaired():
+    cluster = StorageCluster.random(16, 60, 5, 3, seed=44)
+    stf = max(cluster.storage_node_ids(), key=cluster.load_of)
+    cluster.node(stf).mark_soon_to_fail()
+    plan = FastPRPlanner(seed=0).plan(cluster, stf)
+    result = evaluate_plan(cluster, plan)
+    return cluster, plan, result
+
+
+HOT_CONFIG = ReliabilityConfig(
+    annual_failure_rate=0.5, correlation_factor=2000.0, trials=400, seed=1
+)
+
+
+class TestCompletionTimes:
+    def test_rounds_are_cumulative(self, repaired):
+        cluster, plan, result = repaired
+        completion = chunk_completion_times(plan, result.round_times)
+        assert len(completion) == plan.total_chunks
+        assert max(completion.values()) == pytest.approx(result.total_time)
+        first_round_end = result.round_times[0]
+        for action in plan.rounds[0].actions():
+            key = (action.stripe_id, action.chunk_index)
+            assert completion[key] == pytest.approx(first_round_end)
+
+    def test_mismatched_lengths(self, repaired):
+        cluster, plan, result = repaired
+        with pytest.raises(ValueError):
+            chunk_completion_times(plan, result.round_times[:-1])
+
+
+class TestEstimate:
+    def test_zero_hazard_no_loss_when_predictive(self, repaired):
+        cluster, plan, result = repaired
+        config = ReliabilityConfig(
+            annual_failure_rate=0.04,
+            correlation_factor=0.0,
+            trials=50,
+            seed=2,
+        )
+        report = estimate_vulnerability(
+            cluster, plan, result.round_times, math.inf, config
+        )
+        assert report.loss_probability == 0.0
+
+    def test_reactive_riskier_than_predictive(self, repaired):
+        cluster, plan, result = repaired
+        predictive, reactive = compare_predictive_vs_reactive(
+            cluster,
+            plan,
+            result.round_times,
+            lead_time=math.inf,
+            config=HOT_CONFIG,
+        )
+        assert reactive.loss_probability >= predictive.loss_probability
+        assert reactive.expected_lost_stripes >= predictive.expected_lost_stripes
+
+    def test_faster_repair_lowers_exposure(self):
+        cluster = StorageCluster.random(20, 80, 5, 3, seed=45)
+        stf = max(cluster.storage_node_ids(), key=cluster.load_of)
+        cluster.node(stf).mark_soon_to_fail()
+        reports = {}
+        for planner in (FastPRPlanner(seed=0), MigrationOnlyPlanner()):
+            plan = planner.plan(cluster, stf)
+            result = evaluate_plan(cluster, plan)
+            reports[planner.name] = estimate_vulnerability(
+                cluster, plan, result.round_times, 0.0, HOT_CONFIG
+            )
+        assert (
+            reports["fastpr"].expected_lost_stripes
+            <= reports["migration"].expected_lost_stripes
+        )
+        assert reports["fastpr"].repair_time < reports["migration"].repair_time
+
+    def test_empty_plan(self, repaired):
+        cluster, _, _ = repaired
+        from repro.core.plan import RepairPlan, RepairScenario
+
+        empty = RepairPlan(stf_node=0, scenario=RepairScenario.SCATTERED)
+        report = estimate_vulnerability(cluster, empty, [], 0.0, HOT_CONFIG)
+        assert report.loss_probability == 0.0
+        assert report.repair_time == 0.0
+
+    def test_deterministic_with_seed(self, repaired):
+        cluster, plan, result = repaired
+        a = estimate_vulnerability(
+            cluster, plan, result.round_times, 0.0, HOT_CONFIG
+        )
+        b = estimate_vulnerability(
+            cluster, plan, result.round_times, 0.0, HOT_CONFIG
+        )
+        assert a.loss_probability == b.loss_probability

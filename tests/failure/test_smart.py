@@ -1,0 +1,89 @@
+"""Tests for synthetic SMART trace generation."""
+
+import pytest
+
+from repro.failure.smart import (
+    DEGRADATION_ATTRIBUTES,
+    SMART_ATTRIBUTES,
+    DiskTrace,
+    SmartSample,
+    SmartTraceGenerator,
+    daily_samples,
+)
+
+
+class TestGenerator:
+    def test_fleet_size(self):
+        traces = SmartTraceGenerator(50, seed=1).generate()
+        assert len(traces) == 50
+        assert [t.disk_id for t in traces] == list(range(50))
+
+    def test_deterministic_with_seed(self):
+        a = SmartTraceGenerator(20, seed=9).generate()
+        b = SmartTraceGenerator(20, seed=9).generate()
+        for ta, tb in zip(a, b):
+            assert ta.failure_day == tb.failure_day
+            assert ta.samples[0].values == tb.samples[0].values
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SmartTraceGenerator(0)
+        with pytest.raises(ValueError):
+            SmartTraceGenerator(5, annual_failure_rate=1.5)
+
+    def test_failure_rate_scales(self):
+        low = SmartTraceGenerator(
+            300, annual_failure_rate=0.01, seed=3
+        ).generate()
+        high = SmartTraceGenerator(
+            300, annual_failure_rate=0.5, seed=3
+        ).generate()
+        assert sum(t.will_fail for t in high) > sum(t.will_fail for t in low)
+
+    def test_samples_stop_at_failure(self):
+        traces = SmartTraceGenerator(
+            200, annual_failure_rate=0.5, seed=4
+        ).generate()
+        failing = [t for t in traces if t.will_fail]
+        assert failing, "seed should produce failures"
+        for trace in failing:
+            assert trace.samples[-1].day <= trace.failure_day
+
+    def test_all_attributes_present(self):
+        trace = SmartTraceGenerator(1, seed=5).generate()[0]
+        for sample in trace.samples:
+            assert set(sample.values) == set(SMART_ATTRIBUTES)
+
+    def test_failing_disk_counters_ramp(self):
+        traces = SmartTraceGenerator(
+            300, annual_failure_rate=0.5, seed=6
+        ).generate()
+        failing = next(t for t in traces if t.will_fail and len(t.samples) > 30)
+        early = failing.samples[0]
+        late = failing.samples[-1]
+        early_total = sum(early.values[a] for a in DEGRADATION_ATTRIBUTES)
+        late_total = sum(late.values[a] for a in DEGRADATION_ATTRIBUTES)
+        assert late_total > early_total + 50
+
+    def test_power_on_hours_monotone(self):
+        trace = SmartTraceGenerator(1, seed=7).generate()[0]
+        hours = [s.values["smart_9_power_on_hours"] for s in trace.samples]
+        assert hours == sorted(hours)
+
+
+class TestTraceApi:
+    def test_window(self):
+        trace = SmartTraceGenerator(1, horizon_days=30, seed=8).generate()[0]
+        window = trace.window(end_day=9, length=5)
+        assert [s.day for s in window] == [5, 6, 7, 8, 9]
+
+    def test_vector(self):
+        sample = SmartSample(0, 0, {a: float(i) for i, a in enumerate(SMART_ATTRIBUTES)})
+        assert sample.vector() == [float(i) for i in range(len(SMART_ATTRIBUTES))]
+
+    def test_daily_samples_iteration(self):
+        traces = SmartTraceGenerator(5, horizon_days=10, seed=9).generate()
+        days = list(daily_samples(traces))
+        assert len(days) == 10
+        assert all(len(day) <= 5 for day in days)
+        assert all(s.day == 0 for s in days[0])

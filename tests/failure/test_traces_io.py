@@ -1,0 +1,104 @@
+"""Tests for SMART trace CSV round-tripping."""
+
+import csv
+
+import pytest
+
+from repro.failure.smart import SmartTraceGenerator
+from repro.failure.traces_io import (
+    HEADER,
+    TraceFormatError,
+    load_traces,
+    save_traces,
+)
+
+
+@pytest.fixture
+def fleet():
+    return SmartTraceGenerator(
+        30, horizon_days=40, annual_failure_rate=0.6, seed=21
+    ).generate()
+
+
+class TestRoundTrip:
+    def test_preserves_everything(self, fleet, tmp_path):
+        path = tmp_path / "fleet.csv"
+        save_traces(fleet, path)
+        restored = load_traces(path)
+        assert len(restored) == len(fleet)
+        for orig, back in zip(fleet, restored):
+            assert back.disk_id == orig.disk_id
+            assert back.failure_day == orig.failure_day
+            assert len(back.samples) == len(orig.samples)
+            assert back.samples[0].values == orig.samples[0].values
+            assert back.samples[-1].values == orig.samples[-1].values
+
+    def test_failure_flag_on_last_day_only(self, fleet, tmp_path):
+        path = tmp_path / "fleet.csv"
+        save_traces(fleet, path)
+        with open(path) as f:
+            rows = list(csv.reader(f))[1:]
+        failing = {t.disk_id for t in fleet if t.will_fail}
+        flagged = [row for row in rows if row[2] == "1"]
+        assert {int(r[0]) for r in flagged} == failing
+
+    def test_predictor_trains_on_restored_traces(self, fleet, tmp_path):
+        from repro.failure.predictor import LogisticPredictor
+
+        path = tmp_path / "fleet.csv"
+        save_traces(fleet, path)
+        restored = load_traces(path)
+        if sum(t.will_fail for t in restored) == 0:
+            pytest.skip("seed produced no failures")
+        LogisticPredictor(epochs=20, seed=0).fit(restored)
+
+
+class TestValidation:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TraceFormatError, match="empty"):
+            load_traces(path)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n")
+        with pytest.raises(TraceFormatError, match="header"):
+            load_traces(path)
+
+    def test_bad_column_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(",".join(HEADER) + "\n1,2\n")
+        with pytest.raises(TraceFormatError, match="columns"):
+            load_traces(path)
+
+    def test_non_numeric_value(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        row = ["1", "0", "0"] + ["oops"] * (len(HEADER) - 3)
+        path.write_text(",".join(HEADER) + "\n" + ",".join(row) + "\n")
+        with pytest.raises(TraceFormatError):
+            load_traces(path)
+
+    def test_double_failure_flag(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        zeros = ["0.0"] * (len(HEADER) - 3)
+        lines = [
+            ",".join(HEADER),
+            ",".join(["1", "0", "1"] + zeros),
+            ",".join(["1", "1", "1"] + zeros),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceFormatError, match="twice"):
+            load_traces(path)
+
+    def test_samples_after_failure(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        zeros = ["0.0"] * (len(HEADER) - 3)
+        lines = [
+            ",".join(HEADER),
+            ",".join(["1", "0", "1"] + zeros),
+            ",".join(["1", "1", "0"] + zeros),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceFormatError, match="continue"):
+            load_traces(path)

@@ -1,0 +1,57 @@
+"""Tests for the coordinator's command generation."""
+
+import pytest
+
+from repro.cluster import StorageCluster
+from repro.core.plan import ChunkRepairAction, RepairMethod
+from repro.ec import make_codec
+from repro.runtime.coordinator import COORDINATOR_ID, Coordinator
+from repro.runtime.transport import Network
+
+
+@pytest.fixture
+def setup():
+    cluster = StorageCluster(8, chunk_size=1024)
+    cluster.add_stripe(5, 3, [0, 1, 2, 3, 4])
+    cluster.node(0).mark_soon_to_fail()
+    net = Network()
+    codec = make_codec("rs(5,3)")
+    coordinator = Coordinator(net, cluster, codec, packet_size=256)
+    return cluster, net, codec, coordinator
+
+
+class TestSourceCoefficients:
+    def test_migration_unity_coefficient(self, setup):
+        cluster, net, codec, coordinator = setup
+        action = ChunkRepairAction(0, 0, RepairMethod.MIGRATION, (0,), 5)
+        assert coordinator._source_coefficients(action) == {0: 1}
+
+    def test_reconstruction_coefficients_match_codec(self, setup):
+        cluster, net, codec, coordinator = setup
+        # Stripe 0 placement [0,1,2,3,4]; node i holds chunk index i.
+        action = ChunkRepairAction(
+            0, 0, RepairMethod.RECONSTRUCTION, (1, 2, 3), 5
+        )
+        coeffs = coordinator._source_coefficients(action)
+        expected = codec.recovery_coefficients(0, [1, 2, 3])
+        assert coeffs == {node: expected[node] for node in (1, 2, 3)}
+
+    def test_coefficients_resolve_node_to_chunk_index(self):
+        # Shuffled placement: node id != chunk index.
+        cluster = StorageCluster(8, chunk_size=1024)
+        cluster.add_stripe(5, 3, [4, 3, 2, 1, 0])
+        net = Network()
+        codec = make_codec("rs(5,3)")
+        coordinator = Coordinator(net, cluster, codec, packet_size=256)
+        # Repair chunk index 0 (stored on node 4, the "STF" here);
+        # helpers are nodes 3, 2, 1 holding chunk indices 1, 2, 3.
+        action = ChunkRepairAction(
+            0, 0, RepairMethod.RECONSTRUCTION, (3, 2, 1), 5
+        )
+        coeffs = coordinator._source_coefficients(action)
+        expected = codec.recovery_coefficients(0, [1, 2, 3])
+        assert coeffs == {3: expected[1], 2: expected[2], 1: expected[3]}
+
+    def test_coordinator_attaches_itself(self, setup):
+        cluster, net, codec, coordinator = setup
+        assert net.endpoint(COORDINATOR_ID) is coordinator._endpoint

@@ -1,0 +1,95 @@
+"""Tests for background scrubbing of silent corruption."""
+
+import pytest
+
+from repro.cluster import StorageCluster
+from repro.ec import make_codec
+from repro.runtime.scrub import Scrubber
+from repro.runtime.testbed import EmulatedTestbed
+
+CHUNK = 16 * 1024
+
+
+@pytest.fixture
+def rig(tmp_path):
+    cluster = StorageCluster.random(
+        10,
+        8,
+        5,
+        3,
+        seed=101,
+        disk_bandwidth=1e9,
+        network_bandwidth=1e9,
+        chunk_size=CHUNK,
+    )
+    codec = make_codec("rs(5,3)")
+    testbed = EmulatedTestbed(cluster, codec, workdir=tmp_path)
+    testbed.load_random_data(seed=102)
+    yield cluster, testbed
+    testbed.shutdown()
+
+
+def corrupt_chunk(testbed, cluster, stripe_id, index, payload=None):
+    node = cluster.stripe(stripe_id).node_of(index)
+    data = payload if payload is not None else b"\xff" * CHUNK
+    testbed.stores[node].put(stripe_id, data)
+    return node
+
+
+class TestScan:
+    def test_clean_store(self, rig):
+        cluster, testbed = rig
+        report = Scrubber(testbed).scan()
+        assert report.clean
+        assert report.chunks_checked == 8 * 5
+
+    def test_detects_bit_rot(self, rig):
+        cluster, testbed = rig
+        node = corrupt_chunk(testbed, cluster, 2, 1)
+        report = Scrubber(testbed).scan()
+        assert [(c.stripe_id, c.chunk_index, c.node_id) for c in report.corrupt] == [
+            (2, 1, node)
+        ]
+
+    def test_detects_missing_chunk(self, rig):
+        cluster, testbed = rig
+        node = cluster.stripe(3).node_of(0)
+        testbed.stores[node].delete(3)
+        report = Scrubber(testbed).scan()
+        assert len(report.corrupt) == 1
+
+
+class TestScrub:
+    def test_repairs_in_place(self, rig):
+        cluster, testbed = rig
+        corrupt_chunk(testbed, cluster, 1, 4)
+        report = Scrubber(testbed).scrub()
+        assert len(report.repaired) == 1
+        assert not report.unrepairable
+        assert Scrubber(testbed).scan().clean
+
+    def test_repairs_multiple_within_tolerance(self, rig):
+        cluster, testbed = rig
+        corrupt_chunk(testbed, cluster, 0, 0)
+        corrupt_chunk(testbed, cluster, 0, 3)  # n-k = 2: still decodable
+        report = Scrubber(testbed).scrub()
+        assert len(report.repaired) == 2
+        assert Scrubber(testbed).scan().clean
+
+    def test_unrepairable_beyond_tolerance(self, rig):
+        cluster, testbed = rig
+        for index in (0, 1, 2):  # 3 corrupt > n-k = 2
+            corrupt_chunk(testbed, cluster, 5, index)
+        report = Scrubber(testbed).scrub()
+        assert len(report.unrepairable) == 3
+        assert not report.repaired
+
+    def test_never_decodes_from_corrupt_sources(self, rig):
+        cluster, testbed = rig
+        # Corrupt two chunks of the same stripe; both repairs must use
+        # only the three clean chunks.
+        corrupt_chunk(testbed, cluster, 6, 1)
+        corrupt_chunk(testbed, cluster, 6, 2)
+        Scrubber(testbed).scrub()
+        testbed_report = Scrubber(testbed).scan()
+        assert testbed_report.clean

@@ -1,0 +1,88 @@
+"""Tests for rate limiters and transfer reservations."""
+
+import time
+
+import pytest
+
+from repro.runtime.throttle import RateLimiter, reserve_transfer, sleep_until
+
+
+class TestRateLimiter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateLimiter(0)
+        with pytest.raises(ValueError):
+            RateLimiter(-5)
+
+    def test_unlimited(self):
+        limiter = RateLimiter(None)
+        assert limiter.unlimited
+        before = time.monotonic()
+        limiter.throttle(10**9)
+        assert time.monotonic() - before < 0.05
+
+    def test_reserve_accumulates(self):
+        limiter = RateLimiter(1000.0)
+        d1 = limiter.reserve(100)
+        d2 = limiter.reserve(100)
+        assert d2 - d1 == pytest.approx(0.1, abs=0.01)
+        assert limiter.bytes_total == 200
+
+    def test_throttle_sleeps(self):
+        limiter = RateLimiter(10_000.0)
+        start = time.monotonic()
+        limiter.throttle(1000)  # 0.1 s
+        elapsed = time.monotonic() - start
+        assert elapsed >= 0.09
+
+    def test_throughput_approximation(self):
+        limiter = RateLimiter(100_000.0)
+        start = time.monotonic()
+        for _ in range(10):
+            limiter.throttle(2000)  # total 20000 B -> 0.2 s
+        elapsed = time.monotonic() - start
+        assert 0.18 <= elapsed <= 0.4
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError):
+            RateLimiter(10.0).reserve(-1)
+
+    def test_idle_gap_not_credited(self):
+        # A long idle period must not allow a burst above the rate.
+        limiter = RateLimiter(10_000.0)
+        limiter.throttle(100)
+        time.sleep(0.05)
+        start = time.monotonic()
+        limiter.throttle(1000)
+        assert time.monotonic() - start >= 0.09
+
+
+class TestReserveTransfer:
+    def test_slower_side_governs(self):
+        fast = RateLimiter(1_000_000.0)
+        slow = RateLimiter(10_000.0)
+        start = time.monotonic()
+        deadline = reserve_transfer(fast, slow, 1000)  # 0.1 s at slow rate
+        assert deadline - start == pytest.approx(0.1, abs=0.02)
+
+    def test_both_sides_reserved(self):
+        a = RateLimiter(10_000.0)
+        b = RateLimiter(10_000.0)
+        reserve_transfer(a, b, 500)
+        assert a.bytes_total == 500
+        assert b.bytes_total == 500
+        # A follow-up on either side starts after the joint reservation.
+        d_a = a.reserve(0)
+        now = time.monotonic()
+        assert d_a >= now + 0.02
+
+    def test_unlimited_pair(self):
+        a = RateLimiter(None)
+        b = RateLimiter(None)
+        deadline = reserve_transfer(a, b, 10**9)
+        assert deadline <= time.monotonic() + 0.01
+
+    def test_sleep_until_past_deadline(self):
+        start = time.monotonic()
+        sleep_until(start - 1.0)
+        assert time.monotonic() - start < 0.05

@@ -1,0 +1,60 @@
+"""Tests for the in-process network transport."""
+
+import time
+
+import pytest
+
+from repro.runtime.messages import DataPacket, RepairAck
+from repro.runtime.transport import Network
+
+
+class TestNetwork:
+    def test_attach_and_lookup(self):
+        net = Network()
+        endpoint = net.attach(0, 1000.0)
+        assert net.endpoint(0) is endpoint
+
+    def test_duplicate_attach(self):
+        net = Network()
+        net.attach(0, None)
+        with pytest.raises(ValueError):
+            net.attach(0, None)
+
+    def test_unknown_endpoint(self):
+        with pytest.raises(KeyError):
+            Network().endpoint(5)
+
+    def test_control_message_unthrottled(self):
+        net = Network()
+        net.attach(0, 10.0)
+        net.attach(1, 10.0)
+        start = time.monotonic()
+        net.send(0, 1, RepairAck(0, 0, 0))
+        assert time.monotonic() - start < 0.05
+        assert net.endpoint(1).inbox.get_nowait() == RepairAck(0, 0, 0)
+        assert net.bytes_transferred == 0
+
+    def test_data_packet_throttled(self):
+        net = Network()
+        net.attach(0, 10_000.0)
+        net.attach(1, 10_000.0)
+        packet = DataPacket(0, 0, 0, 0, b"x" * 1000)  # 0.1 s
+        start = time.monotonic()
+        net.send(0, 1, packet)
+        assert time.monotonic() - start >= 0.09
+        assert net.bytes_transferred == 1000
+        assert net.endpoint(1).inbox.get_nowait() is packet
+
+    def test_loopback_data_rejected(self):
+        net = Network()
+        net.attach(0, None)
+        with pytest.raises(ValueError):
+            net.send(0, 0, DataPacket(0, 0, 0, 0, b"x"))
+
+    def test_receiver_rate_governs(self):
+        net = Network()
+        net.attach(0, 1_000_000.0)
+        net.attach(1, 10_000.0)
+        start = time.monotonic()
+        net.send(0, 1, DataPacket(0, 0, 0, 0, b"x" * 1000))
+        assert time.monotonic() - start >= 0.09

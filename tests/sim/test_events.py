@@ -1,0 +1,166 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.events import (
+    Acquire,
+    Delay,
+    Release,
+    Resource,
+    Simulation,
+    SimulationError,
+    use,
+)
+
+
+class TestDelays:
+    def test_single_process(self):
+        sim = Simulation()
+        log = []
+
+        def proc():
+            yield Delay(5.0)
+            log.append(sim.now)
+
+        sim.spawn(proc())
+        assert sim.run() == pytest.approx(5.0)
+        assert log == [pytest.approx(5.0)]
+
+    def test_parallel_processes_overlap(self):
+        sim = Simulation()
+
+        def proc(duration):
+            yield Delay(duration)
+
+        sim.spawn(proc(3.0))
+        sim.spawn(proc(7.0))
+        assert sim.run() == pytest.approx(7.0)
+
+    def test_sequential_delays_accumulate(self):
+        sim = Simulation()
+
+        def proc():
+            yield Delay(2.0)
+            yield Delay(3.0)
+
+        sim.spawn(proc())
+        assert sim.run() == pytest.approx(5.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(-1.0)
+
+    def test_on_done_callback(self):
+        sim = Simulation()
+        done_at = []
+
+        def proc():
+            yield Delay(4.0)
+
+        sim.spawn(proc(), on_done=done_at.append)
+        sim.run()
+        assert done_at == [pytest.approx(4.0)]
+
+
+class TestResources:
+    def test_exclusive_use_serializes(self):
+        sim = Simulation()
+        resource = Resource("disk")
+        finish = []
+
+        def proc():
+            yield Acquire(resource)
+            yield Delay(2.0)
+            yield Release(resource)
+            finish.append(sim.now)
+
+        sim.spawn(proc())
+        sim.spawn(proc())
+        sim.run()
+        assert finish == [pytest.approx(2.0), pytest.approx(4.0)]
+
+    def test_fifo_ordering(self):
+        sim = Simulation()
+        resource = Resource("r")
+        order = []
+
+        def proc(name, start_delay):
+            yield Delay(start_delay)
+            yield Acquire(resource)
+            order.append(name)
+            yield Delay(1.0)
+            yield Release(resource)
+
+        sim.spawn(proc("b", 0.2))
+        sim.spawn(proc("a", 0.1))
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_busy_time_accounting(self):
+        sim = Simulation()
+        resource = Resource("r")
+
+        def proc():
+            yield Acquire(resource)
+            yield Delay(3.0)
+            yield Release(resource)
+
+        sim.spawn(proc())
+        sim.spawn(proc())
+        sim.run()
+        assert resource.busy_time == pytest.approx(6.0)
+
+    def test_release_unheld_raises(self):
+        sim = Simulation()
+        resource = Resource("r")
+
+        def bad():
+            yield Release(resource)
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_two_resources_held_simultaneously(self):
+        sim = Simulation()
+        a, b = Resource("a"), Resource("b")
+        blocked_at = []
+
+        def holder():
+            yield Acquire(a)
+            yield Acquire(b)
+            yield Delay(2.0)
+            yield Release(b)
+            yield Release(a)
+
+        def waiter():
+            yield Delay(0.5)
+            yield Acquire(b)
+            blocked_at.append(sim.now)
+            yield Release(b)
+
+        sim.spawn(holder())
+        sim.spawn(waiter())
+        sim.run()
+        assert blocked_at == [pytest.approx(2.0)]
+
+    def test_use_helper(self):
+        sim = Simulation()
+        resource = Resource("r")
+
+        def proc():
+            yield from use(resource, 1.5)
+            yield from use(resource, 1.5)
+
+        sim.spawn(proc())
+        assert sim.run() == pytest.approx(3.0)
+
+    def test_unknown_command(self):
+        sim = Simulation()
+
+        def bad():
+            yield "not-a-command"
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError):
+            sim.run()

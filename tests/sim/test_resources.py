@@ -1,0 +1,99 @@
+"""Tests for per-node device resources."""
+
+import pytest
+
+from repro.cluster import StorageCluster
+from repro.sim.events import Simulation
+from repro.sim.resources import DeviceMap, NodeDevices
+
+
+@pytest.fixture
+def cluster():
+    return StorageCluster(
+        4, disk_bandwidth=100.0, network_bandwidth=50.0, chunk_size=200
+    )
+
+
+class TestNodeDevices:
+    def test_times(self):
+        devices = NodeDevices(0, disk_bandwidth=100.0, network_bandwidth=50.0)
+        assert devices.read_time(200) == pytest.approx(2.0)
+        assert devices.write_time(100) == pytest.approx(1.0)
+        assert devices.transfer_time(100) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeDevices(0, disk_bandwidth=0, network_bandwidth=1)
+
+
+class TestDeviceMap:
+    def test_lazy_construction_and_caching(self, cluster):
+        devices = DeviceMap(cluster)
+        first = devices[1]
+        assert devices[1] is first
+        assert first.disk_bandwidth == 100.0
+
+    def test_per_node_override(self, cluster):
+        cluster.node(2).disk_bandwidth = 400.0
+        devices = DeviceMap(cluster)
+        assert devices[2].disk_bandwidth == 400.0
+
+    def test_read_chunk_duration(self, cluster):
+        devices = DeviceMap(cluster)
+        sim = Simulation()
+        sim.spawn(devices.read_chunk(0, 200))
+        assert sim.run() == pytest.approx(2.0)
+        assert devices.bytes_read == 200
+
+    def test_write_chunk_duration(self, cluster):
+        devices = DeviceMap(cluster)
+        sim = Simulation()
+        sim.spawn(devices.write_chunk(0, 100))
+        assert sim.run() == pytest.approx(1.0)
+        assert devices.bytes_written == 100
+
+    def test_transfer_duration_slower_nic_governs(self, cluster):
+        cluster.node(1).network_bandwidth = 25.0
+        devices = DeviceMap(cluster)
+        sim = Simulation()
+        sim.spawn(devices.transfer_chunk(0, 1, 100))
+        # min(50, 25) = 25 B/s -> 4 s.
+        assert sim.run() == pytest.approx(4.0)
+        assert devices.bytes_transferred == 100
+
+    def test_reads_on_same_disk_serialize(self, cluster):
+        devices = DeviceMap(cluster)
+        sim = Simulation()
+        sim.spawn(devices.read_chunk(0, 200))
+        sim.spawn(devices.read_chunk(0, 200))
+        assert sim.run() == pytest.approx(4.0)
+
+    def test_reads_on_distinct_disks_parallel(self, cluster):
+        devices = DeviceMap(cluster)
+        sim = Simulation()
+        sim.spawn(devices.read_chunk(0, 200))
+        sim.spawn(devices.read_chunk(1, 200))
+        assert sim.run() == pytest.approx(2.0)
+
+    def test_fanin_transfers_serialize_at_receiver(self, cluster):
+        devices = DeviceMap(cluster)
+        sim = Simulation()
+        for src in (1, 2, 3):
+            sim.spawn(devices.transfer_chunk(src, 0, 100))
+        # Receiver ingress is the shared resource: 3 x 2 s.
+        assert sim.run() == pytest.approx(6.0)
+
+    def test_packetized_transfers_interleave_fairly(self, cluster):
+        # Two flows into one receiver: with packetization, both finish
+        # around the aggregate time rather than strictly one after the
+        # other.
+        devices = DeviceMap(cluster)
+        sim = Simulation()
+        finished = []
+        sim.spawn(devices.transfer_chunk(1, 0, 100), on_done=finished.append)
+        sim.spawn(devices.transfer_chunk(2, 0, 100), on_done=finished.append)
+        sim.run()
+        # Strict FCFS would finish at 2.0 and 4.0; interleaving pushes
+        # the first completion toward the end.
+        assert finished[0] > 2.5
+        assert finished[1] == pytest.approx(4.0)

@@ -1,0 +1,120 @@
+"""Tests for the cluster-lifetime timeline simulation."""
+
+import pytest
+
+from repro.cluster import StorageCluster
+from repro.core.plan import RepairScenario
+from repro.failure.predictor import LogisticPredictor, ThresholdPredictor
+from repro.failure.smart import SmartTraceGenerator
+from repro.sim.timeline import ClusterLifetime, EventKind
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    fleet = SmartTraceGenerator(
+        250, horizon_days=120, annual_failure_rate=0.25, seed=81
+    ).generate()
+    return LogisticPredictor(seed=0).fit(fleet)
+
+
+def build(num_nodes=18, failure_rate=0.5, seed=82, **kwargs):
+    cluster = StorageCluster.random(
+        num_nodes, 60, 5, 3, num_hot_standby=3, seed=seed
+    )
+    traces = SmartTraceGenerator(
+        num_nodes,
+        horizon_days=120,
+        annual_failure_rate=failure_rate,
+        seed=seed,
+    ).generate()
+    return cluster, traces
+
+
+class TestLifetime:
+    def test_full_horizon_runs_clean(self, predictor):
+        cluster, traces = build()
+        lifetime = ClusterLifetime(
+            cluster, traces, predictor, seed=0, rebalance_every=10
+        )
+        report = lifetime.run()
+        # At 50% AFR over 120 days something must have happened.
+        assert report.events, "expected at least one repair event"
+        cluster.verify_fault_tolerance()
+        # Every repaired node ends up decommissioned and chunk-free
+        # (predictive path) or chunk-free (reactive path).
+        for event in report.predictive_repairs:
+            assert cluster.node(event.node_id).is_failed
+            assert cluster.load_of(event.node_id) == 0
+        for event in report.reactive_repairs:
+            assert cluster.load_of(event.node_id) == 0
+
+    def test_predictive_repairs_have_lead(self, predictor):
+        cluster, traces = build(seed=83)
+        report = ClusterLifetime(cluster, traces, predictor, seed=0).run()
+        for event in report.predictive_repairs:
+            if event.lead_days is not None:
+                assert event.lead_days > 0
+
+    def test_aggregates_consistent(self, predictor):
+        cluster, traces = build(seed=84)
+        report = ClusterLifetime(cluster, traces, predictor, seed=0).run()
+        assert report.total_chunks_repaired == sum(
+            e.chunks for e in report.events
+        )
+        assert report.total_repair_time == pytest.approx(
+            sum(e.repair_time for e in report.events)
+        )
+        assert "TimelineReport" in report.summary()
+
+    def test_never_predictor_forces_reactive(self):
+        cluster, traces = build(seed=85)
+
+        class Never(ThresholdPredictor):
+            def predict(self, window):
+                return False
+
+        report = ClusterLifetime(cluster, traces, Never(), seed=0).run()
+        assert report.predictive_repairs == []
+        failing = sum(t.will_fail for t in traces)
+        assert len(report.reactive_repairs) == failing
+
+    def test_fastpr_total_repair_time_beats_migration(self, predictor):
+        results = {}
+        for name in ("fastpr", "migration"):
+            cluster, traces = build(seed=86)
+            report = ClusterLifetime(
+                cluster, traces, predictor, planner=name, seed=0
+            ).run()
+            results[name] = report
+        if not results["fastpr"].predictive_repairs:
+            pytest.skip("seed produced no predictive repairs")
+        assert (
+            results["fastpr"].total_repair_time
+            <= results["migration"].total_repair_time
+        )
+
+    def test_hot_standby_scenario(self, predictor):
+        cluster, traces = build(seed=87)
+        report = ClusterLifetime(
+            cluster,
+            traces,
+            predictor,
+            scenario=RepairScenario.HOT_STANDBY,
+            seed=0,
+        ).run()
+        cluster.verify_fault_tolerance()
+
+    def test_rebalance_events_logged(self, predictor):
+        cluster, traces = build(seed=88)
+        report = ClusterLifetime(
+            cluster, traces, predictor, seed=0, rebalance_every=1
+        ).run()
+        if report.predictive_repairs or report.reactive_repairs:
+            # A repair skews load; rebalancing usually moves something.
+            kinds = {e.kind for e in report.events}
+            assert EventKind.REBALANCE in kinds or len(report.events) <= 1
+
+    def test_unknown_planner_rejected(self, predictor):
+        cluster, traces = build(seed=89)
+        with pytest.raises(ValueError, match="unknown planner"):
+            ClusterLifetime(cluster, traces, predictor, planner="magic")

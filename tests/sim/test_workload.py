@@ -1,0 +1,79 @@
+"""Tests for simulation workload builders."""
+
+import pytest
+
+from repro.sim.workload import (
+    PAPER_SIM_CONFIG,
+    SimulationConfig,
+    build_cluster,
+    build_cluster_with_stf,
+    fixed_stf_chunk_count,
+)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = PAPER_SIM_CONFIG
+        assert cfg.num_nodes == 100
+        assert cfg.num_stripes == 1000
+        assert (cfg.n, cfg.k) == (9, 6)
+        assert cfg.num_hot_standby == 3
+        assert cfg.chunk_size == 64 * 1024 * 1024
+
+    def test_with_(self):
+        cfg = PAPER_SIM_CONFIG.with_(num_nodes=50)
+        assert cfg.num_nodes == 50
+        assert cfg.num_stripes == 1000
+
+
+class TestBuilders:
+    def test_build_cluster(self):
+        cfg = SimulationConfig(num_nodes=20, num_stripes=30, seed=1)
+        cluster = build_cluster(cfg)
+        assert cluster.num_storage_nodes == 20
+        assert cluster.num_stripes == 30
+        cluster.verify_fault_tolerance()
+
+    def test_build_cluster_with_stf(self):
+        cfg = SimulationConfig(num_nodes=20, num_stripes=30, seed=1)
+        cluster, stf = build_cluster_with_stf(cfg)
+        assert cluster.node(stf).is_stf
+        assert cluster.load_of(stf) > 0
+
+    def test_stf_selection_deterministic(self):
+        cfg = SimulationConfig(num_nodes=20, num_stripes=30, seed=9)
+        _, stf_a = build_cluster_with_stf(cfg)
+        _, stf_b = build_cluster_with_stf(cfg)
+        assert stf_a == stf_b
+
+    def test_no_chunks_raises(self):
+        cfg = SimulationConfig(num_nodes=20, num_stripes=0, seed=1)
+        with pytest.raises(ValueError):
+            build_cluster_with_stf(cfg)
+
+
+class TestFixedStfChunkCount:
+    def test_exact_count(self):
+        cfg = SimulationConfig(num_nodes=21, num_stripes=60, seed=2)
+        cluster, stf = fixed_stf_chunk_count(cfg, 15)
+        assert cluster.load_of(stf) == 15
+        assert cluster.node(stf).is_stf
+        assert cluster.num_stripes == 60
+        cluster.verify_fault_tolerance()
+
+    def test_explicit_stf_node(self):
+        cfg = SimulationConfig(num_nodes=21, num_stripes=30, seed=3)
+        cluster, stf = fixed_stf_chunk_count(cfg, 10, stf_node=5)
+        assert stf == 5
+        assert cluster.load_of(5) == 10
+
+    def test_other_nodes_share_rest(self):
+        cfg = SimulationConfig(num_nodes=21, num_stripes=30, seed=4)
+        cluster, stf = fixed_stf_chunk_count(cfg, 10)
+        total = sum(cluster.load_of(n) for n in cluster.storage_node_ids())
+        assert total == 30 * cfg.n
+
+    def test_too_small_cluster(self):
+        cfg = SimulationConfig(num_nodes=9, num_stripes=10, seed=5)
+        with pytest.raises(ValueError):
+            fixed_stf_chunk_count(cfg, 5)

@@ -1,0 +1,193 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main, run_experiment
+
+
+class TestFigures:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "fig15" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_fig2_runs_via_shorthand(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 2(a)" in out
+        assert "predictive" in out
+
+    def test_fig3_with_runs_flag_ignored_gracefully(self, capsys):
+        # fig3 takes no runs parameter; the flag must not crash it.
+        assert main(["fig3", "--runs", "2"]) == 0
+        assert "Fig 3(b)" in capsys.readouterr().out
+
+    def test_run_experiment_reports_timing(self):
+        assert "completed in" in run_experiment("fig2", runs=None)
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+
+class TestSnapshotAndPlan:
+    def test_snapshot_then_plan(self, tmp_path, capsys):
+        path = tmp_path / "cluster.json"
+        assert (
+            main(
+                [
+                    "snapshot",
+                    "--nodes",
+                    "16",
+                    "--stripes",
+                    "40",
+                    "--code",
+                    "rs(5,3)",
+                    "--seed",
+                    "1",
+                    "-o",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        assert path.exists()
+        document = json.loads(path.read_text())
+        assert len(document["stripes"]) == 40
+        capsys.readouterr()
+
+        assert (
+            main(["plan", "--snapshot", str(path), "--stf", "0"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "fastpr" in out
+        assert "migration" in out
+        assert "s/chunk" in out
+
+    def test_plan_hot_standby(self, tmp_path, capsys):
+        path = tmp_path / "cluster.json"
+        main(
+            [
+                "snapshot",
+                "--nodes",
+                "16",
+                "--stripes",
+                "30",
+                "--code",
+                "rs(5,3)",
+                "--seed",
+                "2",
+                "-o",
+                str(path),
+            ]
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "plan",
+                    "--snapshot",
+                    str(path),
+                    "--stf",
+                    "1",
+                    "--scenario",
+                    "hot_standby",
+                ]
+            )
+            == 0
+        )
+
+    def test_plan_rejects_failed_node(self, tmp_path, capsys):
+        from repro.cluster import StorageCluster
+        from repro.cluster import snapshot as snapshot_mod
+
+        cluster = StorageCluster.random(10, 10, 5, 3, seed=3)
+        # Node 9 stores chunks; fail a chunk-free standby-less node by
+        # draining it first.
+        for chunk in cluster.chunks_on_node(9):
+            dest = cluster.eligible_destinations(chunk.stripe_id, exclude={9})[0]
+            cluster.relocate_chunk(chunk.stripe_id, chunk.chunk_index, dest)
+        cluster.decommission(9)
+        path = tmp_path / "c.json"
+        snapshot_mod.save(cluster, path)
+        assert main(["plan", "--snapshot", str(path), "--stf", "9"]) == 2
+        assert "already failed" in capsys.readouterr().err
+
+
+class TestFleetAndPredict:
+    def test_fleet_then_predict(self, tmp_path, capsys):
+        path = tmp_path / "fleet.csv"
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--disks",
+                    "120",
+                    "--days",
+                    "90",
+                    "--afr",
+                    "0.4",
+                    "--seed",
+                    "4",
+                    "-o",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "120 disks" in out
+        assert (
+            main(["predict", "--fleet", str(path), "--seed", "0"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "precision=" in out
+        assert "recall=" in out
+
+    def test_predict_cart_and_threshold_models(self, tmp_path, capsys):
+        path = tmp_path / "fleet.csv"
+        main(
+            [
+                "fleet",
+                "--disks",
+                "120",
+                "--days",
+                "90",
+                "--afr",
+                "0.4",
+                "--seed",
+                "5",
+                "-o",
+                str(path),
+            ]
+        )
+        capsys.readouterr()
+        for model in ("cart", "threshold"):
+            assert (
+                main(["predict", "--fleet", str(path), "--model", model]) == 0
+            )
+            assert f"model: {model}" in capsys.readouterr().out
+
+    def test_predict_rejects_tiny_fleet(self, tmp_path, capsys):
+        from repro.failure import SmartTraceGenerator, save_traces
+
+        path = tmp_path / "tiny.csv"
+        save_traces(SmartTraceGenerator(1, seed=1).generate(), path)
+        assert main(["predict", "--fleet", str(path)]) == 2
+
+
+class TestParser:
+    def test_figures_defaults(self):
+        args = build_parser().parse_args(["figures", "fig8"])
+        assert args.experiment == "fig8"
+        assert args.runs is None
+
+    def test_plan_requires_snapshot(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--stf", "1"])
