@@ -15,7 +15,8 @@ simulator (:mod:`repro.sim`) or the emulated testbed runtime
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..cluster.chunk import ChunkLocation, NodeId
 from ..cluster.cluster import StorageCluster
@@ -301,6 +302,125 @@ def plan_predictive_repair(
         return [planner.plan(cluster, stf_nodes[0])]
     fallback = ReconstructionOnlyPlanner(scenario=scenario)
     return [fallback.plan(cluster, node) for node in stf_nodes]
+
+
+class UnrecoverableChunkError(ValueError):
+    """A chunk cannot be repaired with the surviving nodes."""
+
+
+def heal_action(
+    cluster: StorageCluster,
+    stf_node: NodeId,
+    action: ChunkRepairAction,
+    dead: Iterable[NodeId],
+    scenario: RepairScenario = RepairScenario.SCATTERED,
+) -> ChunkRepairAction:
+    """Rewrite a repair action so it avoids permanently dead nodes.
+
+    The paper's mid-repair failure handling (Section V): if the STF
+    node dies, its unmigrated chunks fall back to pure reconstruction
+    from the stripe's surviving chunks; if a helper dies, the
+    reconstruction is re-solved with surviving sources; if a
+    destination dies, a fresh destination is chosen.  Degraded mode
+    favors completing the repair over round-level parallelism
+    invariants (a healed action may reuse a helper another action in
+    the round also reads from).
+
+    Args:
+        cluster: metadata as of plan time (healed helpers must actually
+            store a chunk of the stripe).
+        stf_node: the plan's STF node.
+        action: the action to heal.
+        dead: nodes known to be permanently gone.
+        scenario: governs replacement-destination choice.
+
+    Returns:
+        The action unchanged if no dead node is involved, else a healed
+        copy (``pipelined`` is cleared — degraded repairs use plain
+        fan-in, whose coefficients any helper subset supports).
+
+    Raises:
+        UnrecoverableChunkError: not enough surviving helpers or no
+            eligible destination remains.
+    """
+    dead_set: Set[NodeId] = set(dead)
+    involved = set(action.sources) | {action.destination}
+    if not involved & dead_set:
+        return action
+    stripe = cluster.stripe(action.stripe_id)
+    destination = action.destination
+    if destination in dead_set:
+        destination = _replacement_destination(
+            cluster, stripe, dead_set, stf_node, scenario
+        )
+    sources = action.sources
+    method = action.method
+    pipelined = action.pipelined
+    if dead_set & set(action.sources):
+        exclude = dead_set | {stf_node, destination}
+        if method is RepairMethod.MIGRATION:
+            # The STF node itself died: hybrid -> pure reconstruction.
+            method = RepairMethod.RECONSTRUCTION
+            k = stripe.k
+            candidates = cluster.helper_nodes(action.stripe_id, exclude=exclude)
+            if len(candidates) < k:
+                raise UnrecoverableChunkError(
+                    f"chunk ({action.stripe_id}, {action.chunk_index}): only "
+                    f"{len(candidates)} surviving helpers, need {k}"
+                )
+            sources = tuple(candidates[:k])
+        else:
+            survivors = [s for s in action.sources if s not in dead_set]
+            candidates = [
+                h
+                for h in cluster.helper_nodes(action.stripe_id, exclude=exclude)
+                if h not in survivors
+            ]
+            need = len(action.sources) - len(survivors)
+            if len(candidates) < need:
+                raise UnrecoverableChunkError(
+                    f"chunk ({action.stripe_id}, {action.chunk_index}): "
+                    f"cannot replace {need} dead helpers "
+                    f"({len(candidates)} candidates)"
+                )
+            sources = tuple(survivors + candidates[:need])
+        pipelined = False
+    return replace(
+        action,
+        method=method,
+        sources=sources,
+        destination=destination,
+        pipelined=pipelined,
+    )
+
+
+def _replacement_destination(
+    cluster: StorageCluster,
+    stripe,
+    dead: Set[NodeId],
+    stf_node: NodeId,
+    scenario: RepairScenario,
+) -> NodeId:
+    """First eligible surviving destination for a healed action."""
+    from ..cluster.node import NodeRole
+
+    for node_id in sorted(cluster.nodes):
+        if node_id in dead or node_id == stf_node:
+            continue
+        node = cluster.node(node_id)
+        if scenario is RepairScenario.HOT_STANDBY:
+            if node.is_standby:
+                return node_id
+            continue
+        if (
+            node.role is NodeRole.STORAGE
+            and not node.is_stf
+            and not stripe.stores_on(node_id)
+        ):
+            return node_id
+    raise UnrecoverableChunkError(
+        f"no surviving destination for a chunk of stripe {stripe.stripe_id}"
+    )
 
 
 def apply_plan(cluster: StorageCluster, plan: RepairPlan) -> None:

@@ -2,24 +2,47 @@
 
 from .agent import Agent, AgentError
 from .client import ClientStats, StorageClient
+from .config import DEFAULT_CONFIG, RuntimeConfig
 from .scrub import CorruptChunk, ScrubReport, Scrubber
-from .coordinator import COORDINATOR_ID, Coordinator, RuntimeResult
+from .coordinator import (
+    COORDINATOR_ID,
+    Coordinator,
+    RepairFailedError,
+    RepairTimeoutError,
+    RuntimeResult,
+)
 from .datanode import ChunkStore
+from .faults import (
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    PacketFate,
+    SlowNicFault,
+)
 from .messages import (
+    ACK_FAILED,
+    ACK_OK,
     ActionKey,
     DataPacket,
+    Heartbeat,
+    Ping,
+    Pong,
     ReceiveCommand,
     RelayCommand,
     RepairAck,
     SendCommand,
     Shutdown,
     WriteComplete,
+    nack,
 )
 from .testbed import EmulatedTestbed, VerificationError
 from .throttle import RateLimiter, reserve_transfer, sleep_until
 from .transport import Endpoint, Network
 
 __all__ = [
+    "ACK_FAILED",
+    "ACK_OK",
     "ActionKey",
     "Agent",
     "AgentError",
@@ -27,6 +50,8 @@ __all__ = [
     "ChunkStore",
     "ClientStats",
     "CorruptChunk",
+    "CrashFault",
+    "DEFAULT_CONFIG",
     "ScrubReport",
     "Scrubber",
     "StorageClient",
@@ -34,16 +59,28 @@ __all__ = [
     "DataPacket",
     "EmulatedTestbed",
     "Endpoint",
+    "FaultInjector",
+    "FaultPlan",
+    "Heartbeat",
+    "LinkFault",
     "Network",
+    "PacketFate",
+    "Ping",
+    "Pong",
     "RateLimiter",
     "ReceiveCommand",
     "RelayCommand",
     "RepairAck",
+    "RepairFailedError",
+    "RepairTimeoutError",
+    "RuntimeConfig",
     "RuntimeResult",
     "SendCommand",
     "Shutdown",
+    "SlowNicFault",
     "WriteComplete",
     "VerificationError",
+    "nack",
     "reserve_transfer",
     "sleep_until",
 ]

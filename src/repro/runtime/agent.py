@@ -12,37 +12,54 @@ Each storage node runs an :class:`Agent` with:
 * one *decode thread per chunk being assembled*, which applies the
   GF(2^8) recovery coefficient to each arriving packet and writes the
   fully decoded chunk to disk (the paper's "one thread for decoding the
-  received packets").
+  received packets"),
+* an optional *heartbeat* thread beaconing liveness to the coordinator.
 
 Migration and reconstruction share one code path: a migration is an
 assembly with a single source whose coefficient is 1.
+
+Fault tolerance: every command carries an ``attempt`` number; stale
+packets and commands from superseded attempts are dropped, assemblies
+write to a staging file and promote atomically, failures that can be
+tied to an action are NACKed to the coordinator (instead of dying
+silently in a worker thread), and :meth:`crash` stands the whole agent
+down the way a killed process would.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from typing import Dict, Optional
+import zlib
+from typing import Dict, Optional, Set
 
 import numpy as np
 
 from ..cluster.chunk import NodeId
 from ..ec.galois import gf_addmul_bytes
+from .config import DEFAULT_CONFIG, RuntimeConfig
 from .datanode import ChunkStore
 from .messages import (
     ActionKey,
     DataPacket,
+    Heartbeat,
+    Ping,
+    Pong,
     ReceiveCommand,
     RelayCommand,
     RepairAck,
     SendCommand,
     Shutdown,
     WriteComplete,
+    nack,
 )
 from .transport import Network
 
 #: cap on buffered packets awaiting a late Receive/Relay registration
 MAX_PENDING_PACKETS = 4096
+
+#: sentinel that aborts a blocked assembly/relay worker
+_ABORT = object()
 
 
 class AgentError(RuntimeError):
@@ -53,9 +70,11 @@ class _Assembly:
     """Accumulates coefficient-scaled packets into a repaired chunk.
 
     Each packet offset is decoded in memory; once every source has
-    contributed to an offset, that packet is written to disk — so
-    receive, decode and write pipeline across packets, matching the
-    prototype's multi-threaded repair path (Section V).
+    contributed to an offset, that packet is written to the staging
+    file — so receive, decode and write pipeline across packets,
+    matching the prototype's multi-threaded repair path (Section V).
+    The staged chunk is promoted to its final path only when complete,
+    so a crashed or superseded assembly never publishes a torn chunk.
     """
 
     def __init__(self, command: ReceiveCommand, store: ChunkStore):
@@ -63,19 +82,35 @@ class _Assembly:
         self.store = store
         self.packets: "queue.Queue" = queue.Queue()
         self._buffer = np.zeros(command.chunk_size, dtype=np.uint8)
-        self._arrived: Dict[int, int] = {}
+        #: offset -> set of sources that already contributed (dedupes
+        #: duplicated packets, which would otherwise double-apply coeffs)
+        self._arrived: Dict[int, Set[NodeId]] = {}
         self._remaining_offsets = self._count_offsets()
 
     def _count_offsets(self) -> int:
         size, packet = self.command.chunk_size, self.command.packet_size
         return (size + packet - 1) // packet
 
-    def run(self) -> None:
-        """Decode-thread body: drain packets until the chunk completes."""
+    def abort(self) -> None:
+        """Unblock the decode thread; it discards staging and exits."""
+        self.packets.put(_ABORT)
+
+    def run(self) -> bool:
+        """Decode-thread body; returns False if aborted before done."""
         num_sources = len(self.command.sources)
         size = self.command.chunk_size
         while self._remaining_offsets > 0:
-            packet: DataPacket = self.packets.get()
+            packet = self.packets.get()
+            if packet is _ABORT:
+                self.store.discard_staged(self.command.stripe_id)
+                return False
+            if packet.attempt != self.command.attempt:
+                continue  # stale retry traffic
+            if (
+                packet.checksum is not None
+                and zlib.crc32(packet.payload) != packet.checksum
+            ):
+                continue  # corrupted in flight; the round trip will stall
             coeff = self.command.sources.get(packet.source)
             if coeff is None:
                 raise AgentError(
@@ -86,9 +121,12 @@ class _Assembly:
             end = packet.offset + len(data)
             if end > size:
                 raise AgentError(f"packet overruns chunk at {packet.offset}")
+            arrived = self._arrived.setdefault(packet.offset, set())
+            if packet.source in arrived:
+                continue  # duplicated delivery
+            arrived.add(packet.source)
             gf_addmul_bytes(self._buffer[packet.offset : end], coeff, data)
-            count = self._arrived.get(packet.offset, 0) + 1
-            if count == num_sources:
+            if len(arrived) == num_sources:
                 self._arrived.pop(packet.offset, None)
                 self._remaining_offsets -= 1
                 # Fully decoded packet: write it out (throttled).
@@ -97,9 +135,10 @@ class _Assembly:
                     packet.offset,
                     self._buffer[packet.offset : end].tobytes(),
                     size,
+                    staged=True,
                 )
-            else:
-                self._arrived[packet.offset] = count
+        self.store.promote(self.command.stripe_id)
+        return True
 
 
 class _Relay:
@@ -116,6 +155,9 @@ class _Relay:
         self.store = store
         self.agent = agent
         self.packets: "queue.Queue" = queue.Queue()
+
+    def abort(self) -> None:
+        self.packets.put(_ABORT)
 
     def run(self) -> None:
         command = self.command
@@ -136,17 +178,15 @@ class _Relay:
             )
             out = gf_mul_bytes(command.coeff, own)
             if not command.first:
-                upstream: DataPacket = self.packets.get()
-                if upstream.offset != offset:
-                    raise AgentError(
-                        f"pipeline packet out of order: got offset "
-                        f"{upstream.offset}, expected {offset}"
-                    )
+                upstream = self._next_upstream(offset)
+                if upstream is None:
+                    return  # aborted or superseded
                 np.bitwise_xor(
                     out,
                     np.frombuffer(upstream.payload, dtype=np.uint8),
                     out=out,
                 )
+            payload = out.tobytes()
             self.agent.network.send(
                 self.agent.node_id,
                 command.destination,
@@ -155,9 +195,38 @@ class _Relay:
                     chunk_index=command.chunk_index,
                     source=self.agent.node_id,
                     offset=offset,
-                    payload=out.tobytes(),
+                    payload=payload,
+                    attempt=command.attempt,
+                    checksum=zlib.crc32(payload),
                 ),
             )
+
+    def _next_upstream(self, offset: int) -> Optional[DataPacket]:
+        """Next valid upstream packet for ``offset``; None on abort."""
+        timeout = self.agent.ack_timeout
+        while True:
+            try:
+                upstream = self.packets.get(timeout=timeout)
+            except queue.Empty:
+                raise AgentError(
+                    f"relay {self.command.key} at node {self.agent.node_id}: "
+                    f"no upstream packet for offset {offset} within {timeout}s"
+                ) from None
+            if upstream is _ABORT:
+                return None
+            if upstream.attempt != self.command.attempt:
+                continue
+            if (
+                upstream.checksum is not None
+                and zlib.crc32(upstream.payload) != upstream.checksum
+            ):
+                continue  # corrupted partial sum; wait for a retry
+            if upstream.offset != offset:
+                raise AgentError(
+                    f"pipeline packet out of order: got offset "
+                    f"{upstream.offset}, expected {offset}"
+                )
+            return upstream
 
 
 class Agent:
@@ -172,7 +241,9 @@ class Agent:
             packet sender; 0 disables pipelining (read the whole chunk,
             then send).
         ack_timeout: seconds a sender waits for a destination's
-            :class:`WriteComplete` before giving up.
+            :class:`WriteComplete` before NACKing the coordinator
+            (defaults to ``config.ack_timeout``).
+        config: runtime timeouts and heartbeat cadence.
     """
 
     def __init__(
@@ -182,36 +253,51 @@ class Agent:
         network: Network,
         coordinator_id: NodeId,
         pipeline_depth: int = 2,
-        ack_timeout: float = 120.0,
+        ack_timeout: Optional[float] = None,
+        config: Optional[RuntimeConfig] = None,
     ):
         self.node_id = node_id
         self.store = store
         self.network = network
         self.coordinator_id = coordinator_id
         self.pipeline_depth = pipeline_depth
-        self.ack_timeout = ack_timeout
+        self.config = config or DEFAULT_CONFIG
+        self.ack_timeout = (
+            ack_timeout if ack_timeout is not None else self.config.ack_timeout
+        )
         self._endpoint = network.endpoint(node_id)
         self._assemblies: Dict[ActionKey, _Assembly] = {}
         self._relays: Dict[ActionKey, _Relay] = {}
         self._pending: Dict[ActionKey, list] = {}
+        #: newest attempt seen per action (commands are authoritative)
+        self._attempts: Dict[ActionKey, int] = {}
+        #: attempt at which an assembly last completed here
+        self._completed: Dict[ActionKey, int] = {}
         self._assembly_lock = threading.Lock()
         self._send_queue: "queue.Queue" = queue.Queue()
-        self._write_acks: Dict[ActionKey, threading.Event] = {}
+        self._write_acks: Dict[tuple, threading.Event] = {}
         self._ack_lock = threading.Lock()
         self._threads = []
         self.errors = []
         self._started = False
+        self._stop_event = threading.Event()
+        self.crashed = False
 
     # ------------------------------------------------------------------
 
-    def start(self) -> None:
+    def start(self, heartbeat: bool = False) -> None:
+        """Start the worker loops (and, optionally, heartbeats)."""
         if self._started:
             return
         self._started = True
-        for target, name in (
+        self._stop_event.clear()
+        loops = [
             (self._dispatch_loop, "dispatch"),
             (self._send_loop, "send"),
-        ):
+        ]
+        if heartbeat and self.config.heartbeat_interval > 0:
+            loops.append((self._heartbeat_loop, "heartbeat"))
+        for target, name in loops:
             thread = threading.Thread(
                 target=self._guard(target),
                 name=f"agent-{self.node_id}-{name}",
@@ -222,21 +308,62 @@ class Agent:
 
     def stop(self) -> None:
         """Stop both worker loops and join them."""
+        self._stop_event.set()
         self._endpoint.inbox.put(Shutdown())
         self._send_queue.put(None)
         for thread in self._threads:
-            thread.join(timeout=30)
+            thread.join(timeout=self.config.join_timeout)
         self._threads = []
         self._started = False
 
-    def _guard(self, fn):
+    def crash(self) -> None:
+        """Stand down as if the node's process was killed.
+
+        Aborts every in-flight assembly/relay (discarding staged
+        writes), releases blocked waiters, and silences error
+        recording — a dead node does not report anything.  The network
+        side (black-holing the endpoint) is the fault injector's job.
+        """
+        self.crashed = True
+        self._stop_event.set()
+        with self._assembly_lock:
+            for assembly in self._assemblies.values():
+                assembly.abort()
+            for relay in self._relays.values():
+                relay.abort()
+            self._assemblies.clear()
+            self._relays.clear()
+            self._pending.clear()
+        with self._ack_lock:
+            for event in self._write_acks.values():
+                event.set()
+        self._endpoint.inbox.put(Shutdown())
+        self._send_queue.put(None)
+
+    def _guard(self, fn, key: Optional[ActionKey] = None, attempt: int = 0):
         def runner():
             try:
                 fn()
-            except Exception as exc:  # pragma: no cover - surfaced in tests
-                self.errors.append(exc)
+            except Exception as exc:
+                if self.crashed:
+                    return  # dead nodes don't file reports
+                if key is not None:
+                    self._nack(key, attempt, f"{type(exc).__name__}: {exc}")
+                else:
+                    self.errors.append(exc)
 
         return runner
+
+    def _nack(self, key: ActionKey, attempt: int, detail: str) -> None:
+        """Report an action-scoped failure to the coordinator."""
+        try:
+            self.network.send(
+                self.node_id,
+                self.coordinator_id,
+                nack(key, self.node_id, attempt, detail),
+            )
+        except Exception as exc:  # pragma: no cover - coordinator gone
+            self.errors.append(exc)
 
     # ------------------------------------------------------------------
 
@@ -248,25 +375,52 @@ class Agent:
             try:
                 self._dispatch_one(message)
             except Exception as exc:
-                # Record and keep serving: one malformed message must
-                # not wedge the whole node.
-                self.errors.append(exc)
+                if self.crashed:
+                    return
+                # Surface at the repair level when the failure names an
+                # action; record otherwise.  One malformed message must
+                # not wedge the whole node either way.
+                key = getattr(message, "key", None)
+                attempt = getattr(message, "attempt", 0)
+                if key is not None:
+                    self._nack(key, attempt, f"{type(exc).__name__}: {exc}")
+                else:
+                    self.errors.append(exc)
 
     def _dispatch_one(self, message) -> None:
         if isinstance(message, ReceiveCommand):
             self._start_assembly(message)
         elif isinstance(message, SendCommand):
-            self._send_queue.put(message)
+            if self._note_attempt(message.key, message.attempt):
+                self._send_queue.put(message)
         elif isinstance(message, RelayCommand):
             self._start_relay(message)
         elif isinstance(message, DataPacket):
             self._route_packet(message)
         elif isinstance(message, WriteComplete):
-            self._ack_event(message.key).set()
+            self._ack_event((message.key, message.attempt)).set()
+        elif isinstance(message, Ping):
+            self.network.send(
+                self.node_id, self.coordinator_id, Pong(self.node_id, message.nonce)
+            )
         else:
             raise AgentError(f"unknown message {message!r}")
 
-    def _ack_event(self, key: ActionKey) -> threading.Event:
+    def _note_attempt(self, key: ActionKey, attempt: int) -> bool:
+        """Track the newest attempt per action; False if stale.
+
+        Commands arrive in issue order (per-inbox FIFO from the single
+        coordinator), so a smaller attempt than the recorded one means
+        a stale duplicate and is dropped.
+        """
+        with self._assembly_lock:
+            current = self._attempts.get(key)
+            if current is not None and attempt < current:
+                return False
+            self._attempts[key] = attempt
+            return True
+
+    def _ack_event(self, key) -> threading.Event:
         with self._ack_lock:
             event = self._write_acks.get(key)
             if event is None:
@@ -275,30 +429,49 @@ class Agent:
             return event
 
     def _start_assembly(self, command: ReceiveCommand) -> None:
+        if not self._note_attempt(command.key, command.attempt):
+            return
         assembly = _Assembly(command, self.store)
         with self._assembly_lock:
-            if command.key in self._assemblies:
-                raise AgentError(f"duplicate assembly {command.key}")
+            existing = self._assemblies.get(command.key)
+            if existing is not None:
+                if existing.command.attempt == command.attempt:
+                    raise AgentError(f"duplicate assembly {command.key}")
+                existing.abort()  # superseded by a retry
+            self._completed.pop(command.key, None)
             self._assemblies[command.key] = assembly
             for packet in self._pending.pop(command.key, []):
                 assembly.packets.put(packet)
         thread = threading.Thread(
-            target=self._guard(lambda: self._run_assembly(assembly)),
+            target=self._guard(
+                lambda: self._run_assembly(assembly),
+                key=command.key,
+                attempt=command.attempt,
+            ),
             name=f"agent-{self.node_id}-decode-{command.key}",
             daemon=True,
         )
         thread.start()
 
     def _start_relay(self, command: RelayCommand) -> None:
+        if not self._note_attempt(command.key, command.attempt):
+            return
         relay = _Relay(command, self.store, self)
         with self._assembly_lock:
-            if command.key in self._relays:
-                raise AgentError(f"duplicate relay {command.key}")
+            existing = self._relays.get(command.key)
+            if existing is not None:
+                if existing.command.attempt == command.attempt:
+                    raise AgentError(f"duplicate relay {command.key}")
+                existing.abort()
             self._relays[command.key] = relay
             for packet in self._pending.pop(command.key, []):
                 relay.packets.put(packet)
         thread = threading.Thread(
-            target=self._guard(lambda: self._run_relay(relay)),
+            target=self._guard(
+                lambda: self._run_relay(relay),
+                key=command.key,
+                attempt=command.attempt,
+            ),
             name=f"agent-{self.node_id}-relay-{command.key}",
             daemon=True,
         )
@@ -309,27 +482,40 @@ class Agent:
             relay.run()
         finally:
             with self._assembly_lock:
-                self._relays.pop(relay.command.key, None)
+                if self._relays.get(relay.command.key) is relay:
+                    self._relays.pop(relay.command.key, None)
 
     def _run_assembly(self, assembly: _Assembly) -> None:
-        assembly.run()
+        completed = assembly.run()
         key = assembly.command.key
+        attempt = assembly.command.attempt
         with self._assembly_lock:
-            del self._assemblies[key]
+            if self._assemblies.get(key) is assembly:
+                del self._assemblies[key]
+            if completed:
+                self._completed[key] = attempt
+                self._pending.pop(key, None)
+        if not completed:
+            return  # aborted: superseded attempt or crash
         # Unblock every source's synchronous round trip...
         for source in assembly.command.sources:
             self.network.send(
-                self.node_id, source, WriteComplete(key[0], key[1])
+                self.node_id, source, WriteComplete(key[0], key[1], attempt)
             )
         # ...then report completion to the coordinator.
         self.network.send(
             self.node_id,
             self.coordinator_id,
-            RepairAck(key[0], key[1], self.node_id),
+            RepairAck(key[0], key[1], self.node_id, attempt=attempt),
         )
 
     def _route_packet(self, packet: DataPacket) -> None:
         with self._assembly_lock:
+            current = self._attempts.get(packet.key)
+            if current is not None and packet.attempt < current:
+                return  # stale traffic from a superseded attempt
+            if self._completed.get(packet.key) == packet.attempt:
+                return  # late duplicate after completion
             target = self._assemblies.get(packet.key) or self._relays.get(
                 packet.key
             )
@@ -348,23 +534,67 @@ class Agent:
 
     # ------------------------------------------------------------------
 
+    def _heartbeat_loop(self) -> None:
+        interval = self.config.heartbeat_interval
+        while not self._stop_event.wait(timeout=interval):
+            if self.crashed:
+                return
+            self.network.send(
+                self.node_id, self.coordinator_id, Heartbeat(self.node_id)
+            )
+
+    # ------------------------------------------------------------------
+
     def _send_loop(self) -> None:
         while True:
             command: Optional[SendCommand] = self._send_queue.get()
             if command is None:
                 return
-            key = (command.stripe_id, command.chunk_index)
-            event = self._ack_event(key)
-            self._stream_chunk(command)
-            # Synchronous round trip: wait until the destination has
-            # durably written the repaired chunk.
-            if not event.wait(timeout=self.ack_timeout):
-                raise AgentError(
-                    f"node {self.node_id}: no WriteComplete for {key} "
-                    f"within {self.ack_timeout}s"
+            if self.crashed:
+                return
+            key = command.key
+            with self._assembly_lock:
+                if self._attempts.get(key, command.attempt) > command.attempt:
+                    continue  # superseded before we even started
+            event = self._ack_event((key, command.attempt))
+            try:
+                self._stream_chunk(command)
+            except Exception as exc:
+                if self.crashed:
+                    return
+                self._nack(
+                    key, command.attempt, f"{type(exc).__name__}: {exc}"
                 )
+                continue
+            # Synchronous round trip: wait until the destination has
+            # durably written the repaired chunk.  The wait is
+            # cancellable: a crash or a newer attempt abandons it.
+            self._await_write_complete(command, event)
+
+    def _await_write_complete(
+        self, command: SendCommand, event: threading.Event
+    ) -> None:
+        key = command.key
+        tick = self.config.poll_interval
+        waited = 0.0
+        try:
+            while not event.wait(timeout=tick):
+                waited += tick
+                if self.crashed or self._stop_event.is_set():
+                    return
+                with self._assembly_lock:
+                    if self._attempts.get(key, command.attempt) > command.attempt:
+                        return  # superseded by a retry; stop waiting
+                if waited >= self.ack_timeout:
+                    self._nack(
+                        key,
+                        command.attempt,
+                        f"no WriteComplete within {self.ack_timeout}s",
+                    )
+                    return
+        finally:
             with self._ack_lock:
-                self._write_acks.pop(key, None)
+                self._write_acks.pop((key, command.attempt), None)
 
     def _stream_chunk(self, command: SendCommand) -> None:
         """Read the local chunk packet-by-packet and stream it out."""
@@ -425,5 +655,7 @@ class Agent:
                 source=self.node_id,
                 offset=offset,
                 payload=payload,
+                attempt=command.attempt,
+                checksum=zlib.crc32(payload),
             ),
         )

@@ -1,0 +1,74 @@
+"""Runtime tuning knobs for the coordinator/agent testbed.
+
+Every timeout that used to be a magic constant in the runtime lives
+here, so tests can run with tight deadlines and production-like runs
+can relax them.  The coordinator derives its *per-round* deadlines
+from the Section III cost model (see
+:meth:`~repro.runtime.coordinator.Coordinator._round_deadline`); the
+values below bound and scale those estimates rather than replacing
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Timeouts, retry policy and health-check cadence of the runtime.
+
+    Attributes:
+        ack_timeout: ceiling (seconds) a sending agent waits for the
+            destination's ``WriteComplete`` before NACKing the
+            coordinator.  Also bounds a relay stage's wait for its
+            upstream partial sum.
+        join_timeout: seconds :meth:`Agent.stop` waits for each worker
+            thread to exit.
+        deadline_margin: multiplier applied to the cost-model estimate
+            of a round's duration to obtain the coordinator's ACK
+            deadline (covers emulation jitter and benign contention).
+        min_deadline: floor (seconds) for any coordinator wait, so tiny
+            test chunks do not produce sub-millisecond deadlines.
+        max_retries: bounded per-action retries for transient faults
+            (lost/corrupt packets, spurious NACKs) before the repair
+            fails.
+        backoff_base: first retry backoff (seconds).
+        backoff_factor: exponential growth factor of the backoff.
+        backoff_cap: upper bound (seconds) on a single backoff sleep.
+        probe_timeout: seconds the coordinator waits for ``Pong``
+            replies when deciding whether a silent node is dead.
+        heartbeat_interval: agent -> coordinator heartbeat period in
+            seconds; ``0`` disables heartbeats.
+        poll_interval: granularity (seconds) of the coordinator's
+            inbox polls and the agents' cancellable waits.
+    """
+
+    ack_timeout: float = 120.0
+    join_timeout: float = 30.0
+    deadline_margin: float = 4.0
+    min_deadline: float = 5.0
+    max_retries: int = 3
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_cap: float = 5.0
+    probe_timeout: float = 2.0
+    heartbeat_interval: float = 0.5
+    poll_interval: float = 0.25
+
+    def __post_init__(self):
+        if self.ack_timeout <= 0 or self.min_deadline <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.deadline_margin < 1.0:
+            raise ValueError("deadline_margin must be >= 1")
+
+    def backoff(self, retry: int) -> float:
+        """Backoff before the ``retry``-th reissue (1-based)."""
+        delay = self.backoff_base * self.backoff_factor ** max(retry - 1, 0)
+        return min(delay, self.backoff_cap)
+
+
+#: defaults used when no config is passed anywhere
+DEFAULT_CONFIG = RuntimeConfig()

@@ -1,24 +1,49 @@
-"""The FastPR coordinator (Section V).
+"""The FastPR coordinator (Section V), as a supervised state machine.
 
 Deployed alongside the NameNode in the paper; here it drives the
 emulated testbed.  Per repair round it sends every destination a
 :class:`ReceiveCommand` (with GF recovery coefficients) and every
-source a :class:`SendCommand`, then blocks until all repaired chunks
-are acknowledged before starting the next round.
+source a :class:`SendCommand`, then supervises the round to completion:
+
+* **deadlines** per round are derived from the Section III cost model
+  (``deadline_margin`` x the estimated round time, floored at
+  ``min_deadline``) instead of a magic constant;
+* on a missed deadline or a NACK the coordinator **probes** the
+  involved nodes (Ping/Pong, backed by passive heartbeats) to separate
+  the slow from the dead;
+* **transient** stalls (lost or corrupted packets, spurious NACKs) get
+  bounded retries with exponential backoff — every reissue bumps the
+  action's ``attempt`` so stale traffic cannot contaminate the fresh
+  assembly;
+* **permanent** failures are replanned via
+  :func:`repro.core.planner.heal_action`: if the STF node dies
+  mid-repair its unmigrated chunks fall back to pure reconstruction
+  (the paper's hybrid -> reconstruction fallback), a dead helper is
+  replaced by a surviving stripe peer, a dead destination is re-chosen.
+
+The run fails loudly — :class:`RepairTimeoutError` names the pending
+action keys, :class:`RepairFailedError` the unrecoverable one — rather
+than hanging on a bare ``inbox.get``.
 """
 
 from __future__ import annotations
 
+import queue
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..cluster.chunk import NodeId
 from ..cluster.cluster import StorageCluster
 from ..core.plan import ChunkRepairAction, RepairMethod, RepairPlan
+from ..core.planner import UnrecoverableChunkError, heal_action
 from ..ec.codec import ErasureCodec
+from .config import DEFAULT_CONFIG, RuntimeConfig
 from .messages import (
     ActionKey,
+    Heartbeat,
+    Ping,
+    Pong,
     ReceiveCommand,
     RelayCommand,
     RepairAck,
@@ -30,6 +55,24 @@ from .transport import Network
 COORDINATOR_ID: NodeId = -1
 
 
+class RepairTimeoutError(RuntimeError):
+    """Retries exhausted with actions still pending; names them."""
+
+    def __init__(self, pending: Sequence[ActionKey], detail: str = ""):
+        self.pending = sorted(pending)
+        shown = ", ".join(map(str, self.pending[:8]))
+        if len(self.pending) > 8:
+            shown += f", ... ({len(self.pending)} total)"
+        message = f"repair timed out with pending actions: {shown}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+class RepairFailedError(RuntimeError):
+    """A chunk became unrepairable (e.g. too many nodes died)."""
+
+
 @dataclass
 class RuntimeResult:
     """Wall-clock outcome of executing a plan on the emulated testbed."""
@@ -38,6 +81,18 @@ class RuntimeResult:
     round_times: List[float] = field(default_factory=list)
     chunks_repaired: int = 0
     bytes_transferred: int = 0
+    #: bounded reissues after transient stalls or NACKs
+    retries: int = 0
+    #: healing waves after a node was declared dead
+    replans: int = 0
+    #: NACKs received from agents
+    nacks: int = 0
+    #: migrations converted to reconstructions (STF died mid-repair)
+    converted_migrations: int = 0
+    #: nodes declared permanently dead during the run
+    dead_nodes: List[NodeId] = field(default_factory=list)
+    #: final (possibly healed) version of every executed action
+    executed_actions: List[ChunkRepairAction] = field(default_factory=list)
 
     @property
     def time_per_chunk(self) -> float:
@@ -45,9 +100,14 @@ class RuntimeResult:
             return 0.0
         return self.total_time / self.chunks_repaired
 
+    @property
+    def degraded(self) -> bool:
+        """True if the repair needed any fault handling to finish."""
+        return bool(self.retries or self.replans or self.dead_nodes or self.nacks)
+
 
 class Coordinator:
-    """Issues repair commands round by round and awaits ACKs.
+    """Issues repair commands round by round and supervises the ACKs.
 
     Args:
         network: the shared transport (the coordinator attaches itself
@@ -55,6 +115,7 @@ class Coordinator:
         cluster: metadata for stripe lookups.
         codec: the erasure codec of the stripes (uniform).
         packet_size: packet granularity for all transfers.
+        config: deadlines, retry policy and probe cadence.
     """
 
     def __init__(
@@ -63,17 +124,28 @@ class Coordinator:
         cluster: StorageCluster,
         codec: ErasureCodec,
         packet_size: int,
+        config: Optional[RuntimeConfig] = None,
     ):
         self.network = network
         self.cluster = cluster
         self.codec = codec
         self.packet_size = packet_size
+        self.config = config or DEFAULT_CONFIG
         self._endpoint = network.attach(COORDINATOR_ID, None)
+        #: nodes declared permanently dead (persists across rounds)
+        self._dead: Set[NodeId] = set()
+        self._last_seen: Dict[NodeId, float] = {}
+        self._deferred: List[object] = []
+        self._nonce = 0
 
     def execute(
         self, plan: RepairPlan, packet_size: Optional[int] = None
     ) -> RuntimeResult:
         """Run the plan to completion; returns wall-clock timings.
+
+        Survives node deaths and packet-level faults per the module
+        docstring; raises :class:`RepairTimeoutError` /
+        :class:`RepairFailedError` when recovery is impossible.
 
         Args:
             plan: the repair plan.
@@ -82,46 +154,236 @@ class Coordinator:
         """
         packet = packet_size or self.packet_size
         transferred_before = self.network.bytes_transferred
-        round_times: List[float] = []
+        result = RuntimeResult(total_time=0.0)
+        self._dead = set()
         start = time.monotonic()
         for round_ in plan.rounds:
             round_start = time.monotonic()
-            expected = self._issue_round(
-                plan.stf_node, list(round_.actions()), packet
-            )
-            self._await_acks(expected)
-            round_times.append(time.monotonic() - round_start)
-        total = time.monotonic() - start
-        return RuntimeResult(
-            total_time=total,
-            round_times=round_times,
-            chunks_repaired=plan.total_chunks,
-            bytes_transferred=self.network.bytes_transferred - transferred_before,
+            self._run_round(plan, list(round_.actions()), packet, result)
+            result.round_times.append(time.monotonic() - round_start)
+        result.total_time = time.monotonic() - start
+        result.chunks_repaired = plan.total_chunks
+        result.bytes_transferred = (
+            self.network.bytes_transferred - transferred_before
         )
+        result.dead_nodes = sorted(self._dead)
+        return result
 
-    # ------------------------------------------------------------------
+    # -- the supervised round state machine ----------------------------
 
-    def _issue_round(
+    def _run_round(
         self,
-        stf_node: NodeId,
-        actions: List[ChunkRepairAction],
-        packet_size: int,
-    ) -> Set[ActionKey]:
-        expected: Set[ActionKey] = set()
-        chunk_size = self.cluster.chunk_size
-        for action in actions:
-            if (
-                action.method is RepairMethod.RECONSTRUCTION
-                and action.pipelined
-            ):
-                self._issue_pipelined(action, chunk_size, packet_size)
+        plan: RepairPlan,
+        round_actions: List[ChunkRepairAction],
+        packet: int,
+        result: RuntimeResult,
+    ) -> None:
+        cfg = self.config
+        actions: Dict[ActionKey, ChunkRepairAction] = {}
+        attempts: Dict[ActionKey, int] = {}
+        retries: Dict[ActionKey, int] = {}
+        for action in round_actions:
+            healed = self._heal(plan, action, result)
+            key = (action.stripe_id, action.chunk_index)
+            actions[key] = healed
+            attempts[key] = 0
+            retries[key] = 0
+            self._issue(healed, packet, attempt=0)
+        pending: Set[ActionKey] = set(actions)
+        deadline = time.monotonic() + self._round_deadline(actions.values())
+        while pending:
+            now = time.monotonic()
+            if now >= deadline:
+                self._recover(
+                    plan, actions, pending, attempts, retries, packet, result,
+                    reason="deadline",
+                )
+                deadline = time.monotonic() + self._round_deadline(
+                    [actions[k] for k in pending]
+                )
+                continue
+            message = self._next_message(min(deadline - now, cfg.poll_interval))
+            if message is None:
+                continue
+            if isinstance(message, Heartbeat):
+                self._last_seen[message.node_id] = time.monotonic()
+            elif isinstance(message, Pong):
+                self._last_seen[message.node_id] = time.monotonic()
+            elif isinstance(message, RepairAck):
+                self._last_seen[message.node_id] = time.monotonic()
+                key = message.key
+                if key not in pending or message.attempt != attempts[key]:
+                    continue  # stale or duplicate (already-handled) ack
+                if message.ok:
+                    pending.discard(key)
+                else:
+                    result.nacks += 1
+                    self._recover(
+                        plan, actions, {key}, attempts, retries, packet, result,
+                        reason=f"NACK from node {message.node_id}: "
+                        f"{message.detail}",
+                    )
+                    deadline = max(
+                        deadline,
+                        time.monotonic()
+                        + self._round_deadline([actions[k] for k in pending]),
+                    )
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"coordinator got unexpected {message!r}")
+        result.executed_actions.extend(actions.values())
+
+    def _recover(
+        self,
+        plan: RepairPlan,
+        actions: Dict[ActionKey, ChunkRepairAction],
+        keys: Set[ActionKey],
+        attempts: Dict[ActionKey, int],
+        retries: Dict[ActionKey, int],
+        packet: int,
+        result: RuntimeResult,
+        reason: str,
+    ) -> None:
+        """Deadline missed or NACK received: probe, replan, reissue."""
+        cfg = self.config
+        suspects = set()
+        for key in keys:
+            action = actions[key]
+            suspects.update(action.sources)
+            suspects.add(action.destination)
+        suspects -= self._dead
+        newly_dead = suspects - self._probe(suspects)
+        if newly_dead:
+            self._dead |= newly_dead
+            result.replans += 1
+            for key in sorted(keys):
+                actions[key] = self._heal(plan, actions[key], result)
+                attempts[key] += 1
+                self._issue(actions[key], packet, attempts[key])
+            return
+        # Every suspect answered: the stall is transient (lost packets,
+        # wedged transfer).  Bounded retry with exponential backoff.
+        for key in sorted(keys):
+            retries[key] += 1
+            if retries[key] > cfg.max_retries:
+                raise RepairTimeoutError(
+                    keys,
+                    detail=f"{cfg.max_retries} retries exhausted; last "
+                    f"cause: {reason}",
+                )
+        backoff = cfg.backoff(max(retries[key] for key in keys))
+        time.sleep(backoff)
+        result.retries += len(keys)
+        for key in sorted(keys):
+            attempts[key] += 1
+            self._issue(actions[key], packet, attempts[key])
+
+    def _heal(
+        self,
+        plan: RepairPlan,
+        action: ChunkRepairAction,
+        result: RuntimeResult,
+    ) -> ChunkRepairAction:
+        if not self._dead:
+            return action
+        try:
+            healed = heal_action(
+                self.cluster, plan.stf_node, action, self._dead, plan.scenario
+            )
+        except UnrecoverableChunkError as exc:
+            raise RepairFailedError(str(exc)) from exc
+        if (
+            healed.method is RepairMethod.RECONSTRUCTION
+            and action.method is RepairMethod.MIGRATION
+        ):
+            result.converted_migrations += 1
+        return healed
+
+    # -- liveness ------------------------------------------------------
+
+    def _probe(self, nodes: Set[NodeId]) -> Set[NodeId]:
+        """Ping ``nodes``; returns the subset that answered in time."""
+        if not nodes:
+            return set()
+        self._nonce += 1
+        nonce = self._nonce
+        for node in nodes:
+            try:
+                self.network.send(COORDINATOR_ID, node, Ping(nonce))
+            except KeyError:
+                pass  # detached endpoint: definitely dead
+        alive: Set[NodeId] = set()
+        deadline = time.monotonic() + self.config.probe_timeout
+        while time.monotonic() < deadline and alive != nodes:
+            try:
+                message = self._endpoint.inbox.get(
+                    timeout=max(deadline - time.monotonic(), 0.01)
+                )
+            except queue.Empty:
+                break
+            if isinstance(message, Pong):
+                self._last_seen[message.node_id] = time.monotonic()
+                if message.nonce == nonce and message.node_id in nodes:
+                    alive.add(message.node_id)
+            elif isinstance(message, Heartbeat):
+                self._last_seen[message.node_id] = time.monotonic()
+                if message.node_id in nodes:
+                    alive.add(message.node_id)
             else:
-                self._issue_star(action, chunk_size, packet_size)
-            expected.add((action.stripe_id, action.chunk_index))
-        return expected
+                # Not consumable here (e.g. a RepairAck racing the
+                # probe); defer to the main loop in arrival order.
+                self._deferred.append(message)
+        return alive
+
+    def _next_message(self, timeout: float):
+        if self._deferred:
+            return self._deferred.pop(0)
+        try:
+            return self._endpoint.inbox.get(timeout=max(timeout, 0.01))
+        except queue.Empty:
+            return None
+
+    # -- deadlines from the cost model ---------------------------------
+
+    def _round_deadline(self, actions) -> float:
+        """Cost-model-derived ACK deadline for a batch of actions.
+
+        Sums the Eq. (4)/(5) per-chunk estimates (reads + transfers +
+        write) — a deliberate over-approximation of the round's
+        critical path — then applies the configured margin and floor.
+        A node is only declared *suspect* after this budget elapses,
+        so the estimate errs long, never short.
+        """
+        cfg = self.config
+        chunk = self.cluster.chunk_size
+        disk = self.cluster.disk_bandwidth or float("inf")
+        net = self.cluster.network_bandwidth or float("inf")
+        disk_time = chunk / disk
+        net_time = chunk / net
+        estimate = 0.0
+        for action in actions:
+            if action.method is RepairMethod.MIGRATION:
+                estimate += 2 * disk_time + net_time
+            else:
+                estimate += 2 * disk_time + len(action.sources) * net_time
+        return max(cfg.min_deadline, cfg.deadline_margin * estimate)
+
+    # -- command issue --------------------------------------------------
+
+    def _issue(
+        self, action: ChunkRepairAction, packet_size: int, attempt: int
+    ) -> None:
+        chunk_size = self.cluster.chunk_size
+        if action.method is RepairMethod.RECONSTRUCTION and action.pipelined:
+            self._issue_pipelined(action, chunk_size, packet_size, attempt)
+        else:
+            self._issue_star(action, chunk_size, packet_size, attempt)
 
     def _issue_star(
-        self, action: ChunkRepairAction, chunk_size: int, packet_size: int
+        self,
+        action: ChunkRepairAction,
+        chunk_size: int,
+        packet_size: int,
+        attempt: int,
     ) -> None:
         """Conventional fan-in: every source sends to the destination."""
         sources = self._source_coefficients(action)
@@ -131,6 +393,7 @@ class Coordinator:
             chunk_size=chunk_size,
             packet_size=packet_size,
             sources=sources,
+            attempt=attempt,
         )
         # The ReceiveCommand must precede any data packet; per-inbox
         # FIFO plus issuing it first guarantees that.
@@ -144,11 +407,16 @@ class Coordinator:
                     chunk_index=action.chunk_index,
                     destination=action.destination,
                     packet_size=packet_size,
+                    attempt=attempt,
                 ),
             )
 
     def _issue_pipelined(
-        self, action: ChunkRepairAction, chunk_size: int, packet_size: int
+        self,
+        action: ChunkRepairAction,
+        chunk_size: int,
+        packet_size: int,
+        attempt: int,
     ) -> None:
         """Repair pipelining: helpers chain partial sums to the destination."""
         coeffs = self._source_coefficients(action)
@@ -163,6 +431,7 @@ class Coordinator:
                 chunk_size=chunk_size,
                 packet_size=packet_size,
                 sources={last: 1},
+                attempt=attempt,
             ),
         )
         # Register stages downstream-first so each hop (usually) exists
@@ -182,6 +451,7 @@ class Coordinator:
                     coeff=coeffs[node],
                     first=(i == 0),
                     upstream=chain[i - 1] if i > 0 else -1,
+                    attempt=attempt,
                 ),
             )
 
@@ -198,12 +468,3 @@ class Coordinator:
         return {
             node: coeffs[stripe.chunk_index_on(node)] for node in action.sources
         }
-
-    def _await_acks(self, expected: Set[ActionKey]) -> None:
-        pending = set(expected)
-        while pending:
-            message = self._endpoint.inbox.get(timeout=120)
-            if isinstance(message, RepairAck):
-                pending.discard(message.key)
-            else:  # pragma: no cover - defensive
-                raise RuntimeError(f"coordinator got unexpected {message!r}")

@@ -36,6 +36,9 @@ class ChunkStore:
     def _path(self, stripe_id: StripeId) -> Path:
         return self.root / f"stripe_{stripe_id}.chunk"
 
+    def _staging_path(self, stripe_id: StripeId) -> Path:
+        return self.root / f"stripe_{stripe_id}.chunk.part"
+
     # ------------------------------------------------------------------
 
     def put(self, stripe_id: StripeId, data: bytes, throttled: bool = False) -> None:
@@ -74,11 +77,21 @@ class ChunkStore:
         return data
 
     def write_packet(
-        self, stripe_id: StripeId, offset: int, data: bytes, total_size: int
+        self,
+        stripe_id: StripeId,
+        offset: int,
+        data: bytes,
+        total_size: int,
+        staged: bool = False,
     ) -> None:
-        """Write one packet of a chunk being assembled."""
+        """Write one packet of a chunk being assembled.
+
+        With ``staged=True`` the packet lands in a ``.part`` staging
+        file that only becomes the chunk on :meth:`promote` — so a
+        crashed or retried assembly never leaves a torn chunk behind.
+        """
         self.disk.throttle(len(data))
-        path = self._path(stripe_id)
+        path = self._staging_path(stripe_id) if staged else self._path(stripe_id)
         if not path.exists():
             # Pre-size the file so packets may land in any order.
             with open(path, "wb") as f:
@@ -86,7 +99,30 @@ class ChunkStore:
         with open(path, "r+b") as f:
             f.seek(offset)
             f.write(data)
-        self._sizes[stripe_id] = total_size
+        if not staged:
+            self._sizes[stripe_id] = total_size
+
+    def promote(self, stripe_id: StripeId) -> None:
+        """Atomically publish a fully assembled staged chunk.
+
+        ``os.replace`` is atomic on POSIX, so readers see either the
+        old chunk (if any) or the complete new one — never a torn mix.
+        """
+        staging = self._staging_path(stripe_id)
+        if not staging.exists():
+            raise FileNotFoundError(
+                f"node {self.node_id}: no staged chunk for stripe {stripe_id}"
+            )
+        size = staging.stat().st_size
+        os.replace(staging, self._path(stripe_id))
+        self._sizes[stripe_id] = size
+
+    def discard_staged(self, stripe_id: StripeId) -> None:
+        """Drop a partial staged assembly (aborted or superseded)."""
+        try:
+            os.remove(self._staging_path(stripe_id))
+        except FileNotFoundError:
+            pass
 
     def read(self, stripe_id: StripeId, throttled: bool = False) -> bytes:
         """Read a whole chunk (verification; unthrottled by default)."""

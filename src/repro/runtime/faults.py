@@ -1,0 +1,363 @@
+"""Deterministic fault injection for the emulated testbed.
+
+FastPR's whole premise is a *soon-to-fail* node, so the runtime must
+survive the STF node (or any helper) actually dying mid-repair, plus
+the usual network pathologies.  This module defines a declarative
+:class:`FaultPlan` — node crashes, packet drop/delay/duplication,
+payload corruption, slow-NIC degradation — and a :class:`FaultInjector`
+that the :class:`~repro.runtime.transport.Network` consults on every
+send.  All probabilistic decisions come from per-link RNG streams
+seeded from ``(seed, src, dst)``, so a plan replays identically
+regardless of thread interleaving.
+
+Crash semantics: a crashed node is a black hole.  Messages from or to
+it are silently dropped (like a dead TCP peer), its agent is told to
+stand down via the injector's ``on_crash`` callback, and the
+coordinator discovers the death through missed ACK deadlines plus an
+explicit ping probe.  Nothing in the repair protocol is told about the
+crash out of band.
+
+The same crash specs drive the discrete-event simulator
+(:meth:`repro.sim.simulator.RepairSimulator.run` accepts a
+``FaultPlan``), so simulated and emulated degraded repairs agree on
+the failure model.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..cluster.chunk import NodeId
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """One node dies permanently.
+
+    Exactly one trigger should be set:
+
+    Attributes:
+        node: the node that dies.
+        at_time: seconds after :meth:`FaultInjector.start` at which the
+            endpoint goes dark.
+        after_sent_bytes: the node dies once it has sent at least this
+            many data-payload bytes (use to kill the STF node at a
+            given migration progress, deterministically).
+        after_recv_bytes: the node dies once it has received at least
+            this many data-payload bytes.
+    """
+
+    node: NodeId
+    at_time: Optional[float] = None
+    after_sent_bytes: Optional[int] = None
+    after_recv_bytes: Optional[int] = None
+
+    def __post_init__(self):
+        triggers = [
+            t
+            for t in (self.at_time, self.after_sent_bytes, self.after_recv_bytes)
+            if t is not None
+        ]
+        if len(triggers) != 1:
+            raise ValueError("CrashFault needs exactly one trigger")
+        if triggers[0] < 0:
+            raise ValueError("crash trigger must be non-negative")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Packet-level impairments on a link (data packets only).
+
+    Control messages (commands, ACKs, pings) are never impaired by a
+    LinkFault — the runtime treats them as reliably delivered unless a
+    node has crashed; transient loss is modeled where it hurts, on the
+    throttled data path.
+
+    Attributes:
+        drop: probability a data packet is dropped.
+        duplicate: probability a data packet is delivered twice.
+        corrupt: probability one byte of the payload is flipped (the
+            per-packet checksum catches it at the receiver).
+        delay: fixed extra latency (seconds) added to every packet.
+        src / dst: restrict the fault to one link end; ``None`` = any.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    delay: float = 0.0
+    src: Optional[NodeId] = None
+    dst: Optional[NodeId] = None
+
+    def __post_init__(self):
+        for p in (self.drop, self.duplicate, self.corrupt):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"probability {p} outside [0, 1]")
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+
+    def applies(self, src: NodeId, dst: NodeId) -> bool:
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+
+@dataclass(frozen=True)
+class SlowNicFault:
+    """Degrade a node's NIC bandwidth by ``factor`` at ``at_time``.
+
+    Models the paper's motivating scenario of a soon-to-fail machine
+    limping along: the node stays alive but its links slow down.
+    """
+
+    node: NodeId
+    factor: float
+    at_time: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 < self.factor <= 1.0:
+            raise ValueError("factor must be in (0, 1]")
+        if self.at_time < 0:
+            raise ValueError("at_time must be non-negative")
+
+
+@dataclass
+class FaultPlan:
+    """A declarative, seeded set of faults for one repair run."""
+
+    crashes: List[CrashFault] = field(default_factory=list)
+    links: List[LinkFault] = field(default_factory=list)
+    slow_nics: List[SlowNicFault] = field(default_factory=list)
+    seed: int = 0
+
+    def crash_times(self) -> List[CrashFault]:
+        """Time-triggered crashes, sorted (for the simulator mirror)."""
+        timed = [c for c in self.crashes if c.at_time is not None]
+        return sorted(timed, key=lambda c: c.at_time)
+
+
+@dataclass(frozen=True)
+class PacketFate:
+    """The injector's verdict on one data packet."""
+
+    deliver: bool = True
+    copies: int = 1
+    extra_delay: float = 0.0
+    payload: Optional[bytes] = None  # replacement payload if corrupted
+
+
+_DELIVER = PacketFate()
+_DROP = PacketFate(deliver=False)
+
+
+class FaultInjector:
+    """Runtime realization of a :class:`FaultPlan`.
+
+    Thread-safe; consulted by :meth:`Network.send` on every message.
+
+    Args:
+        plan: the faults to inject.
+        on_crash: callback invoked exactly once per node death (the
+            testbed uses it to stand the node's agent down).  Called
+            from whichever thread happened to trip the trigger — keep
+            it non-blocking.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan] = None,
+        on_crash: Optional[Callable[[NodeId], None]] = None,
+    ):
+        self.plan = plan or FaultPlan()
+        self.on_crash = on_crash
+        self._lock = threading.Lock()
+        self._crashed: Set[NodeId] = set()
+        self._epoch: Optional[float] = None
+        self._sent_bytes: Dict[NodeId, int] = {}
+        self._recv_bytes: Dict[NodeId, int] = {}
+        self._rngs: Dict[Tuple[NodeId, NodeId], "_LinkRng"] = {}
+        self._pending_slowdowns = sorted(
+            self.plan.slow_nics, key=lambda s: s.at_time
+        )
+        #: telemetry: packets dropped / duplicated / corrupted / delayed
+        self.stats = {"dropped": 0, "duplicated": 0, "corrupted": 0, "delayed": 0}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """(Re)start the fault clock; call at the start of a repair."""
+        with self._lock:
+            self._epoch = time.monotonic()
+
+    def _now(self) -> float:
+        if self._epoch is None:
+            self.start()
+        return time.monotonic() - self._epoch
+
+    # -- crash handling --------------------------------------------------
+
+    def is_crashed(self, node: NodeId) -> bool:
+        with self._lock:
+            return node in self._crashed
+
+    @property
+    def crashed_nodes(self) -> Set[NodeId]:
+        with self._lock:
+            return set(self._crashed)
+
+    def kill(self, node: NodeId) -> None:
+        """Crash a node immediately (manual trigger)."""
+        self._mark_crashed(node)
+
+    def _mark_crashed(self, node: NodeId) -> None:
+        with self._lock:
+            if node in self._crashed:
+                return
+            self._crashed.add(node)
+        if self.on_crash is not None:
+            self.on_crash(node)
+
+    def _fire_due_crashes(self) -> None:
+        now = self._now()
+        due = []
+        with self._lock:
+            for crash in self.plan.crashes:
+                if crash.node in self._crashed:
+                    continue
+                if crash.at_time is not None and now >= crash.at_time:
+                    due.append(crash.node)
+        for node in due:
+            self._mark_crashed(node)
+
+    def _count_bytes(self, src: NodeId, dst: NodeId, nbytes: int) -> None:
+        due = []
+        with self._lock:
+            sent = self._sent_bytes[src] = self._sent_bytes.get(src, 0) + nbytes
+            recv = self._recv_bytes[dst] = self._recv_bytes.get(dst, 0) + nbytes
+            for crash in self.plan.crashes:
+                if crash.node in self._crashed:
+                    continue
+                if (
+                    crash.after_sent_bytes is not None
+                    and crash.node == src
+                    and sent >= crash.after_sent_bytes
+                ):
+                    due.append(crash.node)
+                if (
+                    crash.after_recv_bytes is not None
+                    and crash.node == dst
+                    and recv >= crash.after_recv_bytes
+                ):
+                    due.append(crash.node)
+        for node in due:
+            self._mark_crashed(node)
+
+    # -- network hooks ---------------------------------------------------
+
+    def tick(self, network) -> None:
+        """Apply time-based faults that are due (crashes, slow NICs)."""
+        self._fire_due_crashes()
+        now = self._now()
+        with self._lock:
+            due = [s for s in self._pending_slowdowns if s.at_time <= now]
+            if not due:
+                return
+            self._pending_slowdowns = [
+                s for s in self._pending_slowdowns if s.at_time > now
+            ]
+        for slow in due:
+            network.scale_bandwidth(slow.node, slow.factor)
+
+    def filter_message(self, src: NodeId, dst: NodeId) -> bool:
+        """True if a control/data message may pass at all."""
+        with self._lock:
+            return src not in self._crashed and dst not in self._crashed
+
+    def on_data_packet(self, src: NodeId, dst: NodeId, packet) -> PacketFate:
+        """Decide the fate of one data packet; counts crash-trigger bytes.
+
+        The byte counters charge the *attempted* send (the bytes left
+        the NIC even if the packet is then lost), so byte-triggered
+        crashes fire at a deterministic point in the stream.
+        """
+        nbytes = len(packet.payload)
+        self._count_bytes(src, dst, nbytes)
+        with self._lock:
+            if src in self._crashed or dst in self._crashed:
+                return _DROP
+        faults = [f for f in self.plan.links if f.applies(src, dst)]
+        if not faults:
+            return _DELIVER
+        rng = self._link_rng(src, dst)
+        deliver = True
+        copies = 1
+        extra_delay = 0.0
+        payload: Optional[bytes] = None
+        for fault in faults:
+            if fault.drop and rng.chance(fault.drop):
+                deliver = False
+            if fault.duplicate and rng.chance(fault.duplicate):
+                copies = 2
+            if fault.corrupt and rng.chance(fault.corrupt):
+                data = bytearray(payload if payload is not None else packet.payload)
+                if data:
+                    data[rng.randrange(len(data))] ^= 0xFF
+                payload = bytes(data)
+            if fault.delay:
+                extra_delay += fault.delay
+        if not deliver:
+            with self._lock:
+                self.stats["dropped"] += 1
+            return _DROP
+        with self._lock:
+            if copies > 1:
+                self.stats["duplicated"] += 1
+            if payload is not None:
+                self.stats["corrupted"] += 1
+            if extra_delay:
+                self.stats["delayed"] += 1
+        return PacketFate(
+            deliver=True, copies=copies, extra_delay=extra_delay, payload=payload
+        )
+
+    def _link_rng(self, src: NodeId, dst: NodeId) -> "_LinkRng":
+        with self._lock:
+            rng = self._rngs.get((src, dst))
+            if rng is None:
+                rng = _LinkRng(self.plan.seed, src, dst)
+                self._rngs[(src, dst)] = rng
+            return rng
+
+
+class _LinkRng:
+    """Deterministic per-link random stream (seeded by seed/src/dst).
+
+    Each link gets its own stream so the decision sequence on a link
+    depends only on the packet order *on that link* — which per-chunk
+    streaming makes deterministic — not on global thread interleaving.
+    """
+
+    def __init__(self, seed: int, src: NodeId, dst: NodeId):
+        import random
+        import zlib
+
+        # str/tuple __hash__ is salted per process; crc32 is stable, so
+        # a FaultPlan replays identically across runs.
+        self._rng = random.Random(zlib.crc32(f"{seed}:{src}:{dst}".encode()))
+        self._lock = threading.Lock()
+
+    def chance(self, p: float) -> bool:
+        with self._lock:
+            return self._rng.random() < p
+
+    def randrange(self, n: int) -> int:
+        with self._lock:
+            return self._rng.randrange(n)
+
+
+def corrupted(packet, payload: bytes):
+    """Return a copy of ``packet`` with its payload replaced."""
+    return replace(packet, payload=payload)

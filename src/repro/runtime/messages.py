@@ -4,17 +4,36 @@ The coordinator instructs agents with command messages; agents move
 chunk data as packet messages and acknowledge completed repairs.  All
 messages are small dataclasses delivered over the in-process transport;
 only :class:`DataPacket` payloads are bandwidth-throttled.
+
+Fault tolerance additions:
+
+* every command, packet and ACK carries an ``attempt`` number so a
+  retried action never mixes packets from a superseded attempt into a
+  fresh assembly;
+* :class:`RepairAck` doubles as a NACK via ``status`` / ``detail``, so
+  agent-side failures surface at the coordinator instead of dying in a
+  worker thread;
+* :class:`DataPacket` carries a CRC so corrupted payloads are dropped
+  at the receiver (the sender's synchronous round trip then stalls and
+  the coordinator retries the action);
+* :class:`Heartbeat` / :class:`Ping` / :class:`Pong` let the
+  coordinator distinguish a slow node from a dead one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..cluster.chunk import NodeId, StripeId
 
 #: identifies one chunk-repair action: (stripe, chunk index)
 ActionKey = Tuple[StripeId, int]
+
+#: RepairAck.status value for a successful repair
+ACK_OK = "ok"
+#: RepairAck.status value for an agent-side failure (a NACK)
+ACK_FAILED = "failed"
 
 
 @dataclass(frozen=True)
@@ -30,6 +49,8 @@ class ReceiveCommand:
         chunk_size: total bytes of the chunk.
         packet_size: packet granularity of the incoming transfers.
         sources: source node -> GF(2^8) coefficient.
+        attempt: retry generation; packets from other attempts are
+            ignored by the assembly.
     """
 
     stripe_id: StripeId
@@ -37,6 +58,7 @@ class ReceiveCommand:
     chunk_size: int
     packet_size: int
     sources: Dict[NodeId, int] = field(default_factory=dict)
+    attempt: int = 0
 
     @property
     def key(self) -> ActionKey:
@@ -57,6 +79,11 @@ class SendCommand:
     chunk_index: int
     destination: NodeId
     packet_size: int
+    attempt: int = 0
+
+    @property
+    def key(self) -> ActionKey:
+        return (self.stripe_id, self.chunk_index)
 
 
 @dataclass(frozen=True)
@@ -81,6 +108,7 @@ class RelayCommand:
     first: bool
     #: the upstream node (unset when first)
     upstream: NodeId = -1
+    attempt: int = 0
 
     @property
     def key(self) -> ActionKey:
@@ -89,13 +117,20 @@ class RelayCommand:
 
 @dataclass(frozen=True)
 class DataPacket:
-    """One packet of chunk data in flight."""
+    """One packet of chunk data in flight.
+
+    ``checksum`` is the CRC32 of the payload as the sender produced it;
+    a receiver drops any packet whose payload no longer matches (fault
+    injection can corrupt payloads in flight).
+    """
 
     stripe_id: StripeId
     chunk_index: int
     source: NodeId
     offset: int
     payload: bytes
+    attempt: int = 0
+    checksum: Optional[int] = None
 
     @property
     def key(self) -> ActionKey:
@@ -104,15 +139,42 @@ class DataPacket:
 
 @dataclass(frozen=True)
 class RepairAck:
-    """Destination -> coordinator: one chunk fully repaired."""
+    """Destination -> coordinator: one chunk repaired — or NACKed.
+
+    ``status == ACK_OK`` reports a completed, durably written chunk.
+    ``status == ACK_FAILED`` is a NACK: the sending agent could not
+    complete its part of the action (``detail`` says why) and the
+    coordinator should retry or replan.
+    """
 
     stripe_id: StripeId
     chunk_index: int
     node_id: NodeId
+    attempt: int = 0
+    status: str = ACK_OK
+    detail: str = ""
 
     @property
     def key(self) -> ActionKey:
         return (self.stripe_id, self.chunk_index)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == ACK_OK
+
+
+def nack(
+    key: ActionKey, node_id: NodeId, attempt: int, detail: str
+) -> RepairAck:
+    """Build a NACK for one action attempt."""
+    return RepairAck(
+        stripe_id=key[0],
+        chunk_index=key[1],
+        node_id=node_id,
+        attempt=attempt,
+        status=ACK_FAILED,
+        detail=detail,
+    )
 
 
 @dataclass(frozen=True)
@@ -127,10 +189,33 @@ class WriteComplete:
 
     stripe_id: StripeId
     chunk_index: int
+    attempt: int = 0
 
     @property
     def key(self) -> ActionKey:
         return (self.stripe_id, self.chunk_index)
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Agent -> coordinator: periodic liveness beacon."""
+
+    node_id: NodeId
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Coordinator -> agent: liveness probe; answer with a Pong."""
+
+    nonce: int
+
+
+@dataclass(frozen=True)
+class Pong:
+    """Agent -> coordinator: probe reply."""
+
+    node_id: NodeId
+    nonce: int
 
 
 @dataclass(frozen=True)

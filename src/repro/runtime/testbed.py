@@ -8,6 +8,12 @@ an in-process network.  Real chunk bytes are encoded, transferred
 packet by packet, decoded with GF(2^8) arithmetic, and verified after
 repair — the full data path of the prototype, at scaled-down chunk
 sizes and bandwidths (see DESIGN.md, substitutions).
+
+Fault injection: pass a :class:`~repro.runtime.faults.FaultPlan` (or
+call :meth:`EmulatedTestbed.crash_node`) to kill nodes mid-repair,
+drop/corrupt/duplicate packets, or degrade NICs — the coordinator's
+supervised state machine then retries and replans until every chunk is
+repaired or provably unrepairable.
 """
 
 from __future__ import annotations
@@ -23,9 +29,11 @@ from ..cluster.chunk import NodeId
 from ..cluster.cluster import StorageCluster
 from ..core.plan import RepairPlan
 from ..ec.codec import ErasureCodec
-from .agent import Agent
-from .coordinator import Coordinator, RuntimeResult
+from .agent import Agent, AgentError
+from .config import RuntimeConfig
+from .coordinator import COORDINATOR_ID, Coordinator, RuntimeResult
 from .datanode import ChunkStore
+from .faults import FaultInjector, FaultPlan
 from .throttle import RateLimiter
 from .transport import Network
 
@@ -48,6 +56,9 @@ class EmulatedTestbed:
         workdir: directory for chunk files; a temp dir by default.
         pipeline_depth: reader->sender queue depth inside agents; 0
             disables multi-threaded pipelining.
+        config: runtime timeouts/retry policy (defaults are
+            production-like; tests pass tighter ones).
+        faults: declarative fault plan injected into the network.
     """
 
     def __init__(
@@ -57,20 +68,26 @@ class EmulatedTestbed:
         packet_size: Optional[int] = None,
         workdir: Optional[Path] = None,
         pipeline_depth: int = 2,
+        config: Optional[RuntimeConfig] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         self.cluster = cluster
         self.codec = codec
         self.packet_size = packet_size or max(cluster.chunk_size // 16, 4096)
         self._own_workdir = workdir is None
         self.workdir = Path(workdir) if workdir else Path(tempfile.mkdtemp(prefix="fastpr-"))
-        self.network = Network()
+        self.config = config or RuntimeConfig()
+        self.faults: Optional[FaultInjector] = None
+        if faults is not None:
+            self.faults = FaultInjector(faults, on_crash=self._on_node_crash)
+        self.network = Network(faults=self.faults)
         self.stores: Dict[NodeId, ChunkStore] = {}
         self.agents: Dict[NodeId, Agent] = {}
         self._checksums: Dict[Tuple[int, int], str] = {}
         self.pipeline_depth = pipeline_depth
         self._build_nodes()
         self.coordinator = Coordinator(
-            self.network, cluster, codec, self.packet_size
+            self.network, cluster, codec, self.packet_size, config=self.config
         )
         self._started = False
 
@@ -90,8 +107,9 @@ class EmulatedTestbed:
                 node_id,
                 store,
                 self.network,
-                coordinator_id=-1,
+                coordinator_id=COORDINATOR_ID,
                 pipeline_depth=0,  # reset below via set_pipeline_depth
+                config=self.config,
             )
         self.set_pipeline_depth(self.pipeline_depth)
 
@@ -105,25 +123,60 @@ class EmulatedTestbed:
     def start(self) -> None:
         if self._started:
             return
+        heartbeat = self.faults is not None
         for agent in self.agents.values():
-            agent.start()
+            agent.start(heartbeat=heartbeat)
         self._started = True
 
-    def shutdown(self) -> None:
+    def shutdown(self, check_errors: bool = True) -> None:
+        """Stop every agent; surfaces recorded agent errors.
+
+        Args:
+            check_errors: assert that no surviving agent recorded an
+                unreported error (crashed nodes are excused — a dead
+                process files no reports).
+        """
         for agent in self.agents.values():
             agent.stop()
         self._started = False
+        errors = {
+            node_id: agent.errors
+            for node_id, agent in self.agents.items()
+            if agent.errors and not agent.crashed
+        }
         if self._own_workdir:
             shutil.rmtree(self.workdir, ignore_errors=True)
+        if check_errors and errors:
+            summary = "; ".join(
+                f"node {node_id}: {errs[0]!r}" for node_id, errs in errors.items()
+            )
+            raise AgentError(f"agents recorded unhandled errors: {summary}")
 
     def __enter__(self) -> "EmulatedTestbed":
         self.start()
         return self
 
     def __exit__(self, *exc) -> None:
-        self.shutdown()
+        # Don't let the teardown error check shadow an in-flight one.
+        self.shutdown(check_errors=exc[0] is None)
 
     # ------------------------------------------------------------------
+
+    def crash_node(self, node_id: NodeId) -> None:
+        """Kill a node right now (manual fault trigger).
+
+        Its endpoint goes dark and its agent stands down; the
+        coordinator discovers the death via deadlines + probing.
+        """
+        if self.faults is None:
+            self.faults = FaultInjector(on_crash=self._on_node_crash)
+            self.network.faults = self.faults
+        self.faults.kill(node_id)
+
+    def _on_node_crash(self, node_id: NodeId) -> None:
+        agent = self.agents.get(node_id)
+        if agent is not None:
+            agent.crash()
 
     def load_random_data(self, seed: Optional[int] = None) -> None:
         """Encode and store every stripe's chunks (unthrottled bulk load).
@@ -149,17 +202,31 @@ class EmulatedTestbed:
         """Run a repair plan; agents must be started."""
         if not self._started:
             raise RuntimeError("call start() (or use as a context manager) first")
+        if self.faults is not None:
+            self.faults.start()
         result = self.coordinator.execute(plan, packet_size=packet_size)
         self._raise_agent_errors()
         return result
 
-    def verify_plan(self, plan: RepairPlan) -> None:
+    def verify_plan(
+        self, plan: RepairPlan, result: Optional[RuntimeResult] = None
+    ) -> None:
         """Check every repaired chunk's bytes at its destination.
+
+        Args:
+            plan: the plan as built.
+            result: the runtime result of executing it; pass it when
+                faults may have replanned actions so verification
+                checks the *effective* destinations.
 
         Raises:
             VerificationError: on any mismatch or missing chunk.
         """
-        for action in plan.actions():
+        if result is not None and result.executed_actions:
+            actions = result.executed_actions
+        else:
+            actions = list(plan.actions())
+        for action in actions:
             store = self.stores[action.destination]
             if not store.has(action.stripe_id):
                 raise VerificationError(
@@ -176,7 +243,7 @@ class EmulatedTestbed:
 
     def _raise_agent_errors(self) -> None:
         for agent in self.agents.values():
-            if agent.errors:
+            if agent.errors and not agent.crashed:
                 raise agent.errors[0]
 
 

@@ -6,15 +6,23 @@ Every node gets an inbox queue and a pair of NIC rate limiters
 sender's egress and the receiver's ingress for the packet duration,
 so cross-traffic at a node serializes exactly as on a real NIC.
 Control messages (commands, ACKs) are delivered unthrottled.
+
+A :class:`~repro.runtime.faults.FaultInjector` may be attached; it is
+consulted on every send and can black-hole crashed endpoints, drop,
+duplicate, delay or corrupt data packets, and degrade NIC rates.
+Crashed or closed endpoints swallow traffic silently — exactly what a
+sender sees when the remote process is gone — so failure detection is
+the coordinator's job, not the transport's.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from ..cluster.chunk import NodeId
+from .faults import FaultInjector, corrupted
 from .messages import DataPacket
 from .throttle import RateLimiter, reserve_transfer, sleep_until
 
@@ -27,14 +35,25 @@ class Endpoint:
         self.inbox: "queue.Queue" = queue.Queue()
         self.nic_in = RateLimiter(bandwidth, name=f"nic_in[{node_id}]")
         self.nic_out = RateLimiter(bandwidth, name=f"nic_out[{node_id}]")
+        self.closed = False
+
+    def close(self) -> None:
+        """Mark the endpoint dead; subsequent sends to it are dropped."""
+        self.closed = True
 
 
 class Network:
-    """Registry of endpoints plus the send primitive."""
+    """Registry of endpoints plus the send primitive.
 
-    def __init__(self):
+    Args:
+        faults: optional fault injector consulted on every send.
+    """
+
+    def __init__(self, faults: Optional[FaultInjector] = None):
         self._endpoints: Dict[NodeId, Endpoint] = {}
+        self._detached: Set[NodeId] = set()
         self._lock = threading.Lock()
+        self.faults = faults
         #: total throttled payload bytes moved (telemetry)
         self.bytes_transferred = 0
 
@@ -45,7 +64,25 @@ class Network:
                 raise ValueError(f"node {node_id} already attached")
             endpoint = Endpoint(node_id, bandwidth)
             self._endpoints[node_id] = endpoint
+            self._detached.discard(node_id)
             return endpoint
+
+    def detach(self, node_id: NodeId) -> Endpoint:
+        """Remove a node (crashed or decommissioned) from the topology.
+
+        The endpoint is closed; in-flight sends targeting it are
+        silently dropped instead of raising, so surviving agents are
+        not torn down by a peer's death.  A replacement node may then
+        :meth:`attach` under the same id.
+        """
+        with self._lock:
+            try:
+                endpoint = self._endpoints.pop(node_id)
+            except KeyError:
+                raise KeyError(f"node {node_id} not attached") from None
+            self._detached.add(node_id)
+        endpoint.close()
+        return endpoint
 
     def endpoint(self, node_id: NodeId) -> Endpoint:
         try:
@@ -53,20 +90,59 @@ class Network:
         except KeyError:
             raise KeyError(f"node {node_id} not attached") from None
 
+    def scale_bandwidth(self, node_id: NodeId, factor: float) -> None:
+        """Degrade a node's NIC rates in place (slow-NIC fault)."""
+        endpoint = self._endpoints.get(node_id)
+        if endpoint is None:
+            return
+        for limiter in (endpoint.nic_in, endpoint.nic_out):
+            if not limiter.unlimited:
+                limiter.rate *= factor
+
     def send(self, src: NodeId, dst: NodeId, message) -> None:
         """Deliver a message; DataPackets pay for bandwidth.
 
         The sender thread blocks for the emulated transfer duration
         (back-pressure), then the packet appears in the receiver inbox.
+        Sends involving crashed, closed or detached endpoints vanish
+        silently (black hole).
         """
+        faults = self.faults
+        if faults is not None:
+            faults.tick(self)
         sender = self.endpoint(src)
-        receiver = self.endpoint(dst)
+        receiver = self._endpoints.get(dst)
+        if receiver is None:
+            if dst in self._detached:
+                return  # dead peer: drop silently
+            raise KeyError(f"node {dst} not attached")
+        if sender.closed or receiver.closed:
+            return
         if isinstance(message, DataPacket):
             if src == dst:
                 raise ValueError("loopback data transfer is not modeled")
+            copies = 1
+            extra_delay = 0.0
+            if faults is not None:
+                fate = faults.on_data_packet(src, dst, message)
+                if not fate.deliver:
+                    return
+                copies = fate.copies
+                extra_delay = fate.extra_delay
+                if fate.payload is not None:
+                    message = corrupted(message, fate.payload)
             nbytes = len(message.payload)
-            deadline = reserve_transfer(sender.nic_out, receiver.nic_in, nbytes)
-            sleep_until(deadline)
-            with self._lock:
-                self.bytes_transferred += nbytes
+            for _ in range(copies):
+                deadline = reserve_transfer(
+                    sender.nic_out, receiver.nic_in, nbytes
+                )
+                sleep_until(deadline + extra_delay)
+                with self._lock:
+                    self.bytes_transferred += nbytes
+                receiver.inbox.put(message)
+            return
+        # Control path.  (Crashed-node *data* sends are dropped inside
+        # on_data_packet so byte-triggered crashes still see the bytes.)
+        if faults is not None and not faults.filter_message(src, dst):
+            return  # a crashed node neither sends nor receives
         receiver.inbox.put(message)

@@ -28,11 +28,13 @@ reports +11.4% on average).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from ..cluster.chunk import NodeId
 from ..cluster.cluster import StorageCluster
 from ..core.plan import ChunkRepairAction, RepairMethod, RepairPlan
+from ..core.planner import heal_action
+from ..runtime.faults import FaultPlan
 from .events import Delay, Process, Simulation
 from .resources import DeviceMap
 
@@ -58,6 +60,12 @@ class RepairResult:
     bytes_written: int = 0
     #: node id -> device busy fractions (event-driven simulator only)
     utilization: Dict[NodeId, DeviceUtilization] = field(default_factory=dict)
+    #: healing waves applied after simulated node deaths
+    replans: int = 0
+    #: migrations converted to reconstructions (STF died mid-repair)
+    converted_migrations: int = 0
+    #: nodes that died during the simulated repair
+    dead_nodes: List[NodeId] = field(default_factory=list)
 
     @property
     def time_per_chunk(self) -> float:
@@ -90,14 +98,64 @@ class RepairSimulator:
         self.cluster = cluster
         self.chunk_size = chunk_size or cluster.chunk_size
 
-    def run(self, plan: RepairPlan) -> RepairResult:
-        """Simulate the plan; returns timing and traffic statistics."""
+    def run(
+        self,
+        plan: RepairPlan,
+        faults: Optional[FaultPlan] = None,
+        detection_delay: float = 0.0,
+    ) -> RepairResult:
+        """Simulate the plan; returns timing and traffic statistics.
+
+        Args:
+            plan: the repair plan to execute.
+            faults: optional fault plan whose *time-triggered* crashes
+                are mirrored at round granularity — a node whose
+                ``at_time`` has passed when a round starts is dead for
+                that round, and the round's actions are healed exactly
+                like the live coordinator heals them (migration ->
+                reconstruction fallback, helper/destination
+                substitution via :func:`repro.core.planner.heal_action`).
+                Byte-triggered crashes have no simulator counterpart
+                (the simulator moves no bytes mid-round).
+            detection_delay: simulated seconds charged once per wave of
+                newly detected deaths, modeling the live coordinator's
+                deadline-plus-probe discovery latency.
+        """
         devices = DeviceMap(self.cluster)
         sim = Simulation()
         round_times: List[float] = []
         start = 0.0
+        crashes = faults.crash_times() if faults is not None else []
+        dead: Set[NodeId] = set()
+        replans = 0
+        converted = 0
         for round_ in plan.rounds:
-            self._spawn_round(sim, devices, plan.stf_node, round_)
+            newly_dead = {
+                crash.node
+                for crash in crashes
+                if crash.at_time <= sim.now and crash.node not in dead
+            }
+            if newly_dead:
+                dead |= newly_dead
+                replans += 1
+                if detection_delay > 0:
+                    sim.spawn(_pause(detection_delay))
+                    sim.run()
+            actions = list(round_.actions())
+            if dead:
+                healed_actions = []
+                for action in actions:
+                    healed = heal_action(
+                        self.cluster, plan.stf_node, action, dead, plan.scenario
+                    )
+                    if (
+                        healed.method is RepairMethod.RECONSTRUCTION
+                        and action.method is RepairMethod.MIGRATION
+                    ):
+                        converted += 1
+                    healed_actions.append(healed)
+                actions = healed_actions
+            self._spawn_actions(sim, devices, plan.stf_node, actions)
             end = sim.run()
             round_times.append(end - start)
             start = end
@@ -109,6 +167,9 @@ class RepairSimulator:
             bytes_transferred=devices.bytes_transferred,
             bytes_written=devices.bytes_written,
             utilization=self._utilization(devices, sim.now),
+            replans=replans,
+            converted_migrations=converted,
+            dead_nodes=sorted(dead),
         )
         return result
 
@@ -127,15 +188,21 @@ class RepairSimulator:
 
     # ------------------------------------------------------------------
 
-    def _spawn_round(self, sim, devices, stf_node, round_) -> None:
+    def _spawn_actions(
+        self,
+        sim: Simulation,
+        devices: DeviceMap,
+        stf_node: NodeId,
+        actions: List[ChunkRepairAction],
+    ) -> None:
         # The STF agent migrates its chunks one at a time.
-        if round_.migrations:
-            sim.spawn(
-                self._migration_chain(devices, stf_node, round_.migrations)
-            )
+        migrations = [a for a in actions if a.method is RepairMethod.MIGRATION]
+        if migrations:
+            sim.spawn(self._migration_chain(devices, stf_node, migrations))
         # Every reconstruction runs as its own parallel pipeline.
-        for action in round_.reconstructions:
-            self._spawn_reconstruction(sim, devices, action)
+        for action in actions:
+            if action.method is RepairMethod.RECONSTRUCTION:
+                self._spawn_reconstruction(sim, devices, action)
 
     def _migration_chain(
         self,
@@ -174,10 +241,18 @@ class RepairSimulator:
         yield from devices.transfer_chunk(helper, destination, size)
 
 
+def _pause(duration: float) -> Process:
+    yield Delay(duration)
+
+
 def simulate_repair(
     cluster: StorageCluster,
     plan: RepairPlan,
     chunk_size: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
+    detection_delay: float = 0.0,
 ) -> RepairResult:
     """One-call convenience wrapper around :class:`RepairSimulator`."""
-    return RepairSimulator(cluster, chunk_size=chunk_size).run(plan)
+    return RepairSimulator(cluster, chunk_size=chunk_size).run(
+        plan, faults=faults, detection_delay=detection_delay
+    )

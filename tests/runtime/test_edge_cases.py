@@ -103,46 +103,47 @@ class TestFailureInjection:
     def test_sender_times_out_without_receiver(self, tmp_path):
         # The destination never got a ReceiveCommand: its dispatcher
         # buffers the stray packets, and the sender's synchronous round
-        # trip times out.
+        # trip times out and NACKs the coordinator.
         net, coord, agents = build_rig(tmp_path, ack_timeout=0.5)
         try:
             agents[0].store.put(9, b"x" * 128)
             net.send(COORD, 0, SendCommand(9, 0, 1, 64))
-            deadline = time.monotonic() + 5
-            while time.monotonic() < deadline:
-                if agents[0].errors:
-                    break
-                time.sleep(0.02)
-            assert any(
-                "WriteComplete" in str(e) for e in agents[0].errors
-            ), agents[0].errors
-            # The receiver held the packets without failing.
+            ack = coord.inbox.get(timeout=10)
+            assert isinstance(ack, RepairAck)
+            assert not ack.ok
+            assert ack.key == (9, 0)
+            assert "WriteComplete" in ack.detail
+            # Neither agent recorded a local error: the failure was
+            # reported where it can be acted on.
+            assert not agents[0].errors
             assert not agents[1].errors
         finally:
             stop_all(agents)
 
-    def test_duplicate_receive_command_recorded(self, tmp_path):
+    def test_duplicate_receive_command_nacked(self, tmp_path):
         net, coord, agents = build_rig(tmp_path)
         try:
             cmd = ReceiveCommand(3, 0, 128, 64, sources={0: 1})
             net.send(COORD, 1, cmd)
             net.send(COORD, 1, cmd)
-            deadline = time.monotonic() + 5
-            while not agents[1].errors and time.monotonic() < deadline:
-                time.sleep(0.02)
-            assert any("duplicate" in str(e) for e in agents[1].errors)
+            ack = coord.inbox.get(timeout=10)
+            assert not ack.ok
+            assert ack.key == (3, 0)
+            assert "duplicate" in ack.detail
+            assert not agents[1].errors
         finally:
             stop_all(agents)
 
-    def test_send_of_missing_chunk_recorded(self, tmp_path):
+    def test_send_of_missing_chunk_nacked(self, tmp_path):
         net, coord, agents = build_rig(tmp_path)
         try:
             net.send(COORD, 1, ReceiveCommand(4, 0, 128, 64, sources={0: 1}))
             net.send(COORD, 0, SendCommand(4, 0, 1, 64))
-            deadline = time.monotonic() + 5
-            while not agents[0].errors and time.monotonic() < deadline:
-                time.sleep(0.02)
-            assert agents[0].errors, "missing chunk should surface an error"
+            ack = coord.inbox.get(timeout=10)
+            assert not ack.ok
+            assert ack.key == (4, 0)
+            assert ack.node_id == 0
+            assert not agents[0].errors
         finally:
             stop_all(agents)
 
