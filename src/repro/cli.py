@@ -10,12 +10,20 @@ Operational commands::
 
     fastpr snapshot --nodes 30 --stripes 120 --code "rs(9,6)" -o c.json
     fastpr plan --snapshot c.json --stf 3 [--scenario hot_standby]
+    fastpr repair --snapshot c.json --stf 3 [--fault-plan faults.json]
+    fastpr scrub --snapshot c.json [--corrupt 3]
     fastpr fleet --disks 200 --days 120 -o fleet.csv
     fastpr predict --fleet fleet.csv
 
 ``plan`` marks the node soon-to-fail, runs FastPR and both baselines,
-and prints each plan with its cost-model repair time.  ``fleet`` and
-``predict`` exercise the failure-prediction substrate on CSV dumps.
+and prints each plan with its cost-model repair time.  ``repair``
+actually executes the FastPR plan on the emulated testbed (real bytes,
+emulated bandwidths); ``--fault-plan`` injects a JSON-described
+:class:`~repro.runtime.faults.FaultPlan` — including coordinator
+crashes, which the command survives by recovering from its write-ahead
+journal.  ``scrub`` checksum-verifies every chunk and repairs silent
+corruption in place.  ``fleet`` and ``predict`` exercise the
+failure-prediction substrate on CSV dumps.
 """
 
 from __future__ import annotations
@@ -52,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot.add_argument("--code", default="rs(9,6)")
     snapshot.add_argument("--hot-standby", type=int, default=3)
     snapshot.add_argument("--seed", type=int, default=None)
+    snapshot.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="chunk size in bytes (scale down for fast emulated runs)",
+    )
     snapshot.add_argument("-o", "--output", required=True)
 
     plan = sub.add_parser(
@@ -65,6 +79,47 @@ def build_parser() -> argparse.ArgumentParser:
         default="scattered",
     )
     plan.add_argument("--seed", type=int, default=0)
+
+    repair = sub.add_parser(
+        "repair",
+        help="execute a FastPR repair on the emulated testbed "
+        "(real bytes, journaled, crash-recoverable)",
+    )
+    repair.add_argument("--snapshot", required=True)
+    repair.add_argument("--stf", type=int, required=True)
+    repair.add_argument(
+        "--scenario",
+        choices=("scattered", "hot_standby"),
+        default="scattered",
+    )
+    repair.add_argument("--seed", type=int, default=0)
+    repair.add_argument(
+        "--fault-plan",
+        default=None,
+        help="JSON file describing a FaultPlan to inject "
+        "(node crashes, link faults, coordinator crashes)",
+    )
+    repair.add_argument(
+        "--journal",
+        default=None,
+        help="write-ahead journal path (default: auto when the fault "
+        "plan crashes the coordinator)",
+    )
+    repair.add_argument("--packet-size", type=int, default=None)
+
+    scrub = sub.add_parser(
+        "scrub",
+        help="checksum-verify every chunk and repair silent corruption",
+    )
+    scrub.add_argument("--snapshot", required=True)
+    scrub.add_argument("--seed", type=int, default=0)
+    scrub.add_argument(
+        "--corrupt",
+        type=int,
+        default=0,
+        help="flip a byte in this many randomly chosen chunks first "
+        "(demonstrates detection + in-place repair)",
+    )
 
     fleet = sub.add_parser(
         "fleet", help="generate a synthetic SMART fleet (CSV)"
@@ -136,6 +191,9 @@ def _cmd_snapshot(args) -> int:
     from .ec import make_codec
 
     codec = make_codec(args.code)
+    extra = {}
+    if args.chunk_size is not None:
+        extra["chunk_size"] = args.chunk_size
     cluster = StorageCluster.random(
         args.nodes,
         args.stripes,
@@ -143,6 +201,7 @@ def _cmd_snapshot(args) -> int:
         codec.k,
         num_hot_standby=args.hot_standby,
         seed=args.seed,
+        **extra,
     )
     snapshot_mod.save(cluster, args.output)
     print(
@@ -187,6 +246,125 @@ def _cmd_plan(args) -> int:
             f"{plan.migrated_chunks:>8d} {plan.reconstructed_chunks:>12d} "
             f"{result.total_time:>9.1f} {result.time_per_chunk:>8.3f}"
         )
+    return 0
+
+
+def _infer_codec(cluster):
+    from .ec import make_codec
+
+    stripes = list(cluster.stripes())
+    if not stripes:
+        raise SystemExit("snapshot has no stripes; nothing to repair")
+    first = stripes[0]
+    return make_codec(f"rs({first.n},{first.k})")
+
+
+def _cmd_repair(args) -> int:
+    import json as json_mod
+
+    from .cluster import snapshot as snapshot_mod
+    from .core.plan import RepairScenario
+    from .core.planner import FastPRPlanner
+    from .runtime import CoordinatorCrash, FaultPlan, Scrubber
+    from .runtime.testbed import EmulatedTestbed
+
+    cluster = snapshot_mod.load(args.snapshot)
+    codec = _infer_codec(cluster)
+    node = cluster.node(args.stf)
+    if node.is_failed:
+        print(f"node {args.stf} already failed", file=sys.stderr)
+        return 2
+    node.mark_soon_to_fail()
+    faults = None
+    if args.fault_plan is not None:
+        with open(args.fault_plan) as f:
+            faults = FaultPlan.from_dict(json_mod.load(f))
+    plan = FastPRPlanner(
+        scenario=RepairScenario(args.scenario), seed=args.seed
+    ).plan(cluster, args.stf)
+    plan.validate(cluster)
+    print(plan.summary())
+    testbed = EmulatedTestbed(
+        cluster,
+        codec,
+        packet_size=args.packet_size,
+        faults=faults,
+        journal_path=args.journal,
+    )
+    try:
+        with testbed:
+            testbed.load_random_data(seed=args.seed)
+            restarts = 0
+            try:
+                result = testbed.execute(plan)
+            except CoordinatorCrash as crash:
+                print(f"coordinator crashed: {crash}; recovering from journal")
+                while True:
+                    restarts += 1
+                    testbed.restart_coordinator()
+                    try:
+                        result = testbed.resume()
+                        break
+                    except CoordinatorCrash as crash:
+                        print(
+                            f"coordinator crashed again: {crash}; recovering"
+                        )
+            testbed.verify_plan(plan, result)
+            report = Scrubber(testbed).scan()
+            print(
+                f"repaired {result.chunks_repaired} chunks "
+                f"(+{result.recovered_chunks} recovered) in "
+                f"{result.total_time:.2f}s over {len(result.round_times)} "
+                f"rounds; retries={result.retries} replans={result.replans} "
+                f"coordinator_restarts={restarts}"
+            )
+            print(
+                f"post-repair scrub: {report.chunks_checked} chunks checked, "
+                f"{len(report.corrupt)} corrupt"
+            )
+            if not report.clean:
+                return 1
+    except Exception as exc:
+        print(f"repair failed: {exc}", file=sys.stderr)
+        return 1
+    print("all repaired chunks verified byte-identical")
+    return 0
+
+
+def _cmd_scrub(args) -> int:
+    import random as random_mod
+
+    from .cluster import snapshot as snapshot_mod
+    from .runtime import Scrubber
+    from .runtime.testbed import EmulatedTestbed
+
+    cluster = snapshot_mod.load(args.snapshot)
+    codec = _infer_codec(cluster)
+    testbed = EmulatedTestbed(cluster, codec)
+    with testbed:
+        testbed.load_random_data(seed=args.seed)
+        rng = random_mod.Random(args.seed)
+        stripes = list(cluster.stripes())
+        for _ in range(args.corrupt):
+            stripe = rng.choice(stripes)
+            index = rng.randrange(len(stripe.placement))
+            store = testbed.stores[stripe.placement[index]]
+            data = bytearray(store.read(stripe.stripe_id))
+            data[rng.randrange(len(data))] ^= 0xFF
+            store.put(stripe.stripe_id, bytes(data))
+        report = Scrubber(testbed).scrub()
+        print(
+            f"scrubbed {report.chunks_checked} chunks: "
+            f"{len(report.corrupt)} corrupt, {len(report.repaired)} "
+            f"repaired in place, {len(report.unrepairable)} unrepairable"
+        )
+        if report.unrepairable:
+            return 1
+        rescan = Scrubber(testbed).scan()
+        if not rescan.clean:
+            print("rescan still found corrupt chunks", file=sys.stderr)
+            return 1
+    print("store is clean")
     return 0
 
 
@@ -257,6 +435,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": _cmd_figures,
         "snapshot": _cmd_snapshot,
         "plan": _cmd_plan,
+        "repair": _cmd_repair,
+        "scrub": _cmd_scrub,
         "fleet": _cmd_fleet,
         "predict": _cmd_predict,
     }[args.command]

@@ -61,6 +61,28 @@ class ChunkRepairAction:
         if self.method is RepairMethod.RECONSTRUCTION and len(self.sources) < 1:
             raise ValueError("reconstruction needs at least one helper")
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (repair journal, snapshots)."""
+        return {
+            "stripe_id": self.stripe_id,
+            "chunk_index": self.chunk_index,
+            "method": self.method.value,
+            "sources": list(self.sources),
+            "destination": self.destination,
+            "pipelined": self.pipelined,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "ChunkRepairAction":
+        return cls(
+            stripe_id=document["stripe_id"],
+            chunk_index=document["chunk_index"],
+            method=RepairMethod(document["method"]),
+            sources=tuple(document["sources"]),
+            destination=document["destination"],
+            pipelined=document.get("pipelined", False),
+        )
+
 
 @dataclass
 class RepairRound:
@@ -90,6 +112,26 @@ class RepairRound:
         for action in self.reconstructions:
             nodes.update(action.sources)
         return sorted(nodes)
+
+    def to_dict(self) -> Dict:
+        return {
+            "index": self.index,
+            "reconstructions": [a.to_dict() for a in self.reconstructions],
+            "migrations": [a.to_dict() for a in self.migrations],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "RepairRound":
+        return cls(
+            index=document["index"],
+            reconstructions=[
+                ChunkRepairAction.from_dict(a)
+                for a in document["reconstructions"]
+            ],
+            migrations=[
+                ChunkRepairAction.from_dict(a) for a in document["migrations"]
+            ],
+        )
 
 
 @dataclass
@@ -199,6 +241,22 @@ class RepairPlan:
         repeated = [key for key, cnt in seen.items() if cnt > 1]
         if repeated:
             raise ValueError(f"chunks repaired more than once: {repeated[:5]}")
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form, exact enough to resume a repair from."""
+        return {
+            "stf_node": self.stf_node,
+            "scenario": self.scenario.value,
+            "rounds": [r.to_dict() for r in self.rounds],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "RepairPlan":
+        return cls(
+            stf_node=document["stf_node"],
+            scenario=RepairScenario(document["scenario"]),
+            rounds=[RepairRound.from_dict(r) for r in document["rounds"]],
+        )
 
     def summary(self) -> str:
         """Human-readable one-liner for logs and examples."""

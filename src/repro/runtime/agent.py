@@ -24,14 +24,26 @@ write to a staging file and promote atomically, failures that can be
 tied to an action are NACKed to the coordinator (instead of dying
 silently in a worker thread), and :meth:`crash` stands the whole agent
 down the way a killed process would.
+
+Split-brain fencing: every command also carries the coordinator's
+``epoch``.  The agent persists the highest epoch it has seen
+(``coordinator.epoch`` in its store directory) and NACKs any mutating
+command from an older epoch — so when a crashed coordinator's
+successor takes over (announcing its epoch via
+:class:`~repro.runtime.messages.InventoryQuery`), the zombie
+predecessor can no longer touch the store.  Adopting a newer epoch
+aborts all in-flight work from older epochs, and chunk promotion
+happens under the same lock as the epoch bump, so the successor's
+inventory snapshot is exact.
 """
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import zlib
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -43,6 +55,8 @@ from .messages import (
     ActionKey,
     DataPacket,
     Heartbeat,
+    InventoryQuery,
+    InventoryReply,
     Ping,
     Pong,
     ReceiveCommand,
@@ -54,6 +68,13 @@ from .messages import (
     nack,
 )
 from .transport import Network
+
+#: ordering handle for staleness: a bigger (epoch, attempt) supersedes
+Generation = Tuple[int, int]
+
+
+def _generation(message) -> Generation:
+    return (message.epoch, message.attempt)
 
 #: cap on buffered packets awaiting a late Receive/Relay registration
 MAX_PENDING_PACKETS = 4096
@@ -73,8 +94,10 @@ class _Assembly:
     contributed to an offset, that packet is written to the staging
     file — so receive, decode and write pipeline across packets,
     matching the prototype's multi-threaded repair path (Section V).
-    The staged chunk is promoted to its final path only when complete,
-    so a crashed or superseded assembly never publishes a torn chunk.
+    The staged chunk is promoted by :meth:`Agent._run_assembly` (under
+    the agent's assembly lock, so promotion serializes with epoch
+    fencing) only when complete — a crashed or superseded assembly
+    never publishes a torn chunk.
     """
 
     def __init__(self, command: ReceiveCommand, store: ChunkStore):
@@ -96,7 +119,11 @@ class _Assembly:
         self.packets.put(_ABORT)
 
     def run(self) -> bool:
-        """Decode-thread body; returns False if aborted before done."""
+        """Decode-thread body; returns False if aborted before done.
+
+        On success the chunk is fully staged but *not* promoted — the
+        agent publishes it under its assembly lock.
+        """
         num_sources = len(self.command.sources)
         size = self.command.chunk_size
         while self._remaining_offsets > 0:
@@ -104,8 +131,11 @@ class _Assembly:
             if packet is _ABORT:
                 self.store.discard_staged(self.command.stripe_id)
                 return False
-            if packet.attempt != self.command.attempt:
-                continue  # stale retry traffic
+            if (
+                packet.attempt != self.command.attempt
+                or packet.epoch != self.command.epoch
+            ):
+                continue  # stale retry traffic (or a fenced epoch's)
             if (
                 packet.checksum is not None
                 and zlib.crc32(packet.payload) != packet.checksum
@@ -127,7 +157,10 @@ class _Assembly:
             arrived.add(packet.source)
             gf_addmul_bytes(self._buffer[packet.offset : end], coeff, data)
             if len(arrived) == num_sources:
-                self._arrived.pop(packet.offset, None)
+                # Keep the arrived set for the assembly's lifetime:
+                # dropping it would let a duplicate delivered after the
+                # offset completed double-apply its coefficient and
+                # re-trigger the completion below.
                 self._remaining_offsets -= 1
                 # Fully decoded packet: write it out (throttled).
                 self.store.write_packet(
@@ -137,7 +170,6 @@ class _Assembly:
                     size,
                     staged=True,
                 )
-        self.store.promote(self.command.stripe_id)
         return True
 
 
@@ -197,6 +229,7 @@ class _Relay:
                     offset=offset,
                     payload=payload,
                     attempt=command.attempt,
+                    epoch=command.epoch,
                     checksum=zlib.crc32(payload),
                 ),
             )
@@ -214,7 +247,10 @@ class _Relay:
                 ) from None
             if upstream is _ABORT:
                 return None
-            if upstream.attempt != self.command.attempt:
+            if (
+                upstream.attempt != self.command.attempt
+                or upstream.epoch != self.command.epoch
+            ):
                 continue
             if (
                 upstream.checksum is not None
@@ -269,10 +305,12 @@ class Agent:
         self._assemblies: Dict[ActionKey, _Assembly] = {}
         self._relays: Dict[ActionKey, _Relay] = {}
         self._pending: Dict[ActionKey, list] = {}
-        #: newest attempt seen per action (commands are authoritative)
-        self._attempts: Dict[ActionKey, int] = {}
-        #: attempt at which an assembly last completed here
-        self._completed: Dict[ActionKey, int] = {}
+        #: newest (epoch, attempt) seen per action (commands are authoritative)
+        self._attempts: Dict[ActionKey, Generation] = {}
+        #: (epoch, attempt) at which an assembly last completed here
+        self._completed: Dict[ActionKey, Generation] = {}
+        #: highest coordinator epoch seen; persisted for fencing
+        self._epoch = self._load_epoch()
         self._assembly_lock = threading.Lock()
         self._send_queue: "queue.Queue" = queue.Queue()
         self._write_acks: Dict[tuple, threading.Event] = {}
@@ -340,7 +378,13 @@ class Agent:
         self._endpoint.inbox.put(Shutdown())
         self._send_queue.put(None)
 
-    def _guard(self, fn, key: Optional[ActionKey] = None, attempt: int = 0):
+    def _guard(
+        self,
+        fn,
+        key: Optional[ActionKey] = None,
+        attempt: int = 0,
+        epoch: int = 0,
+    ):
         def runner():
             try:
                 fn()
@@ -348,22 +392,88 @@ class Agent:
                 if self.crashed:
                     return  # dead nodes don't file reports
                 if key is not None:
-                    self._nack(key, attempt, f"{type(exc).__name__}: {exc}")
+                    self._nack(
+                        key, attempt, f"{type(exc).__name__}: {exc}", epoch
+                    )
                 else:
                     self.errors.append(exc)
 
         return runner
 
-    def _nack(self, key: ActionKey, attempt: int, detail: str) -> None:
+    def _nack(
+        self, key: ActionKey, attempt: int, detail: str, epoch: int = 0
+    ) -> None:
         """Report an action-scoped failure to the coordinator."""
         try:
             self.network.send(
                 self.node_id,
                 self.coordinator_id,
-                nack(key, self.node_id, attempt, detail),
+                nack(key, self.node_id, attempt, detail, epoch=epoch),
             )
         except Exception as exc:  # pragma: no cover - coordinator gone
             self.errors.append(exc)
+
+    # -- coordinator epochs (split-brain fencing) ----------------------
+
+    def _epoch_path(self):
+        return self.store.root / "coordinator.epoch"
+
+    def _load_epoch(self) -> int:
+        try:
+            return int(self._epoch_path().read_text())
+        except (FileNotFoundError, ValueError):
+            return 0
+
+    def _bump_epoch(self, epoch: int) -> None:
+        """Adopt a newer coordinator epoch; fence out everything older.
+
+        In-flight assemblies and relays started under an older epoch
+        are aborted (their staged writes discarded), buffered stale
+        packets are dropped, and the new epoch is persisted atomically
+        so fencing survives an agent restart.  Runs under the assembly
+        lock: promotion also takes that lock, so after the bump no
+        old-epoch chunk can ever be published.
+        """
+        with self._assembly_lock:
+            if epoch <= self._epoch:
+                return
+            self._epoch = epoch
+            for key, assembly in list(self._assemblies.items()):
+                if assembly.command.epoch < epoch:
+                    assembly.abort()
+                    del self._assemblies[key]
+            for key, relay in list(self._relays.items()):
+                if relay.command.epoch < epoch:
+                    relay.abort()
+                    del self._relays[key]
+            for key, packets in list(self._pending.items()):
+                fresh = [p for p in packets if p.epoch >= epoch]
+                if fresh:
+                    self._pending[key] = fresh
+                else:
+                    del self._pending[key]
+            tmp = self._epoch_path().with_suffix(".tmp")
+            tmp.write_text(str(epoch))
+            os.replace(tmp, self._epoch_path())
+
+    def _admit_command(self, command) -> bool:
+        """Epoch-fence a mutating command; True if it may execute.
+
+        A command from an older epoch than the highest seen comes from
+        a fenced (zombie) coordinator: it is NACKed and must never
+        mutate the store.  A newer epoch is adopted first.
+        """
+        if command.epoch > self._epoch:
+            self._bump_epoch(command.epoch)
+        elif command.epoch < self._epoch:
+            self._nack(
+                command.key,
+                command.attempt,
+                f"stale epoch {command.epoch} < {self._epoch}",
+                epoch=command.epoch,
+            )
+            return False
+        return True
 
     # ------------------------------------------------------------------
 
@@ -382,42 +492,71 @@ class Agent:
                 # not wedge the whole node either way.
                 key = getattr(message, "key", None)
                 attempt = getattr(message, "attempt", 0)
+                epoch = getattr(message, "epoch", 0)
                 if key is not None:
-                    self._nack(key, attempt, f"{type(exc).__name__}: {exc}")
+                    self._nack(
+                        key, attempt, f"{type(exc).__name__}: {exc}", epoch
+                    )
                 else:
                     self.errors.append(exc)
 
     def _dispatch_one(self, message) -> None:
+        if isinstance(
+            message, (ReceiveCommand, SendCommand, RelayCommand)
+        ) and not self._admit_command(message):
+            return  # fenced: a stale-epoch coordinator mutates nothing
         if isinstance(message, ReceiveCommand):
             self._start_assembly(message)
         elif isinstance(message, SendCommand):
-            if self._note_attempt(message.key, message.attempt):
+            if self._note_attempt(message.key, _generation(message)):
                 self._send_queue.put(message)
         elif isinstance(message, RelayCommand):
             self._start_relay(message)
         elif isinstance(message, DataPacket):
             self._route_packet(message)
         elif isinstance(message, WriteComplete):
-            self._ack_event((message.key, message.attempt)).set()
+            self._ack_event(
+                (message.key, message.epoch, message.attempt)
+            ).set()
         elif isinstance(message, Ping):
             self.network.send(
                 self.node_id, self.coordinator_id, Pong(self.node_id, message.nonce)
             )
+        elif isinstance(message, InventoryQuery):
+            self._answer_inventory(message)
         else:
             raise AgentError(f"unknown message {message!r}")
 
-    def _note_attempt(self, key: ActionKey, attempt: int) -> bool:
-        """Track the newest attempt per action; False if stale.
+    def _answer_inventory(self, query: InventoryQuery) -> None:
+        """Report durably stored stripes (and adopt the new epoch).
+
+        The listing runs under the assembly lock — the same lock chunk
+        promotion takes — so the reply is an exact snapshot: every
+        listed chunk is fully promoted, and (after the epoch bump) no
+        fenced old-epoch work can add chunks behind the reply's back.
+        """
+        if query.epoch > self._epoch:
+            self._bump_epoch(query.epoch)
+        with self._assembly_lock:
+            stripes = tuple(self.store.stripes())
+        self.network.send(
+            self.node_id,
+            self.coordinator_id,
+            InventoryReply(self.node_id, self._epoch, query.nonce, stripes),
+        )
+
+    def _note_attempt(self, key: ActionKey, generation: Generation) -> bool:
+        """Track the newest (epoch, attempt) per action; False if stale.
 
         Commands arrive in issue order (per-inbox FIFO from the single
-        coordinator), so a smaller attempt than the recorded one means
-        a stale duplicate and is dropped.
+        coordinator of each epoch), so a smaller generation than the
+        recorded one means a stale duplicate and is dropped.
         """
         with self._assembly_lock:
             current = self._attempts.get(key)
-            if current is not None and attempt < current:
+            if current is not None and generation < current:
                 return False
-            self._attempts[key] = attempt
+            self._attempts[key] = generation
             return True
 
     def _ack_event(self, key) -> threading.Event:
@@ -429,15 +568,15 @@ class Agent:
             return event
 
     def _start_assembly(self, command: ReceiveCommand) -> None:
-        if not self._note_attempt(command.key, command.attempt):
+        if not self._note_attempt(command.key, _generation(command)):
             return
         assembly = _Assembly(command, self.store)
         with self._assembly_lock:
             existing = self._assemblies.get(command.key)
             if existing is not None:
-                if existing.command.attempt == command.attempt:
+                if _generation(existing.command) == _generation(command):
                     raise AgentError(f"duplicate assembly {command.key}")
-                existing.abort()  # superseded by a retry
+                existing.abort()  # superseded by a retry or a new epoch
             self._completed.pop(command.key, None)
             self._assemblies[command.key] = assembly
             for packet in self._pending.pop(command.key, []):
@@ -447,6 +586,7 @@ class Agent:
                 lambda: self._run_assembly(assembly),
                 key=command.key,
                 attempt=command.attempt,
+                epoch=command.epoch,
             ),
             name=f"agent-{self.node_id}-decode-{command.key}",
             daemon=True,
@@ -454,13 +594,13 @@ class Agent:
         thread.start()
 
     def _start_relay(self, command: RelayCommand) -> None:
-        if not self._note_attempt(command.key, command.attempt):
+        if not self._note_attempt(command.key, _generation(command)):
             return
         relay = _Relay(command, self.store, self)
         with self._assembly_lock:
             existing = self._relays.get(command.key)
             if existing is not None:
-                if existing.command.attempt == command.attempt:
+                if _generation(existing.command) == _generation(command):
                     raise AgentError(f"duplicate relay {command.key}")
                 existing.abort()
             self._relays[command.key] = relay
@@ -471,6 +611,7 @@ class Agent:
                 lambda: self._run_relay(relay),
                 key=command.key,
                 attempt=command.attempt,
+                epoch=command.epoch,
             ),
             name=f"agent-{self.node_id}-relay-{command.key}",
             daemon=True,
@@ -486,35 +627,51 @@ class Agent:
                     self._relays.pop(relay.command.key, None)
 
     def _run_assembly(self, assembly: _Assembly) -> None:
-        completed = assembly.run()
+        decoded = assembly.run()
         key = assembly.command.key
         attempt = assembly.command.attempt
+        epoch = assembly.command.epoch
+        promoted = False
         with self._assembly_lock:
-            if self._assemblies.get(key) is assembly:
+            current = self._assemblies.get(key) is assembly
+            if current:
                 del self._assemblies[key]
-            if completed:
-                self._completed[key] = attempt
+            if decoded and current and epoch >= self._epoch:
+                # Publish under the lock: an epoch bump (fencing) and
+                # a promotion cannot interleave, so a successor
+                # coordinator's inventory snapshot is exact.
+                self.store.promote(assembly.command.stripe_id)
+                self._completed[key] = (epoch, attempt)
                 self._pending.pop(key, None)
-        if not completed:
-            return  # aborted: superseded attempt or crash
+                promoted = True
+            elif decoded:
+                # Fully decoded, but fenced or superseded meanwhile: a
+                # fenced epoch must not publish anything.
+                self.store.discard_staged(assembly.command.stripe_id)
+        if not promoted:
+            return  # aborted, superseded or fenced
         # Unblock every source's synchronous round trip...
         for source in assembly.command.sources:
             self.network.send(
-                self.node_id, source, WriteComplete(key[0], key[1], attempt)
+                self.node_id,
+                source,
+                WriteComplete(key[0], key[1], attempt, epoch),
             )
         # ...then report completion to the coordinator.
         self.network.send(
             self.node_id,
             self.coordinator_id,
-            RepairAck(key[0], key[1], self.node_id, attempt=attempt),
+            RepairAck(
+                key[0], key[1], self.node_id, attempt=attempt, epoch=epoch
+            ),
         )
 
     def _route_packet(self, packet: DataPacket) -> None:
         with self._assembly_lock:
             current = self._attempts.get(packet.key)
-            if current is not None and packet.attempt < current:
-                return  # stale traffic from a superseded attempt
-            if self._completed.get(packet.key) == packet.attempt:
+            if current is not None and _generation(packet) < current:
+                return  # stale traffic from a superseded attempt/epoch
+            if self._completed.get(packet.key) == _generation(packet):
                 return  # late duplicate after completion
             target = self._assemblies.get(packet.key) or self._relays.get(
                 packet.key
@@ -553,17 +710,23 @@ class Agent:
             if self.crashed:
                 return
             key = command.key
+            generation = _generation(command)
             with self._assembly_lock:
-                if self._attempts.get(key, command.attempt) > command.attempt:
+                if self._attempts.get(key, generation) > generation:
                     continue  # superseded before we even started
-            event = self._ack_event((key, command.attempt))
+                if command.epoch < self._epoch:
+                    continue  # fenced while queued
+            event = self._ack_event((key, command.epoch, command.attempt))
             try:
                 self._stream_chunk(command)
             except Exception as exc:
                 if self.crashed:
                     return
                 self._nack(
-                    key, command.attempt, f"{type(exc).__name__}: {exc}"
+                    key,
+                    command.attempt,
+                    f"{type(exc).__name__}: {exc}",
+                    command.epoch,
                 )
                 continue
             # Synchronous round trip: wait until the destination has
@@ -575,6 +738,7 @@ class Agent:
         self, command: SendCommand, event: threading.Event
     ) -> None:
         key = command.key
+        generation = _generation(command)
         tick = self.config.poll_interval
         waited = 0.0
         try:
@@ -583,18 +747,23 @@ class Agent:
                 if self.crashed or self._stop_event.is_set():
                     return
                 with self._assembly_lock:
-                    if self._attempts.get(key, command.attempt) > command.attempt:
+                    if self._attempts.get(key, generation) > generation:
                         return  # superseded by a retry; stop waiting
+                    if command.epoch < self._epoch:
+                        return  # fenced: the new epoch owns this action
                 if waited >= self.ack_timeout:
                     self._nack(
                         key,
                         command.attempt,
                         f"no WriteComplete within {self.ack_timeout}s",
+                        command.epoch,
                     )
                     return
         finally:
             with self._ack_lock:
-                self._write_acks.pop((key, command.attempt), None)
+                self._write_acks.pop(
+                    (key, command.epoch, command.attempt), None
+                )
 
     def _stream_chunk(self, command: SendCommand) -> None:
         """Read the local chunk packet-by-packet and stream it out."""
@@ -656,6 +825,7 @@ class Agent:
                 offset=offset,
                 payload=payload,
                 attempt=command.attempt,
+                epoch=command.epoch,
                 checksum=zlib.crc32(payload),
             ),
         )

@@ -42,6 +42,12 @@ class RuntimeConfig:
             seconds; ``0`` disables heartbeats.
         poll_interval: granularity (seconds) of the coordinator's
             inbox polls and the agents' cancellable waits.
+        journal_fsync: repair-journal durability policy — ``"always"``
+            fsyncs every appended record, ``"never"`` leaves flushing
+            to the OS (see :class:`repro.runtime.journal.RepairJournal`).
+        inventory_timeout: seconds a recovering coordinator waits for
+            :class:`~repro.runtime.messages.InventoryReply` messages
+            when reconciling the journal against agent stores.
     """
 
     ack_timeout: float = 120.0
@@ -55,6 +61,8 @@ class RuntimeConfig:
     probe_timeout: float = 2.0
     heartbeat_interval: float = 0.5
     poll_interval: float = 0.25
+    journal_fsync: str = "always"
+    inventory_timeout: float = 5.0
 
     def __post_init__(self):
         if self.ack_timeout <= 0 or self.min_deadline <= 0:
@@ -63,6 +71,10 @@ class RuntimeConfig:
             raise ValueError("max_retries must be non-negative")
         if self.deadline_margin < 1.0:
             raise ValueError("deadline_margin must be >= 1")
+        if self.journal_fsync not in ("always", "never"):
+            raise ValueError("journal_fsync must be 'always' or 'never'")
+        if self.inventory_timeout <= 0:
+            raise ValueError("inventory_timeout must be positive")
 
     def backoff(self, retry: int) -> float:
         """Backoff before the ``retry``-th reissue (1-based)."""

@@ -24,6 +24,18 @@ source a :class:`SendCommand`, then supervises the round to completion:
 The run fails loudly — :class:`RepairTimeoutError` names the pending
 action keys, :class:`RepairFailedError` the unrecoverable one — rather
 than hanging on a bare ``inbox.get``.
+
+Crash recovery: when constructed with a
+:class:`~repro.runtime.journal.RepairJournal`, the coordinator
+journals every state transition *before* acting on it (plan commit,
+round start, each ACKed action, round completion, finish).  If the
+coordinator process dies, :meth:`Coordinator.recover` replays the
+journal, :meth:`Coordinator.resume` queries every agent's chunk
+inventory (:class:`~repro.runtime.messages.InventoryQuery`),
+reconciles journal against reality, and re-executes only the actions
+that never durably completed.  Each incarnation runs under a fresh
+``epoch``; agents fence out commands from older epochs, so a zombie
+predecessor can never mutate a store behind its successor's back.
 """
 
 from __future__ import annotations
@@ -31,17 +43,31 @@ from __future__ import annotations
 import queue
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Union
 
-from ..cluster.chunk import NodeId
+from ..cluster.chunk import NodeId, StripeId
 from ..cluster.cluster import StorageCluster
 from ..core.plan import ChunkRepairAction, RepairMethod, RepairPlan
 from ..core.planner import UnrecoverableChunkError, heal_action
 from ..ec.codec import ErasureCodec
 from .config import DEFAULT_CONFIG, RuntimeConfig
+from .journal import (
+    ActionCompleted,
+    CoordinatorCrash,
+    JournalError,
+    JournalRecord,
+    PlanCommitted,
+    RepairFinished,
+    RepairJournal,
+    RoundCompleted,
+    RoundStarted,
+)
 from .messages import (
     ActionKey,
     Heartbeat,
+    InventoryQuery,
+    InventoryReply,
     Ping,
     Pong,
     ReceiveCommand,
@@ -91,8 +117,12 @@ class RuntimeResult:
     converted_migrations: int = 0
     #: nodes declared permanently dead during the run
     dead_nodes: List[NodeId] = field(default_factory=list)
-    #: final (possibly healed) version of every executed action
+    #: final (possibly healed) version of every executed action —
+    #: includes actions recovered as already-complete on a resumed run
     executed_actions: List[ChunkRepairAction] = field(default_factory=list)
+    #: actions found already durably complete when resuming (journal
+    #: or agent inventory); ``chunks_repaired`` counts only this run's
+    recovered_chunks: int = 0
 
     @property
     def time_per_chunk(self) -> float:
@@ -106,6 +136,18 @@ class RuntimeResult:
         return bool(self.retries or self.replans or self.dead_nodes or self.nacks)
 
 
+@dataclass
+class RecoveredState:
+    """What :meth:`Coordinator.recover` reconstructed from the journal."""
+
+    plan: RepairPlan
+    packet_size: int
+    #: journaled ActionCompleted records: key -> executed action
+    completed: Dict[ActionKey, ChunkRepairAction]
+    #: the journal already holds a RepairFinished record
+    finished: bool
+
+
 class Coordinator:
     """Issues repair commands round by round and supervises the ACKs.
 
@@ -116,6 +158,11 @@ class Coordinator:
         codec: the erasure codec of the stripes (uniform).
         packet_size: packet granularity for all transfers.
         config: deadlines, retry policy and probe cadence.
+        journal: optional write-ahead journal; when set, every state
+            transition is journaled before it is acted on, making the
+            run resumable via :meth:`recover`.
+        epoch: this incarnation's epoch, stamped on every command so
+            agents can fence out superseded coordinators.
     """
 
     def __init__(
@@ -125,18 +172,30 @@ class Coordinator:
         codec: ErasureCodec,
         packet_size: int,
         config: Optional[RuntimeConfig] = None,
+        journal: Optional[RepairJournal] = None,
+        epoch: int = 0,
     ):
         self.network = network
         self.cluster = cluster
         self.codec = codec
         self.packet_size = packet_size
         self.config = config or DEFAULT_CONFIG
+        self.journal = journal
+        self.epoch = epoch
+        #: fault hook: die right after journaling RoundCompleted(n >= this)
+        self.crash_after_round: Optional[int] = None
         self._endpoint = network.attach(COORDINATOR_ID, None)
         #: nodes declared permanently dead (persists across rounds)
         self._dead: Set[NodeId] = set()
         self._last_seen: Dict[NodeId, float] = {}
         self._deferred: List[object] = []
         self._nonce = 0
+        self._recovered: Optional[RecoveredState] = None
+
+    def close(self) -> None:
+        """Release the journal's file handle (idempotent)."""
+        if self.journal is not None:
+            self.journal.close()
 
     def execute(
         self, plan: RepairPlan, packet_size: Optional[int] = None
@@ -153,27 +212,211 @@ class Coordinator:
                 (Experiment B.1 varies it without rebuilding the testbed).
         """
         packet = packet_size or self.packet_size
+        if self.journal is not None:
+            # A fresh run owns the file: records left by a previous,
+            # finished repair must not masquerade as this run's
+            # progress.  (Recovery appends instead — see resume().)
+            self.journal.reset()
+        self._journal(PlanCommitted(self.epoch, plan.to_dict(), packet))
+        return self._execute(plan, packet, done={})
+
+    def _execute(
+        self,
+        plan: RepairPlan,
+        packet: int,
+        done: Dict[ActionKey, ChunkRepairAction],
+    ) -> RuntimeResult:
+        """Run the plan, skipping the actions already in ``done``."""
         transferred_before = self.network.bytes_transferred
         result = RuntimeResult(total_time=0.0)
+        result.recovered_chunks = len(done)
+        result.executed_actions.extend(done[key] for key in sorted(done))
         self._dead = set()
         start = time.monotonic()
         for round_ in plan.rounds:
+            remaining = [
+                action
+                for action in round_.actions()
+                if (action.stripe_id, action.chunk_index) not in done
+            ]
+            # Write-ahead: the round marker lands before any command.
+            self._journal(RoundStarted(self.epoch, round_.index))
             round_start = time.monotonic()
-            self._run_round(plan, list(round_.actions()), packet, result)
+            if remaining:
+                self._run_round(plan, round_.index, remaining, packet, result)
             result.round_times.append(time.monotonic() - round_start)
+            self._journal(RoundCompleted(self.epoch, round_.index))
+            self._maybe_crash_after_round(round_.index)
+        self._journal(RepairFinished(self.epoch))
         result.total_time = time.monotonic() - start
-        result.chunks_repaired = plan.total_chunks
+        result.chunks_repaired = plan.total_chunks - len(done)
         result.bytes_transferred = (
             self.network.bytes_transferred - transferred_before
         )
         result.dead_nodes = sorted(self._dead)
         return result
 
+    def _journal(self, record: JournalRecord) -> None:
+        if self.journal is not None:
+            self.journal.append(record)
+
+    def _maybe_crash_after_round(self, round_index: int) -> None:
+        if (
+            self.crash_after_round is not None
+            and round_index >= self.crash_after_round
+        ):
+            records = self.journal.records_written if self.journal else 0
+            self.close()
+            raise CoordinatorCrash(records)
+
+    # -- crash recovery ------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        journal_path: Union[str, Path],
+        network: Network,
+        cluster: StorageCluster,
+        codec: ErasureCodec,
+        config: Optional[RuntimeConfig] = None,
+        packet_size: Optional[int] = None,
+    ) -> "Coordinator":
+        """Build a successor coordinator from a crashed run's journal.
+
+        Replays the journal (truncating any torn tail), folds the
+        records into a :class:`RecoveredState`, and returns a new
+        coordinator one epoch above the highest journaled one.  Call
+        :meth:`resume` on the result to finish the repair.  The old
+        coordinator's endpoint must be detached first (the testbed's
+        ``restart_coordinator`` does both).
+
+        Raises:
+            JournalError: if the journal holds no committed plan.
+        """
+        cfg = config or DEFAULT_CONFIG
+        records = RepairJournal.replay(journal_path)
+        plan_doc: Optional[dict] = None
+        journaled_packet: Optional[int] = None
+        last_epoch = 0
+        completed: Dict[ActionKey, ChunkRepairAction] = {}
+        finished = False
+        for record in records:
+            last_epoch = max(last_epoch, record.epoch)
+            if isinstance(record, PlanCommitted):
+                plan_doc = record.plan
+                journaled_packet = record.packet_size
+            elif isinstance(record, ActionCompleted):
+                action = ChunkRepairAction.from_dict(record.action)
+                completed[(action.stripe_id, action.chunk_index)] = action
+            elif isinstance(record, RepairFinished):
+                finished = True
+        if plan_doc is None:
+            raise JournalError(
+                f"journal {journal_path} holds no committed plan; "
+                "nothing to recover"
+            )
+        plan = RepairPlan.from_dict(plan_doc)
+        journal = RepairJournal(journal_path, fsync=cfg.journal_fsync)
+        coordinator = cls(
+            network,
+            cluster,
+            codec,
+            packet_size=packet_size or journaled_packet,
+            config=cfg,
+            journal=journal,
+            epoch=last_epoch + 1,
+        )
+        coordinator._recovered = RecoveredState(
+            plan=plan,
+            packet_size=journaled_packet,
+            completed=completed,
+            finished=finished,
+        )
+        return coordinator
+
+    def resume(self) -> RuntimeResult:
+        """Finish a recovered repair, re-issuing only unfinished actions.
+
+        Fences the old epoch (every agent adopts this coordinator's
+        epoch while answering the inventory query), reconciles the
+        journal against the agents' durable chunk inventories — an
+        action is complete iff it was journaled *or* its destination
+        already stores the stripe's chunk — then re-runs the plan with
+        the completed actions skipped.  Resuming an already-finished
+        journal performs no agent traffic at all.
+        """
+        if self._recovered is None:
+            raise RuntimeError(
+                "resume() needs Coordinator.recover(); this coordinator "
+                "was not built from a journal"
+            )
+        state = self._recovered
+        done = dict(state.completed)
+        if state.finished:
+            result = RuntimeResult(total_time=0.0)
+            result.recovered_chunks = len(done)
+            result.executed_actions.extend(done[key] for key in sorted(done))
+            return result
+        inventory = self._collect_inventory()
+        for action in state.plan.actions():
+            key = (action.stripe_id, action.chunk_index)
+            if key in done:
+                continue
+            if action.stripe_id in inventory.get(action.destination, ()):
+                # Destinations never previously store a chunk of the
+                # stripe (plan invariant) and promotion is atomic, so
+                # presence proves the action completed durably.
+                done[key] = action
+        self._journal(
+            PlanCommitted(self.epoch, state.plan.to_dict(), state.packet_size)
+        )
+        return self._execute(state.plan, state.packet_size, done)
+
+    def _collect_inventory(self) -> Dict[NodeId, Set[StripeId]]:
+        """Ask every attached agent which stripes it durably stores.
+
+        Doubles as the fencing broadcast: the query carries this
+        coordinator's epoch, and each agent aborts all older-epoch work
+        before snapshotting its store, so the replies are exact.
+        Nodes that do not answer within ``config.inventory_timeout``
+        (crashed ones) are simply absent from the result.
+        """
+        nodes = set(self.network.node_ids()) - {COORDINATOR_ID}
+        self._nonce += 1
+        nonce = self._nonce
+        for node in sorted(nodes):
+            try:
+                self.network.send(
+                    COORDINATOR_ID, node, InventoryQuery(self.epoch, nonce)
+                )
+            except KeyError:  # pragma: no cover - detached mid-iteration
+                nodes.discard(node)
+        inventory: Dict[NodeId, Set[StripeId]] = {}
+        deadline = time.monotonic() + self.config.inventory_timeout
+        while nodes - set(inventory) and time.monotonic() < deadline:
+            try:
+                message = self._endpoint.inbox.get(
+                    timeout=max(deadline - time.monotonic(), 0.01)
+                )
+            except queue.Empty:
+                break
+            if isinstance(message, InventoryReply):
+                if message.nonce == nonce:
+                    inventory[message.node_id] = set(message.stripes)
+            elif isinstance(message, (Heartbeat, Pong)):
+                self._last_seen[message.node_id] = time.monotonic()
+            elif isinstance(message, RepairAck):
+                pass  # straggler from the fenced epoch; inventory wins
+            else:
+                self._deferred.append(message)
+        return inventory
+
     # -- the supervised round state machine ----------------------------
 
     def _run_round(
         self,
         plan: RepairPlan,
+        round_index: int,
         round_actions: List[ChunkRepairAction],
         packet: int,
         result: RuntimeResult,
@@ -209,12 +452,27 @@ class Coordinator:
                 self._last_seen[message.node_id] = time.monotonic()
             elif isinstance(message, Pong):
                 self._last_seen[message.node_id] = time.monotonic()
+            elif isinstance(message, InventoryReply):
+                continue  # late reply from a recovery inventory sweep
             elif isinstance(message, RepairAck):
                 self._last_seen[message.node_id] = time.monotonic()
                 key = message.key
+                if message.epoch != self.epoch:
+                    continue  # ack/NACK addressed to a fenced epoch
                 if key not in pending or message.attempt != attempts[key]:
                     continue  # stale or duplicate (already-handled) ack
                 if message.ok:
+                    # Write-ahead: the completion is durable in the
+                    # journal before the coordinator acts on it, so a
+                    # crash here never re-executes this action.
+                    self._journal(
+                        ActionCompleted(
+                            self.epoch,
+                            round_index,
+                            actions[key].to_dict(),
+                            message.attempt,
+                        )
+                    )
                     pending.discard(key)
                 else:
                     result.nacks += 1
@@ -394,6 +652,7 @@ class Coordinator:
             packet_size=packet_size,
             sources=sources,
             attempt=attempt,
+            epoch=self.epoch,
         )
         # The ReceiveCommand must precede any data packet; per-inbox
         # FIFO plus issuing it first guarantees that.
@@ -408,6 +667,7 @@ class Coordinator:
                     destination=action.destination,
                     packet_size=packet_size,
                     attempt=attempt,
+                    epoch=self.epoch,
                 ),
             )
 
@@ -432,6 +692,7 @@ class Coordinator:
                 packet_size=packet_size,
                 sources={last: 1},
                 attempt=attempt,
+                epoch=self.epoch,
             ),
         )
         # Register stages downstream-first so each hop (usually) exists
@@ -452,6 +713,7 @@ class Coordinator:
                     first=(i == 0),
                     upstream=chain[i - 1] if i > 0 else -1,
                     attempt=attempt,
+                    epoch=self.epoch,
                 ),
             )
 

@@ -32,6 +32,9 @@ class ChunkStore:
         self.disk = disk
         self.root.mkdir(parents=True, exist_ok=True)
         self._sizes: Dict[StripeId, int] = {}
+        #: stripe -> times a staged chunk was promoted here; the crash
+        #: recovery tests assert this never exceeds 1 per repair
+        self.promotions: Dict[StripeId, int] = {}
 
     def _path(self, stripe_id: StripeId) -> Path:
         return self.root / f"stripe_{stripe_id}.chunk"
@@ -116,6 +119,7 @@ class ChunkStore:
         size = staging.stat().st_size
         os.replace(staging, self._path(stripe_id))
         self._sizes[stripe_id] = size
+        self.promotions[stripe_id] = self.promotions.get(stripe_id, 0) + 1
 
     def discard_staged(self, stripe_id: StripeId) -> None:
         """Drop a partial staged assembly (aborted or superseded)."""

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..cluster.chunk import NodeId
@@ -124,6 +124,37 @@ class SlowNicFault:
             raise ValueError("at_time must be non-negative")
 
 
+@dataclass(frozen=True)
+class CoordinatorCrashFault:
+    """The coordinator process dies at a deterministic point.
+
+    Unlike node crashes, a coordinator crash kills the control plane
+    only: agents keep running, in-flight transfers finish, and recovery
+    (:meth:`repro.runtime.coordinator.Coordinator.recover`) must resume
+    the repair from the write-ahead journal.  Exactly one trigger:
+
+    Attributes:
+        after_records: die immediately after the Nth journal record of
+            the run hits disk (the crash-point sweep iterates this).
+        after_round: die right after the given round's ``RoundCompleted``
+            record is journaled (the simulator mirrors this trigger).
+    """
+
+    after_records: Optional[int] = None
+    after_round: Optional[int] = None
+
+    def __post_init__(self):
+        triggers = [
+            t for t in (self.after_records, self.after_round) if t is not None
+        ]
+        if len(triggers) != 1:
+            raise ValueError("CoordinatorCrashFault needs exactly one trigger")
+        if self.after_records is not None and self.after_records < 1:
+            raise ValueError("after_records must be >= 1")
+        if self.after_round is not None and self.after_round < 0:
+            raise ValueError("after_round must be non-negative")
+
+
 @dataclass
 class FaultPlan:
     """A declarative, seeded set of faults for one repair run."""
@@ -131,12 +162,51 @@ class FaultPlan:
     crashes: List[CrashFault] = field(default_factory=list)
     links: List[LinkFault] = field(default_factory=list)
     slow_nics: List[SlowNicFault] = field(default_factory=list)
+    coordinator_crashes: List[CoordinatorCrashFault] = field(
+        default_factory=list
+    )
     seed: int = 0
 
     def crash_times(self) -> List[CrashFault]:
         """Time-triggered crashes, sorted (for the simulator mirror)."""
         timed = [c for c in self.crashes if c.at_time is not None]
         return sorted(timed, key=lambda c: c.at_time)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (``fastpr repair --fault-plan``)."""
+        return {
+            "seed": self.seed,
+            "crashes": [asdict(c) for c in self.crashes],
+            "links": [asdict(f) for f in self.links],
+            "slow_nics": [asdict(s) for s in self.slow_nics],
+            "coordinator_crashes": [
+                asdict(c) for c in self.coordinator_crashes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (or hand-written
+        JSON); unknown keys raise ``TypeError`` so typos surface."""
+        known = {"crashes", "links", "slow_nics", "coordinator_crashes", "seed"}
+        unknown = set(document) - known
+        if unknown:
+            raise TypeError(
+                f"unknown FaultPlan keys: {sorted(unknown)} "
+                f"(expected a subset of {sorted(known)})"
+            )
+        return cls(
+            crashes=[CrashFault(**c) for c in document.get("crashes", [])],
+            links=[LinkFault(**f) for f in document.get("links", [])],
+            slow_nics=[
+                SlowNicFault(**s) for s in document.get("slow_nics", [])
+            ],
+            coordinator_crashes=[
+                CoordinatorCrashFault(**c)
+                for c in document.get("coordinator_crashes", [])
+            ],
+            seed=document.get("seed", 0),
+        )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,286 @@
+"""Durable write-ahead journal for crash-recoverable repairs.
+
+The coordinator holds the whole repair plan and its round progress in
+memory; if the coordinator process dies mid-repair, that state must be
+reconstructible or a restarted run will redo (or double-apply) work the
+cluster already paid for.  :class:`RepairJournal` is the durability
+layer: an append-only log of typed records, each framed as::
+
+    [u32 payload length][u32 CRC32 of payload][payload: UTF-8 JSON]
+
+Records are appended *before* the state transition they describe is
+acted on (write-ahead).  Replay (:meth:`RepairJournal.replay`) walks
+frames until the first short or CRC-mismatched one — a torn tail from
+a crash mid-write — and truncates the file back to the last complete
+record, so a recovered coordinator appends to a clean tail.
+
+Record vocabulary (see ``repro.runtime.coordinator``):
+
+* :class:`PlanCommitted` — the full serialized plan, the coordinator's
+  epoch and the packet size; the first record of every (re)incarnation.
+* :class:`RoundStarted` / :class:`RoundCompleted` — round brackets.
+* :class:`ActionCompleted` — one chunk durably repaired; carries the
+  *executed* (possibly healed) action so recovery knows the effective
+  destination.
+* :class:`RepairFinished` — the terminal record; replaying a finished
+  journal is a no-op (idempotent recovery).
+
+The fsync policy is configurable via
+:attr:`~repro.runtime.config.RuntimeConfig.journal_fsync`: ``"always"``
+fsyncs every append (a crash loses at most the record being written),
+``"never"`` leaves flushing to the OS (faster, used by tests and
+benches that only need crash *points*, not power-failure durability).
+
+Deterministic crash injection: ``crash_after_records=N`` makes the
+journal raise :class:`CoordinatorCrash` immediately *after* the N-th
+append hits the file — the record is on disk, the coordinator dies
+before acting on it — which is exactly the window the crash-point sweep
+tests iterate over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Type, Union
+
+_HEADER = struct.Struct("<II")
+
+
+class JournalError(RuntimeError):
+    """Raised on a structurally unusable journal (not on torn tails)."""
+
+
+class CoordinatorCrash(RuntimeError):
+    """Injected coordinator death (crash_after_records tripped)."""
+
+    def __init__(self, records_written: int):
+        self.records_written = records_written
+        super().__init__(
+            f"coordinator crashed after journal record {records_written}"
+        )
+
+
+# ----------------------------------------------------------------------
+# record types
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanCommitted:
+    """The plan (serialized via ``RepairPlan.to_dict``) is committed."""
+
+    epoch: int
+    plan: Dict[str, Any]
+    packet_size: int
+
+
+@dataclass(frozen=True)
+class RoundStarted:
+    """The coordinator is about to issue round ``round_index``."""
+
+    epoch: int
+    round_index: int
+
+
+@dataclass(frozen=True)
+class ActionCompleted:
+    """One chunk repair ACKed and durably written at its destination.
+
+    ``action`` is the executed (possibly healed) action via
+    ``ChunkRepairAction`` serialization, so recovery reconciles against
+    the *effective* destination, not the planned one.
+    """
+
+    epoch: int
+    round_index: int
+    action: Dict[str, Any]
+    attempt: int
+
+
+@dataclass(frozen=True)
+class RoundCompleted:
+    """Every action of round ``round_index`` is complete."""
+
+    epoch: int
+    round_index: int
+
+
+@dataclass(frozen=True)
+class RepairFinished:
+    """The whole plan is repaired; the journal is terminal."""
+
+    epoch: int
+
+
+JournalRecord = Union[
+    PlanCommitted, RoundStarted, ActionCompleted, RoundCompleted, RepairFinished
+]
+
+_RECORD_TYPES: Dict[str, Type[JournalRecord]] = {
+    "plan_committed": PlanCommitted,
+    "round_started": RoundStarted,
+    "action_completed": ActionCompleted,
+    "round_completed": RoundCompleted,
+    "repair_finished": RepairFinished,
+}
+_TYPE_NAMES = {cls: name for name, cls in _RECORD_TYPES.items()}
+
+
+def encode_record(record: JournalRecord) -> bytes:
+    """Frame one record: length + CRC32 header, JSON payload."""
+    name = _TYPE_NAMES.get(type(record))
+    if name is None:
+        raise JournalError(f"unknown journal record type {type(record)!r}")
+    payload = json.dumps(
+        {"type": name, **asdict(record)}, separators=(",", ":")
+    ).encode("utf-8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> JournalRecord:
+    document = json.loads(payload.decode("utf-8"))
+    cls = _RECORD_TYPES.get(document.pop("type", None))
+    if cls is None:
+        raise JournalError(f"unknown journal record in payload: {payload!r}")
+    return cls(**document)
+
+
+# ----------------------------------------------------------------------
+# the journal
+# ----------------------------------------------------------------------
+
+
+class RepairJournal:
+    """Append-only, CRC-framed write-ahead log for one repair.
+
+    Args:
+        path: journal file; created if absent, appended to otherwise
+            (recovery reuses the same file across coordinator epochs).
+        fsync: ``"always"`` or ``"never"`` (see module docstring).
+        crash_after_records: deterministic fault hook — raise
+            :class:`CoordinatorCrash` right after the N-th successful
+            append of this journal instance.
+    """
+
+    FSYNC_POLICIES = ("always", "never")
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fsync: str = "always",
+        crash_after_records: Optional[int] = None,
+    ):
+        if fsync not in self.FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync policy must be one of {self.FSYNC_POLICIES}, "
+                f"got {fsync!r}"
+            )
+        if crash_after_records is not None and crash_after_records < 1:
+            raise ValueError("crash_after_records must be >= 1")
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.crash_after_records = crash_after_records
+        #: records appended by this instance (not counting replayed ones)
+        self.records_written = 0
+        self._file = open(self.path, "ab")
+
+    # -- writing -------------------------------------------------------
+
+    def append(self, record: JournalRecord) -> None:
+        """Durably append one record; may raise the injected crash.
+
+        The record is written (and fsynced per policy) *before* any
+        crash injection fires, mirroring a process that dies right
+        after its write returns.
+        """
+        if self._file.closed:
+            raise JournalError("journal is closed")
+        self._file.write(encode_record(record))
+        self._file.flush()
+        if self.fsync == "always":
+            os.fsync(self._file.fileno())
+        self.records_written += 1
+        if (
+            self.crash_after_records is not None
+            and self.records_written >= self.crash_after_records
+        ):
+            self.close()
+            raise CoordinatorCrash(self.records_written)
+
+    def reset(self) -> None:
+        """Drop every record: a fresh repair run owns the whole file.
+
+        :meth:`Coordinator.execute` calls this before committing a new
+        plan, so a journal file left over from a *previous, finished*
+        repair cannot masquerade as this run's progress.  Recovery
+        (:meth:`Coordinator.resume`) never resets — successor epochs
+        keep appending to the crashed run's records.
+        """
+        if self._file.closed:
+            raise JournalError("journal is closed")
+        self._file.truncate(0)
+        self._file.seek(0)
+        if self.fsync == "always":
+            os.fsync(self._file.fileno())
+        self.records_written = 0
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "RepairJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- replay --------------------------------------------------------
+
+    @staticmethod
+    def replay(
+        path: Union[str, Path], truncate: bool = True
+    ) -> List[JournalRecord]:
+        """Read every complete record; truncate the torn tail.
+
+        Walks the frames in order and stops at the first incomplete or
+        CRC-mismatched frame — the torn tail of a crash mid-append (or
+        a corrupted record, after which nothing downstream can be
+        trusted).  With ``truncate=True`` (the default) the file is cut
+        back to the last good record so subsequent appends extend a
+        clean log.  Replaying twice therefore yields the same records
+        — replay is idempotent.
+        """
+        path = Path(path)
+        records: List[JournalRecord] = []
+        good_end = 0
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            return records
+        offset = 0
+        while offset + _HEADER.size <= len(blob):
+            length, crc = _HEADER.unpack_from(blob, offset)
+            start = offset + _HEADER.size
+            end = start + length
+            if end > len(blob):
+                break  # torn tail: header written, payload incomplete
+            payload = blob[start:end]
+            if zlib.crc32(payload) != crc:
+                break  # corrupted record: stop trusting the log here
+            try:
+                records.append(decode_payload(payload))
+            except (JournalError, ValueError, TypeError, KeyError):
+                break  # undecodable record counts as corruption
+            offset = end
+            good_end = end
+        if truncate and good_end < len(blob):
+            with open(path, "r+b") as f:
+                f.truncate(good_end)
+        return records

@@ -18,6 +18,17 @@ Fault tolerance additions:
   the coordinator retries the action);
 * :class:`Heartbeat` / :class:`Ping` / :class:`Pong` let the
   coordinator distinguish a slow node from a dead one.
+
+Crash-recovery additions (split-brain fencing):
+
+* every command, packet and ACK also carries the coordinator's
+  ``epoch``.  Agents persist the highest epoch they have seen and NACK
+  any *mutating* command from an older epoch, so a zombie pre-crash
+  coordinator is fenced out the moment its successor takes over;
+* :class:`InventoryQuery` / :class:`InventoryReply` let a recovering
+  coordinator ask every agent which chunks it durably stores (atomic
+  ``.part`` promotion means a chunk either exists fully or not at all),
+  to reconcile the journal against reality before resuming.
 """
 
 from __future__ import annotations
@@ -51,6 +62,7 @@ class ReceiveCommand:
         sources: source node -> GF(2^8) coefficient.
         attempt: retry generation; packets from other attempts are
             ignored by the assembly.
+        epoch: issuing coordinator's epoch (fencing + staleness).
     """
 
     stripe_id: StripeId
@@ -59,6 +71,7 @@ class ReceiveCommand:
     packet_size: int
     sources: Dict[NodeId, int] = field(default_factory=dict)
     attempt: int = 0
+    epoch: int = 0
 
     @property
     def key(self) -> ActionKey:
@@ -80,6 +93,7 @@ class SendCommand:
     destination: NodeId
     packet_size: int
     attempt: int = 0
+    epoch: int = 0
 
     @property
     def key(self) -> ActionKey:
@@ -109,6 +123,7 @@ class RelayCommand:
     #: the upstream node (unset when first)
     upstream: NodeId = -1
     attempt: int = 0
+    epoch: int = 0
 
     @property
     def key(self) -> ActionKey:
@@ -130,6 +145,7 @@ class DataPacket:
     offset: int
     payload: bytes
     attempt: int = 0
+    epoch: int = 0
     checksum: Optional[int] = None
 
     @property
@@ -151,6 +167,7 @@ class RepairAck:
     chunk_index: int
     node_id: NodeId
     attempt: int = 0
+    epoch: int = 0
     status: str = ACK_OK
     detail: str = ""
 
@@ -164,7 +181,7 @@ class RepairAck:
 
 
 def nack(
-    key: ActionKey, node_id: NodeId, attempt: int, detail: str
+    key: ActionKey, node_id: NodeId, attempt: int, detail: str, epoch: int = 0
 ) -> RepairAck:
     """Build a NACK for one action attempt."""
     return RepairAck(
@@ -172,6 +189,7 @@ def nack(
         chunk_index=key[1],
         node_id=node_id,
         attempt=attempt,
+        epoch=epoch,
         status=ACK_FAILED,
         detail=detail,
     )
@@ -190,6 +208,7 @@ class WriteComplete:
     stripe_id: StripeId
     chunk_index: int
     attempt: int = 0
+    epoch: int = 0
 
     @property
     def key(self) -> ActionKey:
@@ -216,6 +235,34 @@ class Pong:
 
     node_id: NodeId
     nonce: int
+
+
+@dataclass(frozen=True)
+class InventoryQuery:
+    """Recovering coordinator -> agent: report your durable chunks.
+
+    Also announces the successor coordinator's ``epoch``: receiving
+    agents bump (and persist) their highest-seen epoch, aborting any
+    in-flight work from older epochs, so the pre-crash coordinator is
+    fenced the moment its successor takes over.
+    """
+
+    epoch: int
+    nonce: int
+
+
+@dataclass(frozen=True)
+class InventoryReply:
+    """Agent -> coordinator: stripe ids with a fully promoted chunk.
+
+    Atomic ``.part`` promotion guarantees every listed chunk is
+    complete — there is no "partially repaired" state to report.
+    """
+
+    node_id: NodeId
+    epoch: int
+    nonce: int
+    stripes: Tuple[StripeId, ...] = ()
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,7 @@ import hashlib
 import random
 import shutil
 import tempfile
+import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -33,7 +34,8 @@ from .agent import Agent, AgentError
 from .config import RuntimeConfig
 from .coordinator import COORDINATOR_ID, Coordinator, RuntimeResult
 from .datanode import ChunkStore
-from .faults import FaultInjector, FaultPlan
+from .faults import CoordinatorCrashFault, FaultInjector, FaultPlan
+from .journal import RepairJournal
 from .throttle import RateLimiter
 from .transport import Network
 
@@ -59,6 +61,11 @@ class EmulatedTestbed:
         config: runtime timeouts/retry policy (defaults are
             production-like; tests pass tighter ones).
         faults: declarative fault plan injected into the network.
+            Coordinator-crash faults implicitly enable journaling.
+        journal_path: write-ahead journal file for crash-recoverable
+            repairs; defaults to ``workdir/"repair.journal"`` whenever
+            the fault plan contains coordinator crashes, else no
+            journaling.
     """
 
     def __init__(
@@ -70,6 +77,7 @@ class EmulatedTestbed:
         pipeline_depth: int = 2,
         config: Optional[RuntimeConfig] = None,
         faults: Optional[FaultPlan] = None,
+        journal_path: Optional[Path] = None,
     ):
         self.cluster = cluster
         self.codec = codec
@@ -78,17 +86,37 @@ class EmulatedTestbed:
         self.workdir = Path(workdir) if workdir else Path(tempfile.mkdtemp(prefix="fastpr-"))
         self.config = config or RuntimeConfig()
         self.faults: Optional[FaultInjector] = None
+        self._crash_faults: List[CoordinatorCrashFault] = []
         if faults is not None:
             self.faults = FaultInjector(faults, on_crash=self._on_node_crash)
+            self._crash_faults = list(faults.coordinator_crashes)
         self.network = Network(faults=self.faults)
+        #: set at shutdown; interrupts every throttled sleep in flight
+        self._stop = threading.Event()
         self.stores: Dict[NodeId, ChunkStore] = {}
         self.agents: Dict[NodeId, Agent] = {}
         self._checksums: Dict[Tuple[int, int], str] = {}
         self.pipeline_depth = pipeline_depth
         self._build_nodes()
-        self.coordinator = Coordinator(
-            self.network, cluster, codec, self.packet_size, config=self.config
+        self.journal_path: Optional[Path] = (
+            Path(journal_path) if journal_path else None
         )
+        if self.journal_path is None and self._crash_faults:
+            self.journal_path = self.workdir / "repair.journal"
+        journal = (
+            RepairJournal(self.journal_path, fsync=self.config.journal_fsync)
+            if self.journal_path is not None
+            else None
+        )
+        self.coordinator = Coordinator(
+            self.network,
+            cluster,
+            codec,
+            self.packet_size,
+            config=self.config,
+            journal=journal,
+        )
+        self._arm_next_coordinator_crash()
         self._started = False
 
     def _build_nodes(self) -> None:
@@ -96,10 +124,12 @@ class EmulatedTestbed:
             self.network.attach(
                 node_id,
                 node.network_bandwidth or self.cluster.network_bandwidth,
+                stop=self._stop,
             )
             disk = RateLimiter(
                 node.disk_bandwidth or self.cluster.disk_bandwidth,
                 name=f"disk[{node_id}]",
+                stop=self._stop,
             )
             store = ChunkStore(self.workdir / f"node_{node_id}", node_id, disk)
             self.stores[node_id] = store
@@ -123,6 +153,7 @@ class EmulatedTestbed:
     def start(self) -> None:
         if self._started:
             return
+        self._stop.clear()
         heartbeat = self.faults is not None
         for agent in self.agents.values():
             agent.start(heartbeat=heartbeat)
@@ -136,8 +167,10 @@ class EmulatedTestbed:
                 unreported error (crashed nodes are excused — a dead
                 process files no reports).
         """
+        self._stop.set()  # interrupt every throttled sleep in flight
         for agent in self.agents.values():
             agent.stop()
+        self.coordinator.close()
         self._started = False
         errors = {
             node_id: agent.errors
@@ -177,6 +210,73 @@ class EmulatedTestbed:
         agent = self.agents.get(node_id)
         if agent is not None:
             agent.crash()
+
+    # -- coordinator crash / recovery hooks ----------------------------
+
+    def _ensure_journal(self) -> RepairJournal:
+        """Enable journaling lazily (kill hooks may arm it post-build)."""
+        if self.coordinator.journal is None:
+            if self.journal_path is None:
+                self.journal_path = self.workdir / "repair.journal"
+            self.coordinator.journal = RepairJournal(
+                self.journal_path, fsync=self.config.journal_fsync
+            )
+        return self.coordinator.journal
+
+    def _arm_next_coordinator_crash(self) -> None:
+        if not self._crash_faults:
+            return
+        fault = self._crash_faults.pop(0)
+        if fault.after_records is not None:
+            self._ensure_journal().crash_after_records = fault.after_records
+        else:
+            self._ensure_journal()
+            self.coordinator.crash_after_round = fault.after_round
+
+    def kill_coordinator_after(self, records: int) -> None:
+        """Arm a deterministic coordinator death.
+
+        The coordinator raises
+        :class:`~repro.runtime.journal.CoordinatorCrash` out of
+        :meth:`execute` (or :meth:`resume`) immediately after this
+        incarnation's ``records``-th journal record is durably written
+        — the exact window a real process death leaves behind: state
+        journaled, action not yet taken.
+        """
+        self._ensure_journal().crash_after_records = records
+
+    def restart_coordinator(self) -> Coordinator:
+        """Replace a crashed coordinator with a recovering successor.
+
+        Detaches the dead incarnation's endpoint, replays the journal
+        via :meth:`Coordinator.recover`, and installs the successor
+        (one epoch up).  Call :meth:`resume` to finish the repair.
+        """
+        if self.journal_path is None:
+            raise RuntimeError("no journal: coordinator cannot be recovered")
+        self.coordinator.close()
+        try:
+            self.network.detach(COORDINATOR_ID)
+        except KeyError:
+            pass
+        self.coordinator = Coordinator.recover(
+            self.journal_path,
+            self.network,
+            self.cluster,
+            self.codec,
+            config=self.config,
+            packet_size=self.packet_size,
+        )
+        self._arm_next_coordinator_crash()
+        return self.coordinator
+
+    def resume(self) -> RuntimeResult:
+        """Finish a recovered repair (see :meth:`Coordinator.resume`)."""
+        if not self._started:
+            raise RuntimeError("call start() (or use as a context manager) first")
+        result = self.coordinator.resume()
+        self._raise_agent_errors()
+        return result
 
     def load_random_data(self, seed: Optional[int] = None) -> None:
         """Encode and store every stripe's chunks (unthrottled bulk load).

@@ -23,13 +23,22 @@ class RateLimiter:
         rate: bytes per second; ``None`` or ``float('inf')`` disables
             throttling (used when loading fixtures).
         name: label for diagnostics.
+        stop: optional shutdown event; a set event interrupts any
+            throttled sleep immediately, so a testbed teardown never
+            waits out emulated transfer time.
     """
 
-    def __init__(self, rate: Optional[float], name: str = ""):
+    def __init__(
+        self,
+        rate: Optional[float],
+        name: str = "",
+        stop: Optional[threading.Event] = None,
+    ):
         if rate is not None and rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
         self.rate = rate
         self.name = name
+        self.stop = stop
         self._lock = threading.Lock()
         self._next_free = 0.0  # monotonic timestamp
         #: cumulative bytes passed through (for throughput assertions)
@@ -58,14 +67,27 @@ class RateLimiter:
             return deadline
 
     def throttle(self, nbytes: int) -> None:
-        """Reserve and sleep until the reservation completes."""
-        sleep_until(self.reserve(nbytes))
+        """Reserve and sleep until the reservation completes.
+
+        The sleep is interruptible via the limiter's ``stop`` event.
+        """
+        sleep_until(self.reserve(nbytes), stop=self.stop)
 
 
-def sleep_until(deadline: float) -> None:
-    """Sleep until a ``time.monotonic`` deadline (no-op if past)."""
+def sleep_until(
+    deadline: float, stop: Optional[threading.Event] = None
+) -> None:
+    """Sleep until a ``time.monotonic`` deadline (no-op if past).
+
+    With ``stop`` set, the wait aborts as soon as the event fires —
+    shutdown must not block on emulated bandwidth reservations.
+    """
     remaining = deadline - time.monotonic()
-    if remaining > 0:
+    if remaining <= 0:
+        return
+    if stop is not None:
+        stop.wait(timeout=remaining)
+    else:
         time.sleep(remaining)
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from ..cluster.chunk import NodeId
 from .faults import FaultInjector, corrupted
@@ -30,11 +30,18 @@ from .throttle import RateLimiter, reserve_transfer, sleep_until
 class Endpoint:
     """One node's attachment to the network."""
 
-    def __init__(self, node_id: NodeId, bandwidth: Optional[float]):
+    def __init__(
+        self,
+        node_id: NodeId,
+        bandwidth: Optional[float],
+        stop: Optional[threading.Event] = None,
+    ):
         self.node_id = node_id
         self.inbox: "queue.Queue" = queue.Queue()
-        self.nic_in = RateLimiter(bandwidth, name=f"nic_in[{node_id}]")
-        self.nic_out = RateLimiter(bandwidth, name=f"nic_out[{node_id}]")
+        self.nic_in = RateLimiter(bandwidth, name=f"nic_in[{node_id}]", stop=stop)
+        self.nic_out = RateLimiter(
+            bandwidth, name=f"nic_out[{node_id}]", stop=stop
+        )
         self.closed = False
 
     def close(self) -> None:
@@ -57,15 +64,29 @@ class Network:
         #: total throttled payload bytes moved (telemetry)
         self.bytes_transferred = 0
 
-    def attach(self, node_id: NodeId, bandwidth: Optional[float]) -> Endpoint:
-        """Register a node; returns its endpoint."""
+    def attach(
+        self,
+        node_id: NodeId,
+        bandwidth: Optional[float],
+        stop: Optional[threading.Event] = None,
+    ) -> Endpoint:
+        """Register a node; returns its endpoint.
+
+        ``stop`` makes the endpoint's NIC throttling interruptible on
+        shutdown (see :class:`~repro.runtime.throttle.RateLimiter`).
+        """
         with self._lock:
             if node_id in self._endpoints:
                 raise ValueError(f"node {node_id} already attached")
-            endpoint = Endpoint(node_id, bandwidth)
+            endpoint = Endpoint(node_id, bandwidth, stop=stop)
             self._endpoints[node_id] = endpoint
             self._detached.discard(node_id)
             return endpoint
+
+    def node_ids(self) -> List[NodeId]:
+        """Ids of every currently attached node."""
+        with self._lock:
+            return sorted(self._endpoints)
 
     def detach(self, node_id: NodeId) -> Endpoint:
         """Remove a node (crashed or decommissioned) from the topology.
@@ -136,7 +157,7 @@ class Network:
                 deadline = reserve_transfer(
                     sender.nic_out, receiver.nic_in, nbytes
                 )
-                sleep_until(deadline + extra_delay)
+                sleep_until(deadline + extra_delay, stop=sender.nic_out.stop)
                 with self._lock:
                     self.bytes_transferred += nbytes
                 receiver.inbox.put(message)

@@ -66,6 +66,8 @@ class RepairResult:
     converted_migrations: int = 0
     #: nodes that died during the simulated repair
     dead_nodes: List[NodeId] = field(default_factory=list)
+    #: coordinator crash/recover cycles (journal-backed, round granularity)
+    coordinator_restarts: int = 0
 
     @property
     def time_per_chunk(self) -> float:
@@ -103,6 +105,7 @@ class RepairSimulator:
         plan: RepairPlan,
         faults: Optional[FaultPlan] = None,
         detection_delay: float = 0.0,
+        recovery_delay: float = 0.0,
     ) -> RepairResult:
         """Simulate the plan; returns timing and traffic statistics.
 
@@ -116,16 +119,35 @@ class RepairSimulator:
                 reconstruction fallback, helper/destination
                 substitution via :func:`repro.core.planner.heal_action`).
                 Byte-triggered crashes have no simulator counterpart
-                (the simulator moves no bytes mid-round).
+                (the simulator moves no bytes mid-round).  Coordinator
+                crashes are mirrored at round granularity too: an
+                ``after_round`` trigger costs one recovery pause after
+                that round, and the successor re-executes nothing —
+                exactly the journal-backed runtime behavior, whose
+                completed rounds survive the crash.  ``after_records``
+                triggers have no simulator counterpart (the simulator
+                writes no journal records).
             detection_delay: simulated seconds charged once per wave of
                 newly detected deaths, modeling the live coordinator's
                 deadline-plus-probe discovery latency.
+            recovery_delay: simulated seconds charged per coordinator
+                crash/recover cycle, modeling journal replay plus the
+                inventory reconciliation round trip.
         """
         devices = DeviceMap(self.cluster)
         sim = Simulation()
         round_times: List[float] = []
         start = 0.0
         crashes = faults.crash_times() if faults is not None else []
+        coordinator_crashes = sorted(
+            (
+                c
+                for c in (faults.coordinator_crashes if faults else [])
+                if c.after_round is not None
+            ),
+            key=lambda c: c.after_round,
+        )
+        restarts = 0
         dead: Set[NodeId] = set()
         replans = 0
         converted = 0
@@ -159,6 +181,18 @@ class RepairSimulator:
             end = sim.run()
             round_times.append(end - start)
             start = end
+            # Coordinator crash after this round: the journal already
+            # holds every completed round, so the successor only pays
+            # the recovery pause before the next round starts.
+            while (
+                coordinator_crashes
+                and coordinator_crashes[0].after_round <= round_.index
+            ):
+                coordinator_crashes.pop(0)
+                restarts += 1
+                if recovery_delay > 0:
+                    sim.spawn(_pause(recovery_delay))
+                    start = sim.run()
         result = RepairResult(
             total_time=sim.now,
             round_times=round_times,
@@ -170,6 +204,7 @@ class RepairSimulator:
             replans=replans,
             converted_migrations=converted,
             dead_nodes=sorted(dead),
+            coordinator_restarts=restarts,
         )
         return result
 
@@ -251,8 +286,12 @@ def simulate_repair(
     chunk_size: Optional[int] = None,
     faults: Optional[FaultPlan] = None,
     detection_delay: float = 0.0,
+    recovery_delay: float = 0.0,
 ) -> RepairResult:
     """One-call convenience wrapper around :class:`RepairSimulator`."""
     return RepairSimulator(cluster, chunk_size=chunk_size).run(
-        plan, faults=faults, detection_delay=detection_delay
+        plan,
+        faults=faults,
+        detection_delay=detection_delay,
+        recovery_delay=recovery_delay,
     )

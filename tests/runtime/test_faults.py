@@ -33,6 +33,7 @@ from repro.runtime import (
     Network,
     RepairTimeoutError,
     RuntimeConfig,
+    Scrubber,
     SlowNicFault,
 )
 from repro.runtime.messages import DataPacket
@@ -114,8 +115,10 @@ class TestStfCrash:
         try:
             plan = FastPRPlanner().plan(cluster, 0)
             result = testbed.execute(plan)
-            # Byte-identical repair at the *effective* destinations.
+            # Byte-identical repair at the *effective* destinations,
+            # and zero corrupt chunks anywhere else in the cluster.
             testbed.verify_plan(plan, result)
+            assert Scrubber(testbed).scan().clean
             assert result.dead_nodes == [0]
             assert result.degraded
             assert result.replans >= 1
@@ -136,6 +139,7 @@ class TestStfCrash:
             )
             result = testbed.execute(plan)
             testbed.verify_plan(plan, result)
+            assert Scrubber(testbed).scan().clean
             assert result.converted_migrations == migrations
             # Healed actions never touch the dead node.
             for action in result.executed_actions:
@@ -158,6 +162,7 @@ class TestHelperCrash:
             plan = ReconstructionOnlyPlanner(seed=1).plan(cluster, 0)
             result = testbed.execute(plan)
             testbed.verify_plan(plan, result)
+            assert Scrubber(testbed).scan().clean
             assert result.dead_nodes == [helper]
             assert result.replans >= 1
         finally:
@@ -179,6 +184,7 @@ class TestLinkFaults:
             plan = ReconstructionOnlyPlanner(seed=1).plan(cluster, 0)
             result = testbed.execute(plan)
             testbed.verify_plan(plan, result)
+            assert Scrubber(testbed).scan().clean
             assert testbed.faults.stats["dropped"] >= 1
             assert result.retries >= 1
             assert result.degraded
@@ -201,6 +207,7 @@ class TestLinkFaults:
             # The checksum caught every flipped byte: despite in-flight
             # corruption, the stored chunks are byte-identical.
             testbed.verify_plan(plan, result)
+            assert Scrubber(testbed).scan().clean
             assert testbed.faults.stats["corrupted"] >= 1
             assert result.retries >= 1
         finally:
@@ -216,6 +223,7 @@ class TestLinkFaults:
             plan = ReconstructionOnlyPlanner(seed=1).plan(cluster, 0)
             result = testbed.execute(plan)
             testbed.verify_plan(plan, result)
+            assert Scrubber(testbed).scan().clean
             assert testbed.faults.stats["duplicated"] >= 1
             # Deduplication means no retries were ever needed.
             assert not result.degraded
@@ -233,6 +241,7 @@ class TestLinkFaults:
             plan = FastPRPlanner().plan(cluster, 0)
             result = testbed.execute(plan)
             testbed.verify_plan(plan, result)
+            assert Scrubber(testbed).scan().clean
             endpoint = testbed.network.endpoint(0)
             assert endpoint.nic_out.rate == pytest.approx(0.25 * 400e6)
             assert endpoint.nic_in.rate == pytest.approx(0.25 * 400e6)

@@ -120,6 +120,103 @@ class TestSnapshotAndPlan:
         assert "already failed" in capsys.readouterr().err
 
 
+class TestRepairAndScrub:
+    def snapshot(self, tmp_path, capsys):
+        path = tmp_path / "cluster.json"
+        assert (
+            main(
+                [
+                    "snapshot",
+                    "--nodes",
+                    "12",
+                    "--stripes",
+                    "8",
+                    "--code",
+                    "rs(5,3)",
+                    "--hot-standby",
+                    "2",
+                    "--seed",
+                    "7",
+                    "--chunk-size",
+                    "65536",
+                    "-o",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return path
+
+    def test_repair_executes_plan_on_testbed(self, tmp_path, capsys):
+        path = self.snapshot(tmp_path, capsys)
+        assert main(["repair", "--snapshot", str(path), "--stf", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "coordinator_restarts=0" in out
+        assert "0 corrupt" in out
+        assert "verified byte-identical" in out
+
+    def test_repair_survives_coordinator_crash(self, tmp_path, capsys):
+        path = self.snapshot(tmp_path, capsys)
+        faults = tmp_path / "faults.json"
+        faults.write_text(
+            json.dumps({"coordinator_crashes": [{"after_round": 0}]})
+        )
+        journal = tmp_path / "repair.journal"
+        assert (
+            main(
+                [
+                    "repair",
+                    "--snapshot",
+                    str(path),
+                    "--stf",
+                    "0",
+                    "--fault-plan",
+                    str(faults),
+                    "--journal",
+                    str(journal),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "recovering from journal" in out
+        assert "coordinator_restarts=1" in out
+        assert "verified byte-identical" in out
+        assert journal.exists()
+
+    def test_repair_rejects_failed_node(self, tmp_path, capsys):
+        from repro.cluster import StorageCluster
+        from repro.cluster import snapshot as snapshot_mod
+
+        cluster = StorageCluster.random(10, 10, 5, 3, seed=3)
+        for chunk in cluster.chunks_on_node(9):
+            dest = cluster.eligible_destinations(chunk.stripe_id, exclude={9})[0]
+            cluster.relocate_chunk(chunk.stripe_id, chunk.chunk_index, dest)
+        cluster.decommission(9)
+        path = tmp_path / "c.json"
+        snapshot_mod.save(cluster, path)
+        assert main(["repair", "--snapshot", str(path), "--stf", "9"]) == 2
+        assert "already failed" in capsys.readouterr().err
+
+    def test_scrub_repairs_injected_corruption(self, tmp_path, capsys):
+        path = self.snapshot(tmp_path, capsys)
+        assert (
+            main(["scrub", "--snapshot", str(path), "--corrupt", "3"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "corrupt" in out
+        assert "repaired in place" in out
+        assert "store is clean" in out
+
+    def test_scrub_clean_store_reports_clean(self, tmp_path, capsys):
+        path = self.snapshot(tmp_path, capsys)
+        assert main(["scrub", "--snapshot", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 corrupt" in out
+        assert "store is clean" in out
+
+
 class TestFleetAndPredict:
     def test_fleet_then_predict(self, tmp_path, capsys):
         path = tmp_path / "fleet.csv"
