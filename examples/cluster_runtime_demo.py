@@ -11,15 +11,15 @@ Run:
     python examples/cluster_runtime_demo.py
 """
 
-from repro.cluster import StorageCluster
-from repro.core import (
+from repro import (
+    EmulatedTestbed,
     FastPRPlanner,
     MigrationOnlyPlanner,
     ReconstructionOnlyPlanner,
+    RepairScenario,
+    make_codec,
 )
-from repro.core.plan import RepairScenario
-from repro.ec import make_codec
-from repro.runtime import EmulatedTestbed
+from repro.cluster import StorageCluster
 
 
 def main() -> None:

@@ -11,10 +11,9 @@ Run:
     python examples/degraded_reads_and_reactive_repair.py
 """
 
+from repro import EmulatedTestbed, StorageClient, make_codec
 from repro.cluster import StorageCluster
 from repro.core import apply_plan, plan_failed_node_repair
-from repro.ec import make_codec
-from repro.runtime import EmulatedTestbed, StorageClient
 
 
 def main() -> None:

@@ -10,13 +10,13 @@ Run:
     python examples/quickstart.py
 """
 
-from repro.core import (
+from repro import (
     FastPRPlanner,
     MigrationOnlyPlanner,
     ReconstructionOnlyPlanner,
-    model_for,
+    RepairScenario,
 )
-from repro.core.plan import RepairScenario
+from repro.core import model_for
 from repro.sim import (
     PAPER_SIM_CONFIG,
     build_cluster_with_stf,

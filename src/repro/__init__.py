@@ -10,7 +10,17 @@ prediction substrate.
 Quickstart::
 
     from repro import make_codec, StorageCluster, FastPRPlanner
-    from repro.sim import RepairSimulator
+    from repro import RepairSimulator          # discrete-event backend
+    from repro import Testbed                  # emulated-runtime backend
+
+The names exported here are the stable public API: planning
+(``FastPRPlanner`` and friends), both execution backends
+(``RepairSimulator`` and the emulated ``Testbed``/``Coordinator``/
+``RepairAgent`` runtime), their shared configuration (``RuntimeConfig``,
+``FaultPlan``), and the observability layer (``MetricsRegistry``,
+``Tracer``).  Deeper module paths (``repro.runtime.transport``, ...)
+are implementation detail and may move between releases;
+``tests/test_api_surface.py`` pins this surface.
 
 See ``examples/quickstart.py`` for a runnable tour.
 """
@@ -34,6 +44,24 @@ from .core import (
     RepairScenario,
     find_reconstruction_sets,
 )
+from .obs import MetricsRegistry, Tracer
+from .runtime import (
+    Agent,
+    Coordinator,
+    CoordinatorCrash,
+    EmulatedTestbed,
+    FaultPlan,
+    RepairFailedError,
+    RuntimeConfig,
+    Scrubber,
+    StorageClient,
+)
+from .sim import RepairSimulator, simulate_repair
+
+# Stable aliases: the paper talks about "the testbed" and "repair
+# agents"; the implementation classes carry their historical names.
+Testbed = EmulatedTestbed
+RepairAgent = Agent
 
 __version__ = "1.0.0"
 
@@ -55,5 +83,23 @@ __all__ = [
     "RepairRound",
     "RepairScenario",
     "find_reconstruction_sets",
+    # runtime backend
+    "Agent",
+    "Coordinator",
+    "CoordinatorCrash",
+    "EmulatedTestbed",
+    "FaultPlan",
+    "RepairAgent",
+    "RepairFailedError",
+    "RuntimeConfig",
+    "Scrubber",
+    "StorageClient",
+    "Testbed",
+    # simulator backend
+    "RepairSimulator",
+    "simulate_repair",
+    # observability
+    "MetricsRegistry",
+    "Tracer",
     "__version__",
 ]

@@ -1,0 +1,148 @@
+"""One instrumented repair, summarized as ``BENCH_repair_rounds.json``.
+
+CI's ``bench-smoke`` job runs this module against a small synthetic
+cluster and uploads the result as an artifact, so every commit carries
+a machine-readable record of what one repair round actually costs on
+the emulated testbed: per-round durations, the migration versus
+reconstruction split, and the headline transport/agent counters.  The
+document rides on :class:`repro.core.serde.Schema`, and the generated
+file is schema-validated before it is written — an empty or malformed
+run fails the job instead of uploading garbage.
+
+Usage::
+
+    python -m repro.bench.smoke -o BENCH_repair_rounds.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from ..core.serde import Schema
+
+#: Counters copied verbatim into the bench document.  A short, stable
+#: list — the full registry goes to ``--metrics-out`` on real runs; the
+#: bench file only tracks the totals worth eyeballing across commits.
+_HEADLINE_COUNTERS = (
+    "repair_actions_total",
+    "repair_retries_total",
+    "repair_replans_total",
+    "agent_bytes_sent_total",
+    "agent_bytes_received_total",
+    "transport_bytes_sent_total",
+)
+
+BENCH_SCHEMA = Schema(
+    "bench-repair-rounds",
+    version=1,
+    fields=("config", "result", "rounds", "counters"),
+    required=("config", "result", "rounds", "counters"),
+)
+
+
+def run_smoke(seed: int = 7) -> dict:
+    """Run one small instrumented repair and return the bench document.
+
+    The cluster shape matches the test fixtures (12 nodes, RS(5,3),
+    64 KiB chunks) but with enough stripes that the repair spans
+    multiple rounds, so the per-round breakdown is never trivial.
+    """
+    from ..cluster import StorageCluster
+    from ..core.plan import RepairScenario
+    from ..core.planner import FastPRPlanner
+    from ..ec import make_codec
+    from ..obs import MetricsRegistry, Tracer, breakdown_from_trace
+    from ..runtime.testbed import EmulatedTestbed
+
+    nodes, stripes, stf = 12, 20, 2
+    codec = make_codec("rs(5,3)")
+    cluster = StorageCluster.random(
+        nodes, stripes, codec.n, codec.k, seed=seed, chunk_size=1 << 16
+    )
+    cluster.node(stf).mark_soon_to_fail()
+    plan = FastPRPlanner(
+        scenario=RepairScenario.SCATTERED, seed=seed
+    ).plan(cluster, stf)
+    plan.validate(cluster)
+
+    metrics = MetricsRegistry()
+    tracer = Tracer()
+    with EmulatedTestbed(
+        cluster, codec, metrics=metrics, tracer=tracer
+    ) as testbed:
+        testbed.load_random_data(seed=seed)
+        result = testbed.execute(plan)
+        testbed.verify_plan(plan, result)
+
+    breakdown = breakdown_from_trace(tracer.to_dict())
+    counters = {
+        metric.name: metric.total()
+        for metric in metrics
+        if metric.name in _HEADLINE_COUNTERS
+    }
+    body = {
+        "config": {
+            "nodes": nodes,
+            "stripes": stripes,
+            "code": f"rs({codec.n},{codec.k})",
+            "chunk_size": cluster.chunk_size,
+            "seed": seed,
+            "stf": stf,
+            "scenario": RepairScenario.SCATTERED.value,
+        },
+        "result": {
+            "chunks_repaired": result.chunks_repaired,
+            "total_time_s": result.total_time,
+            "bytes_transferred": result.bytes_transferred,
+            "retries": result.retries,
+            "replans": result.replans,
+        },
+        "rounds": [r.to_dict() for r in breakdown.rounds],
+        "counters": counters,
+    }
+    return BENCH_SCHEMA.dump(body)
+
+
+def validate(document: dict) -> dict:
+    """Schema-check a bench document; reject empty-round runs."""
+    body = BENCH_SCHEMA.load(document)
+    if not body["rounds"]:
+        raise ValueError("bench document has no repair rounds")
+    if body["result"]["chunks_repaired"] <= 0:
+        raise ValueError("bench repair recovered no chunks")
+    return body
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.smoke", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="cluster/data RNG seed"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_repair_rounds.json",
+        help="where to write the bench document",
+    )
+    args = parser.parse_args(argv)
+    document = run_smoke(seed=args.seed)
+    validate(document)
+    with open(args.output, "w") as f:
+        json.dump(document, f, indent=2, sort_keys=True)
+        f.write("\n")
+    rounds = document["rounds"]
+    print(
+        f"wrote {args.output}: {document['result']['chunks_repaired']} "
+        f"chunks over {len(rounds)} rounds, "
+        f"{document['result']['total_time_s']:.2f}s total"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,9 @@ Operational commands::
 
     fastpr snapshot --nodes 30 --stripes 120 --code "rs(9,6)" -o c.json
     fastpr plan --snapshot c.json --stf 3 [--scenario hot_standby]
-    fastpr repair --snapshot c.json --stf 3 [--fault-plan faults.json]
+    fastpr repair --snapshot c.json --stf 3 [--fault-plan faults.json] \
+        [--metrics-out m.json] [--trace-out t.json]
+    fastpr report --trace t.json [--metrics m.json]
     fastpr scrub --snapshot c.json [--corrupt 3]
     fastpr fleet --disks 200 --days 120 -o fleet.csv
     fastpr predict --fleet fleet.csv
@@ -21,9 +23,15 @@ actually executes the FastPR plan on the emulated testbed (real bytes,
 emulated bandwidths); ``--fault-plan`` injects a JSON-described
 :class:`~repro.runtime.faults.FaultPlan` — including coordinator
 crashes, which the command survives by recovering from its write-ahead
-journal.  ``scrub`` checksum-verifies every chunk and repairs silent
-corruption in place.  ``fleet`` and ``predict`` exercise the
-failure-prediction substrate on CSV dumps.
+journal.  ``repair`` can also export the run's observability artifacts
+(``--metrics-out``/``--trace-out``), which ``report`` folds into a
+per-round migration/reconstruction breakdown table.  ``scrub``
+checksum-verifies every chunk and repairs silent corruption in place.
+``fleet`` and ``predict`` exercise the failure-prediction substrate on
+CSV dumps.
+
+Conventions shared by every subcommand: ``--seed`` pins all randomness
+and ``-o/--output`` writes the command's primary artifact to a file.
 """
 
 from __future__ import annotations
@@ -51,6 +59,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figures.add_argument("experiment")
     figures.add_argument("--runs", type=int, default=None)
+    figures.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed forwarded to experiments that take one",
+    )
+    figures.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also write the harness results as a JSON list of experiments",
+    )
 
     snapshot = sub.add_parser(
         "snapshot", help="generate a random cluster snapshot (JSON)"
@@ -79,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="scattered",
     )
     plan.add_argument("--seed", type=int, default=0)
+    plan.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the FastPR plan as JSON",
+    )
 
     repair = sub.add_parser(
         "repair",
@@ -106,6 +132,24 @@ def build_parser() -> argparse.ArgumentParser:
         "plan crashes the coordinator)",
     )
     repair.add_argument("--packet-size", type=int, default=None)
+    repair.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the run's metrics registry as JSON (readable by "
+        "'fastpr report --metrics')",
+    )
+    repair.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the run's span trace as JSON (readable by "
+        "'fastpr report --trace')",
+    )
+    repair.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the run summary (timings, retries, scrub verdict) as JSON",
+    )
 
     scrub = sub.add_parser(
         "scrub",
@@ -119,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="flip a byte in this many randomly chosen chunks first "
         "(demonstrates detection + in-place repair)",
+    )
+    scrub.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the scrub report as JSON",
     )
 
     fleet = sub.add_parser(
@@ -141,6 +191,33 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("logistic", "cart", "threshold"),
         default="logistic",
     )
+    predict.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the evaluation metrics as JSON",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render a per-round breakdown from a repair trace "
+        "(--trace-out of 'fastpr repair')",
+    )
+    report.add_argument(
+        "--trace", required=True, help="trace JSON from --trace-out"
+    )
+    report.add_argument(
+        "--metrics",
+        default=None,
+        help="optional metrics JSON from --metrics-out (summarized below "
+        "the table)",
+    )
+    report.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the breakdown as JSON",
+    )
     return parser
 
 
@@ -149,14 +226,27 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 
 
-def run_experiment(name: str, runs: Optional[int]) -> str:
+def build_experiment(
+    name: str, runs: Optional[int] = None, seed: Optional[int] = None
+):
+    """Run one named experiment, forwarding only the kwargs it takes."""
     factory = ALL_EXPERIMENTS[name]
     kwargs = {}
     if runs is not None and "runs" in factory.__code__.co_varnames:
         kwargs["runs"] = runs
+    if seed is not None and "seed" in factory.__code__.co_varnames:
+        kwargs["seed"] = seed
+    return factory(**kwargs)
+
+
+def run_experiment(
+    name: str, runs: Optional[int], seed: Optional[int] = None, collect=None
+) -> str:
     started = time.perf_counter()
-    experiment = factory(**kwargs)
+    experiment = build_experiment(name, runs, seed)
     elapsed = time.perf_counter() - started
+    if collect is not None:
+        collect.append(experiment)
     return experiment.render() + f"\n[{name} completed in {elapsed:.1f}s]\n"
 
 
@@ -166,17 +256,26 @@ def _cmd_figures(args) -> int:
             doc = (factory.__doc__ or "").strip().splitlines()[0]
             print(f"{name:8s} {doc}")
         return 0
+    collected: list = []
     if args.experiment == "all":
         for name in ALL_EXPERIMENTS:
-            print(run_experiment(name, args.runs))
-        return 0
-    if args.experiment not in ALL_EXPERIMENTS:
+            print(run_experiment(name, args.runs, args.seed, collected))
+    elif args.experiment not in ALL_EXPERIMENTS:
         print(
             f"unknown experiment {args.experiment!r}; try 'list'",
             file=sys.stderr,
         )
         return 2
-    print(run_experiment(args.experiment, args.runs))
+    else:
+        print(run_experiment(args.experiment, args.runs, args.seed, collected))
+    if args.output is not None:
+        import json as json_mod
+
+        with open(args.output, "w") as f:
+            json_mod.dump(
+                [experiment.to_dict() for experiment in collected], f, indent=2
+            )
+        print(f"wrote {len(collected)} experiment(s) to {args.output}")
     return 0
 
 
@@ -233,6 +332,7 @@ def _cmd_plan(args) -> int:
         f"{'planner':16s} {'rounds':>6s} {'migrate':>8s} {'reconstruct':>12s} "
         f"{'time (s)':>9s} {'s/chunk':>8s}"
     )
+    fastpr_plan = None
     for planner in (
         FastPRPlanner(scenario=scenario, seed=args.seed),
         ReconstructionOnlyPlanner(scenario=scenario, seed=args.seed),
@@ -240,12 +340,20 @@ def _cmd_plan(args) -> int:
     ):
         plan = planner.plan(cluster, args.stf)
         plan.validate(cluster)
+        if fastpr_plan is None:
+            fastpr_plan = plan  # the FastPR planner runs first
         result = evaluate_plan(cluster, plan)
         print(
             f"{planner.name:16s} {plan.num_rounds:>6d} "
             f"{plan.migrated_chunks:>8d} {plan.reconstructed_chunks:>12d} "
             f"{result.total_time:>9.1f} {result.time_per_chunk:>8.3f}"
         )
+    if args.output is not None:
+        import json as json_mod
+
+        with open(args.output, "w") as f:
+            json_mod.dump(fastpr_plan.to_dict(), f, indent=2)
+        print(f"\nwrote FastPR plan to {args.output}")
     return 0
 
 
@@ -311,6 +419,7 @@ def _cmd_repair(args) -> int:
                         )
             testbed.verify_plan(plan, result)
             report = Scrubber(testbed).scan()
+            _write_repair_outputs(args, testbed, result, report, restarts)
             print(
                 f"repaired {result.chunks_repaired} chunks "
                 f"(+{result.recovered_chunks} recovered) in "
@@ -329,6 +438,45 @@ def _cmd_repair(args) -> int:
         return 1
     print("all repaired chunks verified byte-identical")
     return 0
+
+
+def _write_repair_outputs(args, testbed, result, scrub_report, restarts) -> int:
+    """Write --metrics-out / --trace-out / -o artifacts of a repair run."""
+    import json as json_mod
+
+    written = 0
+    if args.metrics_out is not None:
+        testbed.metrics.save(args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
+        written += 1
+    if args.trace_out is not None:
+        testbed.tracer.save(args.trace_out)
+        print(f"wrote trace to {args.trace_out}")
+        written += 1
+    if args.output is not None:
+        summary = {
+            "version": 1,
+            "chunks_repaired": result.chunks_repaired,
+            "recovered_chunks": result.recovered_chunks,
+            "total_time_s": result.total_time,
+            "round_times_s": list(result.round_times),
+            "bytes_transferred": result.bytes_transferred,
+            "retries": result.retries,
+            "replans": result.replans,
+            "nacks": result.nacks,
+            "converted_migrations": result.converted_migrations,
+            "dead_nodes": list(result.dead_nodes),
+            "coordinator_restarts": restarts,
+            "scrub": {
+                "chunks_checked": scrub_report.chunks_checked,
+                "corrupt": len(scrub_report.corrupt),
+            },
+        }
+        with open(args.output, "w") as f:
+            json_mod.dump(summary, f, indent=2)
+        print(f"wrote run summary to {args.output}")
+        written += 1
+    return written
 
 
 def _cmd_scrub(args) -> int:
@@ -353,6 +501,22 @@ def _cmd_scrub(args) -> int:
             data[rng.randrange(len(data))] ^= 0xFF
             store.put(stripe.stripe_id, bytes(data))
         report = Scrubber(testbed).scrub()
+        if args.output is not None:
+            import dataclasses
+            import json as json_mod
+
+            document = {
+                "version": 1,
+                "chunks_checked": report.chunks_checked,
+                "corrupt": [dataclasses.asdict(c) for c in report.corrupt],
+                "repaired": [dataclasses.asdict(c) for c in report.repaired],
+                "unrepairable": [
+                    dataclasses.asdict(c) for c in report.unrepairable
+                ],
+            }
+            with open(args.output, "w") as f:
+                json_mod.dump(document, f, indent=2)
+            print(f"wrote scrub report to {args.output}")
         print(
             f"scrubbed {report.chunks_checked} chunks: "
             f"{len(report.corrupt)} corrupt, {len(report.repaired)} "
@@ -418,6 +582,52 @@ def _cmd_predict(args) -> int:
         f"false-alarm rate={metrics.false_alarm_rate:.4f} "
         f"mean lead={metrics.mean_lead_days:.1f} days"
     )
+    if args.output is not None:
+        import json as json_mod
+
+        document = {
+            "version": 1,
+            "model": args.model,
+            "train_disks": len(train),
+            "test_disks": len(test),
+            "precision": metrics.precision,
+            "recall": metrics.recall,
+            "false_alarm_rate": metrics.false_alarm_rate,
+            "mean_lead_days": metrics.mean_lead_days,
+        }
+        with open(args.output, "w") as f:
+            json_mod.dump(document, f, indent=2)
+        print(f"wrote evaluation metrics to {args.output}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .obs import (
+        TraceError,
+        breakdown_from_trace,
+        load_report_inputs,
+        metrics_summary,
+        render_breakdown,
+    )
+
+    try:
+        trace, metrics_doc = load_report_inputs(args.trace, args.metrics)
+        breakdown = breakdown_from_trace(trace)
+    except (OSError, TraceError, ValueError) as exc:
+        print(f"cannot build report: {exc}", file=sys.stderr)
+        return 2
+    print(render_breakdown(breakdown))
+    if metrics_doc is not None:
+        summary = metrics_summary(metrics_doc)
+        if summary:
+            print("\nmetrics:")
+            print(summary)
+    if args.output is not None:
+        import json as json_mod
+
+        with open(args.output, "w") as f:
+            json_mod.dump(breakdown.to_dict(), f, indent=2)
+        print(f"\nwrote breakdown to {args.output}")
     return 0
 
 
@@ -439,6 +649,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scrub": _cmd_scrub,
         "fleet": _cmd_fleet,
         "predict": _cmd_predict,
+        "report": _cmd_report,
     }[args.command]
     return handler(args)
 

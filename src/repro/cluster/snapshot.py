@@ -15,6 +15,7 @@ import json
 from pathlib import Path
 from typing import Union
 
+from ..core.serde import Schema
 from .cluster import StorageCluster
 from .node import Node, NodeRole, NodeState
 
@@ -26,10 +27,20 @@ class SnapshotError(ValueError):
     """Raised on malformed or incompatible snapshot documents."""
 
 
+#: shared serde protocol; snapshots have always carried a version key,
+#: so there is no implicit fallback — an unversioned document fails
+SNAPSHOT_SCHEMA = Schema(
+    kind="snapshot",
+    version=SNAPSHOT_VERSION,
+    fields=("defaults", "nodes", "stripes"),
+    required=("defaults", "nodes", "stripes"),
+    error=SnapshotError,
+)
+
+
 def to_dict(cluster: StorageCluster) -> dict:
     """Serialize a cluster to a JSON-compatible dictionary."""
-    return {
-        "version": SNAPSHOT_VERSION,
+    return SNAPSHOT_SCHEMA.dump({
         "defaults": {
             "disk_bandwidth": cluster.disk_bandwidth,
             "network_bandwidth": cluster.network_bandwidth,
@@ -54,7 +65,7 @@ def to_dict(cluster: StorageCluster) -> dict:
             }
             for stripe in cluster.stripes()
         ],
-    }
+    })
 
 
 def from_dict(document: dict) -> StorageCluster:
@@ -63,18 +74,10 @@ def from_dict(document: dict) -> StorageCluster:
     Raises:
         SnapshotError: on schema or consistency problems.
     """
-    version = document.get("version")
-    if version != SNAPSHOT_VERSION:
-        raise SnapshotError(
-            f"unsupported snapshot version {version!r} "
-            f"(expected {SNAPSHOT_VERSION})"
-        )
-    try:
-        defaults = document["defaults"]
-        node_docs = document["nodes"]
-        stripe_docs = document["stripes"]
-    except KeyError as exc:
-        raise SnapshotError(f"snapshot missing section {exc}") from exc
+    body = SNAPSHOT_SCHEMA.load(document)
+    defaults = body["defaults"]
+    node_docs = body["nodes"]
+    stripe_docs = body["stripes"]
     storage = [n for n in node_docs if n["role"] == NodeRole.STORAGE.value]
     standby = [n for n in node_docs if n["role"] == NodeRole.HOT_STANDBY.value]
     if len(storage) + len(standby) != len(node_docs):

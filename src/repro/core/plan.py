@@ -14,6 +14,18 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Tuple
 
 from ..cluster.chunk import NodeId, StripeId
+from .serde import Schema, SerdeError
+
+#: shared serde protocol; plans embedded in pre-versioning journals
+#: load as implicit version 1
+REPAIR_PLAN_SCHEMA = Schema(
+    kind="RepairPlan",
+    version=1,
+    fields=("stf_node", "scenario", "rounds"),
+    required=("stf_node", "scenario", "rounds"),
+    error=SerdeError,
+    implicit_version=1,
+)
 
 
 class RepairScenario(enum.Enum):
@@ -244,18 +256,21 @@ class RepairPlan:
 
     def to_dict(self) -> Dict:
         """JSON-serializable form, exact enough to resume a repair from."""
-        return {
-            "stf_node": self.stf_node,
-            "scenario": self.scenario.value,
-            "rounds": [r.to_dict() for r in self.rounds],
-        }
+        return REPAIR_PLAN_SCHEMA.dump(
+            {
+                "stf_node": self.stf_node,
+                "scenario": self.scenario.value,
+                "rounds": [r.to_dict() for r in self.rounds],
+            }
+        )
 
     @classmethod
     def from_dict(cls, document: Dict) -> "RepairPlan":
+        body = REPAIR_PLAN_SCHEMA.load(document)
         return cls(
-            stf_node=document["stf_node"],
-            scenario=RepairScenario(document["scenario"]),
-            rounds=[RepairRound.from_dict(r) for r in document["rounds"]],
+            stf_node=body["stf_node"],
+            scenario=RepairScenario(body["scenario"]),
+            rounds=[RepairRound.from_dict(r) for r in body["rounds"]],
         )
 
     def summary(self) -> str:

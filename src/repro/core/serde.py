@@ -1,0 +1,110 @@
+"""One serialization protocol for every ``to_dict``/``from_dict`` pair.
+
+Before this module, each serializable type hand-rolled its own
+convention: :class:`~repro.runtime.faults.FaultPlan` rejected unknown
+keys with ``TypeError``, the cluster snapshot carried a ``version``
+field and raised ``SnapshotError``, :class:`~repro.core.plan.RepairPlan`
+silently ignored whatever it did not recognize, and
+:class:`~repro.runtime.config.RuntimeConfig` was not serializable at
+all.  :class:`Schema` is the shared protocol all four now ride on:
+
+* ``dump(body)`` stamps the document with the schema's version;
+* ``load(document)`` verifies the version (documents written before a
+  schema carried versions are accepted as version 1 when
+  ``implicit_version`` allows), rejects unknown keys by name — typos
+  in hand-written JSON surface instead of being ignored — and returns
+  the body for the caller's constructor;
+* the error type is configurable per schema, so existing contracts
+  (``TypeError`` from ``FaultPlan.from_dict``, ``SnapshotError`` from
+  snapshots) survive the port.
+
+Round-tripping ``load(dump(body)) == body`` is a property test in
+``tests/core/test_serde.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Type
+
+
+class SerdeError(ValueError):
+    """Default error for version mismatches and unknown keys."""
+
+
+class Schema:
+    """A named, versioned document schema with unknown-key rejection.
+
+    Args:
+        kind: human-readable document name (used in error messages).
+        version: the schema version ``dump`` stamps and ``load`` expects.
+        fields: every key the document body may carry.
+        required: keys that must be present (subset of ``fields``).
+        error: exception class raised on violations (defaults to
+            :class:`SerdeError`; snapshot/fault-plan schemas pass their
+            legacy error types).
+        implicit_version: accept documents without a ``version`` key as
+            this version (for formats that predate versioning, e.g.
+            fault-plan JSON written by hand or plans embedded in old
+            journals).  ``None`` makes the version mandatory.
+    """
+
+    VERSION_KEY = "version"
+
+    def __init__(
+        self,
+        kind: str,
+        version: int,
+        fields: Iterable[str],
+        required: Iterable[str] = (),
+        error: Type[Exception] = SerdeError,
+        implicit_version: Optional[int] = None,
+    ):
+        self.kind = kind
+        self.version = version
+        self.fields = frozenset(fields)
+        self.required = frozenset(required)
+        unknown_required = self.required - self.fields
+        if unknown_required:
+            raise ValueError(
+                f"required keys {sorted(unknown_required)} not in fields"
+            )
+        if self.VERSION_KEY in self.fields:
+            raise ValueError(f"{self.VERSION_KEY!r} is reserved")
+        self.error = error
+        self.implicit_version = implicit_version
+
+    def dump(self, body: Dict) -> Dict:
+        """Stamp a body with this schema's version."""
+        return {self.VERSION_KEY: self.version, **body}
+
+    def load(self, document: Dict) -> Dict:
+        """Validate a document; returns the body (version key stripped).
+
+        Raises:
+            self.error: on a non-mapping document, version mismatch,
+                unknown keys, or missing required keys.
+        """
+        if not isinstance(document, dict):
+            raise self.error(
+                f"{self.kind} document must be a mapping, "
+                f"got {type(document).__name__}"
+            )
+        version = document.get(self.VERSION_KEY, self.implicit_version)
+        if version != self.version:
+            raise self.error(
+                f"unsupported {self.kind} version {version!r} "
+                f"(expected {self.version})"
+            )
+        body = {k: v for k, v in document.items() if k != self.VERSION_KEY}
+        unknown = set(body) - self.fields
+        if unknown:
+            raise self.error(
+                f"unknown {self.kind} keys: {sorted(unknown)} "
+                f"(expected a subset of {sorted(self.fields)})"
+            )
+        missing = self.required - set(body)
+        if missing:
+            raise self.error(
+                f"{self.kind} missing required keys: {sorted(missing)}"
+            )
+        return body

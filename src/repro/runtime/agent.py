@@ -42,6 +42,7 @@ from __future__ import annotations
 import os
 import queue
 import threading
+import time
 import zlib
 from typing import Dict, Optional, Set, Tuple
 
@@ -49,6 +50,8 @@ import numpy as np
 
 from ..cluster.chunk import NodeId
 from ..ec.galois import gf_addmul_bytes
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
 from .config import DEFAULT_CONFIG, RuntimeConfig
 from .datanode import ChunkStore
 from .messages import (
@@ -109,6 +112,12 @@ class _Assembly:
         #: duplicated packets, which would otherwise double-apply coeffs)
         self._arrived: Dict[int, Set[NodeId]] = {}
         self._remaining_offsets = self._count_offsets()
+        #: telemetry accumulated over the assembly's lifetime
+        self.decode_seconds = 0.0
+        self.staging_seconds = 0.0
+        self.bytes_received = 0
+        #: trace span opened by the agent at command admission
+        self.span = None
 
     def _count_offsets(self) -> int:
         size, packet = self.command.chunk_size, self.command.packet_size
@@ -155,7 +164,10 @@ class _Assembly:
             if packet.source in arrived:
                 continue  # duplicated delivery
             arrived.add(packet.source)
+            self.bytes_received += len(data)
+            started = time.perf_counter()
             gf_addmul_bytes(self._buffer[packet.offset : end], coeff, data)
+            self.decode_seconds += time.perf_counter() - started
             if len(arrived) == num_sources:
                 # Keep the arrived set for the assembly's lifetime:
                 # dropping it would let a duplicate delivered after the
@@ -163,6 +175,7 @@ class _Assembly:
                 # re-trigger the completion below.
                 self._remaining_offsets -= 1
                 # Fully decoded packet: write it out (throttled).
+                started = time.perf_counter()
                 self.store.write_packet(
                     self.command.stripe_id,
                     packet.offset,
@@ -170,6 +183,7 @@ class _Assembly:
                     size,
                     staged=True,
                 )
+                self.staging_seconds += time.perf_counter() - started
         return True
 
 
@@ -219,6 +233,9 @@ class _Relay:
                     out=out,
                 )
             payload = out.tobytes()
+            self.agent._bytes_sent.inc(
+                len(payload), node=self.agent.node_id
+            )
             self.agent.network.send(
                 self.agent.node_id,
                 command.destination,
@@ -280,6 +297,10 @@ class Agent:
             :class:`WriteComplete` before NACKing the coordinator
             (defaults to ``config.ack_timeout``).
         config: runtime timeouts and heartbeat cadence.
+        metrics: optional :class:`~repro.obs.MetricsRegistry` shared by
+            the run; omitted -> a private throwaway registry.
+        tracer: optional :class:`~repro.obs.Tracer`; omitted -> a
+            disabled tracer that records nothing.
     """
 
     def __init__(
@@ -291,6 +312,8 @@ class Agent:
         pipeline_depth: int = 2,
         ack_timeout: Optional[float] = None,
         config: Optional[RuntimeConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.node_id = node_id
         self.store = store
@@ -298,6 +321,31 @@ class Agent:
         self.coordinator_id = coordinator_id
         self.pipeline_depth = pipeline_depth
         self.config = config or DEFAULT_CONFIG
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        m = self.metrics
+        self._bytes_sent = m.counter(
+            "agent_bytes_sent_total", "repair payload bytes sent, by node"
+        )
+        self._bytes_received = m.counter(
+            "agent_bytes_received_total",
+            "repair payload bytes decoded into assemblies, by node",
+        )
+        self._decode_hist = m.histogram(
+            "agent_decode_seconds", "GF-decode CPU time per assembled chunk"
+        )
+        self._staging_hist = m.histogram(
+            "agent_staging_seconds",
+            "staged-write (throttled disk) time per assembled chunk",
+        )
+        self._fence_counter = m.counter(
+            "agent_epoch_fences_total",
+            "commands NACKed for carrying a fenced (stale) epoch",
+        )
+        self._promotions_counter = m.counter(
+            "agent_promotions_total",
+            "staged chunks atomically promoted, by node",
+        )
         self.ack_timeout = (
             ack_timeout if ack_timeout is not None else self.config.ack_timeout
         )
@@ -466,6 +514,7 @@ class Agent:
         if command.epoch > self._epoch:
             self._bump_epoch(command.epoch)
         elif command.epoch < self._epoch:
+            self._fence_counter.inc(node=self.node_id)
             self._nack(
                 command.key,
                 command.attempt,
@@ -571,6 +620,14 @@ class Agent:
         if not self._note_attempt(command.key, _generation(command)):
             return
         assembly = _Assembly(command, self.store)
+        assembly.span = self.tracer.start_span(
+            "assembly",
+            node=self.node_id,
+            stripe=command.stripe_id,
+            chunk=command.chunk_index,
+            epoch=command.epoch,
+            attempt=command.attempt,
+        )
         with self._assembly_lock:
             existing = self._assemblies.get(command.key)
             if existing is not None:
@@ -640,7 +697,11 @@ class Agent:
                 # Publish under the lock: an epoch bump (fencing) and
                 # a promotion cannot interleave, so a successor
                 # coordinator's inventory snapshot is exact.
+                promo = self.tracer.start_span(
+                    "promotion", parent=assembly.span, node=self.node_id
+                )
                 self.store.promote(assembly.command.stripe_id)
+                promo.finish()
                 self._completed[key] = (epoch, attempt)
                 self._pending.pop(key, None)
                 promoted = True
@@ -649,7 +710,20 @@ class Agent:
                 # fenced epoch must not publish anything.
                 self.store.discard_staged(assembly.command.stripe_id)
         if not promoted:
+            if assembly.span is not None:
+                assembly.span.finish(promoted=False)
             return  # aborted, superseded or fenced
+        self._promotions_counter.inc(node=self.node_id)
+        self._bytes_received.inc(assembly.bytes_received, node=self.node_id)
+        self._decode_hist.observe(assembly.decode_seconds)
+        self._staging_hist.observe(assembly.staging_seconds)
+        if assembly.span is not None:
+            assembly.span.finish(
+                promoted=True,
+                decode_seconds=assembly.decode_seconds,
+                staging_seconds=assembly.staging_seconds,
+                bytes=assembly.bytes_received,
+            )
         # Unblock every source's synchronous round trip...
         for source in assembly.command.sources:
             self.network.send(
@@ -815,6 +889,7 @@ class Agent:
     def _send_packet(
         self, command: SendCommand, offset: int, payload: bytes
     ) -> None:
+        self._bytes_sent.inc(len(payload), node=self.node_id)
         self.network.send(
             self.node_id,
             command.destination,

@@ -11,7 +11,31 @@ them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+
+from ..core.serde import Schema
+
+#: shared serde protocol (all fields optional: defaults fill gaps)
+RUNTIME_CONFIG_SCHEMA = Schema(
+    kind="RuntimeConfig",
+    version=1,
+    fields=(
+        "ack_timeout",
+        "join_timeout",
+        "deadline_margin",
+        "min_deadline",
+        "max_retries",
+        "backoff_base",
+        "backoff_factor",
+        "backoff_cap",
+        "probe_timeout",
+        "heartbeat_interval",
+        "poll_interval",
+        "journal_fsync",
+        "inventory_timeout",
+    ),
+    implicit_version=1,
+)
 
 
 @dataclass(frozen=True)
@@ -80,6 +104,16 @@ class RuntimeConfig:
         """Backoff before the ``retry``-th reissue (1-based)."""
         delay = self.backoff_base * self.backoff_factor ** max(retry - 1, 0)
         return min(delay, self.backoff_cap)
+
+    def to_dict(self) -> dict:
+        """Versioned JSON form (ops configs, metrics-out provenance)."""
+        return RUNTIME_CONFIG_SCHEMA.dump(asdict(self))
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "RuntimeConfig":
+        """Inverse of :meth:`to_dict`; omitted fields keep defaults,
+        unknown keys raise so config-file typos surface."""
+        return cls(**RUNTIME_CONFIG_SCHEMA.load(document))
 
 
 #: defaults used when no config is passed anywhere

@@ -51,6 +51,8 @@ from ..cluster.cluster import StorageCluster
 from ..core.plan import ChunkRepairAction, RepairMethod, RepairPlan
 from ..core.planner import UnrecoverableChunkError, heal_action
 from ..ec.codec import ErasureCodec
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Span, Tracer
 from .config import DEFAULT_CONFIG, RuntimeConfig
 from .journal import (
     ActionCompleted,
@@ -163,6 +165,11 @@ class Coordinator:
             run resumable via :meth:`recover`.
         epoch: this incarnation's epoch, stamped on every command so
             agents can fence out superseded coordinators.
+        metrics: optional :class:`~repro.obs.MetricsRegistry` shared by
+            the whole run; a private throwaway registry is used when
+            omitted so instrumented code needs no branches.
+        tracer: optional :class:`~repro.obs.Tracer`; a disabled tracer
+            (records nothing) is used when omitted.
     """
 
     def __init__(
@@ -174,6 +181,8 @@ class Coordinator:
         config: Optional[RuntimeConfig] = None,
         journal: Optional[RepairJournal] = None,
         epoch: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.network = network
         self.cluster = cluster
@@ -182,6 +191,36 @@ class Coordinator:
         self.config = config or DEFAULT_CONFIG
         self.journal = journal
         self.epoch = epoch
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        m = self.metrics
+        self._retries_counter = m.counter(
+            "repair_retries_total", "bounded reissues after transient stalls"
+        )
+        self._nacks_counter = m.counter(
+            "repair_nacks_total", "NACKs received from agents"
+        )
+        self._replans_counter = m.counter(
+            "repair_replans_total", "healing waves after a node died"
+        )
+        self._converted_counter = m.counter(
+            "repair_converted_migrations_total",
+            "migrations converted to reconstructions (STF died mid-repair)",
+        )
+        self._actions_counter = m.counter(
+            "repair_actions_total",
+            "chunk repair actions completed, by executed method",
+        )
+        self._round_hist = m.histogram(
+            "repair_round_seconds", "wall-clock duration of each repair round"
+        )
+        self._action_hist = m.histogram(
+            "repair_action_seconds",
+            "issue-to-ACK latency of each completed action, by method",
+        )
+        m.gauge(
+            "coordinator_epoch", "epoch of the current coordinator incarnation"
+        ).set(epoch)
         #: fault hook: die right after journaling RoundCompleted(n >= this)
         self.crash_after_round: Optional[int] = None
         self._endpoint = network.attach(COORDINATOR_ID, None)
@@ -212,13 +251,24 @@ class Coordinator:
                 (Experiment B.1 varies it without rebuilding the testbed).
         """
         packet = packet_size or self.packet_size
-        if self.journal is not None:
-            # A fresh run owns the file: records left by a previous,
-            # finished repair must not masquerade as this run's
-            # progress.  (Recovery appends instead — see resume().)
-            self.journal.reset()
-        self._journal(PlanCommitted(self.epoch, plan.to_dict(), packet))
-        return self._execute(plan, packet, done={})
+        with self.tracer.span(
+            "repair",
+            stf=plan.stf_node,
+            scenario=plan.scenario.value,
+            rounds=plan.num_rounds,
+            chunks=plan.total_chunks,
+            packet_size=packet,
+            epoch=self.epoch,
+            resumed=False,
+        ):
+            if self.journal is not None:
+                # A fresh run owns the file: records left by a previous,
+                # finished repair must not masquerade as this run's
+                # progress.  (Recovery appends instead — see resume().)
+                self.journal.reset()
+            with self.tracer.span("plan_commit"):
+                self._journal(PlanCommitted(self.epoch, plan.to_dict(), packet))
+            return self._execute(plan, packet, done={})
 
     def _execute(
         self,
@@ -241,10 +291,24 @@ class Coordinator:
             ]
             # Write-ahead: the round marker lands before any command.
             self._journal(RoundStarted(self.epoch, round_.index))
+            round_span = self.tracer.start_span("round", round=round_.index)
             round_start = time.monotonic()
-            if remaining:
-                self._run_round(plan, round_.index, remaining, packet, result)
-            result.round_times.append(time.monotonic() - round_start)
+            try:
+                if remaining:
+                    self._run_round(
+                        plan, round_.index, remaining, packet, result,
+                        round_span,
+                    )
+            except BaseException:
+                # Close the span at the failure point: action spans
+                # completed before a coordinator crash stay reachable
+                # under their round in the trace tree.
+                round_span.finish(actions=len(remaining), aborted=True)
+                raise
+            duration = time.monotonic() - round_start
+            result.round_times.append(duration)
+            round_span.finish(actions=len(remaining))
+            self._round_hist.observe(duration)
             self._journal(RoundCompleted(self.epoch, round_.index))
             self._maybe_crash_after_round(round_.index)
         self._journal(RepairFinished(self.epoch))
@@ -280,6 +344,8 @@ class Coordinator:
         codec: ErasureCodec,
         config: Optional[RuntimeConfig] = None,
         packet_size: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> "Coordinator":
         """Build a successor coordinator from a crashed run's journal.
 
@@ -316,7 +382,9 @@ class Coordinator:
                 "nothing to recover"
             )
         plan = RepairPlan.from_dict(plan_doc)
-        journal = RepairJournal(journal_path, fsync=cfg.journal_fsync)
+        journal = RepairJournal(
+            journal_path, fsync=cfg.journal_fsync, metrics=metrics
+        )
         coordinator = cls(
             network,
             cluster,
@@ -325,6 +393,8 @@ class Coordinator:
             config=cfg,
             journal=journal,
             epoch=last_epoch + 1,
+            metrics=metrics,
+            tracer=tracer,
         )
         coordinator._recovered = RecoveredState(
             plan=plan,
@@ -357,20 +427,36 @@ class Coordinator:
             result.recovered_chunks = len(done)
             result.executed_actions.extend(done[key] for key in sorted(done))
             return result
-        inventory = self._collect_inventory()
-        for action in state.plan.actions():
-            key = (action.stripe_id, action.chunk_index)
-            if key in done:
-                continue
-            if action.stripe_id in inventory.get(action.destination, ()):
-                # Destinations never previously store a chunk of the
-                # stripe (plan invariant) and promotion is atomic, so
-                # presence proves the action completed durably.
-                done[key] = action
-        self._journal(
-            PlanCommitted(self.epoch, state.plan.to_dict(), state.packet_size)
-        )
-        return self._execute(state.plan, state.packet_size, done)
+        with self.tracer.span(
+            "repair",
+            stf=state.plan.stf_node,
+            scenario=state.plan.scenario.value,
+            rounds=state.plan.num_rounds,
+            chunks=state.plan.total_chunks,
+            packet_size=state.packet_size,
+            epoch=self.epoch,
+            resumed=True,
+            journaled_complete=len(done),
+        ) as repair_span:
+            with self.tracer.span("inventory"):
+                inventory = self._collect_inventory()
+            for action in state.plan.actions():
+                key = (action.stripe_id, action.chunk_index)
+                if key in done:
+                    continue
+                if action.stripe_id in inventory.get(action.destination, ()):
+                    # Destinations never previously store a chunk of the
+                    # stripe (plan invariant) and promotion is atomic, so
+                    # presence proves the action completed durably.
+                    done[key] = action
+            repair_span.annotate(recovered=len(done))
+            with self.tracer.span("plan_commit"):
+                self._journal(
+                    PlanCommitted(
+                        self.epoch, state.plan.to_dict(), state.packet_size
+                    )
+                )
+            return self._execute(state.plan, state.packet_size, done)
 
     def _collect_inventory(self) -> Dict[NodeId, Set[StripeId]]:
         """Ask every attached agent which stripes it durably stores.
@@ -420,17 +506,29 @@ class Coordinator:
         round_actions: List[ChunkRepairAction],
         packet: int,
         result: RuntimeResult,
+        round_span: Optional[Span] = None,
     ) -> None:
         cfg = self.config
         actions: Dict[ActionKey, ChunkRepairAction] = {}
         attempts: Dict[ActionKey, int] = {}
         retries: Dict[ActionKey, int] = {}
+        spans: Dict[ActionKey, Span] = {}
         for action in round_actions:
             healed = self._heal(plan, action, result)
             key = (action.stripe_id, action.chunk_index)
             actions[key] = healed
             attempts[key] = 0
             retries[key] = 0
+            # Non-lexical span: opened at command issue, closed when
+            # the matching ACK arrives (possibly after reissues).
+            spans[key] = self.tracer.start_span(
+                "action",
+                parent=round_span,
+                method=healed.method.value,
+                stripe=healed.stripe_id,
+                chunk=healed.chunk_index,
+                destination=healed.destination,
+            )
             self._issue(healed, packet, attempt=0)
         pending: Set[ActionKey] = set(actions)
         deadline = time.monotonic() + self._round_deadline(actions.values())
@@ -439,7 +537,7 @@ class Coordinator:
             if now >= deadline:
                 self._recover(
                     plan, actions, pending, attempts, retries, packet, result,
-                    reason="deadline",
+                    reason="deadline", spans=spans,
                 )
                 deadline = time.monotonic() + self._round_deadline(
                     [actions[k] for k in pending]
@@ -462,6 +560,21 @@ class Coordinator:
                 if key not in pending or message.attempt != attempts[key]:
                     continue  # stale or duplicate (already-handled) ack
                 if message.ok:
+                    executed = actions[key]
+                    # The span closes (and metrics record) at ACK time,
+                    # before the completion is journaled: a crash inside
+                    # the append then leaves trace, metrics and journal
+                    # agreeing on which actions finished.
+                    span = spans[key].finish(
+                        method=executed.method.value,
+                        destination=executed.destination,
+                        attempt=message.attempt,
+                        retries=retries[key],
+                    )
+                    self._actions_counter.inc(method=executed.method.value)
+                    self._action_hist.observe(
+                        span.duration, method=executed.method.value
+                    )
                     # Write-ahead: the completion is durable in the
                     # journal before the coordinator acts on it, so a
                     # crash here never re-executes this action.
@@ -476,10 +589,12 @@ class Coordinator:
                     pending.discard(key)
                 else:
                     result.nacks += 1
+                    self._nacks_counter.inc()
                     self._recover(
                         plan, actions, {key}, attempts, retries, packet, result,
                         reason=f"NACK from node {message.node_id}: "
                         f"{message.detail}",
+                        spans=spans,
                     )
                     deadline = max(
                         deadline,
@@ -500,9 +615,11 @@ class Coordinator:
         packet: int,
         result: RuntimeResult,
         reason: str,
+        spans: Optional[Dict[ActionKey, Span]] = None,
     ) -> None:
         """Deadline missed or NACK received: probe, replan, reissue."""
         cfg = self.config
+        spans = spans if spans is not None else {}
         suspects = set()
         for key in keys:
             action = actions[key]
@@ -513,9 +630,14 @@ class Coordinator:
         if newly_dead:
             self._dead |= newly_dead
             result.replans += 1
+            self._replans_counter.inc()
             for key in sorted(keys):
                 actions[key] = self._heal(plan, actions[key], result)
                 attempts[key] += 1
+                if key in spans:
+                    spans[key].annotate(
+                        healed=True, attempts=attempts[key]
+                    )
                 self._issue(actions[key], packet, attempts[key])
             return
         # Every suspect answered: the stall is transient (lost packets,
@@ -531,8 +653,11 @@ class Coordinator:
         backoff = cfg.backoff(max(retries[key] for key in keys))
         time.sleep(backoff)
         result.retries += len(keys)
+        self._retries_counter.inc(len(keys))
         for key in sorted(keys):
             attempts[key] += 1
+            if key in spans:
+                spans[key].annotate(attempts=attempts[key])
             self._issue(actions[key], packet, attempts[key])
 
     def _heal(
@@ -554,6 +679,7 @@ class Coordinator:
             and action.method is RepairMethod.MIGRATION
         ):
             result.converted_migrations += 1
+            self._converted_counter.inc()
         return healed
 
     # -- liveness ------------------------------------------------------

@@ -31,6 +31,17 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..cluster.chunk import NodeId
+from ..core.serde import Schema
+
+#: shared serde protocol (versioned, unknown keys raise TypeError —
+#: the contract ``FaultPlan.from_dict`` has always had for typos)
+FAULT_PLAN_SCHEMA = Schema(
+    kind="FaultPlan",
+    version=1,
+    fields=("crashes", "links", "slow_nics", "coordinator_crashes", "seed"),
+    error=TypeError,
+    implicit_version=1,  # hand-written fault-plan JSON predates versions
+)
 
 
 @dataclass(frozen=True)
@@ -174,38 +185,32 @@ class FaultPlan:
 
     def to_dict(self) -> dict:
         """JSON-compatible form (``fastpr repair --fault-plan``)."""
-        return {
-            "seed": self.seed,
-            "crashes": [asdict(c) for c in self.crashes],
-            "links": [asdict(f) for f in self.links],
-            "slow_nics": [asdict(s) for s in self.slow_nics],
-            "coordinator_crashes": [
-                asdict(c) for c in self.coordinator_crashes
-            ],
-        }
+        return FAULT_PLAN_SCHEMA.dump(
+            {
+                "seed": self.seed,
+                "crashes": [asdict(c) for c in self.crashes],
+                "links": [asdict(f) for f in self.links],
+                "slow_nics": [asdict(s) for s in self.slow_nics],
+                "coordinator_crashes": [
+                    asdict(c) for c in self.coordinator_crashes
+                ],
+            }
+        )
 
     @classmethod
     def from_dict(cls, document: dict) -> "FaultPlan":
         """Rebuild a plan from :meth:`to_dict` output (or hand-written
         JSON); unknown keys raise ``TypeError`` so typos surface."""
-        known = {"crashes", "links", "slow_nics", "coordinator_crashes", "seed"}
-        unknown = set(document) - known
-        if unknown:
-            raise TypeError(
-                f"unknown FaultPlan keys: {sorted(unknown)} "
-                f"(expected a subset of {sorted(known)})"
-            )
+        body = FAULT_PLAN_SCHEMA.load(document)
         return cls(
-            crashes=[CrashFault(**c) for c in document.get("crashes", [])],
-            links=[LinkFault(**f) for f in document.get("links", [])],
-            slow_nics=[
-                SlowNicFault(**s) for s in document.get("slow_nics", [])
-            ],
+            crashes=[CrashFault(**c) for c in body.get("crashes", [])],
+            links=[LinkFault(**f) for f in body.get("links", [])],
+            slow_nics=[SlowNicFault(**s) for s in body.get("slow_nics", [])],
             coordinator_crashes=[
                 CoordinatorCrashFault(**c)
-                for c in document.get("coordinator_crashes", [])
+                for c in body.get("coordinator_crashes", [])
             ],
-            seed=document.get("seed", 0),
+            seed=body.get("seed", 0),
         )
 
 

@@ -43,6 +43,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -165,6 +166,9 @@ class RepairJournal:
         crash_after_records: deterministic fault hook — raise
             :class:`CoordinatorCrash` right after the N-th successful
             append of this journal instance.
+        metrics: optional :class:`~repro.obs.MetricsRegistry`; counts
+            appended records by type (``journal_records_total``) and
+            times each fsync (``journal_fsync_seconds``).
     """
 
     FSYNC_POLICIES = ("always", "never")
@@ -174,6 +178,7 @@ class RepairJournal:
         path: Union[str, Path],
         fsync: str = "always",
         crash_after_records: Optional[int] = None,
+        metrics=None,
     ):
         if fsync not in self.FSYNC_POLICIES:
             raise ValueError(
@@ -188,6 +193,22 @@ class RepairJournal:
         self.crash_after_records = crash_after_records
         #: records appended by this instance (not counting replayed ones)
         self.records_written = 0
+        self._record_counter = None
+        self._fsync_hist = None
+        self._fsync_counter = None
+        if metrics is not None:
+            self._record_counter = metrics.counter(
+                "journal_records_total",
+                "write-ahead journal records appended, by record type",
+            )
+            self._fsync_hist = metrics.histogram(
+                "journal_fsync_seconds",
+                "duration of each journal fsync",
+            )
+            self._fsync_counter = metrics.counter(
+                "journal_fsyncs_total",
+                "journal fsyncs issued",
+            )
         self._file = open(self.path, "ab")
 
     # -- writing -------------------------------------------------------
@@ -204,8 +225,16 @@ class RepairJournal:
         self._file.write(encode_record(record))
         self._file.flush()
         if self.fsync == "always":
+            started = time.perf_counter()
             os.fsync(self._file.fileno())
+            if self._fsync_hist is not None:
+                self._fsync_hist.observe(time.perf_counter() - started)
+                self._fsync_counter.inc()
         self.records_written += 1
+        if self._record_counter is not None:
+            self._record_counter.inc(
+                type=_TYPE_NAMES.get(type(record), "unknown")
+            )
         if (
             self.crash_after_records is not None
             and self.records_written >= self.crash_after_records

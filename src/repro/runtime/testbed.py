@@ -30,6 +30,8 @@ from ..cluster.chunk import NodeId
 from ..cluster.cluster import StorageCluster
 from ..core.plan import RepairPlan
 from ..ec.codec import ErasureCodec
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
 from .agent import Agent, AgentError
 from .config import RuntimeConfig
 from .coordinator import COORDINATOR_ID, Coordinator, RuntimeResult
@@ -66,6 +68,14 @@ class EmulatedTestbed:
             repairs; defaults to ``workdir/"repair.journal"`` whenever
             the fault plan contains coordinator crashes, else no
             journaling.
+        metrics: shared :class:`~repro.obs.MetricsRegistry` for the
+            whole run (coordinator, agents, transport, journal); a
+            fresh registry is created when omitted and is always
+            available as :attr:`metrics`.
+        tracer: shared :class:`~repro.obs.Tracer`; a fresh enabled
+            wall-clock tracer is created when omitted (span volume is
+            bounded by the run's action count) and is available as
+            :attr:`tracer`.
     """
 
     def __init__(
@@ -78,6 +88,8 @@ class EmulatedTestbed:
         config: Optional[RuntimeConfig] = None,
         faults: Optional[FaultPlan] = None,
         journal_path: Optional[Path] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.cluster = cluster
         self.codec = codec
@@ -85,12 +97,14 @@ class EmulatedTestbed:
         self._own_workdir = workdir is None
         self.workdir = Path(workdir) if workdir else Path(tempfile.mkdtemp(prefix="fastpr-"))
         self.config = config or RuntimeConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
         self.faults: Optional[FaultInjector] = None
         self._crash_faults: List[CoordinatorCrashFault] = []
         if faults is not None:
             self.faults = FaultInjector(faults, on_crash=self._on_node_crash)
             self._crash_faults = list(faults.coordinator_crashes)
-        self.network = Network(faults=self.faults)
+        self.network = Network(faults=self.faults, metrics=self.metrics)
         #: set at shutdown; interrupts every throttled sleep in flight
         self._stop = threading.Event()
         self.stores: Dict[NodeId, ChunkStore] = {}
@@ -104,7 +118,11 @@ class EmulatedTestbed:
         if self.journal_path is None and self._crash_faults:
             self.journal_path = self.workdir / "repair.journal"
         journal = (
-            RepairJournal(self.journal_path, fsync=self.config.journal_fsync)
+            RepairJournal(
+                self.journal_path,
+                fsync=self.config.journal_fsync,
+                metrics=self.metrics,
+            )
             if self.journal_path is not None
             else None
         )
@@ -115,6 +133,8 @@ class EmulatedTestbed:
             self.packet_size,
             config=self.config,
             journal=journal,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         self._arm_next_coordinator_crash()
         self._started = False
@@ -130,6 +150,8 @@ class EmulatedTestbed:
                 node.disk_bandwidth or self.cluster.disk_bandwidth,
                 name=f"disk[{node_id}]",
                 stop=self._stop,
+                metrics=self.metrics,
+                labels={"device": "disk", "node": node_id},
             )
             store = ChunkStore(self.workdir / f"node_{node_id}", node_id, disk)
             self.stores[node_id] = store
@@ -140,6 +162,8 @@ class EmulatedTestbed:
                 coordinator_id=COORDINATOR_ID,
                 pipeline_depth=0,  # reset below via set_pipeline_depth
                 config=self.config,
+                metrics=self.metrics,
+                tracer=self.tracer,
             )
         self.set_pipeline_depth(self.pipeline_depth)
 
@@ -219,7 +243,9 @@ class EmulatedTestbed:
             if self.journal_path is None:
                 self.journal_path = self.workdir / "repair.journal"
             self.coordinator.journal = RepairJournal(
-                self.journal_path, fsync=self.config.journal_fsync
+                self.journal_path,
+                fsync=self.config.journal_fsync,
+                metrics=self.metrics,
             )
         return self.coordinator.journal
 
@@ -266,6 +292,8 @@ class EmulatedTestbed:
             self.codec,
             config=self.config,
             packet_size=self.packet_size,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         self._arm_next_coordinator_crash()
         return self.coordinator

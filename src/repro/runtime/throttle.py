@@ -26,6 +26,12 @@ class RateLimiter:
         stop: optional shutdown event; a set event interrupts any
             throttled sleep immediately, so a testbed teardown never
             waits out emulated transfer time.
+        metrics: optional :class:`~repro.obs.MetricsRegistry`; when
+            set, every :meth:`throttle` observes its wait into the
+            ``ratelimiter_wait_seconds`` histogram and counts bytes
+            into ``ratelimiter_bytes_total``, labeled by ``labels``.
+        labels: metric labels identifying this device (e.g.
+            ``{"device": "disk", "node": 3}``).
     """
 
     def __init__(
@@ -33,6 +39,8 @@ class RateLimiter:
         rate: Optional[float],
         name: str = "",
         stop: Optional[threading.Event] = None,
+        metrics=None,
+        labels: Optional[dict] = None,
     ):
         if rate is not None and rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
@@ -43,6 +51,18 @@ class RateLimiter:
         self._next_free = 0.0  # monotonic timestamp
         #: cumulative bytes passed through (for throughput assertions)
         self.bytes_total = 0
+        self.labels = dict(labels or {})
+        self._wait_hist = None
+        self._bytes_counter = None
+        if metrics is not None:
+            self._wait_hist = metrics.histogram(
+                "ratelimiter_wait_seconds",
+                "emulated-device reservation wait per throttled request",
+            )
+            self._bytes_counter = metrics.counter(
+                "ratelimiter_bytes_total",
+                "bytes passed through each emulated serial device",
+            )
 
     @property
     def unlimited(self) -> bool:
@@ -71,7 +91,13 @@ class RateLimiter:
 
         The sleep is interruptible via the limiter's ``stop`` event.
         """
-        sleep_until(self.reserve(nbytes), stop=self.stop)
+        deadline = self.reserve(nbytes)
+        if self._wait_hist is not None:
+            self._wait_hist.observe(
+                max(deadline - time.monotonic(), 0.0), **self.labels
+            )
+            self._bytes_counter.inc(nbytes, **self.labels)
+        sleep_until(deadline, stop=self.stop)
 
 
 def sleep_until(

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Dict, List, Optional, Set
 
 from ..cluster.chunk import NodeId
@@ -35,12 +36,23 @@ class Endpoint:
         node_id: NodeId,
         bandwidth: Optional[float],
         stop: Optional[threading.Event] = None,
+        metrics=None,
     ):
         self.node_id = node_id
         self.inbox: "queue.Queue" = queue.Queue()
-        self.nic_in = RateLimiter(bandwidth, name=f"nic_in[{node_id}]", stop=stop)
+        self.nic_in = RateLimiter(
+            bandwidth,
+            name=f"nic_in[{node_id}]",
+            stop=stop,
+            metrics=metrics,
+            labels={"device": "nic_in", "node": node_id},
+        )
         self.nic_out = RateLimiter(
-            bandwidth, name=f"nic_out[{node_id}]", stop=stop
+            bandwidth,
+            name=f"nic_out[{node_id}]",
+            stop=stop,
+            metrics=metrics,
+            labels={"device": "nic_out", "node": node_id},
         )
         self.closed = False
 
@@ -54,15 +66,42 @@ class Network:
 
     Args:
         faults: optional fault injector consulted on every send.
+        metrics: optional :class:`~repro.obs.MetricsRegistry`; records
+            per-node byte counters, transfer throttle waits, and inbox
+            queue depths.
     """
 
-    def __init__(self, faults: Optional[FaultInjector] = None):
+    def __init__(
+        self, faults: Optional[FaultInjector] = None, metrics=None
+    ):
         self._endpoints: Dict[NodeId, Endpoint] = {}
         self._detached: Set[NodeId] = set()
         self._lock = threading.Lock()
         self.faults = faults
+        self.metrics = metrics
         #: total throttled payload bytes moved (telemetry)
         self.bytes_transferred = 0
+        self._sent_counter = None
+        self._recv_counter = None
+        self._wait_hist = None
+        self._inbox_gauge = None
+        if metrics is not None:
+            self._sent_counter = metrics.counter(
+                "transport_bytes_sent_total",
+                "throttled payload bytes leaving each node's NIC",
+            )
+            self._recv_counter = metrics.counter(
+                "transport_bytes_received_total",
+                "throttled payload bytes arriving at each node's NIC",
+            )
+            self._wait_hist = metrics.histogram(
+                "transport_throttle_wait_seconds",
+                "emulated transfer duration paid per data packet",
+            )
+            self._inbox_gauge = metrics.gauge(
+                "transport_inbox_depth",
+                "receiver inbox depth sampled after each data delivery",
+            )
 
     def attach(
         self,
@@ -78,7 +117,9 @@ class Network:
         with self._lock:
             if node_id in self._endpoints:
                 raise ValueError(f"node {node_id} already attached")
-            endpoint = Endpoint(node_id, bandwidth, stop=stop)
+            endpoint = Endpoint(
+                node_id, bandwidth, stop=stop, metrics=self.metrics
+            )
             self._endpoints[node_id] = endpoint
             self._detached.discard(node_id)
             return endpoint
@@ -157,10 +198,20 @@ class Network:
                 deadline = reserve_transfer(
                     sender.nic_out, receiver.nic_in, nbytes
                 )
+                if self._wait_hist is not None:
+                    wait = deadline + extra_delay - time.monotonic()
+                    self._wait_hist.observe(max(wait, 0.0))
                 sleep_until(deadline + extra_delay, stop=sender.nic_out.stop)
                 with self._lock:
                     self.bytes_transferred += nbytes
+                if self._sent_counter is not None:
+                    self._sent_counter.inc(nbytes, node=src)
+                    self._recv_counter.inc(nbytes, node=dst)
                 receiver.inbox.put(message)
+                if self._inbox_gauge is not None:
+                    self._inbox_gauge.set(
+                        receiver.inbox.qsize(), node=dst
+                    )
             return
         # Control path.  (Crashed-node *data* sends are dropped inside
         # on_data_packet so byte-triggered crashes still see the bytes.)

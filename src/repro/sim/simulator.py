@@ -34,6 +34,8 @@ from ..cluster.chunk import NodeId
 from ..cluster.cluster import StorageCluster
 from ..core.plan import ChunkRepairAction, RepairMethod, RepairPlan
 from ..core.planner import heal_action
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import SimClock, Tracer
 from ..runtime.faults import FaultPlan
 from .events import Delay, Process, Simulation
 from .resources import DeviceMap
@@ -94,11 +96,61 @@ class RepairSimulator:
     Args:
         cluster: supplies per-node bandwidths and the chunk size.
         chunk_size: override the cluster's chunk size (bytes).
+        metrics: optional :class:`~repro.obs.MetricsRegistry`; the
+            simulator mirrors the runtime's metric names
+            (``repair_round_seconds``, ``repair_actions_total``, ...)
+            with *simulated* seconds, so the same dashboards read both.
+        tracer: optional :class:`~repro.obs.Tracer` backed by a
+            :class:`~repro.obs.SimClock`; the simulator emits the same
+            repair/round/action span tree as the emulated testbed,
+            timestamped in simulated seconds.  A wall-clock tracer is
+            rejected — mixing clock domains would corrupt the trace.
     """
 
-    def __init__(self, cluster: StorageCluster, chunk_size: Optional[int] = None):
+    def __init__(
+        self,
+        cluster: StorageCluster,
+        chunk_size: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         self.cluster = cluster
         self.chunk_size = chunk_size or cluster.chunk_size
+        if tracer is not None and not isinstance(tracer.clock, SimClock):
+            raise ValueError(
+                "RepairSimulator tracing needs a SimClock-backed Tracer "
+                "(got a {} clock)".format(type(tracer.clock).__name__)
+            )
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else Tracer(clock=SimClock(), enabled=False)
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        m = self.metrics
+        self._actions_counter = m.counter(
+            "repair_actions_total",
+            "chunk repair actions completed, by executed method",
+        )
+        self._round_hist = m.histogram(
+            "repair_round_seconds",
+            "simulated duration of each repair round",
+        )
+        self._action_hist = m.histogram(
+            "repair_action_seconds",
+            "simulated start-to-completion latency of each action, by method",
+        )
+        self._replans_counter = m.counter(
+            "repair_replans_total", "healing waves after a node died"
+        )
+        self._converted_counter = m.counter(
+            "repair_converted_migrations_total",
+            "migrations converted to reconstructions (STF died mid-repair)",
+        )
+
+    @property
+    def _clock(self) -> SimClock:
+        return self.tracer.clock
 
     def run(
         self,
@@ -151,6 +203,17 @@ class RepairSimulator:
         dead: Set[NodeId] = set()
         replans = 0
         converted = 0
+        clock = self._clock
+        clock.advance_to(sim.now)
+        repair_span = self.tracer.start_span(
+            "repair",
+            stf=plan.stf_node,
+            scenario=plan.scenario.value,
+            rounds=plan.num_rounds,
+            chunks=plan.total_chunks,
+            epoch=0,
+            resumed=False,
+        )
         for round_ in plan.rounds:
             newly_dead = {
                 crash.node
@@ -160,6 +223,7 @@ class RepairSimulator:
             if newly_dead:
                 dead |= newly_dead
                 replans += 1
+                self._replans_counter.inc()
                 if detection_delay > 0:
                     sim.spawn(_pause(detection_delay))
                     sim.run()
@@ -175,10 +239,20 @@ class RepairSimulator:
                         and action.method is RepairMethod.MIGRATION
                     ):
                         converted += 1
+                        self._converted_counter.inc()
                     healed_actions.append(healed)
                 actions = healed_actions
-            self._spawn_actions(sim, devices, plan.stf_node, actions)
+            clock.advance_to(sim.now)
+            round_span = self.tracer.start_span(
+                "round", parent=repair_span, round=round_.index
+            )
+            self._spawn_actions(
+                sim, devices, plan.stf_node, actions, round_span=round_span
+            )
             end = sim.run()
+            clock.advance_to(end)
+            round_span.finish(actions=len(actions))
+            self._round_hist.observe(end - start)
             round_times.append(end - start)
             start = end
             # Coordinator crash after this round: the journal already
@@ -193,6 +267,8 @@ class RepairSimulator:
                 if recovery_delay > 0:
                     sim.spawn(_pause(recovery_delay))
                     start = sim.run()
+        clock.advance_to(sim.now)
+        repair_span.finish(restarts=restarts)
         result = RepairResult(
             total_time=sim.now,
             round_times=round_times,
@@ -229,39 +305,75 @@ class RepairSimulator:
         devices: DeviceMap,
         stf_node: NodeId,
         actions: List[ChunkRepairAction],
+        round_span=None,
     ) -> None:
         # The STF agent migrates its chunks one at a time.
         migrations = [a for a in actions if a.method is RepairMethod.MIGRATION]
         if migrations:
-            sim.spawn(self._migration_chain(devices, stf_node, migrations))
+            spans = [self._action_span(a, round_span) for a in migrations]
+            sim.spawn(
+                self._migration_chain(devices, stf_node, migrations, sim, spans)
+            )
         # Every reconstruction runs as its own parallel pipeline.
         for action in actions:
             if action.method is RepairMethod.RECONSTRUCTION:
-                self._spawn_reconstruction(sim, devices, action)
+                self._spawn_reconstruction(
+                    sim, devices, action, self._action_span(action, round_span)
+                )
+
+    def _action_span(self, action: ChunkRepairAction, round_span):
+        return self.tracer.start_span(
+            "action",
+            parent=round_span,
+            method=action.method.value,
+            stripe=action.stripe_id,
+            chunk=action.chunk_index,
+            destination=action.destination,
+        )
+
+    def _finish_action(self, span, now: float, method: RepairMethod) -> None:
+        self._clock.advance_to(now)
+        span.finish()
+        self._actions_counter.inc(method=method.value)
+        self._action_hist.observe(span.duration, method=method.value)
 
     def _migration_chain(
         self,
         devices: DeviceMap,
         stf_node: NodeId,
         migrations: List[ChunkRepairAction],
+        sim: Simulation,
+        spans: List,
     ) -> Process:
         size = self.chunk_size
-        for action in migrations:
+        for action, span in zip(migrations, spans):
             yield from devices.read_chunk(stf_node, size)
             yield from devices.transfer_chunk(stf_node, action.destination, size)
             yield from devices.write_chunk(action.destination, size)
+            self._finish_action(span, sim.now, RepairMethod.MIGRATION)
 
     def _spawn_reconstruction(
-        self, sim: Simulation, devices: DeviceMap, action: ChunkRepairAction
+        self,
+        sim: Simulation,
+        devices: DeviceMap,
+        action: ChunkRepairAction,
+        span=None,
     ) -> None:
         """Helpers read+send in parallel; the destination gathers and writes."""
         size = self.chunk_size
         pending = {"count": len(action.sources)}
 
+        def write_done(now: float) -> None:
+            if span is not None:
+                self._finish_action(span, now, RepairMethod.RECONSTRUCTION)
+
         def helper_done(_now: float) -> None:
             pending["count"] -= 1
             if pending["count"] == 0:
-                sim.spawn(devices.write_chunk(action.destination, size))
+                sim.spawn(
+                    devices.write_chunk(action.destination, size),
+                    on_done=write_done,
+                )
 
         for helper in action.sources:
             sim.spawn(
@@ -287,9 +399,13 @@ def simulate_repair(
     faults: Optional[FaultPlan] = None,
     detection_delay: float = 0.0,
     recovery_delay: float = 0.0,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
 ) -> RepairResult:
     """One-call convenience wrapper around :class:`RepairSimulator`."""
-    return RepairSimulator(cluster, chunk_size=chunk_size).run(
+    return RepairSimulator(
+        cluster, chunk_size=chunk_size, metrics=metrics, tracer=tracer
+    ).run(
         plan,
         faults=faults,
         detection_delay=detection_delay,

@@ -1,0 +1,110 @@
+"""The shared serialization protocol every to_dict/from_dict rides on."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.serde import Schema, SerdeError
+
+
+FIELDS = ("alpha", "beta", "gamma")
+
+
+def make_schema(**kwargs) -> Schema:
+    return Schema("test-doc", version=2, fields=FIELDS, **kwargs)
+
+
+class TestSchema:
+    def test_dump_stamps_version(self):
+        assert make_schema().dump({"alpha": 1}) == {"version": 2, "alpha": 1}
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.dictionaries(
+            st.sampled_from(FIELDS),
+            st.one_of(st.integers(), st.text(), st.none()),
+        )
+    )
+    def test_load_dump_round_trip(self, body):
+        schema = make_schema()
+        assert schema.load(schema.dump(body)) == body
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(SerdeError, match="version 1"):
+            make_schema().load({"version": 1, "alpha": 0})
+
+    def test_missing_version_rejected_by_default(self):
+        with pytest.raises(SerdeError, match="version None"):
+            make_schema().load({"alpha": 0})
+
+    def test_implicit_version_accepts_unstamped_documents(self):
+        schema = Schema(
+            "legacy", version=1, fields=FIELDS, implicit_version=1
+        )
+        assert schema.load({"alpha": 3}) == {"alpha": 3}
+
+    def test_unknown_keys_rejected_by_name(self):
+        with pytest.raises(SerdeError, match="delta"):
+            make_schema().load({"version": 2, "delta": 1})
+
+    def test_missing_required_keys_rejected(self):
+        schema = make_schema(required=("alpha",))
+        with pytest.raises(SerdeError, match="alpha"):
+            schema.load({"version": 2, "beta": 1})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(SerdeError, match="mapping"):
+            make_schema().load([1, 2])
+
+    def test_custom_error_type(self):
+        schema = make_schema(error=TypeError)
+        with pytest.raises(TypeError, match="unknown"):
+            schema.load({"version": 2, "nope": 1})
+
+    def test_reserved_version_field_rejected_at_definition(self):
+        with pytest.raises(ValueError, match="reserved"):
+            Schema("bad", version=1, fields=("version",))
+
+    def test_required_must_be_subset_of_fields(self):
+        with pytest.raises(ValueError, match="required"):
+            Schema("bad", version=1, fields=("a",), required=("b",))
+
+
+class TestPortedSchemas:
+    """The four pre-existing formats all ride on Schema now."""
+
+    def test_runtime_config_round_trip(self):
+        from repro.runtime import RuntimeConfig
+
+        cfg = RuntimeConfig(ack_timeout=1.5, max_retries=2)
+        assert RuntimeConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_fault_plan_keeps_legacy_error_contract(self):
+        from repro.runtime import FaultPlan
+
+        plan = FaultPlan.from_dict(FaultPlan(seed=3).to_dict())
+        assert plan.seed == 3
+        with pytest.raises(TypeError, match="coordinator_crashs"):
+            FaultPlan.from_dict({"coordinator_crashs": []})
+
+    def test_snapshot_keeps_legacy_error_contract(self, small_cluster):
+        from repro.cluster import snapshot as snapshot_mod
+
+        doc = snapshot_mod.to_dict(small_cluster)
+        restored = snapshot_mod.from_dict(doc)
+        assert snapshot_mod.to_dict(restored) == doc
+        with pytest.raises(snapshot_mod.SnapshotError, match="version"):
+            snapshot_mod.from_dict({**doc, "version": 99})
+
+    def test_repair_plan_round_trip(self, stf_cluster):
+        from repro.core.plan import RepairPlan
+        from repro.core.planner import FastPRPlanner
+
+        cluster, stf = stf_cluster
+        plan = FastPRPlanner(seed=1).plan(cluster, stf)
+        assert RepairPlan.from_dict(plan.to_dict()).to_dict() == plan.to_dict()

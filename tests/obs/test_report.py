@@ -1,0 +1,121 @@
+"""Folding traces into per-round breakdowns (the ``repro report`` core)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    REPORT_SCHEMA_VERSION,
+    SimClock,
+    TraceError,
+    Tracer,
+    breakdown_from_trace,
+    metrics_summary,
+    MetricsRegistry,
+    render_breakdown,
+)
+
+
+def synthetic_trace() -> dict:
+    """One repair, two rounds, deterministic simulated timings.
+
+    Round 0 (t=0..10): a migration finishing at t=4 and two
+    reconstructions finishing at t=6 and t=8.
+    Round 1 (t=10..15): one reconstruction retried once, done at t=14.
+    """
+    clock = SimClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("repair", stf=2, scenario="scattered"):
+        with tracer.span("round", round=0) as r0:
+            m = tracer.start_span("action", parent=r0, method="migration")
+            a1 = tracer.start_span("action", parent=r0, method="reconstruction")
+            a2 = tracer.start_span("action", parent=r0, method="reconstruction")
+            clock.advance_to(4.0)
+            m.finish()
+            clock.advance_to(6.0)
+            a1.finish()
+            clock.advance_to(8.0)
+            a2.finish()
+            clock.advance_to(10.0)
+        with tracer.span("round", round=1) as r1:
+            a3 = tracer.start_span(
+                "action", parent=r1, method="reconstruction"
+            )
+            clock.advance_to(14.0)
+            a3.finish(retries=1)
+            clock.advance_to(15.0)
+    return tracer.to_dict()
+
+
+class TestBreakdown:
+    def test_round_splits(self):
+        breakdown = breakdown_from_trace(synthetic_trace())
+        assert breakdown.attrs == {"stf": 2, "scenario": "scattered"}
+        assert breakdown.total_seconds == 15.0
+        assert len(breakdown.rounds) == 2
+        r0, r1 = breakdown.rounds
+        assert (r0.migrations, r0.reconstructions) == (1, 2)
+        assert r0.duration == 10.0
+        # migration split = last migration completion since round start;
+        # reconstruction split likewise (the slower of the two, t=8).
+        assert r0.migration_seconds == 4.0
+        assert r0.reconstruction_seconds == 8.0
+        assert (r1.actions, r1.retries) == (1, 1)
+        assert r1.duration == 5.0
+        assert r1.reconstruction_seconds == 4.0
+        assert breakdown.total_actions == 4
+
+    def test_crash_recover_repairs_fold_by_round_index(self):
+        # Two repair spans (original run + post-crash resume) each
+        # carrying a round 0: the report folds them into ONE round
+        # entry keyed by index, summing durations.
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        for start in (0.0, 10.0):
+            clock.advance_to(start)
+            with tracer.span("repair", stf=1):
+                with tracer.span("round", round=0) as r:
+                    a = tracer.start_span(
+                        "action", parent=r, method="migration"
+                    )
+                    clock.advance_to(start + 2.0)
+                    a.finish()
+        breakdown = breakdown_from_trace(tracer.to_dict())
+        assert len(breakdown.rounds) == 1
+        assert breakdown.rounds[0].duration == 4.0
+        assert breakdown.rounds[0].migrations == 2
+
+    def test_trace_without_repair_span_rejected(self):
+        tracer = Tracer(clock=SimClock())
+        with tracer.span("round", round=0):
+            pass
+        with pytest.raises(TraceError, match="repair"):
+            breakdown_from_trace(tracer.to_dict())
+
+    def test_to_dict_schema(self):
+        doc = breakdown_from_trace(synthetic_trace()).to_dict()
+        assert doc["version"] == REPORT_SCHEMA_VERSION
+        assert doc["total_s"] == 15.0
+        assert [r["round"] for r in doc["rounds"]] == [0, 1]
+        assert set(doc["rounds"][0]) == {
+            "round", "duration_s", "actions", "migrations",
+            "reconstructions", "migration_s", "reconstruction_s", "retries",
+        }
+
+
+class TestRendering:
+    def test_table_has_one_row_per_round(self):
+        text = render_breakdown(breakdown_from_trace(synthetic_trace()))
+        lines = text.splitlines()
+        assert lines[0].startswith("repair: scenario=scattered, stf=2")
+        assert "migration(s)" in lines[1]
+        assert len([l for l in lines if l.lstrip().startswith(("0 ", "1 "))]) == 2
+        assert lines[-1].startswith("total: 15.000s over 2 rounds")
+
+    def test_metrics_summary_lists_every_family(self):
+        registry = MetricsRegistry()
+        registry.counter("repair_actions_total").inc(4)
+        registry.histogram("repair_round_seconds", buckets=[1.0]).observe(0.5)
+        summary = metrics_summary(registry.to_dict())
+        assert "repair_actions_total" in summary
+        assert "count=1 mean=0.5s" in summary

@@ -1,0 +1,133 @@
+"""Tracer semantics and trace-document schema round-trip."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    TRACE_SCHEMA_VERSION,
+    SimClock,
+    TraceDocument,
+    TraceError,
+    Tracer,
+)
+
+
+class TestSpans:
+    def test_lexical_nesting(self):
+        tracer = Tracer(clock=SimClock())
+        with tracer.span("repair") as repair:
+            with tracer.span("round", round=0) as round_span:
+                inner = tracer.start_span("action").finish()
+        assert repair.parent_id is None
+        assert round_span.parent_id == repair.span_id
+        assert inner.parent_id == round_span.span_id
+
+    def test_explicit_parent_wins_over_stack(self):
+        tracer = Tracer(clock=SimClock())
+        orphan_parent = tracer.start_span("round")
+        with tracer.span("repair"):
+            child = tracer.start_span("action", parent=orphan_parent)
+        assert child.parent_id == orphan_parent.span_id
+
+    def test_parenting_is_per_thread(self):
+        tracer = Tracer(clock=SimClock())
+        results = {}
+
+        def other_thread():
+            results["span"] = tracer.start_span("assembly").finish()
+
+        with tracer.span("repair"):
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        # The agent-thread span must not nest under the coordinator's
+        # lexical repair span.
+        assert results["span"].parent_id is None
+
+    def test_finish_is_idempotent(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        span = tracer.start_span("x")
+        clock.advance_to(1.0)
+        span.finish()
+        clock.advance_to(5.0)
+        span.finish()
+        assert span.duration == 1.0
+        assert len(tracer.spans("x")) == 1
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("repair", stf=3) as span:
+            span.annotate(extra=1)
+        assert span.end is not None  # spans stay usable as inert objects
+        assert tracer.spans() == []
+
+    def test_sim_clock_never_goes_backward(self):
+        clock = SimClock()
+        clock.advance_to(2.0)
+        clock.advance_to(1.0)
+        assert clock.now() == 2.0
+
+
+class TestDocumentRoundTrip:
+    def _trace(self) -> Tracer:
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("repair", stf=2):
+            clock.advance_to(1.0)
+            with tracer.span("round", round=0):
+                span = tracer.start_span("action", method="migration")
+                clock.advance_to(3.0)
+                span.finish(attempt=0)
+        return tracer
+
+    def test_round_trip_preserves_tree_and_attrs(self, tmp_path):
+        tracer = self._trace()
+        path = tmp_path / "trace.json"
+        tracer.save(path)
+        doc = TraceDocument.load(path)
+        (repair,) = doc.named("repair")
+        assert repair["attrs"] == {"stf": 2}
+        (round_span,) = doc.children_of(repair["id"], "round")
+        (action,) = doc.children_of(round_span["id"], "action")
+        assert action["attrs"] == {"method": "migration", "attempt": 0}
+        assert action["start"] == 1.0 and action["end"] == 3.0
+        assert doc.roots() == [repair]
+        assert doc.clock == "SimClock"
+
+    def test_document_identical_after_reserialization(self, tmp_path):
+        original = self._trace().to_dict()
+        reloaded = TraceDocument(json.loads(json.dumps(original)))
+        assert [s for s in reloaded.walk()] == original["spans"]
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(TraceError, match="version"):
+            TraceDocument({"version": TRACE_SCHEMA_VERSION + 1, "spans": []})
+
+    def test_missing_spans_rejected(self):
+        with pytest.raises(TraceError, match="spans"):
+            TraceDocument({"version": TRACE_SCHEMA_VERSION})
+
+    def test_duplicate_span_id_rejected(self):
+        span = {"id": 1, "parent": None, "name": "x", "start": 0.0,
+                "end": 1.0, "attrs": {}}
+        with pytest.raises(TraceError, match="duplicate"):
+            TraceDocument(
+                {"version": TRACE_SCHEMA_VERSION, "spans": [span, dict(span)]}
+            )
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(TraceError, match="malformed"):
+            TraceDocument(
+                {"version": TRACE_SCHEMA_VERSION, "spans": [{"id": 1}]}
+            )
+
+    def test_invalid_json_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(TraceError, match="JSON"):
+            TraceDocument.load(path)

@@ -1,0 +1,98 @@
+"""Pin the public API surface of the ``repro`` package.
+
+The names exported from ``repro/__init__.py`` are the stable contract
+users (and the examples) program against; everything deeper is
+implementation detail.  This snapshot makes any surface change — a
+removed export, an accidental new one, a renamed alias — an explicit
+diff in review rather than a silent break.
+"""
+
+from __future__ import annotations
+
+import repro
+
+# The snapshot. Extending the surface means updating this list — a
+# deliberate act — and removals should ring loud alarm bells.
+PUBLIC_API = [
+    # erasure coding
+    "ErasureCodec",
+    "LocalReconstructionCodec",
+    "MsrCodec",
+    "ReedSolomonCodec",
+    "make_codec",
+    # cluster model
+    "ChunkLocation",
+    "StorageCluster",
+    "Stripe",
+    # planning + analysis
+    "AnalyticalModel",
+    "BandwidthProfile",
+    "FastPRPlanner",
+    "MigrationOnlyPlanner",
+    "ReconstructionOnlyPlanner",
+    "RepairPlan",
+    "RepairRound",
+    "RepairScenario",
+    "find_reconstruction_sets",
+    # emulated runtime backend
+    "Agent",
+    "Coordinator",
+    "CoordinatorCrash",
+    "EmulatedTestbed",
+    "FaultPlan",
+    "RepairAgent",
+    "RepairFailedError",
+    "RuntimeConfig",
+    "Scrubber",
+    "StorageClient",
+    "Testbed",
+    # simulator backend
+    "RepairSimulator",
+    "simulate_repair",
+    # observability
+    "MetricsRegistry",
+    "Tracer",
+    "__version__",
+]
+
+
+def test_all_matches_snapshot():
+    assert sorted(repro.__all__) == sorted(PUBLIC_API)
+
+
+def test_every_export_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_no_duplicate_exports():
+    assert len(repro.__all__) == len(set(repro.__all__))
+
+
+def test_stable_aliases():
+    # Paper-vocabulary aliases point at the implementation classes.
+    assert repro.Testbed is repro.EmulatedTestbed
+    assert repro.RepairAgent is repro.Agent
+
+
+def test_exports_come_from_repro_modules():
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        module = getattr(obj, "__module__", "repro")
+        assert module.startswith("repro"), f"{name} leaks {module}"
+
+
+def test_obs_surface():
+    # The observability names the CLI and bench harness program against.
+    from repro import obs
+
+    for name in (
+        "MetricsRegistry",
+        "Tracer",
+        "SimClock",
+        "TraceDocument",
+        "breakdown_from_trace",
+        "render_breakdown",
+        "parse_prometheus",
+    ):
+        assert name in obs.__all__, name

@@ -7,21 +7,23 @@ simulated or emulated execution -> metadata update -> rebalance.
 
 import pytest
 
-from repro.cluster import Rebalancer, StorageCluster, placement_balance
-from repro.core.planner import (
+from repro import (
+    EmulatedTestbed,
     FastPRPlanner,
     MigrationOnlyPlanner,
     ReconstructionOnlyPlanner,
-    apply_plan,
+    RepairScenario,
+    make_codec,
+    simulate_repair,
 )
-from repro.core.plan import RepairScenario
-from repro.ec import make_codec
-from repro.failure.monitor import ClusterFailureMonitor
-from repro.failure.predictor import LogisticPredictor
-from repro.failure.smart import SmartTraceGenerator
-from repro.runtime.testbed import EmulatedTestbed
-from repro.sim.cost_model import evaluate_plan
-from repro.sim.simulator import simulate_repair
+from repro.cluster import Rebalancer, StorageCluster, placement_balance
+from repro.core import apply_plan
+from repro.failure import (
+    ClusterFailureMonitor,
+    LogisticPredictor,
+    SmartTraceGenerator,
+)
+from repro.sim import evaluate_plan
 
 
 class TestPredictiveMaintenancePipeline:

@@ -9,16 +9,16 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.cluster import Rebalancer, StorageCluster, placement_balance
-from repro.cluster import snapshot as snapshot_mod
-from repro.core.planner import (
+from repro import (
     FastPRPlanner,
     MigrationOnlyPlanner,
     ReconstructionOnlyPlanner,
-    apply_plan,
+    make_codec,
 )
-from repro.ec import make_codec
-from repro.sim.cost_model import evaluate_plan
+from repro.cluster import Rebalancer, StorageCluster, placement_balance
+from repro.cluster import snapshot as snapshot_mod
+from repro.core import apply_plan
+from repro.sim import evaluate_plan
 
 relaxed = settings(
     max_examples=10,
