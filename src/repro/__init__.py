@@ -44,6 +44,7 @@ from .core import (
     RepairScenario,
     find_reconstruction_sets,
 )
+from .net import TcpNetwork
 from .obs import MetricsRegistry, Tracer
 from .runtime import (
     Agent,
@@ -94,6 +95,7 @@ __all__ = [
     "RuntimeConfig",
     "Scrubber",
     "StorageClient",
+    "TcpNetwork",
     "Testbed",
     # simulator backend
     "RepairSimulator",

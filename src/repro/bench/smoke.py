@@ -9,9 +9,16 @@ document rides on :class:`repro.core.serde.Schema`, and the generated
 file is schema-validated before it is written — an empty or malformed
 run fails the job instead of uploading garbage.
 
+The module also measures the socket transport itself: a loopback
+:class:`~repro.net.TcpNetwork` streams DataPacket frames at 64 KiB and
+1 MiB payloads, and the frames/s + MB/s land in
+``BENCH_net_throughput.json`` — so a wire-codec or event-loop
+regression shows up as a number, not a hunch.
+
 Usage::
 
-    python -m repro.bench.smoke -o BENCH_repair_rounds.json
+    python -m repro.bench.smoke -o BENCH_repair_rounds.json \
+        --net-output BENCH_net_throughput.json
 """
 
 from __future__ import annotations
@@ -19,7 +26,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional
+import time
+from typing import Optional, Sequence
 
 from ..core.serde import Schema
 
@@ -116,6 +124,72 @@ def validate(document: dict) -> dict:
     return body
 
 
+NET_BENCH_SCHEMA = Schema(
+    "bench-net-throughput",
+    version=1,
+    fields=("transport", "runs"),
+    required=("transport", "runs"),
+)
+
+#: payload sizes the throughput sweep always covers
+_NET_PAYLOAD_SIZES = (1 << 16, 1 << 20)  # 64 KiB, 1 MiB
+
+
+def run_net_throughput(
+    sizes: Sequence[int] = _NET_PAYLOAD_SIZES, frames: int = 32
+) -> dict:
+    """Stream frames over a loopback TCP socket; return the bench doc.
+
+    Endpoints attach unthrottled (``bandwidth=None``), so the numbers
+    measure the wire codec + asyncio socket path, not the emulated NIC.
+    """
+    from ..net import TcpNetwork
+    from ..runtime.messages import DataPacket
+
+    runs = []
+    for size in sizes:
+        net = TcpNetwork(send_queue_capacity=128)
+        try:
+            net.attach(0, None)
+            net.attach(1, None)
+            host, port = net.listen()
+            net.add_peer(1, host, port)
+            payload = bytes(size)
+            inbox = net.endpoint(1).inbox
+            # one warm-up frame establishes the connection off the clock
+            net.send(0, 1, DataPacket(0, 0, 0, 0, payload))
+            inbox.get(timeout=60)
+            started = time.perf_counter()
+            for i in range(frames):
+                net.send(0, 1, DataPacket(0, 0, 0, i * size, payload))
+            for _ in range(frames):
+                inbox.get(timeout=60)
+            elapsed = time.perf_counter() - started
+        finally:
+            net.close()
+        runs.append(
+            {
+                "payload_bytes": size,
+                "frames": frames,
+                "seconds": elapsed,
+                "frames_per_s": frames / elapsed,
+                "mb_per_s": frames * size / elapsed / 1e6,
+            }
+        )
+    return NET_BENCH_SCHEMA.dump({"transport": "tcp-loopback", "runs": runs})
+
+
+def validate_net(document: dict) -> dict:
+    """Schema-check a net-throughput document; reject empty sweeps."""
+    body = NET_BENCH_SCHEMA.load(document)
+    if not body["runs"]:
+        raise ValueError("net bench document has no runs")
+    for run in body["runs"]:
+        if run["frames"] <= 0 or run["mb_per_s"] <= 0:
+            raise ValueError(f"degenerate net bench run: {run}")
+    return body
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench.smoke", description=__doc__.splitlines()[0]
@@ -129,6 +203,18 @@ def main(argv: Optional[list] = None) -> int:
         default="BENCH_repair_rounds.json",
         help="where to write the bench document",
     )
+    parser.add_argument(
+        "--net-output",
+        default="BENCH_net_throughput.json",
+        help="where to write the loopback TCP throughput document "
+        "('' skips the sweep)",
+    )
+    parser.add_argument(
+        "--net-frames",
+        type=int,
+        default=32,
+        help="frames streamed per payload size in the throughput sweep",
+    )
     args = parser.parse_args(argv)
     document = run_smoke(seed=args.seed)
     validate(document)
@@ -141,6 +227,18 @@ def main(argv: Optional[list] = None) -> int:
         f"chunks over {len(rounds)} rounds, "
         f"{document['result']['total_time_s']:.2f}s total"
     )
+    if args.net_output:
+        net_doc = run_net_throughput(frames=args.net_frames)
+        validate_net(net_doc)
+        with open(args.net_output, "w") as f:
+            json.dump(net_doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        for run in net_doc["runs"]:
+            print(
+                f"wrote {args.net_output}: {run['payload_bytes']} B frames "
+                f"at {run['frames_per_s']:.0f} frames/s, "
+                f"{run['mb_per_s']:.1f} MB/s"
+            )
     return 0
 
 

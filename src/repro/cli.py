@@ -17,6 +17,14 @@ Operational commands::
     fastpr fleet --disks 200 --days 120 -o fleet.csv
     fastpr predict --fleet fleet.csv
 
+Multi-process mode (DESIGN.md §10) — every storage node a real OS
+process, messages as length-prefixed CRC-checked frames over TCP::
+
+    fastpr agent --snapshot c.json --node 3 --listen 127.0.0.1:9103 \
+        --peers coordinator=127.0.0.1:9099 --workdir /tmp/run
+    fastpr repair --snapshot c.json --stf 3 --transport tcp \
+        --peers @peers.json --workdir /tmp/run
+
 ``plan`` marks the node soon-to-fail, runs FastPR and both baselines,
 and prints each plan with its cost-model repair time.  ``repair``
 actually executes the FastPR plan on the emulated testbed (real bytes,
@@ -149,6 +157,92 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default=None,
         help="write the run summary (timings, retries, scrub verdict) as JSON",
+    )
+    repair.add_argument(
+        "--transport",
+        choices=("memory", "tcp"),
+        default="memory",
+        help="'memory' runs the whole repair in-process on the emulated "
+        "fabric; 'tcp' drives standalone 'fastpr agent' processes over "
+        "real sockets",
+    )
+    repair.add_argument(
+        "--peers",
+        default=None,
+        help="(tcp) node=host:port list or @file.json mapping every agent "
+        "and 'coordinator' to its listen address",
+    )
+    repair.add_argument(
+        "--workdir",
+        default=None,
+        help="(tcp) shared directory holding each agent's chunk store "
+        "(node_<id>/); used to verify repaired chunks byte-identical",
+    )
+    repair.add_argument(
+        "--resume",
+        action="store_true",
+        help="(tcp) recover from --journal instead of starting fresh: "
+        "fence the dead coordinator's epoch and re-issue unfinished "
+        "actions",
+    )
+    repair.add_argument(
+        "--agent-timeout",
+        type=float,
+        default=60.0,
+        help="(tcp) seconds to wait for every agent to answer a ping "
+        "before giving up",
+    )
+    repair.add_argument(
+        "--config",
+        default=None,
+        help="RuntimeConfig JSON (timeouts, retry policy, queue bounds); "
+        "omitted fields keep defaults",
+    )
+
+    agent = sub.add_parser(
+        "agent",
+        help="run one storage node's repair agent as a standalone "
+        "process (serves TCP repair traffic until the coordinator "
+        "sends Shutdown)",
+    )
+    agent.add_argument("--snapshot", required=True)
+    agent.add_argument(
+        "--node", type=int, required=True, help="this agent's node id"
+    )
+    agent.add_argument(
+        "--listen",
+        required=True,
+        help="host:port this agent accepts frames on",
+    )
+    agent.add_argument(
+        "--peers",
+        required=True,
+        help="node=host:port list or @file.json; must include "
+        "'coordinator=host:port'",
+    )
+    agent.add_argument(
+        "--workdir",
+        required=True,
+        help="directory for this node's chunk store (node_<id>/)",
+    )
+    agent.add_argument("--seed", type=int, default=0)
+    agent.add_argument(
+        "--config",
+        default=None,
+        help="RuntimeConfig JSON; must match the coordinator's so "
+        "timeouts and fencing agree",
+    )
+    agent.add_argument(
+        "--fault-plan",
+        default=None,
+        help="JSON FaultPlan shared by the whole cluster; this process "
+        "injects the faults that apply to its sends",
+    )
+    agent.add_argument(
+        "--no-load",
+        action="store_true",
+        help="skip deterministic data loading (store already populated, "
+        "e.g. when resuming)",
     )
 
     scrub = sub.add_parser(
@@ -376,6 +470,7 @@ def _cmd_repair(args) -> int:
     from .runtime import CoordinatorCrash, FaultPlan, Scrubber
     from .runtime.testbed import EmulatedTestbed
 
+    config = _load_runtime_config(args.config)
     cluster = snapshot_mod.load(args.snapshot)
     codec = _infer_codec(cluster)
     node = cluster.node(args.stf)
@@ -392,10 +487,13 @@ def _cmd_repair(args) -> int:
     ).plan(cluster, args.stf)
     plan.validate(cluster)
     print(plan.summary())
+    if args.transport == "tcp":
+        return _cmd_repair_tcp(args, cluster, codec, plan, faults, config)
     testbed = EmulatedTestbed(
         cluster,
         codec,
         packet_size=args.packet_size,
+        config=config,
         faults=faults,
         journal_path=args.journal,
     )
@@ -437,6 +535,134 @@ def _cmd_repair(args) -> int:
         print(f"repair failed: {exc}", file=sys.stderr)
         return 1
     print("all repaired chunks verified byte-identical")
+    return 0
+
+
+def _load_runtime_config(path):
+    """Load a RuntimeConfig JSON file, or None when no path given."""
+    if path is None:
+        return None
+    import json as json_mod
+
+    from .runtime import RuntimeConfig
+
+    with open(path) as f:
+        return RuntimeConfig.from_dict(json_mod.load(f))
+
+
+def _cmd_repair_tcp(args, cluster, codec, plan, faults=None, config=None) -> int:
+    import json as json_mod
+    from pathlib import Path
+
+    from .net import PeerSpecError, parse_peer_spec, run_tcp_repair
+    from .obs import MetricsRegistry, Tracer
+
+    if args.peers is None or args.workdir is None:
+        print(
+            "--transport tcp needs --peers and --workdir", file=sys.stderr
+        )
+        return 2
+    if args.resume and args.journal is None:
+        print("--resume needs --journal", file=sys.stderr)
+        return 2
+    try:
+        peers = parse_peer_spec(args.peers)
+    except PeerSpecError as exc:
+        print(f"bad --peers: {exc}", file=sys.stderr)
+        return 2
+    metrics = MetricsRegistry()
+    tracer = Tracer()
+    try:
+        result, verified = run_tcp_repair(
+            cluster,
+            codec,
+            plan,
+            peers,
+            Path(args.workdir),
+            seed=args.seed,
+            config=config,
+            packet_size=args.packet_size,
+            journal_path=Path(args.journal) if args.journal else None,
+            metrics=metrics,
+            tracer=tracer,
+            resume=args.resume,
+            agent_timeout=args.agent_timeout,
+            faults=faults,
+        )
+    except Exception as exc:
+        print(f"repair failed: {exc}", file=sys.stderr)
+        return 1
+    if args.metrics_out is not None:
+        metrics.save(args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
+    if args.trace_out is not None:
+        tracer.save(args.trace_out)
+        print(f"wrote trace to {args.trace_out}")
+    if args.output is not None:
+        summary = {
+            "version": 1,
+            "transport": "tcp",
+            "chunks_repaired": result.chunks_repaired,
+            "recovered_chunks": result.recovered_chunks,
+            "total_time_s": result.total_time,
+            "round_times_s": list(result.round_times),
+            "bytes_transferred": result.bytes_transferred,
+            "retries": result.retries,
+            "replans": result.replans,
+            "nacks": result.nacks,
+            "chunks_verified": verified,
+        }
+        with open(args.output, "w") as f:
+            json_mod.dump(summary, f, indent=2)
+        print(f"wrote run summary to {args.output}")
+    print(
+        f"repaired {result.chunks_repaired} chunks over TCP in "
+        f"{result.total_time:.2f}s across {len(peers) - 1} agent "
+        f"processes; {verified} chunks verified byte-identical"
+    )
+    return 0
+
+
+def _cmd_agent(args) -> int:
+    import json as json_mod
+    from pathlib import Path
+
+    from .cluster import snapshot as snapshot_mod
+    from .net import PeerSpecError, parse_peer_spec, run_agent_process
+    from .runtime import FaultPlan
+    from .runtime.coordinator import COORDINATOR_ID
+
+    cluster = snapshot_mod.load(args.snapshot)
+    codec = _infer_codec(cluster)
+    faults = None
+    if args.fault_plan is not None:
+        with open(args.fault_plan) as f:
+            faults = FaultPlan.from_dict(json_mod.load(f))
+    try:
+        peers = parse_peer_spec(args.peers)
+    except PeerSpecError as exc:
+        print(f"bad --peers: {exc}", file=sys.stderr)
+        return 2
+    if COORDINATOR_ID not in peers:
+        print("--peers must include coordinator=host:port", file=sys.stderr)
+        return 2
+    host, sep, port = args.listen.rpartition(":")
+    if not sep:
+        print("--listen must be host:port", file=sys.stderr)
+        return 2
+    loaded = run_agent_process(
+        cluster,
+        codec,
+        args.node,
+        (host, int(port)),
+        peers,
+        Path(args.workdir),
+        seed=args.seed,
+        config=_load_runtime_config(args.config),
+        load_data=not args.no_load,
+        faults=faults,
+    )
+    print(f"agent {args.node} done ({loaded} chunks served)")
     return 0
 
 
@@ -646,6 +872,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "snapshot": _cmd_snapshot,
         "plan": _cmd_plan,
         "repair": _cmd_repair,
+        "agent": _cmd_agent,
         "scrub": _cmd_scrub,
         "fleet": _cmd_fleet,
         "predict": _cmd_predict,

@@ -1,0 +1,55 @@
+"""repro.net — versioned wire protocol + TCP transport (DESIGN.md §10).
+
+The runtime's messages travel either over the in-memory fabric
+(:class:`repro.runtime.transport.Network`) or, via this package, over
+real sockets between separate OS processes: :mod:`repro.net.wire`
+defines the length-prefixed CRC-checked frame format and
+:class:`repro.net.tcp.TcpNetwork` implements the shared
+:class:`~repro.runtime.transport.Transport` interface on asyncio TCP.
+:mod:`repro.net.launch` holds the process-per-node drivers behind
+``fastpr agent`` and ``fastpr repair --transport tcp``.
+"""
+
+from .launch import (
+    COORDINATOR_ALIAS,
+    PeerSpecError,
+    allocate_ports,
+    format_peer_spec,
+    load_node_data,
+    parse_peer_spec,
+    run_agent_process,
+    run_tcp_repair,
+    stripe_checksums,
+)
+from .tcp import TcpNetwork
+from .wire import (
+    HEADER,
+    MAGIC,
+    MAX_META,
+    MAX_PAYLOAD,
+    WIRE_VERSION,
+    WireError,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "COORDINATOR_ALIAS",
+    "HEADER",
+    "MAGIC",
+    "MAX_META",
+    "MAX_PAYLOAD",
+    "PeerSpecError",
+    "TcpNetwork",
+    "WIRE_VERSION",
+    "WireError",
+    "allocate_ports",
+    "decode_frame",
+    "encode_frame",
+    "format_peer_spec",
+    "load_node_data",
+    "parse_peer_spec",
+    "run_agent_process",
+    "run_tcp_repair",
+    "stripe_checksums",
+]

@@ -1,0 +1,452 @@
+"""Process-per-node launch: standalone agents and the TCP repair driver.
+
+This module is the glue behind ``fastpr agent`` and
+``fastpr repair --transport tcp``: it turns a cluster snapshot plus a
+peer map into real OS processes talking :mod:`repro.net.wire` frames
+over :class:`~repro.net.tcp.TcpNetwork`.
+
+Peer specs name every process's listen address::
+
+    0=127.0.0.1:9100,1=127.0.0.1:9101,coordinator=127.0.0.1:9099
+
+or, equivalently, ``@peers.json`` pointing at a JSON object with the
+same keys.  ``coordinator`` (or ``-1``) is the coordinator's address;
+integer keys are storage nodes.
+
+Data loading is deterministic and *distributed*: every agent process
+walks the same :func:`~repro.runtime.testbed.iter_encoded_stripes`
+stream — one sequential RNG seeded identically everywhere — and keeps
+only its own node's chunks.  The driver recomputes the same stream's
+checksums, so after the repair it can prove, from the shared
+``--workdir`` filesystem, that every repaired chunk is byte-identical
+to the original without any chunk ever crossing a non-repair channel.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..cluster.chunk import NodeId
+from ..cluster.cluster import StorageCluster
+from ..core.plan import RepairPlan
+from ..ec.codec import ErasureCodec
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
+from ..runtime.agent import Agent
+from ..runtime.config import DEFAULT_CONFIG, RuntimeConfig
+from ..runtime.coordinator import COORDINATOR_ID, Coordinator, RuntimeResult
+from ..runtime.datanode import ChunkStore
+from ..runtime.faults import FaultInjector, FaultPlan
+from ..runtime.journal import RepairJournal
+from ..runtime.messages import Shutdown
+from ..runtime.testbed import VerificationError, iter_encoded_stripes
+from ..runtime.throttle import RateLimiter
+from .tcp import TcpNetwork
+
+#: peer-spec alias for the coordinator's node id
+COORDINATOR_ALIAS = "coordinator"
+
+PeerMap = Dict[NodeId, Tuple[str, int]]
+
+
+class PeerSpecError(ValueError):
+    """A malformed ``--peers`` value."""
+
+
+def parse_peer_spec(spec: str) -> PeerMap:
+    """Parse ``--peers`` into ``{node_id: (host, port)}``.
+
+    Accepts a comma-separated list of ``node=host:port`` entries (with
+    ``coordinator`` aliasing :data:`COORDINATOR_ID`) or ``@file.json``
+    naming a JSON object of the same shape.
+    """
+    entries: Dict[str, str] = {}
+    if spec.startswith("@"):
+        try:
+            document = json.loads(Path(spec[1:]).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise PeerSpecError(f"cannot read peer file {spec[1:]}: {exc}")
+        if not isinstance(document, dict):
+            raise PeerSpecError("peer file must hold a JSON object")
+        entries = {str(k): str(v) for k, v in document.items()}
+    else:
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise PeerSpecError(
+                    f"peer entry {item!r} is not node=host:port"
+                )
+            name, address = item.split("=", 1)
+            entries[name.strip()] = address.strip()
+    peers: PeerMap = {}
+    for name, address in entries.items():
+        if name == COORDINATOR_ALIAS:
+            node_id = COORDINATOR_ID
+        else:
+            try:
+                node_id = int(name)
+            except ValueError:
+                raise PeerSpecError(f"unknown peer name {name!r}")
+        host, sep, port = address.rpartition(":")
+        if not sep or not host:
+            raise PeerSpecError(f"peer address {address!r} is not host:port")
+        try:
+            peers[node_id] = (host, int(port))
+        except ValueError:
+            raise PeerSpecError(f"peer port {port!r} is not an integer")
+    if not peers:
+        raise PeerSpecError("empty peer spec")
+    return peers
+
+
+def format_peer_spec(peers: PeerMap) -> str:
+    """Inverse of :func:`parse_peer_spec` (comma-list form)."""
+    parts = []
+    for node_id in sorted(peers):
+        host, port = peers[node_id]
+        name = COORDINATOR_ALIAS if node_id == COORDINATOR_ID else str(node_id)
+        parts.append(f"{name}={host}:{port}")
+    return ",".join(parts)
+
+
+def allocate_ports(count: int, host: str = "127.0.0.1") -> List[int]:
+    """Reserve ``count`` currently free TCP ports (test/driver helper).
+
+    The ports are bound, recorded and released — a race with other
+    processes is possible but irrelevant on a test host.
+    """
+    sockets, ports = [], []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.bind((host, 0))
+            sockets.append(sock)
+            ports.append(sock.getsockname()[1])
+    finally:
+        for sock in sockets:
+            sock.close()
+    return ports
+
+
+# ----------------------------------------------------------------------
+# deterministic distributed data loading
+# ----------------------------------------------------------------------
+
+
+def load_node_data(
+    cluster: StorageCluster,
+    codec: ErasureCodec,
+    seed: Optional[int],
+    store: ChunkStore,
+    node_id: NodeId,
+) -> int:
+    """Store ``node_id``'s chunk of every stripe placed on it.
+
+    Walks the full deterministic encode stream (so the bytes match the
+    other agents' and the driver's view exactly) but writes only this
+    node's chunks; returns how many were stored.
+    """
+    loaded = 0
+    for stripe, coded in iter_encoded_stripes(cluster, codec, seed):
+        for index, placed in enumerate(stripe.placement):
+            if placed == node_id:
+                store.put(stripe.stripe_id, coded[index])
+                loaded += 1
+    return loaded
+
+
+def stripe_checksums(
+    cluster: StorageCluster, codec: ErasureCodec, seed: Optional[int]
+) -> Dict[Tuple[int, int], str]:
+    """SHA-256 of every ``(stripe_id, chunk_index)`` in the data set."""
+    checksums: Dict[Tuple[int, int], str] = {}
+    for stripe, coded in iter_encoded_stripes(cluster, codec, seed):
+        for index in range(len(coded)):
+            checksums[(stripe.stripe_id, index)] = hashlib.sha256(
+                coded[index]
+            ).hexdigest()
+    return checksums
+
+
+def verify_actions(
+    actions: Iterable,
+    checksums: Dict[Tuple[int, int], str],
+    workdir: Path,
+) -> int:
+    """Prove repaired chunks byte-identical via the shared filesystem.
+
+    Reads each executed action's destination store directory
+    (``workdir/node_<id>``) and compares against the deterministic
+    originals; raises :class:`VerificationError` on any mismatch.
+    Returns the number of chunks verified.
+    """
+    verified = 0
+    for action in actions:
+        path = (
+            Path(workdir)
+            / f"node_{action.destination}"
+            / f"stripe_{action.stripe_id}.chunk"
+        )
+        if not path.exists():
+            raise VerificationError(
+                f"destination {action.destination} has no chunk of "
+                f"stripe {action.stripe_id} ({path})"
+            )
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        expected = checksums[(action.stripe_id, action.chunk_index)]
+        if digest != expected:
+            raise VerificationError(
+                f"chunk ({action.stripe_id}, {action.chunk_index}) restored "
+                f"incorrectly at node {action.destination}"
+            )
+        verified += 1
+    return verified
+
+
+# ----------------------------------------------------------------------
+# standalone agent process
+# ----------------------------------------------------------------------
+
+
+def node_store(
+    cluster: StorageCluster, workdir: Path, node_id: NodeId
+) -> ChunkStore:
+    """Build ``node_id``'s chunk store under the shared workdir."""
+    node = cluster.node(node_id)
+    disk = RateLimiter(
+        node.disk_bandwidth or cluster.disk_bandwidth,
+        name=f"disk[{node_id}]",
+    )
+    return ChunkStore(Path(workdir) / f"node_{node_id}", node_id, disk)
+
+
+def run_agent_process(
+    cluster: StorageCluster,
+    codec: ErasureCodec,
+    node_id: NodeId,
+    listen: Tuple[str, int],
+    peers: PeerMap,
+    workdir: Path,
+    seed: Optional[int] = None,
+    config: Optional[RuntimeConfig] = None,
+    load_data: bool = True,
+    metrics: Optional[MetricsRegistry] = None,
+    faults: Optional[FaultPlan] = None,
+) -> int:
+    """Run one standalone repair agent until the coordinator shuts it down.
+
+    Blocks until a :class:`~repro.runtime.messages.Shutdown` frame
+    arrives (``fastpr repair --transport tcp`` broadcasts one after the
+    run).  Returns the number of chunks the agent loaded at startup.
+
+    ``faults`` injects the same declarative
+    :class:`~repro.runtime.faults.FaultPlan` the in-memory testbed
+    takes; packet-level faults apply on this process's *sending* side,
+    so the whole cluster running one shared plan injects each fault
+    exactly once.
+    """
+    cfg = config or DEFAULT_CONFIG
+    node = cluster.node(node_id)
+    injector = None
+    agent_box: list = []
+    if faults is not None:
+        def _on_crash(victim: NodeId) -> None:
+            if victim == node_id and agent_box:
+                agent_box[0].crash()
+
+        injector = FaultInjector(faults, on_crash=_on_crash)
+    network = TcpNetwork(
+        faults=injector,
+        metrics=metrics,
+        inbox_capacity=cfg.inbox_capacity,
+        send_queue_capacity=cfg.send_queue_capacity,
+        connect_timeout=cfg.connect_timeout,
+        drain_timeout=cfg.drain_timeout,
+    )
+    network.attach(
+        node_id, node.network_bandwidth or cluster.network_bandwidth
+    )
+    network.listen(*listen)
+    for peer_id, (host, port) in peers.items():
+        if peer_id != node_id:
+            network.add_peer(peer_id, host, port)
+    store = node_store(cluster, Path(workdir), node_id)
+    loaded = 0
+    if load_data:
+        loaded = load_node_data(cluster, codec, seed, store, node_id)
+    agent = Agent(
+        node_id,
+        store,
+        network,
+        coordinator_id=COORDINATOR_ID,
+        config=cfg,
+        metrics=metrics,
+    )
+    agent_box.append(agent)
+    if injector is not None:
+        injector.start()
+    agent.start(heartbeat=True)
+    try:
+        agent.done.wait()
+    finally:
+        agent.stop()
+        network.close()
+    return loaded
+
+
+# ----------------------------------------------------------------------
+# coordinator-side TCP repair driver
+# ----------------------------------------------------------------------
+
+
+def build_coordinator_network(
+    peers: PeerMap,
+    config: RuntimeConfig,
+    metrics: Optional[MetricsRegistry] = None,
+    listen: Optional[Tuple[str, int]] = None,
+    faults: Optional[FaultInjector] = None,
+) -> TcpNetwork:
+    """The coordinator's transport: local coordinator, every node a peer."""
+    network = TcpNetwork(
+        faults=faults,
+        metrics=metrics,
+        inbox_capacity=config.inbox_capacity,
+        send_queue_capacity=config.send_queue_capacity,
+        connect_timeout=config.connect_timeout,
+        drain_timeout=config.drain_timeout,
+    )
+    if listen is not None:
+        network.listen(*listen)
+    for node_id, (host, port) in peers.items():
+        if node_id != COORDINATOR_ID:
+            network.add_peer(node_id, host, port)
+    return network
+
+
+def wait_for_agents(
+    coordinator: Coordinator, nodes: Iterable[NodeId], timeout: float = 60.0
+) -> None:
+    """Block until every agent answers a ping (or raise on timeout)."""
+    pending = set(nodes) - {COORDINATOR_ID}
+    deadline = time.monotonic() + timeout
+    while pending:
+        pending -= coordinator._probe(set(pending))
+        if not pending:
+            return
+        if time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"agents never came up: {sorted(pending)} unreachable "
+                f"after {timeout}s"
+            )
+        time.sleep(0.2)
+
+
+def shutdown_agents(network: TcpNetwork, nodes: Iterable[NodeId]) -> None:
+    """Broadcast Shutdown so standalone agent processes exit cleanly."""
+    for node_id in sorted(set(nodes) - {COORDINATOR_ID}):
+        try:
+            network.send(COORDINATOR_ID, node_id, Shutdown())
+        except KeyError:
+            pass  # already detached/dead
+
+
+def run_tcp_repair(
+    cluster: StorageCluster,
+    codec: ErasureCodec,
+    plan: RepairPlan,
+    peers: PeerMap,
+    workdir: Path,
+    seed: Optional[int] = None,
+    config: Optional[RuntimeConfig] = None,
+    packet_size: Optional[int] = None,
+    journal_path: Optional[Path] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    resume: bool = False,
+    agent_timeout: float = 60.0,
+    faults: Optional[FaultPlan] = None,
+) -> Tuple[RuntimeResult, int]:
+    """Drive one multi-process repair from the coordinator's side.
+
+    The agent processes must (come up to) listen at the addresses in
+    ``peers``; connection backoff absorbs startup races, and an
+    explicit ping sweep gates command issue on every agent being
+    reachable.  After the run the repaired chunks are verified
+    byte-identical through the shared ``workdir`` and every agent is
+    told to shut down.
+
+    With ``resume=True`` the journal at ``journal_path`` is replayed
+    instead of starting fresh: the successor coordinator (epoch + 1)
+    reconciles agent inventories over TCP and re-issues only the
+    unfinished actions — the kill-one-coordinator walkthrough.
+
+    Returns ``(result, chunks_verified)``.
+    """
+    cfg = config or DEFAULT_CONFIG
+    packet = packet_size or max(cluster.chunk_size // 16, 4096)
+    listen = peers.get(COORDINATOR_ID)
+    # Coordinator-side injector covers control traffic and time-based
+    # triggers; each agent process runs the same plan for data packets.
+    injector = FaultInjector(faults) if faults is not None else None
+    network = build_coordinator_network(
+        peers, cfg, metrics=metrics, listen=listen, faults=injector
+    )
+    journal = None
+    if journal_path is not None and not resume:
+        journal = RepairJournal(
+            journal_path, fsync=cfg.journal_fsync, metrics=metrics
+        )
+    try:
+        if resume:
+            if journal_path is None:
+                raise ValueError("resume needs a journal path")
+            coordinator = Coordinator.recover(
+                journal_path,
+                network,
+                cluster,
+                codec,
+                config=cfg,
+                packet_size=packet,
+                metrics=metrics,
+                tracer=tracer,
+            )
+        else:
+            coordinator = Coordinator(
+                network,
+                cluster,
+                codec,
+                packet,
+                config=cfg,
+                journal=journal,
+                metrics=metrics,
+                tracer=tracer,
+            )
+        involved = sorted(
+            {a.destination for a in plan.actions()}
+            | {s for a in plan.actions() for s in a.sources}
+        )
+        wait_for_agents(coordinator, involved, timeout=agent_timeout)
+        if injector is not None:
+            injector.start()
+        try:
+            if resume:
+                result = coordinator.resume()
+            else:
+                result = coordinator.execute(plan)
+        finally:
+            coordinator.close()
+        checksums = stripe_checksums(cluster, codec, seed)
+        verified = verify_actions(
+            result.executed_actions or plan.actions(), checksums, workdir
+        )
+        return result, verified
+    finally:
+        shutdown_agents(network, peers)
+        network.close()

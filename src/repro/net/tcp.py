@@ -1,0 +1,516 @@
+"""Asyncio TCP transport: the socket-backed ``Transport`` backend.
+
+:class:`TcpNetwork` moves the same runtime messages as the in-memory
+:class:`~repro.runtime.transport.Network`, but across real sockets
+between OS processes, framed by :mod:`repro.net.wire`.  It satisfies
+the same :class:`~repro.runtime.transport.Transport` protocol, so the
+coordinator, agents, journal and epoch fencing run on it unchanged.
+
+Topology model: each process attaches its *local* node(s) — an agent
+process attaches its own node id, the coordinator process attaches
+``COORDINATOR_ID`` — and registers every remote node as a *peer*
+(``node id -> host:port``).  A send to a peer is framed and queued to
+that peer's connection; a send between two local nodes takes the
+in-memory path with full NIC emulation.  A node may be both local and
+a peer pointing at this process's own listen port ("loopback wiring"),
+in which case the peer route wins and every message crosses a real
+socket — that is how the conformance suite exercises the socket path
+inside one process.
+
+Concurrency: agent worker threads call :meth:`send` synchronously; a
+single background thread runs an asyncio event loop owning all
+sockets.  Per peer there is one bounded frame queue and one writer
+task with reconnect/backoff — a full queue blocks the *sending
+thread* (backpressure), mirroring a full kernel socket buffer.  The
+server side validates every frame header and CRC before decoding;
+an unparseable stream increments ``net_frames_rejected_total`` and
+drops the connection (a byte stream that lied once cannot be resynced).
+
+Emulated bandwidth still holds: a :class:`DataPacket` send reserves
+the local sender's egress NIC limiter before the frame is queued, and
+delivery reserves the local receiver's ingress limiter before the
+message reaches the inbox — so a bandwidth cap configured on the
+cluster binds on both backends.  Fault injection applies on the
+sending side exactly as in memory (tick, crash black-holes, packet
+drop/dup/corrupt/delay); the receiving side additionally drops
+traffic involving locally known crashed nodes.  Byte-count crash
+triggers fire on the sending process only — the receiver never
+re-counts, so a trigger fires exactly once per plan.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cluster.chunk import NodeId
+from ..runtime.faults import FaultInjector, corrupted
+from ..runtime.messages import DataPacket
+from ..runtime.throttle import sleep_until
+from ..runtime.transport import Endpoint, Network
+from .wire import HEADER, WireError, decode_body, encode_frame, parse_header
+
+#: queue sentinel: flush what precedes it, then shut the writer down
+_CLOSE = object()
+
+#: first reconnect backoff (seconds); doubles up to _BACKOFF_CAP
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 2.0
+
+#: poll period while a full bounded inbox exerts backpressure
+_INBOX_POLL = 0.005
+
+
+class _Peer:
+    """One remote node: its address, frame queue and writer task."""
+
+    def __init__(self, node_id: NodeId, host: str, port: int):
+        self.node_id = node_id
+        self.host = host
+        self.port = port
+        #: created on the event loop (3.9 binds queues at construction)
+        self.queue: Optional[asyncio.Queue] = None
+        self.task: Optional[asyncio.Task] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+
+
+class TcpNetwork:
+    """Socket-backed transport with the in-memory ``Network`` interface.
+
+    Args:
+        faults: optional fault injector, consulted on every send (and,
+            for crash black-holing, on every delivery).
+        metrics: optional :class:`~repro.obs.MetricsRegistry`; both the
+            inner in-memory fabric and the socket path emit the shared
+            ``net_*`` family into it.
+        inbox_capacity: bound on local endpoints' inboxes (0 =
+            unbounded); a full inbox blocks the delivering side.
+        send_queue_capacity: bound on each peer's outgoing frame queue;
+            a full queue blocks the sending thread.
+        connect_timeout: total seconds of reconnect backoff before a
+            frame to an unreachable peer is dropped
+            (``net_frames_dropped_total``).
+        drain_timeout: seconds :meth:`close` waits per peer for queued
+            frames to flush before force-closing.
+    """
+
+    def __init__(
+        self,
+        faults: Optional[FaultInjector] = None,
+        metrics=None,
+        inbox_capacity: int = 0,
+        send_queue_capacity: int = 64,
+        connect_timeout: float = 30.0,
+        drain_timeout: float = 10.0,
+    ):
+        # Local nodes live on a private in-memory fabric: attach/endpoint/
+        # local sends inherit its exact semantics (throttling, faults,
+        # detach black-holes) instead of reimplementing them.
+        self._inner = Network(
+            faults=faults, metrics=metrics, inbox_capacity=inbox_capacity
+        )
+        self.metrics = metrics
+        self.net = self._inner.net
+        self.send_queue_capacity = send_queue_capacity
+        self.connect_timeout = connect_timeout
+        self.drain_timeout = drain_timeout
+        self._peers: Dict[NodeId, _Peer] = {}
+        self._detached_peers: Set[NodeId] = set()
+        self._lock = threading.Lock()
+        self._tcp_bytes = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._closed = False
+
+    # -- Transport interface (delegated local topology) ------------------
+
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        return self._inner.faults
+
+    @faults.setter
+    def faults(self, injector: Optional[FaultInjector]) -> None:
+        self._inner.faults = injector
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Throttled payload bytes moved (local + sent over sockets)."""
+        with self._lock:
+            return self._inner.bytes_transferred + self._tcp_bytes
+
+    def attach(
+        self,
+        node_id: NodeId,
+        bandwidth: Optional[float],
+        stop: Optional[threading.Event] = None,
+    ) -> Endpoint:
+        """Register a node hosted by *this* process."""
+        return self._inner.attach(node_id, bandwidth, stop=stop)
+
+    def detach(self, node_id: NodeId) -> Optional[Endpoint]:
+        """Remove a node from the topology (local endpoint, peer or both).
+
+        Subsequent sends to it are silently dropped, exactly as on the
+        in-memory fabric.  Returns the local endpoint if there was one.
+        """
+        endpoint: Optional[Endpoint] = None
+        known = False
+        if node_id in self._inner._endpoints:
+            endpoint = self._inner.detach(node_id)
+            known = True
+        peer = self._peers.pop(node_id, None)
+        if peer is not None:
+            known = True
+            self._detached_peers.add(node_id)
+            if peer.queue is not None and self._loop is not None:
+                asyncio.run_coroutine_threadsafe(
+                    peer.queue.put(_CLOSE), self._loop
+                )
+        if not known:
+            raise KeyError(f"node {node_id} not attached")
+        return endpoint
+
+    def endpoint(self, node_id: NodeId) -> Endpoint:
+        """The *local* endpoint of a node hosted by this process."""
+        return self._inner.endpoint(node_id)
+
+    def node_ids(self) -> List[NodeId]:
+        """Every node this process can reach: local endpoints + peers."""
+        return sorted(set(self._inner.node_ids()) | set(self._peers))
+
+    def scale_bandwidth(self, node_id: NodeId, factor: float) -> None:
+        """Degrade a *local* node's NIC rates (slow-NIC fault).
+
+        A remote node's slowdown is ignored here: every process runs
+        the same fault plan, and the slowdown binds in the process that
+        hosts the node.
+        """
+        if node_id not in self._inner._endpoints:
+            return
+        self._inner.scale_bandwidth(node_id, factor)
+
+    # -- peer wiring -----------------------------------------------------
+
+    def listen(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Accept inbound connections; returns the bound (host, port).
+
+        ``port=0`` binds an ephemeral port (tests).  Frames received
+        are decoded, validated and delivered to the local endpoint
+        their envelope names; undeliverable or unparseable traffic is
+        counted and dropped, never raised — a remote peer cannot crash
+        this process with bytes.
+        """
+        future = asyncio.run_coroutine_threadsafe(
+            self._start_server(host, port), self._ensure_loop()
+        )
+        return future.result(timeout=30)
+
+    def add_peer(self, node_id: NodeId, host: str, port: int) -> None:
+        """Register a remote node reachable at ``host:port``.
+
+        Connections are lazy: the peer's writer dials on the first
+        frame and redials with exponential backoff on failure, so peers
+        may be registered before the remote process is listening.
+        """
+        if node_id in self._peers:
+            raise ValueError(f"peer {node_id} already registered")
+        peer = _Peer(node_id, host, port)
+        future = asyncio.run_coroutine_threadsafe(
+            self._install_peer(peer), self._ensure_loop()
+        )
+        future.result(timeout=30)
+        self._peers[node_id] = peer
+        self._detached_peers.discard(node_id)
+
+    def peers(self) -> Dict[NodeId, Tuple[str, int]]:
+        """Registered remote nodes and their addresses."""
+        return {p.node_id: (p.host, p.port) for p in self._peers.values()}
+
+    # -- send ------------------------------------------------------------
+
+    def send(self, src: NodeId, dst: NodeId, message) -> None:
+        """Deliver a message; peers over TCP, local nodes in memory.
+
+        Same contract as :meth:`Network.send`: DataPackets pay for the
+        sender's emulated NIC and exert backpressure; crashed, closed
+        or detached destinations swallow traffic silently; unknown
+        destinations raise ``KeyError``.
+        """
+        peer = self._peers.get(dst)
+        if peer is None:
+            if dst in self._detached_peers and dst not in self._inner._endpoints:
+                return  # dead remote peer: drop silently
+            self._inner.send(src, dst, message)
+            return
+        faults = self.faults
+        if faults is not None:
+            faults.tick(self)
+        sender = self._inner.endpoint(src)
+        if sender.closed:
+            return
+        if isinstance(message, DataPacket):
+            if src == dst:
+                raise ValueError("loopback data transfer is not modeled")
+            copies = 1
+            extra_delay = 0.0
+            if faults is not None:
+                fate = faults.on_data_packet(src, dst, message)
+                if not fate.deliver:
+                    return
+                copies = fate.copies
+                extra_delay = fate.extra_delay
+                if fate.payload is not None:
+                    message = corrupted(message, fate.payload)
+            nbytes = len(message.payload)
+            frame = encode_frame(src, dst, message)
+            for _ in range(copies):
+                # Sender-side egress reservation only: the receiver's
+                # ingress is charged in its own process at delivery.
+                deadline = sender.nic_out.reserve(nbytes)
+                sleep_until(deadline + extra_delay, stop=sender.nic_out.stop)
+                with self._lock:
+                    self._tcp_bytes += nbytes
+                self.net.bytes_sent.inc(nbytes, node=src)
+                self._enqueue(peer, src, frame)
+            return
+        if faults is not None and not faults.filter_message(src, dst):
+            return  # a crashed node neither sends nor receives
+        self._enqueue(peer, src, encode_frame(src, dst, message))
+
+    def _enqueue(self, peer: _Peer, src: NodeId, frame: bytes) -> None:
+        """Queue one frame to a peer; blocks while the queue is full."""
+        if self._closed or peer.queue is None:
+            self.net.frames_dropped.inc(node=peer.node_id)
+            return
+        self.net.send_queue_depth.observe(
+            peer.queue.qsize(), node=peer.node_id
+        )
+        future = asyncio.run_coroutine_threadsafe(
+            peer.queue.put(frame), self._loop
+        )
+        future.result()  # bounded queue: this is the backpressure
+        self.net.frames_sent.inc(node=src)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Shut the socket layer down (idempotent).
+
+        With ``drain`` (the default), every peer queue is flushed —
+        bounded by ``drain_timeout`` per peer — before connections
+        close; without it, queued frames are abandoned.  Local
+        endpoints are left attached: a closed TcpNetwork degrades to
+        the in-memory fabric.
+        """
+        if self._closed or self._loop is None:
+            self._closed = True
+            return
+        self._closed = True
+        future = asyncio.run_coroutine_threadsafe(
+            self._shutdown(drain), self._loop
+        )
+        try:
+            future.result(
+                timeout=self.drain_timeout * (len(self._peers) + 1) + 5
+            )
+        except Exception:
+            pass  # a wedged drain must not wedge the caller
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    # -- event-loop side -------------------------------------------------
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("TcpNetwork is closed")
+            if self._loop is None:
+                self._loop = asyncio.new_event_loop()
+                self._thread = threading.Thread(
+                    target=self._loop.run_forever,
+                    name="tcp-network-loop",
+                    daemon=True,
+                )
+                self._thread.start()
+            return self._loop
+
+    async def _install_peer(self, peer: _Peer) -> None:
+        # Queue and task are created on the loop: Python 3.9 binds an
+        # asyncio.Queue to the thread-local loop at construction time.
+        peer.queue = asyncio.Queue(maxsize=self.send_queue_capacity)
+        peer.task = asyncio.ensure_future(self._peer_writer(peer))
+
+    async def _peer_writer(self, peer: _Peer) -> None:
+        """Drain one peer's frame queue into its (re)connected socket."""
+        try:
+            while True:
+                frame = await peer.queue.get()
+                if frame is _CLOSE:
+                    return
+                await self._write_frame(peer, frame)
+        finally:
+            await self._close_peer_socket(peer)
+
+    async def _write_frame(self, peer: _Peer, frame: bytes) -> None:
+        for retry in range(2):
+            if peer.writer is None and not await self._connect(peer):
+                break
+            try:
+                peer.writer.write(frame)
+                await peer.writer.drain()
+                return
+            except (ConnectionError, OSError):
+                # Connection died mid-write; retry once on a fresh one.
+                # Re-sent frames may duplicate at the receiver — the
+                # runtime dedupes (packet arrived-sets, attempt tags).
+                await self._close_peer_socket(peer)
+        self.net.frames_dropped.inc(node=peer.node_id)
+
+    async def _connect(self, peer: _Peer) -> bool:
+        """Dial a peer with exponential backoff; False when given up."""
+        backoff = _BACKOFF_BASE
+        deadline = time.monotonic() + self.connect_timeout
+        while True:
+            try:
+                _reader, writer = await asyncio.open_connection(
+                    peer.host, peer.port
+                )
+            except OSError:
+                if time.monotonic() + backoff >= deadline:
+                    return False
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, _BACKOFF_CAP)
+                continue
+            peer.writer = writer
+            self.net.reconnects.inc(node=peer.node_id)
+            self.net.connections.inc(direction="out")
+            return True
+
+    async def _close_peer_socket(self, peer: _Peer) -> None:
+        if peer.writer is None:
+            return
+        writer, peer.writer = peer.writer, None
+        self.net.connections.dec(direction="out")
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _start_server(self, host: str, port: int) -> Tuple[str, int]:
+        if self._server is not None:
+            raise RuntimeError("already listening")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self.net.connections.inc(direction="in")
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(HEADER.size)
+                except asyncio.IncompleteReadError:
+                    return  # peer closed cleanly (or mid-frame: nothing lost)
+                try:
+                    code, _epoch, meta_len, payload_len, crc = parse_header(
+                        header
+                    )
+                except WireError:
+                    self.net.frames_rejected.inc(reason="header")
+                    return  # stream can't be resynced; drop the connection
+                try:
+                    meta = await reader.readexactly(meta_len)
+                    payload = (
+                        await reader.readexactly(payload_len)
+                        if payload_len
+                        else b""
+                    )
+                except asyncio.IncompleteReadError:
+                    self.net.frames_rejected.inc(reason="truncated")
+                    return
+                try:
+                    src, dst, message = decode_body(code, crc, meta, payload)
+                except WireError:
+                    self.net.frames_rejected.inc(reason="body")
+                    return
+                await self._deliver(src, dst, message)
+        except (ConnectionError, OSError):
+            pass  # remote reset: equivalent to a closed stream
+        except asyncio.CancelledError:
+            # Swallow the shutdown cancel: asyncio's stream-server
+            # done-callback re-raises task.exception() into the loop's
+            # exception handler otherwise, spamming stderr on close.
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            self.net.connections.dec(direction="in")
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _deliver(self, src: NodeId, dst: NodeId, message) -> None:
+        """Hand a decoded message to the local endpoint it names."""
+        faults = self.faults
+        if faults is not None and not faults.filter_message(src, dst):
+            return  # locally known crashed node: black hole
+        try:
+            endpoint = self._inner.endpoint(dst)
+        except KeyError:
+            self.net.frames_dropped.inc(node=dst)
+            return  # misrouted or detached-here destination
+        if endpoint.closed:
+            return
+        if isinstance(message, DataPacket):
+            nbytes = len(message.payload)
+            # Receiver-side ingress reservation: the emulated NIC cap
+            # binds here even though the sender is another process.
+            deadline = endpoint.nic_in.reserve(nbytes)
+            delay = deadline - time.monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            self.net.bytes_received.inc(nbytes, node=dst)
+        while True:
+            try:
+                endpoint.inbox.put_nowait(message)
+                break
+            except queue.Full:
+                # Bounded inbox: backpressure the socket by pausing this
+                # connection's reads (the kernel buffer then fills and
+                # stalls the remote writer). Never block the loop itself.
+                await asyncio.sleep(_INBOX_POLL)
+        self.net.frames_received.inc(node=dst)
+        self.net.inbox_depth.set(endpoint.inbox.qsize(), node=dst)
+
+    async def _shutdown(self, drain: bool) -> None:
+        for peer in self._peers.values():
+            if peer.queue is None or peer.task is None:
+                continue
+            if drain:
+                await peer.queue.put(_CLOSE)
+                try:
+                    await asyncio.wait_for(peer.task, self.drain_timeout)
+                except (asyncio.TimeoutError, asyncio.CancelledError):
+                    peer.task.cancel()
+            else:
+                peer.task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()

@@ -367,6 +367,9 @@ class Agent:
         self.errors = []
         self._started = False
         self._stop_event = threading.Event()
+        #: set when the dispatcher exits (Shutdown received or crash);
+        #: a standalone agent process waits on this before exiting
+        self.done = threading.Event()
         self.crashed = False
 
     # ------------------------------------------------------------------
@@ -377,6 +380,7 @@ class Agent:
             return
         self._started = True
         self._stop_event.clear()
+        self.done.clear()
         loops = [
             (self._dispatch_loop, "dispatch"),
             (self._send_loop, "send"),
@@ -527,6 +531,12 @@ class Agent:
     # ------------------------------------------------------------------
 
     def _dispatch_loop(self) -> None:
+        try:
+            self._dispatch_until_shutdown()
+        finally:
+            self.done.set()
+
+    def _dispatch_until_shutdown(self) -> None:
         while True:
             message = self._endpoint.inbox.get()
             if isinstance(message, Shutdown):

@@ -33,6 +33,10 @@ RUNTIME_CONFIG_SCHEMA = Schema(
         "poll_interval",
         "journal_fsync",
         "inventory_timeout",
+        "inbox_capacity",
+        "send_queue_capacity",
+        "connect_timeout",
+        "drain_timeout",
     ),
     implicit_version=1,
 )
@@ -72,6 +76,18 @@ class RuntimeConfig:
         inventory_timeout: seconds a recovering coordinator waits for
             :class:`~repro.runtime.messages.InventoryReply` messages
             when reconciling the journal against agent stores.
+        inbox_capacity: bound on every endpoint's inbox queue; ``0``
+            means unbounded.  A full inbox blocks the sender — the
+            same backpressure an OS socket buffer exerts — so overload
+            behaves identically on the in-memory and TCP backends.
+        send_queue_capacity: bound on each TCP peer's outgoing frame
+            queue; a full queue blocks the sending thread until the
+            writer drains (per-peer backpressure over sockets).
+        connect_timeout: total seconds a TCP peer connection may spend
+            reconnecting (with exponential backoff) before frames to
+            that peer are dropped as undeliverable.
+        drain_timeout: seconds :meth:`TcpNetwork.close` waits for each
+            peer's queued frames to flush before force-closing.
     """
 
     ack_timeout: float = 120.0
@@ -87,6 +103,10 @@ class RuntimeConfig:
     poll_interval: float = 0.25
     journal_fsync: str = "always"
     inventory_timeout: float = 5.0
+    inbox_capacity: int = 0
+    send_queue_capacity: int = 64
+    connect_timeout: float = 30.0
+    drain_timeout: float = 10.0
 
     def __post_init__(self):
         if self.ack_timeout <= 0 or self.min_deadline <= 0:
@@ -99,6 +119,12 @@ class RuntimeConfig:
             raise ValueError("journal_fsync must be 'always' or 'never'")
         if self.inventory_timeout <= 0:
             raise ValueError("inventory_timeout must be positive")
+        if self.inbox_capacity < 0:
+            raise ValueError("inbox_capacity must be non-negative (0 = unbounded)")
+        if self.send_queue_capacity < 1:
+            raise ValueError("send_queue_capacity must be positive")
+        if self.connect_timeout <= 0 or self.drain_timeout <= 0:
+            raise ValueError("net timeouts must be positive")
 
     def backoff(self, retry: int) -> float:
         """Backoff before the ``retry``-th reissue (1-based)."""

@@ -33,10 +33,11 @@ Crash-recovery additions (split-brain fencing):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import MISSING, dataclass, field, fields as dataclass_fields
+from typing import Callable, Dict, Optional, Tuple, Type
 
 from ..cluster.chunk import NodeId, StripeId
+from ..core.serde import Schema, SerdeError
 
 #: identifies one chunk-repair action: (stripe, chunk index)
 ActionKey = Tuple[StripeId, int]
@@ -46,7 +47,117 @@ ACK_OK = "ok"
 #: RepairAck.status value for an agent-side failure (a NACK)
 ACK_FAILED = "failed"
 
+# ----------------------------------------------------------------------
+# wire registry: every message rides on repro.core.serde.Schema
+# ----------------------------------------------------------------------
 
+#: wire name -> message class (every serializable runtime message)
+WIRE_MESSAGES: Dict[str, type] = {}
+#: binary type code -> message class (repro.net frame header)
+WIRE_CODES: Dict[int, type] = {}
+
+
+def wire_message(
+    name: str,
+    code: int,
+    coerce: Optional[Callable[[dict], dict]] = None,
+    version: int = 1,
+):
+    """Class decorator: register a message dataclass on the wire protocol.
+
+    Builds a :class:`~repro.core.serde.Schema` from the dataclass
+    fields — version-stamped ``to_dict`` output, unknown-key rejection
+    on ``from_dict`` — so the TCP codec, tests and any journaled
+    message all share one canonical encoding instead of ad-hoc dict
+    dumps.  A ``payload`` field (raw chunk bytes) is *excluded* from
+    the dict form: the binary framing in :mod:`repro.net.wire` carries
+    it verbatim after the JSON control fields, avoiding base64 blow-up.
+
+    Args:
+        name: stable wire name (used in envelopes and errors).
+        code: stable ``u16`` type code for the binary frame header.
+        coerce: optional hook rewriting the loaded body before the
+            constructor runs (JSON stringifies dict keys and turns
+            tuples into lists; the hook undoes that).
+        version: schema version stamped on every document.
+    """
+
+    def register(cls: Type) -> Type:
+        if name in WIRE_MESSAGES:
+            raise ValueError(f"duplicate wire message name {name!r}")
+        if code in WIRE_CODES:
+            raise ValueError(f"duplicate wire message code {code}")
+        all_fields = dataclass_fields(cls)
+        payload_field = next(
+            (f.name for f in all_fields if f.name == "payload"), None
+        )
+        control = tuple(
+            f.name for f in all_fields if f.name != payload_field
+        )
+        required = tuple(
+            f.name
+            for f in all_fields
+            if f.name != payload_field
+            and f.default is MISSING
+            and f.default_factory is MISSING
+        )
+        schema = Schema(
+            kind=f"{name} message",
+            version=version,
+            fields=control,
+            required=required,
+        )
+
+        def to_dict(self) -> dict:
+            """Version-stamped control fields (payload bytes excluded)."""
+            return schema.dump({f: getattr(self, f) for f in control})
+
+        def from_dict(cls_, document: dict, payload: bytes = b""):
+            """Inverse of ``to_dict``; unknown keys raise.
+
+            ``payload`` re-attaches the raw bytes the binary framing
+            carried outside the JSON control fields.
+            """
+            body = schema.load(document)
+            if coerce is not None:
+                body = coerce(body)
+            if payload_field is not None:
+                body[payload_field] = payload
+            elif payload:
+                raise SerdeError(
+                    f"{name} message carries no payload, got "
+                    f"{len(payload)} bytes"
+                )
+            return cls_(**body)
+
+        cls.WIRE_NAME = name
+        cls.WIRE_CODE = code
+        cls.WIRE_SCHEMA = schema
+        cls.WIRE_PAYLOAD_FIELD = payload_field
+        cls.to_dict = to_dict
+        cls.from_dict = classmethod(from_dict)
+        WIRE_MESSAGES[name] = cls
+        WIRE_CODES[code] = cls
+        return cls
+
+    return register
+
+
+def _coerce_receive(body: dict) -> dict:
+    if "sources" in body:
+        body["sources"] = {
+            int(node): coeff for node, coeff in body["sources"].items()
+        }
+    return body
+
+
+def _coerce_inventory_reply(body: dict) -> dict:
+    if "stripes" in body:
+        body["stripes"] = tuple(body["stripes"])
+    return body
+
+
+@wire_message("receive", 1, coerce=_coerce_receive)
 @dataclass(frozen=True)
 class ReceiveCommand:
     """Tell the destination agent to expect and assemble a chunk.
@@ -78,6 +189,7 @@ class ReceiveCommand:
         return (self.stripe_id, self.chunk_index)
 
 
+@wire_message("send", 2)
 @dataclass(frozen=True)
 class SendCommand:
     """Tell an agent to stream its locally stored chunk of a stripe.
@@ -100,6 +212,7 @@ class SendCommand:
         return (self.stripe_id, self.chunk_index)
 
 
+@wire_message("relay", 3)
 @dataclass(frozen=True)
 class RelayCommand:
     """Tell a helper to act as one stage of a repair pipeline.
@@ -130,6 +243,7 @@ class RelayCommand:
         return (self.stripe_id, self.chunk_index)
 
 
+@wire_message("data", 4)
 @dataclass(frozen=True)
 class DataPacket:
     """One packet of chunk data in flight.
@@ -153,6 +267,7 @@ class DataPacket:
         return (self.stripe_id, self.chunk_index)
 
 
+@wire_message("repair_ack", 5)
 @dataclass(frozen=True)
 class RepairAck:
     """Destination -> coordinator: one chunk repaired — or NACKed.
@@ -195,6 +310,7 @@ def nack(
     )
 
 
+@wire_message("write_complete", 6)
 @dataclass(frozen=True)
 class WriteComplete:
     """Destination -> source: the repaired chunk is durably written.
@@ -215,6 +331,7 @@ class WriteComplete:
         return (self.stripe_id, self.chunk_index)
 
 
+@wire_message("heartbeat", 7)
 @dataclass(frozen=True)
 class Heartbeat:
     """Agent -> coordinator: periodic liveness beacon."""
@@ -222,6 +339,7 @@ class Heartbeat:
     node_id: NodeId
 
 
+@wire_message("ping", 8)
 @dataclass(frozen=True)
 class Ping:
     """Coordinator -> agent: liveness probe; answer with a Pong."""
@@ -229,6 +347,7 @@ class Ping:
     nonce: int
 
 
+@wire_message("pong", 9)
 @dataclass(frozen=True)
 class Pong:
     """Agent -> coordinator: probe reply."""
@@ -237,6 +356,7 @@ class Pong:
     nonce: int
 
 
+@wire_message("inventory_query", 10)
 @dataclass(frozen=True)
 class InventoryQuery:
     """Recovering coordinator -> agent: report your durable chunks.
@@ -251,6 +371,7 @@ class InventoryQuery:
     nonce: int
 
 
+@wire_message("inventory_reply", 11, coerce=_coerce_inventory_reply)
 @dataclass(frozen=True)
 class InventoryReply:
     """Agent -> coordinator: stripe ids with a fully promoted chunk.
@@ -265,6 +386,7 @@ class InventoryReply:
     stripes: Tuple[StripeId, ...] = ()
 
 
+@wire_message("shutdown", 12)
 @dataclass(frozen=True)
 class Shutdown:
     """Coordinator -> agent: stop the dispatcher loop."""

@@ -46,6 +46,28 @@ class VerificationError(AssertionError):
     """Raised when a repaired chunk's bytes do not match the original."""
 
 
+def iter_encoded_stripes(
+    cluster: StorageCluster, codec: ErasureCodec, seed: Optional[int] = None
+):
+    """Yield ``(stripe, coded_chunks)`` for every stripe, deterministically.
+
+    One sequential RNG stream (seeded by ``seed``) generates the data
+    chunks of every stripe in stripe order, so *any* consumer of the
+    same ``(cluster, codec, seed)`` triple sees byte-identical chunks —
+    the testbed loads them all into local stores, while each TCP agent
+    process walks the same stream and keeps only its own node's chunks
+    (see :func:`repro.net.launch.load_node_data`).
+    """
+    rng = random.Random(seed)
+    chunk_size = cluster.chunk_size
+    for stripe in cluster.stripes():
+        data_chunks = [
+            rng.getrandbits(8 * chunk_size).to_bytes(chunk_size, "little")
+            for _ in range(stripe.k)
+        ]
+        yield stripe, codec.encode(data_chunks)
+
+
 class EmulatedTestbed:
     """A local cluster of agents with bandwidth emulation.
 
@@ -76,6 +98,11 @@ class EmulatedTestbed:
             wall-clock tracer is created when omitted (span volume is
             bounded by the run's action count) and is available as
             :attr:`tracer`.
+        network: alternative transport backend (e.g. a loopback-wired
+            :class:`repro.net.TcpNetwork`); the testbed attaches every
+            node to it and, when a fault plan is given, installs its
+            injector on it.  Defaults to a fresh in-memory
+            :class:`~repro.runtime.transport.Network`.
     """
 
     def __init__(
@@ -90,6 +117,7 @@ class EmulatedTestbed:
         journal_path: Optional[Path] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        network: Optional[Network] = None,
     ):
         self.cluster = cluster
         self.codec = codec
@@ -104,7 +132,15 @@ class EmulatedTestbed:
         if faults is not None:
             self.faults = FaultInjector(faults, on_crash=self._on_node_crash)
             self._crash_faults = list(faults.coordinator_crashes)
-        self.network = Network(faults=self.faults, metrics=self.metrics)
+        if network is None:
+            network = Network(
+                faults=self.faults,
+                metrics=self.metrics,
+                inbox_capacity=self.config.inbox_capacity,
+            )
+        elif self.faults is not None:
+            network.faults = self.faults
+        self.network = network
         #: set at shutdown; interrupts every throttled sleep in flight
         self._stop = threading.Event()
         self.stores: Dict[NodeId, ChunkStore] = {}
@@ -312,14 +348,9 @@ class EmulatedTestbed:
         Remembers per-chunk checksums so :meth:`verify_plan` can prove
         the repair restored the exact original bytes.
         """
-        rng = random.Random(seed)
-        chunk_size = self.cluster.chunk_size
-        for stripe in self.cluster.stripes():
-            data_chunks = [
-                rng.getrandbits(8 * chunk_size).to_bytes(chunk_size, "little")
-                for _ in range(stripe.k)
-            ]
-            coded = self.codec.encode(data_chunks)
+        for stripe, coded in iter_encoded_stripes(
+            self.cluster, self.codec, seed
+        ):
             for index, node_id in enumerate(stripe.placement):
                 self.stores[node_id].put(stripe.stripe_id, coded[index])
                 self._checksums[(stripe.stripe_id, index)] = _digest(coded[index])

@@ -13,6 +13,12 @@ duplicate, delay or corrupt data packets, and degrade NIC rates.
 Crashed or closed endpoints swallow traffic silently — exactly what a
 sender sees when the remote process is gone — so failure detection is
 the coordinator's job, not the transport's.
+
+This module is one of two backends behind the :class:`Transport`
+protocol; :class:`repro.net.tcp.TcpNetwork` is the other, moving the
+same messages over real sockets between OS processes.  Both emit the
+same ``net_*`` metric family (:class:`NetInstruments`) so dashboards
+and the trace/metrics reconciliation work identically over either.
 """
 
 from __future__ import annotations
@@ -20,16 +26,108 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Protocol, Set, runtime_checkable
 
 from ..cluster.chunk import NodeId
+from ..obs.metrics import MetricsRegistry
 from .faults import FaultInjector, corrupted
 from .messages import DataPacket
 from .throttle import RateLimiter, reserve_transfer, sleep_until
 
 
+@runtime_checkable
+class Transport(Protocol):
+    """What the coordinator and agents require of a network backend.
+
+    Structural: the in-memory :class:`Network` and the socket-backed
+    :class:`repro.net.tcp.TcpNetwork` both satisfy it without
+    inheriting anything (``isinstance(net, Transport)`` checks conform
+    at runtime).  Semantics every backend must honor:
+
+    * ``send`` delivers in per-(src, dst) FIFO order;
+    * :class:`~repro.runtime.messages.DataPacket` sends pay for
+      emulated NIC bandwidth and exert backpressure on the sender;
+    * sends to crashed, closed or detached endpoints vanish silently
+      (black hole), sends to *unknown* nodes raise ``KeyError``;
+    * an attached :class:`~repro.runtime.faults.FaultInjector` is
+      consulted on every send.
+    """
+
+    faults: Optional[FaultInjector]
+
+    def attach(
+        self,
+        node_id: NodeId,
+        bandwidth: Optional[float],
+        stop: Optional[threading.Event] = None,
+    ) -> "Endpoint": ...
+
+    def detach(self, node_id: NodeId) -> "Endpoint": ...
+
+    def endpoint(self, node_id: NodeId) -> "Endpoint": ...
+
+    def node_ids(self) -> List[NodeId]: ...
+
+    def scale_bandwidth(self, node_id: NodeId, factor: float) -> None: ...
+
+    def send(self, src: NodeId, dst: NodeId, message) -> None: ...
+
+
+class NetInstruments:
+    """The ``net_*`` metric family every transport backend emits.
+
+    One shared definition keeps names, help strings and label shapes
+    identical across backends, so the fault matrix and trace/metrics
+    reconciliation run unchanged over sockets.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry]):
+        m = metrics if metrics is not None else MetricsRegistry()
+        self.frames_sent = m.counter(
+            "net_frames_sent_total", "wire frames (messages) sent, by node"
+        )
+        self.frames_received = m.counter(
+            "net_frames_received_total",
+            "wire frames (messages) delivered into inboxes, by node",
+        )
+        self.frames_rejected = m.counter(
+            "net_frames_rejected_total",
+            "frames refused at the receiver (bad magic/version/CRC), by reason",
+        )
+        self.frames_dropped = m.counter(
+            "net_frames_dropped_total",
+            "frames abandoned by the sender (peer unreachable), by node",
+        )
+        self.bytes_sent = m.counter(
+            "net_bytes_sent_total", "data payload bytes sent, by node"
+        )
+        self.bytes_received = m.counter(
+            "net_bytes_received_total", "data payload bytes received, by node"
+        )
+        self.connections = m.gauge(
+            "net_connections", "open transport connections, by direction"
+        )
+        self.reconnects = m.counter(
+            "net_reconnects_total", "connection (re)establishments, by node"
+        )
+        self.send_queue_depth = m.histogram(
+            "net_send_queue_depth",
+            "per-peer send-queue depth sampled at each enqueue",
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256),
+        )
+        self.inbox_depth = m.gauge(
+            "net_inbox_depth", "receiver inbox depth after each delivery, by node"
+        )
+
+
 class Endpoint:
-    """One node's attachment to the network."""
+    """One node's attachment to the network.
+
+    ``inbox_capacity`` bounds the inbox (0 = unbounded): when full, a
+    delivery blocks the *sender* — the same backpressure an OS socket
+    buffer exerts — so overload behaves identically on the in-memory
+    and TCP backends.
+    """
 
     def __init__(
         self,
@@ -37,9 +135,11 @@ class Endpoint:
         bandwidth: Optional[float],
         stop: Optional[threading.Event] = None,
         metrics=None,
+        inbox_capacity: int = 0,
     ):
         self.node_id = node_id
-        self.inbox: "queue.Queue" = queue.Queue()
+        self.inbox_capacity = max(int(inbox_capacity), 0)
+        self.inbox: "queue.Queue" = queue.Queue(maxsize=self.inbox_capacity)
         self.nic_in = RateLimiter(
             bandwidth,
             name=f"nic_in[{node_id}]",
@@ -69,18 +169,26 @@ class Network:
         metrics: optional :class:`~repro.obs.MetricsRegistry`; records
             per-node byte counters, transfer throttle waits, and inbox
             queue depths.
+        inbox_capacity: bound on every endpoint's inbox (0 = unbounded);
+            a full inbox blocks the sender (backpressure).
     """
 
     def __init__(
-        self, faults: Optional[FaultInjector] = None, metrics=None
+        self,
+        faults: Optional[FaultInjector] = None,
+        metrics=None,
+        inbox_capacity: int = 0,
     ):
         self._endpoints: Dict[NodeId, Endpoint] = {}
         self._detached: Set[NodeId] = set()
         self._lock = threading.Lock()
         self.faults = faults
         self.metrics = metrics
+        self.inbox_capacity = inbox_capacity
         #: total throttled payload bytes moved (telemetry)
         self.bytes_transferred = 0
+        #: shared net_* metric family (same shape as the TCP backend)
+        self.net = NetInstruments(metrics)
         self._sent_counter = None
         self._recv_counter = None
         self._wait_hist = None
@@ -118,7 +226,11 @@ class Network:
             if node_id in self._endpoints:
                 raise ValueError(f"node {node_id} already attached")
             endpoint = Endpoint(
-                node_id, bandwidth, stop=stop, metrics=self.metrics
+                node_id,
+                bandwidth,
+                stop=stop,
+                metrics=self.metrics,
+                inbox_capacity=self.inbox_capacity,
             )
             self._endpoints[node_id] = endpoint
             self._detached.discard(node_id)
@@ -160,6 +272,14 @@ class Network:
         for limiter in (endpoint.nic_in, endpoint.nic_out):
             if not limiter.unlimited:
                 limiter.rate *= factor
+
+    def _deliver(self, receiver: Endpoint, message) -> None:
+        """Put a message in an inbox; blocks while the inbox is full."""
+        receiver.inbox.put(message)
+        self.net.frames_received.inc(node=receiver.node_id)
+        self.net.inbox_depth.set(
+            receiver.inbox.qsize(), node=receiver.node_id
+        )
 
     def send(self, src: NodeId, dst: NodeId, message) -> None:
         """Deliver a message; DataPackets pay for bandwidth.
@@ -207,7 +327,10 @@ class Network:
                 if self._sent_counter is not None:
                     self._sent_counter.inc(nbytes, node=src)
                     self._recv_counter.inc(nbytes, node=dst)
-                receiver.inbox.put(message)
+                self.net.frames_sent.inc(node=src)
+                self.net.bytes_sent.inc(nbytes, node=src)
+                self.net.bytes_received.inc(nbytes, node=dst)
+                self._deliver(receiver, message)
                 if self._inbox_gauge is not None:
                     self._inbox_gauge.set(
                         receiver.inbox.qsize(), node=dst
@@ -217,4 +340,5 @@ class Network:
         # on_data_packet so byte-triggered crashes still see the bytes.)
         if faults is not None and not faults.filter_message(src, dst):
             return  # a crashed node neither sends nor receives
-        receiver.inbox.put(message)
+        self.net.frames_sent.inc(node=src)
+        self._deliver(receiver, message)

@@ -1,0 +1,45 @@
+"""The loopback TCP throughput sweep behind BENCH_net_throughput.json."""
+
+import pytest
+
+from repro.bench.smoke import (
+    NET_BENCH_SCHEMA,
+    run_net_throughput,
+    validate_net,
+)
+
+
+def test_sweep_produces_validated_document():
+    document = run_net_throughput(sizes=(1 << 12,), frames=8)
+    body = validate_net(document)
+    assert body["transport"] == "tcp-loopback"
+    (run,) = body["runs"]
+    assert run["payload_bytes"] == 1 << 12
+    assert run["frames"] == 8
+    assert run["frames_per_s"] > 0
+    assert run["mb_per_s"] > 0
+    assert run["seconds"] > 0
+
+
+def test_validate_rejects_empty_sweep():
+    with pytest.raises(ValueError, match="no runs"):
+        validate_net(NET_BENCH_SCHEMA.dump({"transport": "x", "runs": []}))
+
+
+def test_validate_rejects_degenerate_run():
+    document = NET_BENCH_SCHEMA.dump(
+        {
+            "transport": "tcp-loopback",
+            "runs": [
+                {
+                    "payload_bytes": 1,
+                    "frames": 0,
+                    "seconds": 0.0,
+                    "frames_per_s": 0.0,
+                    "mb_per_s": 0.0,
+                }
+            ],
+        }
+    )
+    with pytest.raises(ValueError, match="degenerate"):
+        validate_net(document)

@@ -1,0 +1,240 @@
+"""The binary frame codec: round trips and rejection paths.
+
+Every runtime message must survive encode -> decode bit-exactly, and
+every way a frame can lie (magic, version, type code, lengths, CRC,
+schema) must raise :class:`~repro.net.wire.WireError` — the TCP server
+drops the connection on any of them, so these paths are the protocol's
+entire defense against corrupted or hostile byte streams.
+"""
+
+import json
+import struct
+
+import pytest
+
+from repro.net.wire import (
+    HEADER,
+    MAGIC,
+    MAX_META,
+    WIRE_VERSION,
+    WireError,
+    decode_frame,
+    encode_frame,
+)
+from repro.runtime.messages import (
+    WIRE_CODES,
+    WIRE_MESSAGES,
+    DataPacket,
+    Heartbeat,
+    InventoryQuery,
+    InventoryReply,
+    Ping,
+    Pong,
+    ReceiveCommand,
+    RelayCommand,
+    RepairAck,
+    SendCommand,
+    Shutdown,
+    WriteComplete,
+    nack,
+)
+
+#: one representative instance of every wire-registered message
+SAMPLES = [
+    ReceiveCommand(
+        stripe_id=7,
+        chunk_index=2,
+        chunk_size=4096,
+        packet_size=512,
+        sources={3: 17, 9: 254},
+        attempt=1,
+        epoch=4,
+    ),
+    SendCommand(
+        stripe_id=7, chunk_index=2, destination=5, packet_size=512,
+        attempt=1, epoch=4,
+    ),
+    RelayCommand(
+        stripe_id=7, chunk_index=2, destination=5, packet_size=512,
+        chunk_size=4096, coeff=17, first=False, upstream=3, attempt=1,
+        epoch=4,
+    ),
+    DataPacket(
+        stripe_id=7, chunk_index=2, source=3, offset=1024,
+        payload=bytes(range(256)) * 4, attempt=1, epoch=4,
+        checksum=0xDEADBEEF,
+    ),
+    RepairAck(stripe_id=7, chunk_index=2, node_id=5, attempt=1, epoch=4),
+    nack((7, 2), 5, attempt=1, detail="stale epoch 3 < 4", epoch=4),
+    WriteComplete(stripe_id=7, chunk_index=2, attempt=1, epoch=4),
+    Heartbeat(node_id=5),
+    Ping(nonce=99),
+    Pong(node_id=5, nonce=99),
+    InventoryQuery(epoch=4, nonce=99),
+    InventoryReply(node_id=5, epoch=4, nonce=99, stripes=(1, 7, 30)),
+    Shutdown(),
+]
+
+
+class TestRoundTrip:
+    def test_every_message_type_has_a_sample(self):
+        assert {type(s) for s in SAMPLES} == set(WIRE_MESSAGES.values())
+
+    @pytest.mark.parametrize(
+        "message", SAMPLES, ids=[type(s).__name__ for s in SAMPLES]
+    )
+    def test_bit_exact_round_trip(self, message):
+        src, dst, decoded = decode_frame(encode_frame(3, -1, message))
+        assert (src, dst) == (3, -1)
+        assert decoded == message
+        assert type(decoded) is type(message)
+
+    def test_payload_travels_raw_not_base64(self):
+        packet = DataPacket(
+            stripe_id=1, chunk_index=0, source=2, offset=0,
+            payload=b"\x00\xff" * 512,
+        )
+        frame = encode_frame(2, 4, packet)
+        assert packet.payload in frame  # verbatim binary tail
+        meta_len = HEADER.unpack(frame[: HEADER.size])[4]
+        meta = json.loads(frame[HEADER.size : HEADER.size + meta_len])
+        assert "payload" not in meta["msg"]
+
+    def test_header_carries_the_message_epoch(self):
+        frame = encode_frame(0, 1, WriteComplete(1, 0, epoch=9))
+        assert HEADER.unpack(frame[: HEADER.size])[3] == 9
+        # epoch-less messages stamp 0
+        frame = encode_frame(0, 1, Heartbeat(node_id=0))
+        assert HEADER.unpack(frame[: HEADER.size])[3] == 0
+
+    def test_empty_payload_packet(self):
+        src, dst, decoded = decode_frame(
+            encode_frame(0, 1, DataPacket(1, 0, 0, 0, b""))
+        )
+        assert decoded.payload == b""
+
+    def test_unregistered_message_rejected_at_encode(self):
+        with pytest.raises(WireError, match="not a wire-registered"):
+            encode_frame(0, 1, object())
+
+    def test_type_codes_are_stable(self):
+        # Renumbering breaks cross-version interop: pin the assignment.
+        assert {
+            code: cls.WIRE_NAME for code, cls in sorted(WIRE_CODES.items())
+        } == {
+            1: "receive", 2: "send", 3: "relay", 4: "data",
+            5: "repair_ack", 6: "write_complete", 7: "heartbeat",
+            8: "ping", 9: "pong", 10: "inventory_query",
+            11: "inventory_reply", 12: "shutdown",
+        }
+
+
+def _mangle(frame: bytes, **header_overrides) -> bytes:
+    """Re-pack the header with some fields overridden (body untouched)."""
+    fields = list(HEADER.unpack(frame[: HEADER.size]))
+    names = ["magic", "version", "code", "epoch", "meta_len", "payload_len",
+             "crc"]
+    for name, value in header_overrides.items():
+        fields[names.index(name)] = value
+    return HEADER.pack(*fields) + frame[HEADER.size :]
+
+
+class TestRejection:
+    def frame(self):
+        return encode_frame(0, 1, Pong(node_id=1, nonce=5))
+
+    def test_bad_magic(self):
+        with pytest.raises(WireError, match="magic"):
+            decode_frame(_mangle(self.frame(), magic=b"HTTP"))
+
+    def test_future_version(self):
+        with pytest.raises(WireError, match="version"):
+            decode_frame(_mangle(self.frame(), version=WIRE_VERSION + 1))
+
+    def test_unknown_type_code(self):
+        with pytest.raises(WireError, match="unknown message type"):
+            decode_frame(_mangle(self.frame(), code=999))
+
+    def test_absurd_meta_length(self):
+        with pytest.raises(WireError, match="meta length"):
+            decode_frame(_mangle(self.frame(), meta_len=MAX_META + 1))
+
+    def test_flipped_body_bit_fails_crc(self):
+        frame = bytearray(self.frame())
+        frame[HEADER.size + 3] ^= 0x01
+        with pytest.raises(WireError, match="CRC"):
+            decode_frame(bytes(frame))
+
+    def test_flipped_payload_bit_fails_crc(self):
+        frame = bytearray(
+            encode_frame(0, 1, DataPacket(1, 0, 0, 0, b"abcdef"))
+        )
+        frame[-2] ^= 0x80
+        with pytest.raises(WireError, match="CRC"):
+            decode_frame(bytes(frame))
+
+    def test_truncated_frame(self):
+        with pytest.raises(WireError, match="length mismatch"):
+            decode_frame(self.frame()[:-3])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(WireError, match="length mismatch"):
+            decode_frame(self.frame() + b"xx")
+
+    def test_short_buffer(self):
+        with pytest.raises(WireError, match="short frame"):
+            decode_frame(b"FPR1")
+
+    def test_type_code_and_envelope_must_agree(self):
+        # Valid CRC, valid JSON — but the header says Ping while the
+        # body is a Pong: the schema's unknown-key rejection fires.
+        frame = self.frame()
+        ping_code = Ping.WIRE_CODE
+        mangled = _mangle(frame, code=ping_code)
+        with pytest.raises(WireError):
+            decode_frame(mangled)
+
+    def test_unknown_envelope_key_rejected(self):
+        import zlib
+
+        meta = json.dumps({
+            "version": 1, "src": 0, "dst": 1, "msg": Ping(nonce=1).to_dict(),
+            "evil": True,
+        }).encode()
+        header = HEADER.pack(
+            MAGIC, WIRE_VERSION, Ping.WIRE_CODE, 0, len(meta), 0,
+            zlib.crc32(meta),
+        )
+        with pytest.raises(WireError):
+            decode_frame(header + meta)
+
+    def test_payload_on_payloadless_message_rejected(self):
+        import zlib
+
+        meta = json.dumps({
+            "version": 1, "src": 0, "dst": 1, "msg": Ping(nonce=1).to_dict(),
+        }).encode()
+        payload = b"sneaky"
+        crc = zlib.crc32(payload, zlib.crc32(meta))
+        header = HEADER.pack(
+            MAGIC, WIRE_VERSION, Ping.WIRE_CODE, 0, len(meta), len(payload),
+            crc,
+        )
+        with pytest.raises(WireError, match="carries no payload"):
+            decode_frame(header + meta + payload)
+
+
+class TestJsonMangling:
+    """JSON stringifies dict keys and lists tuples; coerce hooks undo it."""
+
+    def test_receive_sources_keys_back_to_int(self):
+        cmd = ReceiveCommand(1, 0, 64, 16, sources={10: 3, 11: 250})
+        _, _, decoded = decode_frame(encode_frame(0, 1, cmd))
+        assert decoded.sources == {10: 3, 11: 250}
+        assert all(isinstance(k, int) for k in decoded.sources)
+
+    def test_inventory_stripes_back_to_tuple(self):
+        reply = InventoryReply(node_id=1, epoch=2, nonce=3, stripes=(5, 6))
+        _, _, decoded = decode_frame(encode_frame(1, -1, reply))
+        assert decoded.stripes == (5, 6)
+        assert isinstance(decoded.stripes, tuple)

@@ -1,0 +1,336 @@
+"""Transport conformance: one contract, two backends.
+
+Every test in :class:`TestTransportContract` runs against both the
+in-memory fabric and a loopback-wired :class:`~repro.net.TcpNetwork`
+(each node registered as a peer of the network's own listen port, so
+every message crosses a real socket).  The runtime must not be able to
+tell the backends apart: ordering, payload fidelity, backpressure,
+silent-drop and error semantics all match.
+
+Socket-only behaviors (frame rejection, reconnection, coordinator
+kill/resume across the TCP path) are exercised in the tcp-specific
+classes below.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cluster import StorageCluster
+from repro.core.planner import FastPRPlanner
+from repro.ec import make_codec
+from repro.net import TcpNetwork
+from repro.obs import MetricsRegistry
+from repro.runtime import (
+    COORDINATOR_ID,
+    CoordinatorCrash,
+    RuntimeConfig,
+    Scrubber,
+)
+from repro.runtime.agent import Agent
+from repro.runtime.datanode import ChunkStore
+from repro.runtime.messages import (
+    ACK_FAILED,
+    DataPacket,
+    Heartbeat,
+    InventoryQuery,
+    InventoryReply,
+    Ping,
+    Pong,
+    ReceiveCommand,
+    RepairAck,
+)
+from repro.runtime.testbed import EmulatedTestbed
+from repro.runtime.throttle import RateLimiter
+
+#: tight timings so fencing/recovery happen in test time
+FAST = RuntimeConfig(
+    ack_timeout=2.0,
+    join_timeout=5.0,
+    min_deadline=0.8,
+    backoff_base=0.05,
+    backoff_cap=0.2,
+    probe_timeout=0.5,
+    heartbeat_interval=0.1,
+    poll_interval=0.05,
+    journal_fsync="never",
+    inventory_timeout=2.0,
+)
+
+
+class Backend:
+    """Builds one transport backend and wires its topology."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.networks = []
+
+    def make(self, **kwargs):
+        if self.kind == "tcp":
+            net = TcpNetwork(**kwargs)
+        else:
+            from repro.runtime.transport import Network
+
+            net = Network(**kwargs)
+        self.networks.append(net)
+        return net
+
+    def wire(self, net, node_ids):
+        """Make ``node_ids`` reachable; on TCP, via a real socket."""
+        if self.kind == "tcp":
+            host, port = net.listen()
+            for node_id in node_ids:
+                net.add_peer(node_id, host, port)
+
+    def close(self):
+        for net in self.networks:
+            if isinstance(net, TcpNetwork):
+                net.close()
+
+
+@pytest.fixture(params=["memory", "tcp"])
+def backend(request):
+    b = Backend(request.param)
+    yield b
+    b.close()
+
+
+def drain(endpoint, count, timeout=10.0, skip=(Heartbeat,)):
+    """Pull ``count`` non-heartbeat messages off an inbox."""
+    got = []
+    deadline = time.monotonic() + timeout
+    while len(got) < count:
+        remaining = deadline - time.monotonic()
+        assert remaining > 0, f"only {len(got)}/{count} messages arrived"
+        message = endpoint.inbox.get(timeout=remaining)
+        if not isinstance(message, skip):
+            got.append(message)
+    return got
+
+
+class TestTransportContract:
+    def test_per_peer_ordering(self, backend):
+        net = backend.make()
+        net.attach(0, None)
+        net.attach(1, None)
+        backend.wire(net, [1])
+        for i in range(100):
+            net.send(0, 1, Pong(node_id=0, nonce=i))
+        got = drain(net.endpoint(1), 100)
+        assert [m.nonce for m in got] == list(range(100))
+
+    def test_data_payload_bit_exact_and_counted(self, backend):
+        net = backend.make()
+        net.attach(0, 1e9)
+        net.attach(1, 1e9)
+        backend.wire(net, [1])
+        payload = bytes(range(256)) * 20
+        net.send(0, 1, DataPacket(3, 1, 0, 0, payload, attempt=2, epoch=1))
+        (got,) = drain(net.endpoint(1), 1)
+        assert got.payload == payload
+        assert (got.stripe_id, got.chunk_index, got.attempt) == (3, 1, 2)
+        assert net.bytes_transferred == len(payload)
+
+    def test_bounded_inbox_backpressures_without_loss(self, backend):
+        net = backend.make(inbox_capacity=4)
+        net.attach(0, None)
+        net.attach(1, None)
+        backend.wire(net, [1])
+        endpoint = net.endpoint(1)
+        assert endpoint.inbox.maxsize == 4
+        got, overflow = [], []
+
+        def consume():
+            for _ in range(32):
+                if endpoint.inbox.qsize() > 4:
+                    overflow.append(endpoint.inbox.qsize())
+                got.append(endpoint.inbox.get(timeout=10.0))
+                time.sleep(0.01)  # slower than the sender
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        for i in range(32):
+            net.send(0, 1, Pong(node_id=0, nonce=i))
+        consumer.join(timeout=15.0)
+        assert not consumer.is_alive()
+        assert [m.nonce for m in got] == list(range(32))
+        assert not overflow  # the bound held the whole time
+
+    def test_detached_destination_swallows_silently(self, backend):
+        net = backend.make()
+        net.attach(0, None)
+        net.attach(1, None)
+        backend.wire(net, [1])
+        net.detach(1)
+        net.send(0, 1, Ping(nonce=1))  # must not raise
+
+    def test_unknown_destination_raises(self, backend):
+        net = backend.make()
+        net.attach(0, None)
+        with pytest.raises(KeyError):
+            net.send(0, 99, Ping(nonce=1))
+
+    def test_net_metrics_emitted(self, backend):
+        registry = MetricsRegistry()
+        net = backend.make(metrics=registry)
+        net.attach(0, 1e9)
+        net.attach(1, 1e9)
+        backend.wire(net, [1])
+        net.send(0, 1, DataPacket(0, 0, 0, 0, b"x" * 100))
+        net.send(0, 1, Ping(nonce=1))
+        drain(net.endpoint(1), 2)
+        assert net.net.frames_sent.total() >= 2
+        assert net.net.frames_received.total() >= 2
+        assert net.net.bytes_sent.total() == 100
+
+    def test_epoch_fencing_nacks_stale_commands(self, backend, tmp_path):
+        net = backend.make()
+        net.attach(COORDINATOR_ID, None)
+        net.attach(1, 1e9)
+        backend.wire(net, [1, COORDINATOR_ID])
+        store = ChunkStore(tmp_path / "n1", 1, RateLimiter(1e9))
+        agent = Agent(1, store, net, coordinator_id=COORDINATOR_ID,
+                      config=FAST)
+        agent.start()
+        try:
+            coord = net.endpoint(COORDINATOR_ID)
+            net.send(COORDINATOR_ID, 1, InventoryQuery(epoch=5, nonce=1))
+            (reply,) = drain(coord, 1)
+            assert isinstance(reply, InventoryReply)
+            assert reply.epoch == 5
+            # An older coordinator's mutating command must bounce.
+            net.send(
+                COORDINATOR_ID, 1,
+                ReceiveCommand(0, 0, 64, 16, sources={2: 1}, epoch=3),
+            )
+            (ack,) = drain(coord, 1)
+            assert isinstance(ack, RepairAck)
+            assert ack.status == ACK_FAILED
+            assert "stale epoch" in ack.detail
+            assert not store.stripes()  # nothing mutated
+        finally:
+            agent.stop()
+
+
+class TestTcpOnly:
+    """Socket-path behaviors with no in-memory analogue."""
+
+    def _loopback(self):
+        net = TcpNetwork(metrics=MetricsRegistry())
+        net.attach(0, None)
+        net.attach(1, None)
+        host, port = net.listen()
+        net.add_peer(1, host, port)
+        return net, host, port
+
+    def test_corrupt_stream_rejected_connection_survives(self):
+        net, host, port = self._loopback()
+        try:
+            with socket.create_connection((host, port)) as sock:
+                sock.sendall(b"GET / HTTP/1.1\r\n" + b"\x00" * 64)
+            deadline = time.monotonic() + 5.0
+            while net.net.frames_rejected.total() == 0:
+                assert time.monotonic() < deadline, "rejection not counted"
+                time.sleep(0.01)
+            # The poisoned connection is dropped, but the transport
+            # still delivers frames arriving on healthy connections.
+            net.send(0, 1, Pong(node_id=0, nonce=7))
+            (got,) = drain(net.endpoint(1), 1)
+            assert got.nonce == 7
+        finally:
+            net.close()
+
+    def test_truncated_frame_rejected(self):
+        net, host, port = self._loopback()
+        try:
+            from repro.net import encode_frame
+
+            frame = encode_frame(0, 1, Pong(node_id=0, nonce=1))
+            with socket.create_connection((host, port)) as sock:
+                sock.sendall(frame[:-5])  # header promises more bytes
+            deadline = time.monotonic() + 5.0
+            while net.net.frames_rejected.total() == 0:
+                assert time.monotonic() < deadline, "rejection not counted"
+                time.sleep(0.01)
+        finally:
+            net.close()
+
+    def test_peer_registered_before_listener_connects_lazily(self):
+        # Backoff absorbs startup races: the frame sent before anyone
+        # listens arrives once the server comes up.
+        sender = TcpNetwork(connect_timeout=10.0)
+        receiver = TcpNetwork()
+        try:
+            sender.attach(0, None)
+            receiver.attach(1, None)
+            with socket.socket() as probe:
+                probe.bind(("127.0.0.1", 0))
+                port = probe.getsockname()[1]
+            sender.add_peer(1, "127.0.0.1", port)
+            sender.send(0, 1, Pong(node_id=0, nonce=3))
+            time.sleep(0.3)  # a few failed dials happen first
+            receiver.listen("127.0.0.1", port)
+            (got,) = drain(receiver.endpoint(1), 1)
+            assert got.nonce == 3
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_close_drains_queued_frames(self):
+        net, host, port = self._loopback()
+        for i in range(50):
+            net.send(0, 1, Pong(node_id=0, nonce=i))
+        net.close(drain=True)
+        # Delivery happened before the sockets went down.
+        got = drain(net.endpoint(1), 50, timeout=5.0)
+        assert [m.nonce for m in got] == list(range(50))
+
+
+class TestKillResumeOverTcp:
+    def test_coordinator_crash_and_recovery_across_sockets(self, tmp_path):
+        cluster = StorageCluster.random(
+            num_nodes=8,
+            num_stripes=10,
+            n=5,
+            k=3,
+            num_hot_standby=0,
+            seed=5,
+            chunk_size=1 << 14,
+        )
+        cluster.node(0).mark_soon_to_fail()
+        net = TcpNetwork(metrics=MetricsRegistry())
+        host, port = net.listen()
+        for node_id in list(cluster.nodes) + [COORDINATOR_ID]:
+            net.add_peer(node_id, host, port)
+        testbed = EmulatedTestbed(
+            cluster,
+            make_codec("rs(5,3)"),
+            packet_size=1 << 12,
+            workdir=tmp_path / "bed",
+            config=FAST,
+            journal_path=tmp_path / "repair.journal",
+            network=net,
+        )
+        try:
+            testbed.start()
+            testbed.load_random_data(seed=5)
+            plan = FastPRPlanner(seed=5).plan(cluster, 0)
+            plan.validate(cluster)
+            testbed.kill_coordinator_after(3)
+            with pytest.raises(CoordinatorCrash):
+                testbed.execute(plan)
+            successor = testbed.restart_coordinator()
+            assert successor.epoch == 1
+            result = testbed.resume()
+            assert result.chunks_repaired + result.recovered_chunks == (
+                plan.total_chunks
+            )
+            testbed.verify_plan(plan, result)
+            assert Scrubber(testbed).scan().clean
+            # The repair's frames really crossed the socket layer.
+            assert net.net.frames_received.total() > 0
+        finally:
+            testbed.shutdown()
+            net.close()

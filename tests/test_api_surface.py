@@ -45,6 +45,7 @@ PUBLIC_API = [
     "RuntimeConfig",
     "Scrubber",
     "StorageClient",
+    "TcpNetwork",
     "Testbed",
     # simulator backend
     "RepairSimulator",
