@@ -32,17 +32,22 @@ from .ec import (
     ReedSolomonCodec,
     make_codec,
 )
-from .cluster import StorageCluster, Stripe, ChunkLocation
+from .cluster import RackTopology, StorageCluster, Stripe, ChunkLocation
 from .core import (
     AnalyticalModel,
     BandwidthProfile,
+    BudgetTimeout,
     FastPRPlanner,
+    HelperBudget,
     MigrationOnlyPlanner,
     ReconstructionOnlyPlanner,
     RepairPlan,
     RepairRound,
     RepairScenario,
+    ShardMap,
     find_reconstruction_sets,
+    split_plan,
+    stagger_concurrent_plans,
 )
 from .net import TcpNetwork
 from .obs import MetricsRegistry, Tracer
@@ -50,14 +55,24 @@ from .runtime import (
     Agent,
     Coordinator,
     CoordinatorCrash,
+    DomainCrashFault,
     EmulatedTestbed,
     FaultPlan,
+    MultiCoordinator,
+    MultiRepairResult,
     RepairFailedError,
     RuntimeConfig,
     Scrubber,
+    ShardFailedError,
     StorageClient,
+    TakeoverEvent,
 )
-from .sim import RepairSimulator, simulate_repair
+from .sim import (
+    RepairSimulator,
+    ShardedRepairResult,
+    simulate_repair,
+    simulate_sharded_repair,
+)
 
 # Stable aliases: the paper talks about "the testbed" and "repair
 # agents"; the implementation classes carry their historical names.
@@ -72,34 +87,47 @@ __all__ = [
     "MsrCodec",
     "ReedSolomonCodec",
     "make_codec",
+    "RackTopology",
     "StorageCluster",
     "Stripe",
     "ChunkLocation",
     "AnalyticalModel",
     "BandwidthProfile",
+    "BudgetTimeout",
     "FastPRPlanner",
+    "HelperBudget",
     "MigrationOnlyPlanner",
     "ReconstructionOnlyPlanner",
     "RepairPlan",
     "RepairRound",
     "RepairScenario",
+    "ShardMap",
     "find_reconstruction_sets",
+    "split_plan",
+    "stagger_concurrent_plans",
     # runtime backend
     "Agent",
     "Coordinator",
     "CoordinatorCrash",
+    "DomainCrashFault",
     "EmulatedTestbed",
     "FaultPlan",
+    "MultiCoordinator",
+    "MultiRepairResult",
     "RepairAgent",
     "RepairFailedError",
     "RuntimeConfig",
     "Scrubber",
+    "ShardFailedError",
     "StorageClient",
+    "TakeoverEvent",
     "TcpNetwork",
     "Testbed",
     # simulator backend
     "RepairSimulator",
+    "ShardedRepairResult",
     "simulate_repair",
+    "simulate_sharded_repair",
     # observability
     "MetricsRegistry",
     "Tracer",

@@ -198,6 +198,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="RuntimeConfig JSON (timeouts, retry policy, queue bounds); "
         "omitted fields keep defaults",
     )
+    repair.add_argument(
+        "--coordinators",
+        type=int,
+        default=1,
+        help="shard the stripe space across N coordinators, each with "
+        "its own journal and epoch; a crashed shard's ownership hands "
+        "off to a survivor (with --journal naming the journal "
+        "directory when N > 1)",
+    )
+    repair.add_argument(
+        "--racks",
+        type=int,
+        default=None,
+        help="group the snapshot's nodes into R uniform racks so the "
+        "fault plan's domain crashes (kind: rack) resolve to node "
+        "crashes plus co-located coordinator kills",
+    )
 
     agent = sub.add_parser(
         "agent",
@@ -481,40 +498,67 @@ def _cmd_repair(args) -> int:
     faults = None
     if args.fault_plan is not None:
         with open(args.fault_plan) as f:
-            faults = FaultPlan.from_dict(json_mod.load(f))
+            try:
+                faults = FaultPlan.from_dict(
+                    json_mod.load(f), node_ids=cluster.nodes
+                )
+            except ValueError as exc:
+                print(f"bad --fault-plan: {exc}", file=sys.stderr)
+                return 2
+    topology = None
+    if args.racks is not None:
+        from .cluster.topology import RackTopology
+
+        topology = RackTopology.uniform(sorted(cluster.nodes), args.racks)
     plan = FastPRPlanner(
         scenario=RepairScenario(args.scenario), seed=args.seed
     ).plan(cluster, args.stf)
     plan.validate(cluster)
     print(plan.summary())
     if args.transport == "tcp":
-        return _cmd_repair_tcp(args, cluster, codec, plan, faults, config)
+        return _cmd_repair_tcp(
+            args, cluster, codec, plan, faults, config, topology
+        )
     testbed = EmulatedTestbed(
         cluster,
         codec,
         packet_size=args.packet_size,
         config=config,
         faults=faults,
-        journal_path=args.journal,
+        journal_path=args.journal if args.coordinators <= 1 else None,
+        topology=topology,
     )
     try:
         with testbed:
             testbed.load_random_data(seed=args.seed)
             restarts = 0
-            try:
-                result = testbed.execute(plan)
-            except CoordinatorCrash as crash:
-                print(f"coordinator crashed: {crash}; recovering from journal")
-                while True:
-                    restarts += 1
-                    testbed.restart_coordinator()
-                    try:
-                        result = testbed.resume()
-                        break
-                    except CoordinatorCrash as crash:
-                        print(
-                            f"coordinator crashed again: {crash}; recovering"
-                        )
+            if args.coordinators > 1:
+                result = testbed.execute_sharded(
+                    plan, num_coordinators=args.coordinators
+                )
+                restarts = len(result.takeovers)
+                for event in result.takeovers:
+                    print(
+                        f"shard {event.shard} taken over by shard "
+                        f"{event.adopter} (epoch {event.epoch})"
+                    )
+            else:
+                try:
+                    result = testbed.execute(plan)
+                except CoordinatorCrash as crash:
+                    print(
+                        f"coordinator crashed: {crash}; recovering from journal"
+                    )
+                    while True:
+                        restarts += 1
+                        testbed.restart_coordinator()
+                        try:
+                            result = testbed.resume()
+                            break
+                        except CoordinatorCrash as crash:
+                            print(
+                                f"coordinator crashed again: {crash}; recovering"
+                            )
             testbed.verify_plan(plan, result)
             report = Scrubber(testbed).scan()
             _write_repair_outputs(args, testbed, result, report, restarts)
@@ -550,11 +594,19 @@ def _load_runtime_config(path):
         return RuntimeConfig.from_dict(json_mod.load(f))
 
 
-def _cmd_repair_tcp(args, cluster, codec, plan, faults=None, config=None) -> int:
+def _cmd_repair_tcp(
+    args, cluster, codec, plan, faults=None, config=None, topology=None
+) -> int:
     import json as json_mod
     from pathlib import Path
 
-    from .net import PeerSpecError, parse_peer_spec, run_tcp_repair
+    from .net import (
+        PeerSpecError,
+        parse_peer_spec,
+        run_tcp_multicoord_repair,
+        run_tcp_repair,
+        sharded_peer_spec,
+    )
     from .obs import MetricsRegistry, Tracer
 
     if args.peers is None or args.workdir is None:
@@ -565,6 +617,13 @@ def _cmd_repair_tcp(args, cluster, codec, plan, faults=None, config=None) -> int
     if args.resume and args.journal is None:
         print("--resume needs --journal", file=sys.stderr)
         return 2
+    if args.resume and args.coordinators > 1:
+        print(
+            "--resume applies to single-coordinator runs; sharded runs "
+            "recover crashed shards internally",
+            file=sys.stderr,
+        )
+        return 2
     try:
         peers = parse_peer_spec(args.peers)
     except PeerSpecError as exc:
@@ -572,23 +631,49 @@ def _cmd_repair_tcp(args, cluster, codec, plan, faults=None, config=None) -> int
         return 2
     metrics = MetricsRegistry()
     tracer = Tracer()
+    takeovers = 0
     try:
-        result, verified = run_tcp_repair(
-            cluster,
-            codec,
-            plan,
-            peers,
-            Path(args.workdir),
-            seed=args.seed,
-            config=config,
-            packet_size=args.packet_size,
-            journal_path=Path(args.journal) if args.journal else None,
-            metrics=metrics,
-            tracer=tracer,
-            resume=args.resume,
-            agent_timeout=args.agent_timeout,
-            faults=faults,
-        )
+        if args.coordinators > 1:
+            result, verified = run_tcp_multicoord_repair(
+                cluster,
+                codec,
+                plan,
+                sharded_peer_spec(peers, args.coordinators),
+                Path(args.workdir),
+                num_coordinators=args.coordinators,
+                seed=args.seed,
+                config=config,
+                packet_size=args.packet_size,
+                journal_dir=Path(args.journal) if args.journal else None,
+                metrics=metrics,
+                tracer=tracer,
+                agent_timeout=args.agent_timeout,
+                faults=faults,
+                topology=topology,
+            )
+            takeovers = len(result.takeovers)
+            for event in result.takeovers:
+                print(
+                    f"shard {event.shard} taken over by shard "
+                    f"{event.adopter} (epoch {event.epoch})"
+                )
+        else:
+            result, verified = run_tcp_repair(
+                cluster,
+                codec,
+                plan,
+                peers,
+                Path(args.workdir),
+                seed=args.seed,
+                config=config,
+                packet_size=args.packet_size,
+                journal_path=Path(args.journal) if args.journal else None,
+                metrics=metrics,
+                tracer=tracer,
+                resume=args.resume,
+                agent_timeout=args.agent_timeout,
+                faults=faults,
+            )
     except Exception as exc:
         print(f"repair failed: {exc}", file=sys.stderr)
         return 1
@@ -611,14 +696,22 @@ def _cmd_repair_tcp(args, cluster, codec, plan, faults=None, config=None) -> int
             "replans": result.replans,
             "nacks": result.nacks,
             "chunks_verified": verified,
+            "coordinators": args.coordinators,
+            "takeovers": takeovers,
         }
         with open(args.output, "w") as f:
             json_mod.dump(summary, f, indent=2)
         print(f"wrote run summary to {args.output}")
+    sharded = (
+        f" ({args.coordinators} coordinators, {takeovers} takeovers)"
+        if args.coordinators > 1
+        else ""
+    )
+    agent_count = sum(1 for node_id in peers if node_id >= 0)
     print(
         f"repaired {result.chunks_repaired} chunks over TCP in "
-        f"{result.total_time:.2f}s across {len(peers) - 1} agent "
-        f"processes; {verified} chunks verified byte-identical"
+        f"{result.total_time:.2f}s across {agent_count} agent "
+        f"processes{sharded}; {verified} chunks verified byte-identical"
     )
     return 0
 
@@ -637,7 +730,13 @@ def _cmd_agent(args) -> int:
     faults = None
     if args.fault_plan is not None:
         with open(args.fault_plan) as f:
-            faults = FaultPlan.from_dict(json_mod.load(f))
+            try:
+                faults = FaultPlan.from_dict(
+                    json_mod.load(f), node_ids=cluster.nodes
+                )
+            except ValueError as exc:
+                print(f"bad --fault-plan: {exc}", file=sys.stderr)
+                return 2
     try:
         peers = parse_peer_spec(args.peers)
     except PeerSpecError as exc:

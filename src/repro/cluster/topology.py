@@ -1,11 +1,17 @@
-"""Rack topology and rack-aware stripe placement.
+"""Rack/machine topology and rack-aware stripe placement.
 
 Production erasure-coded stores spread each stripe across failure
 domains (racks) so that a rack outage costs at most a bounded number of
 chunks per stripe.  The paper's evaluation uses flat clusters, but a
 reproduction meant for reuse needs the fault-domain machinery: a
-:class:`RackTopology` mapping nodes to racks, a placement policy that
-enforces a per-rack chunk bound, and a verifier for the invariant.
+:class:`RackTopology` mapping nodes to racks (and, optionally, to
+machines nested inside racks — the Sector/Disk/Machine/Rack hierarchy
+of correlated-failure models), a placement policy that enforces a
+per-rack chunk bound, and a verifier for the invariant.  Failure
+domains feed fault injection: one
+:class:`~repro.runtime.faults.DomainCrashFault` resolves through
+:meth:`RackTopology.nodes_in_domain` into a correlated batch of node
+crashes.
 """
 
 from __future__ import annotations
@@ -23,24 +29,57 @@ class RackViolationError(ValueError):
     """A stripe exceeds its per-rack chunk bound."""
 
 
+#: failure-domain kinds a fault can target (coarse to fine)
+DOMAIN_KINDS = ("rack", "machine")
+
+
 @dataclass(frozen=True)
 class RackTopology:
-    """Immutable node -> rack assignment."""
+    """Immutable node -> rack (and optional node -> machine) assignment.
+
+    ``machine_of`` is the finer failure domain: several nodes (disks /
+    VMs) co-located on one physical machine die together when it does.
+    Machines are expected to nest inside racks — every node of a
+    machine sits in one rack — which :meth:`uniform` guarantees by
+    construction.
+    """
 
     rack_of: Dict[NodeId, int]
+    machine_of: Optional[Dict[NodeId, int]] = None
 
     @classmethod
     def uniform(
-        cls, node_ids: Sequence[NodeId], num_racks: int
+        cls,
+        node_ids: Sequence[NodeId],
+        num_racks: int,
+        nodes_per_machine: Optional[int] = None,
     ) -> "RackTopology":
-        """Spread nodes over ``num_racks`` racks round-robin."""
+        """Spread nodes over ``num_racks`` racks round-robin.
+
+        With ``nodes_per_machine`` set, nodes are first grouped into
+        machines of that size and whole machines are dealt round-robin
+        onto racks, so a machine never straddles racks.
+        """
         if num_racks < 1:
             raise ValueError("need at least one rack")
-        return cls(
-            rack_of={
-                node_id: i % num_racks for i, node_id in enumerate(node_ids)
-            }
-        )
+        if nodes_per_machine is None:
+            return cls(
+                rack_of={
+                    node_id: i % num_racks
+                    for i, node_id in enumerate(node_ids)
+                }
+            )
+        if nodes_per_machine < 1:
+            raise ValueError("nodes_per_machine must be >= 1")
+        machine_of = {
+            node_id: i // nodes_per_machine
+            for i, node_id in enumerate(node_ids)
+        }
+        rack_of = {
+            node_id: machine % num_racks
+            for node_id, machine in machine_of.items()
+        }
+        return cls(rack_of=rack_of, machine_of=machine_of)
 
     @property
     def num_racks(self) -> int:
@@ -51,6 +90,39 @@ class RackTopology:
 
     def racks(self) -> List[int]:
         return sorted(set(self.rack_of.values()))
+
+    def machines(self) -> List[int]:
+        if self.machine_of is None:
+            return []
+        return sorted(set(self.machine_of.values()))
+
+    def nodes_in_machine(self, machine: int) -> List[NodeId]:
+        if self.machine_of is None:
+            return []
+        return sorted(
+            n for n, m in self.machine_of.items() if m == machine
+        )
+
+    def nodes_in_domain(self, kind: str, index: int) -> List[NodeId]:
+        """Nodes a failure of domain ``kind``/``index`` takes down.
+
+        Raises:
+            ValueError: unknown kind, or a machine domain on a
+                topology without a machine map.
+        """
+        if kind == "rack":
+            return self.nodes_in_rack(index)
+        if kind == "machine":
+            if self.machine_of is None:
+                raise ValueError(
+                    "topology has no machine map; build it with "
+                    "RackTopology.uniform(..., nodes_per_machine=...)"
+                )
+            return self.nodes_in_machine(index)
+        raise ValueError(
+            f"unknown failure domain kind {kind!r}; expected one of "
+            f"{DOMAIN_KINDS}"
+        )
 
     def rack_counts(self, nodes: Sequence[NodeId]) -> Dict[int, int]:
         """How many of ``nodes`` sit in each rack."""

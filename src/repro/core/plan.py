@@ -10,6 +10,7 @@ to its agents (Section V).
 from __future__ import annotations
 
 import enum
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Tuple
 
@@ -280,3 +281,75 @@ class RepairPlan:
             f"rounds={self.num_rounds}, reconstructed={self.reconstructed_chunks}, "
             f"migrated={self.migrated_chunks})"
         )
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Consistent hash of the stripe space over ``num_shards`` owners.
+
+    Shard assignment is ``crc32("stripe:<id>") % num_shards`` — stable
+    across processes and Python versions (unlike ``hash()``), the same
+    idiom the fault injector's link RNG uses.  Every coordinator,
+    agent-side tool and the simulator derive an identical mapping from
+    just the shard count, so there is no shard-map metadata to
+    replicate or recover: a takeover only moves *ownership*, never the
+    mapping.
+    """
+
+    num_shards: int
+
+    def __post_init__(self):
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+
+    def shard_of(self, stripe_id: StripeId) -> int:
+        """Owning shard of one stripe."""
+        return zlib.crc32(f"stripe:{stripe_id}".encode()) % self.num_shards
+
+    def coordinator_id(self, shard: int) -> NodeId:
+        """Transport endpoint of the shard's coordinator: ``-(shard+1)``."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard {shard} out of range [0, {self.num_shards})"
+            )
+        return -(shard + 1)
+
+    def shards(self) -> range:
+        return range(self.num_shards)
+
+
+def split_plan(plan: RepairPlan, shard_map: ShardMap) -> List[RepairPlan]:
+    """Partition a validated plan into one sub-plan per shard.
+
+    Each action lands in the shard owning its stripe; round structure
+    is preserved per shard (an action in the full plan's round ``r``
+    stays coupled with its shard-mates from round ``r``), then empty
+    rounds are squeezed out and the rest re-indexed so each shard
+    executes a dense round sequence.  Only the *full* plan satisfies
+    the global validation invariants (complete STF chunk coverage) —
+    validate before splitting, not after.
+    """
+    rounds_per_shard: List[List[RepairRound]] = [
+        [] for _ in shard_map.shards()
+    ]
+    for round_ in plan.rounds:
+        buckets: Dict[int, RepairRound] = {}
+        for action in round_.reconstructions:
+            shard = shard_map.shard_of(action.stripe_id)
+            bucket = buckets.setdefault(shard, RepairRound(index=0))
+            bucket.reconstructions.append(action)
+        for action in round_.migrations:
+            shard = shard_map.shard_of(action.stripe_id)
+            bucket = buckets.setdefault(shard, RepairRound(index=0))
+            bucket.migrations.append(action)
+        for shard, bucket in buckets.items():
+            bucket.index = len(rounds_per_shard[shard])
+            rounds_per_shard[shard].append(bucket)
+    return [
+        RepairPlan(
+            stf_node=plan.stf_node,
+            scenario=plan.scenario,
+            rounds=rounds,
+        )
+        for rounds in rounds_per_shard
+    ]

@@ -22,11 +22,15 @@ clusters where reconstruction sets shrink to one or two chunks.
 
 from __future__ import annotations
 
+import itertools
 import random
+import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from ..cluster.chunk import ChunkLocation
+from ..cluster.chunk import ChunkLocation, NodeId
 from .analysis import AnalyticalModel
 
 
@@ -169,3 +173,152 @@ def schedule_migration_only(
     if not chunks:
         return []
     return [RoundComposition(migration=list(chunks))]
+
+
+class BudgetTimeout(RuntimeError):
+    """A budget acquisition did not complete within its timeout."""
+
+
+class HelperBudget:
+    """Global arbiter for helper-node and NIC stream budgets.
+
+    Concurrent repairs (shard coordinators, or several STF repairs)
+    would otherwise stampede the same helper nodes: two rounds reading
+    from one helper halve each other's effective bandwidth and blow
+    both deadlines.  The budget grants each round its helper and
+    destination *node slots* before any command is issued:
+
+    * at most ``per_node`` concurrent repair streams may hold any one
+      node (1 = a helper serves one round at a time, the paper's
+      free-node assumption);
+    * at most ``total_streams`` node slots may be held cluster-wide
+      (the aggregate NIC budget; ``None`` = unbounded).
+
+    Oversubscription degrades gracefully: requests queue and are
+    admitted in **deadline-priority order** (smallest ``priority``
+    first, FIFO within ties) instead of failing.  A strict queue —
+    nobody overtakes a higher-priority waiter even if its own nodes are
+    free — keeps the tightest-deadline round from starving.
+
+    Thread-safe; acquisition blocks on a condition variable and may
+    invoke a ``renew`` callback each wait tick so a queued coordinator
+    keeps renewing its lease.
+    """
+
+    def __init__(
+        self,
+        per_node: int = 1,
+        total_streams: Optional[int] = None,
+        poll_interval: float = 0.05,
+    ):
+        if per_node < 1:
+            raise ValueError("per_node must be >= 1")
+        if total_streams is not None and total_streams < 1:
+            raise ValueError("total_streams must be >= 1 (or None)")
+        self.per_node = per_node
+        self.total_streams = total_streams
+        self.poll_interval = poll_interval
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._holds: Dict[NodeId, int] = {}
+        self._held_total = 0
+        self._waiters: List[tuple] = []  # (priority, seq) entries
+        self._seq = itertools.count()
+        #: telemetry: grants, waits (grants that had to queue), peak queue
+        self.grants = 0
+        self.waits = 0
+        self.max_queue = 0
+
+    def _fits(self, nodes: Iterable[NodeId]) -> bool:
+        nodes = list(nodes)
+        if self.total_streams is not None:
+            if self._held_total + len(nodes) > self.total_streams:
+                return False
+        return all(self._holds.get(n, 0) < self.per_node for n in nodes)
+
+    def acquire(
+        self,
+        nodes: Iterable[NodeId],
+        priority: float = 0.0,
+        timeout: Optional[float] = None,
+        renew: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Block until every node slot is granted.
+
+        Args:
+            nodes: helper + destination nodes the round touches.
+            priority: deadline-style priority; *smaller is served
+                first* when the budget is oversubscribed.
+            timeout: optional bound; :class:`BudgetTimeout` on expiry
+                (the request leaves the queue — nothing is held).
+            renew: optional liveness callback invoked on every wait
+                tick (lease renewal for queued shard coordinators).
+        """
+        want = sorted(set(nodes))
+        ticket = (priority, next(self._seq))
+        expires = None if timeout is None else time.monotonic() + timeout
+        with self._available:
+            queued = False
+            self._waiters.append(ticket)
+            self._waiters.sort()
+            self.max_queue = max(self.max_queue, len(self._waiters))
+            try:
+                while not (
+                    self._waiters[0] == ticket and self._fits(want)
+                ):
+                    queued = True
+                    if renew is not None:
+                        renew()
+                    wait = self.poll_interval
+                    if expires is not None:
+                        remaining = expires - time.monotonic()
+                        if remaining <= 0:
+                            raise BudgetTimeout(
+                                f"budget not granted within {timeout}s "
+                                f"for nodes {want}"
+                            )
+                        wait = min(wait, remaining)
+                    self._available.wait(timeout=wait)
+                for node in want:
+                    self._holds[node] = self._holds.get(node, 0) + 1
+                self._held_total += len(want)
+                self.grants += 1
+                if queued:
+                    self.waits += 1
+            finally:
+                self._waiters.remove(ticket)
+                self._available.notify_all()
+
+    def release(self, nodes: Iterable[NodeId]) -> None:
+        """Return previously acquired node slots."""
+        want = sorted(set(nodes))
+        with self._available:
+            for node in want:
+                held = self._holds.get(node, 0)
+                if held <= 1:
+                    self._holds.pop(node, None)
+                else:
+                    self._holds[node] = held - 1
+                self._held_total -= 1 if held else 0
+            self._available.notify_all()
+
+    @contextmanager
+    def round(
+        self,
+        nodes: Iterable[NodeId],
+        priority: float = 0.0,
+        timeout: Optional[float] = None,
+        renew: Optional[Callable[[], None]] = None,
+    ):
+        """Context manager: hold the round's node slots for its body."""
+        want = sorted(set(nodes))
+        self.acquire(want, priority=priority, timeout=timeout, renew=renew)
+        try:
+            yield
+        finally:
+            self.release(want)
+
+    def held(self, node: NodeId) -> int:
+        """Streams currently holding ``node`` (introspection/tests)."""
+        with self._lock:
+            return self._holds.get(node, 0)

@@ -18,7 +18,9 @@ from .launch import (
     load_node_data,
     parse_peer_spec,
     run_agent_process,
+    run_tcp_multicoord_repair,
     run_tcp_repair,
+    sharded_peer_spec,
     stripe_checksums,
 )
 from .tcp import TcpNetwork
@@ -50,6 +52,8 @@ __all__ = [
     "load_node_data",
     "parse_peer_spec",
     "run_agent_process",
+    "run_tcp_multicoord_repair",
     "run_tcp_repair",
+    "sharded_peer_spec",
     "stripe_checksums",
 ]

@@ -37,13 +37,20 @@ from ..core.plan import RepairPlan
 from ..ec.codec import ErasureCodec
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Tracer
+from ..cluster.topology import RackTopology
 from ..runtime.agent import Agent
 from ..runtime.config import DEFAULT_CONFIG, RuntimeConfig
-from ..runtime.coordinator import COORDINATOR_ID, Coordinator, RuntimeResult
+from ..runtime.coordinator import (
+    COORDINATOR_ID,
+    Coordinator,
+    RuntimeResult,
+    shard_coordinator_id,
+)
 from ..runtime.datanode import ChunkStore
 from ..runtime.faults import FaultInjector, FaultPlan
 from ..runtime.journal import RepairJournal
 from ..runtime.messages import Shutdown
+from ..runtime.multicoord import MultiCoordinator, MultiRepairResult
 from ..runtime.testbed import VerificationError, iter_encoded_stripes
 from ..runtime.throttle import RateLimiter
 from .tcp import TcpNetwork
@@ -62,7 +69,9 @@ def parse_peer_spec(spec: str) -> PeerMap:
     """Parse ``--peers`` into ``{node_id: (host, port)}``.
 
     Accepts a comma-separated list of ``node=host:port`` entries (with
-    ``coordinator`` aliasing :data:`COORDINATOR_ID`) or ``@file.json``
+    ``coordinator`` aliasing :data:`COORDINATOR_ID` and
+    ``coordinator<k>`` aliasing shard ``k``'s endpoint ``-(k+1)`` —
+    ``coordinator0`` is the plain ``coordinator``) or ``@file.json``
     naming a JSON object of the same shape.
     """
     entries: Dict[str, str] = {}
@@ -89,6 +98,11 @@ def parse_peer_spec(spec: str) -> PeerMap:
     for name, address in entries.items():
         if name == COORDINATOR_ALIAS:
             node_id = COORDINATOR_ID
+        elif name.startswith(COORDINATOR_ALIAS):
+            try:
+                node_id = shard_coordinator_id(int(name[len(COORDINATOR_ALIAS):]))
+            except ValueError:
+                raise PeerSpecError(f"unknown peer name {name!r}")
         else:
             try:
                 node_id = int(name)
@@ -111,9 +125,33 @@ def format_peer_spec(peers: PeerMap) -> str:
     parts = []
     for node_id in sorted(peers):
         host, port = peers[node_id]
-        name = COORDINATOR_ALIAS if node_id == COORDINATOR_ID else str(node_id)
+        if node_id == COORDINATOR_ID:
+            name = COORDINATOR_ALIAS
+        elif node_id < 0:
+            name = f"{COORDINATOR_ALIAS}{-node_id - 1}"
+        else:
+            name = str(node_id)
         parts.append(f"{name}={host}:{port}")
     return ",".join(parts)
+
+
+def sharded_peer_spec(peers: PeerMap, num_coordinators: int) -> PeerMap:
+    """Extend a peer map with every shard coordinator's endpoint.
+
+    All shard coordinators run inside the one driver process, so each
+    ``coordinator<k>`` alias points at the *same* address as the plain
+    ``coordinator`` entry — agents just open one connection per
+    endpoint id to it.
+    """
+    address = peers.get(COORDINATOR_ID)
+    if address is None:
+        raise PeerSpecError(
+            "peer spec has no coordinator address to shard"
+        )
+    extended = dict(peers)
+    for shard in range(num_coordinators):
+        extended[shard_coordinator_id(shard)] = address
+    return extended
 
 
 def allocate_ports(count: int, host: str = "127.0.0.1") -> List[int]:
@@ -325,7 +363,7 @@ def build_coordinator_network(
     if listen is not None:
         network.listen(*listen)
     for node_id, (host, port) in peers.items():
-        if node_id != COORDINATOR_ID:
+        if node_id >= 0:  # coordinator endpoints (< 0) are local
             network.add_peer(node_id, host, port)
     return network
 
@@ -350,7 +388,7 @@ def wait_for_agents(
 
 def shutdown_agents(network: TcpNetwork, nodes: Iterable[NodeId]) -> None:
     """Broadcast Shutdown so standalone agent processes exit cleanly."""
-    for node_id in sorted(set(nodes) - {COORDINATOR_ID}):
+    for node_id in sorted(n for n in set(nodes) if n >= 0):
         try:
             network.send(COORDINATOR_ID, node_id, Shutdown())
         except KeyError:
@@ -394,9 +432,12 @@ def run_tcp_repair(
     listen = peers.get(COORDINATOR_ID)
     # Coordinator-side injector covers control traffic and time-based
     # triggers; each agent process runs the same plan for data packets.
+    # It attaches to the network only once every agent has answered a
+    # ping, so fault time zero is the start of the repair, not of the
+    # probe sweep.
     injector = FaultInjector(faults) if faults is not None else None
     network = build_coordinator_network(
-        peers, cfg, metrics=metrics, listen=listen, faults=injector
+        peers, cfg, metrics=metrics, listen=listen
     )
     journal = None
     if journal_path is not None and not resume:
@@ -434,6 +475,7 @@ def run_tcp_repair(
         )
         wait_for_agents(coordinator, involved, timeout=agent_timeout)
         if injector is not None:
+            network.faults = injector
             injector.start()
         try:
             if resume:
@@ -442,6 +484,111 @@ def run_tcp_repair(
                 result = coordinator.execute(plan)
         finally:
             coordinator.close()
+        checksums = stripe_checksums(cluster, codec, seed)
+        verified = verify_actions(
+            result.executed_actions or plan.actions(), checksums, workdir
+        )
+        return result, verified
+    finally:
+        shutdown_agents(network, peers)
+        network.close()
+
+
+def run_tcp_multicoord_repair(
+    cluster: StorageCluster,
+    codec: ErasureCodec,
+    plan: RepairPlan,
+    peers: PeerMap,
+    workdir: Path,
+    num_coordinators: int = 2,
+    seed: Optional[int] = None,
+    config: Optional[RuntimeConfig] = None,
+    packet_size: Optional[int] = None,
+    journal_dir: Optional[Path] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    agent_timeout: float = 60.0,
+    faults: Optional[FaultPlan] = None,
+    topology: Optional[RackTopology] = None,
+) -> Tuple[MultiRepairResult, int]:
+    """Drive a sharded repair over TCP from one driver process.
+
+    Every shard coordinator lives in this process on one shared
+    :class:`~repro.net.tcp.TcpNetwork`; agents reach shard ``k``
+    through the ``coordinator<k>`` alias in their peer map (same
+    address as the driver, distinct endpoint id — see
+    :func:`sharded_peer_spec`).  Each shard keeps its own journal
+    under ``journal_dir`` (default ``workdir/shards``) and a crashed
+    shard hands off to a survivor exactly as in-memory: recover at the
+    same endpoint with a bumped epoch, replay the journal, resume only
+    the unfinished actions.
+
+    ``faults`` may carry :class:`~repro.runtime.faults.DomainCrashFault`
+    entries when ``topology`` is given; a domain crash that names
+    coordinators kills those shards mid-run through the injector.
+
+    Returns ``(result, chunks_verified)``.
+    """
+    cfg = config or DEFAULT_CONFIG
+    packet = packet_size or max(cluster.chunk_size // 16, 4096)
+    listen = peers.get(COORDINATOR_ID)
+    if faults is not None and faults.domain_crashes:
+        if topology is None:
+            raise ValueError(
+                "fault plan has domain crashes but no topology was given"
+            )
+        faults = faults.resolve_domains(topology)
+    multi_box: list = []
+
+    def _kill_shard(shard: int) -> None:
+        if multi_box:
+            multi_box[0].kill_shard(shard)
+
+    # As in run_tcp_repair, the injector attaches only after the probe
+    # sweep so fault time zero is the start of the sharded repair.
+    injector = (
+        FaultInjector(faults, on_kill_coordinator=_kill_shard)
+        if faults is not None
+        else None
+    )
+    network = build_coordinator_network(
+        peers, cfg, metrics=metrics, listen=listen
+    )
+    try:
+        involved = sorted(
+            {a.destination for a in plan.actions()}
+            | {s for a in plan.actions() for s in a.sources}
+        )
+        # Probe through a throwaway coordinator at the default endpoint,
+        # then free it so shard 0 can claim the same id.
+        probe = Coordinator(network, cluster, codec, packet, config=cfg)
+        try:
+            wait_for_agents(probe, involved, timeout=agent_timeout)
+        finally:
+            probe.close()
+            try:
+                network.detach(COORDINATOR_ID)
+            except KeyError:
+                pass
+        multi = MultiCoordinator(
+            network,
+            cluster,
+            codec,
+            packet,
+            journal_dir=journal_dir or Path(workdir) / "shards",
+            num_shards=num_coordinators,
+            config=cfg,
+            metrics=metrics,
+            tracer=tracer,
+        )
+        multi_box.append(multi)
+        if injector is not None:
+            network.faults = injector
+            injector.start()
+        try:
+            result = multi.execute(plan, packet_size=packet)
+        finally:
+            multi.close()
         checksums = stripe_checksums(cluster, codec, seed)
         verified = verify_actions(
             result.executed_actions or plan.actions(), checksums, workdir

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import asyncio
 import queue
+import random
 import threading
 import time
 from typing import Dict, List, Optional, Set, Tuple
@@ -59,6 +60,22 @@ _CLOSE = object()
 #: first reconnect backoff (seconds); doubles up to _BACKOFF_CAP
 _BACKOFF_BASE = 0.05
 _BACKOFF_CAP = 2.0
+
+
+def reconnect_delay(backoff: float, rng: random.Random) -> float:
+    """Equal-jitter sleep for one reconnect attempt.
+
+    Correlated failures make every surviving peer retry the same dead
+    endpoint on the same schedule; a pure exponential backoff then
+    re-synchronizes them into connection storms at each doubling.
+    Equal jitter keeps the exponential envelope but spreads attempts
+    uniformly over ``[backoff/2, backoff]``, decorrelating the herd
+    while never sleeping more than the deterministic schedule did.
+    """
+    if backoff <= 0:
+        return 0.0
+    half = backoff / 2
+    return half + rng.uniform(0, half)
 
 #: poll period while a full bounded inbox exerts backpressure
 _INBOX_POLL = 0.005
@@ -117,6 +134,9 @@ class TcpNetwork:
         self.send_queue_capacity = send_queue_capacity
         self.connect_timeout = connect_timeout
         self.drain_timeout = drain_timeout
+        #: jitters reconnect backoff (see :func:`reconnect_delay`);
+        #: swap in a seeded Random for deterministic tests
+        self.reconnect_rng = random.Random()
         self._peers: Dict[NodeId, _Peer] = {}
         self._detached_peers: Set[NodeId] = set()
         self._lock = threading.Lock()
@@ -385,9 +405,10 @@ class TcpNetwork:
                     peer.host, peer.port
                 )
             except OSError:
-                if time.monotonic() + backoff >= deadline:
+                delay = reconnect_delay(backoff, self.reconnect_rng)
+                if time.monotonic() + delay >= deadline:
                     return False
-                await asyncio.sleep(backoff)
+                await asyncio.sleep(delay)
                 backoff = min(backoff * 2, _BACKOFF_CAP)
                 continue
             peer.writer = writer

@@ -26,15 +26,18 @@ silently in a worker thread), and :meth:`crash` stands the whole agent
 down the way a killed process would.
 
 Split-brain fencing: every command also carries the coordinator's
-``epoch``.  The agent persists the highest epoch it has seen
-(``coordinator.epoch`` in its store directory) and NACKs any mutating
-command from an older epoch — so when a crashed coordinator's
-successor takes over (announcing its epoch via
+``epoch``.  The agent persists the highest epoch it has seen *per
+coordinator endpoint* (``coordinator.epoch`` in its store directory
+for the default endpoint, ``coordinator.<id>.epoch`` otherwise) and
+NACKs any mutating command from an older epoch — so when a crashed
+coordinator's successor takes over (announcing its epoch via
 :class:`~repro.runtime.messages.InventoryQuery`), the zombie
-predecessor can no longer touch the store.  Adopting a newer epoch
-aborts all in-flight work from older epochs, and chunk promotion
-happens under the same lock as the epoch bump, so the successor's
-inventory snapshot is exact.
+predecessor can no longer touch the store.  Commands carry the issuing
+endpoint in ``reply_to``, so several shard coordinators can drive one
+agent concurrently, each fencing only its own predecessors.  Adopting
+a newer epoch aborts all in-flight work from older epochs of the same
+endpoint, and chunk promotion happens under the same lock as the epoch
+bump, so the successor's inventory snapshot is exact.
 """
 
 from __future__ import annotations
@@ -289,7 +292,10 @@ class Agent:
         node_id: this node.
         store: the node's chunk store.
         network: shared in-process network (already attached).
-        coordinator_id: where to send :class:`RepairAck` messages.
+        coordinator_id: default coordinator endpoint — the heartbeat
+            target and the reply address for messages that carry no
+            ``reply_to``.  Replies to commands go to the command's own
+            ``reply_to`` endpoint.
         pipeline_depth: bounded queue between the packet reader and the
             packet sender; 0 disables pipelining (read the whole chunk,
             then send).
@@ -357,8 +363,10 @@ class Agent:
         self._attempts: Dict[ActionKey, Generation] = {}
         #: (epoch, attempt) at which an assembly last completed here
         self._completed: Dict[ActionKey, Generation] = {}
-        #: highest coordinator epoch seen; persisted for fencing
-        self._epoch = self._load_epoch()
+        #: highest epoch seen per coordinator endpoint; persisted for
+        #: fencing (lazily loaded on first contact with an endpoint)
+        self._epochs: Dict[NodeId, int] = {}
+        self._epoch_for(coordinator_id)
         self._assembly_lock = threading.Lock()
         self._send_queue: "queue.Queue" = queue.Queue()
         self._write_acks: Dict[tuple, threading.Event] = {}
@@ -436,6 +444,7 @@ class Agent:
         key: Optional[ActionKey] = None,
         attempt: int = 0,
         epoch: int = 0,
+        reply_to: Optional[NodeId] = None,
     ):
         def runner():
             try:
@@ -445,7 +454,11 @@ class Agent:
                     return  # dead nodes don't file reports
                 if key is not None:
                     self._nack(
-                        key, attempt, f"{type(exc).__name__}: {exc}", epoch
+                        key,
+                        attempt,
+                        f"{type(exc).__name__}: {exc}",
+                        epoch,
+                        reply_to=reply_to,
                     )
                 else:
                     self.errors.append(exc)
@@ -453,13 +466,19 @@ class Agent:
         return runner
 
     def _nack(
-        self, key: ActionKey, attempt: int, detail: str, epoch: int = 0
+        self,
+        key: ActionKey,
+        attempt: int,
+        detail: str,
+        epoch: int = 0,
+        reply_to: Optional[NodeId] = None,
     ) -> None:
-        """Report an action-scoped failure to the coordinator."""
+        """Report an action-scoped failure to the issuing coordinator."""
+        target = self.coordinator_id if reply_to is None else reply_to
         try:
             self.network.send(
                 self.node_id,
-                self.coordinator_id,
+                target,
                 nack(key, self.node_id, attempt, detail, epoch=epoch),
             )
         except Exception as exc:  # pragma: no cover - coordinator gone
@@ -467,63 +486,84 @@ class Agent:
 
     # -- coordinator epochs (split-brain fencing) ----------------------
 
-    def _epoch_path(self):
-        return self.store.root / "coordinator.epoch"
+    def _epoch_path(self, coordinator: NodeId):
+        # The default endpoint keeps the historical file name so stores
+        # written by single-coordinator runs stay readable.
+        if coordinator == self.coordinator_id:
+            return self.store.root / "coordinator.epoch"
+        return self.store.root / f"coordinator.{coordinator}.epoch"
 
-    def _load_epoch(self) -> int:
-        try:
-            return int(self._epoch_path().read_text())
-        except (FileNotFoundError, ValueError):
-            return 0
+    def _epoch_for(self, coordinator: NodeId) -> int:
+        """Highest epoch seen from this endpoint (lazy persisted load)."""
+        epoch = self._epochs.get(coordinator)
+        if epoch is None:
+            try:
+                epoch = int(self._epoch_path(coordinator).read_text())
+            except (FileNotFoundError, ValueError):
+                epoch = 0
+            self._epochs[coordinator] = epoch
+        return epoch
 
-    def _bump_epoch(self, epoch: int) -> None:
-        """Adopt a newer coordinator epoch; fence out everything older.
+    def _bump_epoch(self, coordinator: NodeId, epoch: int) -> None:
+        """Adopt a newer epoch for one endpoint; fence everything older.
 
-        In-flight assemblies and relays started under an older epoch
-        are aborted (their staged writes discarded), buffered stale
-        packets are dropped, and the new epoch is persisted atomically
-        so fencing survives an agent restart.  Runs under the assembly
-        lock: promotion also takes that lock, so after the bump no
-        old-epoch chunk can ever be published.
+        In-flight assemblies and relays started under an older epoch of
+        the same coordinator endpoint are aborted (their staged writes
+        discarded), buffered stale packets are dropped, and the new
+        epoch is persisted atomically so fencing survives an agent
+        restart.  Runs under the assembly lock: promotion also takes
+        that lock, so after the bump no old-epoch chunk can ever be
+        published.
         """
         with self._assembly_lock:
-            if epoch <= self._epoch:
+            if epoch <= self._epoch_for(coordinator):
                 return
-            self._epoch = epoch
+            self._epochs[coordinator] = epoch
             for key, assembly in list(self._assemblies.items()):
-                if assembly.command.epoch < epoch:
+                command = assembly.command
+                if command.reply_to == coordinator and command.epoch < epoch:
                     assembly.abort()
                     del self._assemblies[key]
             for key, relay in list(self._relays.items()):
-                if relay.command.epoch < epoch:
+                command = relay.command
+                if command.reply_to == coordinator and command.epoch < epoch:
                     relay.abort()
                     del self._relays[key]
+            # Pending packets predate their command, so their owning
+            # endpoint is unknown; dropping stale-looking ones from a
+            # foreign shard is safe (the sender's round trip stalls and
+            # the action is retried) and rare.
             for key, packets in list(self._pending.items()):
                 fresh = [p for p in packets if p.epoch >= epoch]
                 if fresh:
                     self._pending[key] = fresh
                 else:
                     del self._pending[key]
-            tmp = self._epoch_path().with_suffix(".tmp")
+            path = self._epoch_path(coordinator)
+            tmp = path.with_suffix(".tmp")
             tmp.write_text(str(epoch))
-            os.replace(tmp, self._epoch_path())
+            os.replace(tmp, path)
 
     def _admit_command(self, command) -> bool:
         """Epoch-fence a mutating command; True if it may execute.
 
-        A command from an older epoch than the highest seen comes from
-        a fenced (zombie) coordinator: it is NACKed and must never
-        mutate the store.  A newer epoch is adopted first.
+        A command from an older epoch than the highest seen from its
+        ``reply_to`` endpoint comes from a fenced (zombie) coordinator:
+        it is NACKed and must never mutate the store.  A newer epoch is
+        adopted first.
         """
-        if command.epoch > self._epoch:
-            self._bump_epoch(command.epoch)
-        elif command.epoch < self._epoch:
+        coordinator = command.reply_to
+        current = self._epoch_for(coordinator)
+        if command.epoch > current:
+            self._bump_epoch(coordinator, command.epoch)
+        elif command.epoch < current:
             self._fence_counter.inc(node=self.node_id)
             self._nack(
                 command.key,
                 command.attempt,
-                f"stale epoch {command.epoch} < {self._epoch}",
+                f"stale epoch {command.epoch} < {current}",
                 epoch=command.epoch,
+                reply_to=coordinator,
             )
             return False
         return True
@@ -552,9 +592,14 @@ class Agent:
                 key = getattr(message, "key", None)
                 attempt = getattr(message, "attempt", 0)
                 epoch = getattr(message, "epoch", 0)
+                reply_to = getattr(message, "reply_to", None)
                 if key is not None:
                     self._nack(
-                        key, attempt, f"{type(exc).__name__}: {exc}", epoch
+                        key,
+                        attempt,
+                        f"{type(exc).__name__}: {exc}",
+                        epoch,
+                        reply_to=reply_to,
                     )
                 else:
                     self.errors.append(exc)
@@ -579,7 +624,7 @@ class Agent:
             ).set()
         elif isinstance(message, Ping):
             self.network.send(
-                self.node_id, self.coordinator_id, Pong(self.node_id, message.nonce)
+                self.node_id, message.reply_to, Pong(self.node_id, message.nonce)
             )
         elif isinstance(message, InventoryQuery):
             self._answer_inventory(message)
@@ -594,14 +639,17 @@ class Agent:
         listed chunk is fully promoted, and (after the epoch bump) no
         fenced old-epoch work can add chunks behind the reply's back.
         """
-        if query.epoch > self._epoch:
-            self._bump_epoch(query.epoch)
+        coordinator = query.reply_to
+        if query.epoch > self._epoch_for(coordinator):
+            self._bump_epoch(coordinator, query.epoch)
         with self._assembly_lock:
             stripes = tuple(self.store.stripes())
         self.network.send(
             self.node_id,
-            self.coordinator_id,
-            InventoryReply(self.node_id, self._epoch, query.nonce, stripes),
+            coordinator,
+            InventoryReply(
+                self.node_id, self._epoch_for(coordinator), query.nonce, stripes
+            ),
         )
 
     def _note_attempt(self, key: ActionKey, generation: Generation) -> bool:
@@ -654,6 +702,7 @@ class Agent:
                 key=command.key,
                 attempt=command.attempt,
                 epoch=command.epoch,
+                reply_to=command.reply_to,
             ),
             name=f"agent-{self.node_id}-decode-{command.key}",
             daemon=True,
@@ -679,6 +728,7 @@ class Agent:
                 key=command.key,
                 attempt=command.attempt,
                 epoch=command.epoch,
+                reply_to=command.reply_to,
             ),
             name=f"agent-{self.node_id}-relay-{command.key}",
             daemon=True,
@@ -703,7 +753,8 @@ class Agent:
             current = self._assemblies.get(key) is assembly
             if current:
                 del self._assemblies[key]
-            if decoded and current and epoch >= self._epoch:
+            fenced = epoch < self._epoch_for(assembly.command.reply_to)
+            if decoded and current and not fenced:
                 # Publish under the lock: an epoch bump (fencing) and
                 # a promotion cannot interleave, so a successor
                 # coordinator's inventory snapshot is exact.
@@ -741,10 +792,10 @@ class Agent:
                 source,
                 WriteComplete(key[0], key[1], attempt, epoch),
             )
-        # ...then report completion to the coordinator.
+        # ...then report completion to the issuing coordinator.
         self.network.send(
             self.node_id,
-            self.coordinator_id,
+            assembly.command.reply_to,
             RepairAck(
                 key[0], key[1], self.node_id, attempt=attempt, epoch=epoch
             ),
@@ -780,9 +831,15 @@ class Agent:
         while not self._stop_event.wait(timeout=interval):
             if self.crashed:
                 return
-            self.network.send(
-                self.node_id, self.coordinator_id, Heartbeat(self.node_id)
-            )
+            try:
+                self.network.send(
+                    self.node_id, self.coordinator_id, Heartbeat(self.node_id)
+                )
+            except KeyError:
+                # The coordinator endpoint is detached mid-takeover
+                # (recovery re-attaches a successor at the same id);
+                # skip the beat rather than dying over the window.
+                continue
 
     # ------------------------------------------------------------------
 
@@ -798,7 +855,7 @@ class Agent:
             with self._assembly_lock:
                 if self._attempts.get(key, generation) > generation:
                     continue  # superseded before we even started
-                if command.epoch < self._epoch:
+                if command.epoch < self._epoch_for(command.reply_to):
                     continue  # fenced while queued
             event = self._ack_event((key, command.epoch, command.attempt))
             try:
@@ -811,6 +868,7 @@ class Agent:
                     command.attempt,
                     f"{type(exc).__name__}: {exc}",
                     command.epoch,
+                    reply_to=command.reply_to,
                 )
                 continue
             # Synchronous round trip: wait until the destination has
@@ -833,7 +891,7 @@ class Agent:
                 with self._assembly_lock:
                     if self._attempts.get(key, generation) > generation:
                         return  # superseded by a retry; stop waiting
-                    if command.epoch < self._epoch:
+                    if command.epoch < self._epoch_for(command.reply_to):
                         return  # fenced: the new epoch owns this action
                 if waited >= self.ack_timeout:
                     self._nack(
@@ -841,6 +899,7 @@ class Agent:
                         command.attempt,
                         f"no WriteComplete within {self.ack_timeout}s",
                         command.epoch,
+                        reply_to=command.reply_to,
                     )
                     return
         finally:

@@ -32,6 +32,7 @@ RUNTIME_CONFIG_SCHEMA = Schema(
         "heartbeat_interval",
         "poll_interval",
         "journal_fsync",
+        "lease_timeout",
         "inventory_timeout",
         "inbox_capacity",
         "send_queue_capacity",
@@ -73,6 +74,10 @@ class RuntimeConfig:
         journal_fsync: repair-journal durability policy — ``"always"``
             fsyncs every appended record, ``"never"`` leaves flushing
             to the OS (see :class:`repro.runtime.journal.RepairJournal`).
+        lease_timeout: seconds a shard coordinator may go without
+            renewing its liveness lease before the multi-coordinator
+            supervisor declares it wedged and hands the shard to a
+            successor (see :class:`repro.runtime.multicoord.MultiCoordinator`).
         inventory_timeout: seconds a recovering coordinator waits for
             :class:`~repro.runtime.messages.InventoryReply` messages
             when reconciling the journal against agent stores.
@@ -102,6 +107,7 @@ class RuntimeConfig:
     heartbeat_interval: float = 0.5
     poll_interval: float = 0.25
     journal_fsync: str = "always"
+    lease_timeout: float = 10.0
     inventory_timeout: float = 5.0
     inbox_capacity: int = 0
     send_queue_capacity: int = 64
@@ -119,6 +125,8 @@ class RuntimeConfig:
             raise ValueError("journal_fsync must be 'always' or 'never'")
         if self.inventory_timeout <= 0:
             raise ValueError("inventory_timeout must be positive")
+        if self.lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
         if self.inbox_capacity < 0:
             raise ValueError("inbox_capacity must be non-negative (0 = unbounded)")
         if self.send_queue_capacity < 1:

@@ -40,16 +40,18 @@ predecessor can never mutate a store behind its successor's back.
 
 from __future__ import annotations
 
+import contextlib
 import queue
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
 from ..cluster.chunk import NodeId, StripeId
 from ..cluster.cluster import StorageCluster
 from ..core.plan import ChunkRepairAction, RepairMethod, RepairPlan
 from ..core.planner import UnrecoverableChunkError, heal_action
+from ..core.scheduling import HelperBudget
 from ..ec.codec import ErasureCodec
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Span, Tracer
@@ -81,6 +83,21 @@ from .transport import Network
 
 #: conventional coordinator node id (never a storage node)
 COORDINATOR_ID: NodeId = -1
+
+
+def shard_coordinator_id(shard: int) -> NodeId:
+    """Endpoint id of shard ``shard``'s coordinator: ``-(shard + 1)``.
+
+    Shard 0 keeps :data:`COORDINATOR_ID`, so a single-coordinator run
+    is exactly the one-shard case.  The id is the shard's stable
+    identity: a takeover re-attaches at the *same* endpoint under a
+    bumped epoch, and the existing fencing does the rest.
+    """
+    return -(shard + 1)
+
+
+#: stateless stand-in when no HelperBudget is configured
+_NO_BUDGET = contextlib.nullcontext()
 
 
 class RepairTimeoutError(RuntimeError):
@@ -170,6 +187,20 @@ class Coordinator:
             omitted so instrumented code needs no branches.
         tracer: optional :class:`~repro.obs.Tracer`; a disabled tracer
             (records nothing) is used when omitted.
+        coordinator_id: endpoint this coordinator attaches at (default
+            :data:`COORDINATOR_ID`); shard coordinators attach at
+            :func:`shard_coordinator_id` so several can share one
+            transport and one agent fleet.
+        shard: stripe-space shard this coordinator owns (``None`` for a
+            single-coordinator run); labels metrics and trace spans.
+        budget: optional shared :class:`~repro.core.scheduling.\
+HelperBudget`; when set, each round's helper/destination node slots
+            are acquired (deadline-priority queueing) before any
+            command is issued and released when the round ends.
+        lease_renew: optional callback invoked whenever this
+            coordinator demonstrates liveness (each supervision-loop
+            iteration); the multi-coordinator layer hangs its lease
+            table off it.
     """
 
     def __init__(
@@ -183,6 +214,10 @@ class Coordinator:
         epoch: int = 0,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        coordinator_id: NodeId = COORDINATOR_ID,
+        shard: Optional[int] = None,
+        budget: Optional[HelperBudget] = None,
+        lease_renew: Optional[Callable[[], None]] = None,
     ):
         self.network = network
         self.cluster = cluster
@@ -191,6 +226,10 @@ class Coordinator:
         self.config = config or DEFAULT_CONFIG
         self.journal = journal
         self.epoch = epoch
+        self.coordinator_id = coordinator_id
+        self.shard = shard
+        self.budget = budget
+        self.lease_renew = lease_renew
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         m = self.metrics
@@ -218,12 +257,16 @@ class Coordinator:
             "repair_action_seconds",
             "issue-to-ACK latency of each completed action, by method",
         )
-        m.gauge(
+        epoch_gauge = m.gauge(
             "coordinator_epoch", "epoch of the current coordinator incarnation"
-        ).set(epoch)
+        )
+        if shard is None:
+            epoch_gauge.set(epoch)
+        else:
+            epoch_gauge.set(epoch, shard=shard)
         #: fault hook: die right after journaling RoundCompleted(n >= this)
         self.crash_after_round: Optional[int] = None
-        self._endpoint = network.attach(COORDINATOR_ID, None)
+        self._endpoint = network.attach(self.coordinator_id, None)
         #: nodes declared permanently dead (persists across rounds)
         self._dead: Set[NodeId] = set()
         self._last_seen: Dict[NodeId, float] = {}
@@ -251,8 +294,7 @@ class Coordinator:
                 (Experiment B.1 varies it without rebuilding the testbed).
         """
         packet = packet_size or self.packet_size
-        with self.tracer.span(
-            "repair",
+        attrs = dict(
             stf=plan.stf_node,
             scenario=plan.scenario.value,
             rounds=plan.num_rounds,
@@ -260,7 +302,10 @@ class Coordinator:
             packet_size=packet,
             epoch=self.epoch,
             resumed=False,
-        ):
+        )
+        if self.shard is not None:
+            attrs["shard"] = self.shard
+        with self.tracer.span("repair", **attrs):
             if self.journal is not None:
                 # A fresh run owns the file: records left by a previous,
                 # finished repair must not masquerade as this run's
@@ -295,10 +340,13 @@ class Coordinator:
             round_start = time.monotonic()
             try:
                 if remaining:
-                    self._run_round(
-                        plan, round_.index, remaining, packet, result,
-                        round_span,
-                    )
+                    slots = self._round_nodes(remaining)
+                    deadline = self._round_deadline(remaining)
+                    with self._budget_slots(slots, deadline):
+                        self._run_round(
+                            plan, round_.index, remaining, packet, result,
+                            round_span,
+                        )
             except BaseException:
                 # Close the span at the failure point: action spans
                 # completed before a coordinator crash stay reachable
@@ -324,6 +372,35 @@ class Coordinator:
         if self.journal is not None:
             self.journal.append(record)
 
+    def _renew_lease(self) -> None:
+        if self.lease_renew is not None:
+            self.lease_renew()
+
+    def _round_nodes(self, actions) -> Set[NodeId]:
+        """Helper + destination node slots a round needs concurrently."""
+        nodes: Set[NodeId] = set()
+        for action in actions:
+            nodes.update(action.sources)
+            nodes.add(action.destination)
+        return nodes
+
+    def _budget_slots(self, nodes: Set[NodeId], deadline: float):
+        """Acquire the shared helper budget for a round (if configured).
+
+        Priority is the round's cost-model deadline: when shards
+        oversubscribe the budget, the round that must finish soonest is
+        admitted first and the rest queue instead of stampeding the
+        same helpers.  Waiting still renews the shard's lease — a
+        queued coordinator is alive, not wedged.
+        """
+        if self.budget is None:
+            return _NO_BUDGET
+        return self.budget.round(
+            nodes,
+            priority=time.monotonic() + deadline,
+            renew=self._renew_lease,
+        )
+
     def _maybe_crash_after_round(self, round_index: int) -> None:
         if (
             self.crash_after_round is not None
@@ -346,6 +423,10 @@ class Coordinator:
         packet_size: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        coordinator_id: NodeId = COORDINATOR_ID,
+        shard: Optional[int] = None,
+        budget: Optional[HelperBudget] = None,
+        lease_renew: Optional[Callable[[], None]] = None,
     ) -> "Coordinator":
         """Build a successor coordinator from a crashed run's journal.
 
@@ -354,7 +435,9 @@ class Coordinator:
         coordinator one epoch above the highest journaled one.  Call
         :meth:`resume` on the result to finish the repair.  The old
         coordinator's endpoint must be detached first (the testbed's
-        ``restart_coordinator`` does both).
+        ``restart_coordinator`` does both).  In a sharded run the
+        successor assumes the dead shard's identity: same
+        ``coordinator_id``, same journal, bumped epoch.
 
         Raises:
             JournalError: if the journal holds no committed plan.
@@ -395,6 +478,10 @@ class Coordinator:
             epoch=last_epoch + 1,
             metrics=metrics,
             tracer=tracer,
+            coordinator_id=coordinator_id,
+            shard=shard,
+            budget=budget,
+            lease_renew=lease_renew,
         )
         coordinator._recovered = RecoveredState(
             plan=plan,
@@ -427,8 +514,7 @@ class Coordinator:
             result.recovered_chunks = len(done)
             result.executed_actions.extend(done[key] for key in sorted(done))
             return result
-        with self.tracer.span(
-            "repair",
+        attrs = dict(
             stf=state.plan.stf_node,
             scenario=state.plan.scenario.value,
             rounds=state.plan.num_rounds,
@@ -437,7 +523,10 @@ class Coordinator:
             epoch=self.epoch,
             resumed=True,
             journaled_complete=len(done),
-        ) as repair_span:
+        )
+        if self.shard is not None:
+            attrs["shard"] = self.shard
+        with self.tracer.span("repair", **attrs) as repair_span:
             with self.tracer.span("inventory"):
                 inventory = self._collect_inventory()
             for action in state.plan.actions():
@@ -467,19 +556,26 @@ class Coordinator:
         Nodes that do not answer within ``config.inventory_timeout``
         (crashed ones) are simply absent from the result.
         """
-        nodes = set(self.network.node_ids()) - {COORDINATOR_ID}
+        nodes = {
+            node for node in self.network.node_ids() if node >= 0
+        }
         self._nonce += 1
         nonce = self._nonce
         for node in sorted(nodes):
             try:
                 self.network.send(
-                    COORDINATOR_ID, node, InventoryQuery(self.epoch, nonce)
+                    self.coordinator_id,
+                    node,
+                    InventoryQuery(
+                        self.epoch, nonce, reply_to=self.coordinator_id
+                    ),
                 )
             except KeyError:  # pragma: no cover - detached mid-iteration
                 nodes.discard(node)
         inventory: Dict[NodeId, Set[StripeId]] = {}
         deadline = time.monotonic() + self.config.inventory_timeout
         while nodes - set(inventory) and time.monotonic() < deadline:
+            self._renew_lease()
             try:
                 message = self._endpoint.inbox.get(
                     timeout=max(deadline - time.monotonic(), 0.01)
@@ -533,6 +629,7 @@ class Coordinator:
         pending: Set[ActionKey] = set(actions)
         deadline = time.monotonic() + self._round_deadline(actions.values())
         while pending:
+            self._renew_lease()
             now = time.monotonic()
             if now >= deadline:
                 self._recover(
@@ -692,7 +789,11 @@ class Coordinator:
         nonce = self._nonce
         for node in nodes:
             try:
-                self.network.send(COORDINATOR_ID, node, Ping(nonce))
+                self.network.send(
+                    self.coordinator_id,
+                    node,
+                    Ping(nonce, reply_to=self.coordinator_id),
+                )
             except KeyError:
                 pass  # detached endpoint: definitely dead
         alive: Set[NodeId] = set()
@@ -779,13 +880,14 @@ class Coordinator:
             sources=sources,
             attempt=attempt,
             epoch=self.epoch,
+            reply_to=self.coordinator_id,
         )
         # The ReceiveCommand must precede any data packet; per-inbox
         # FIFO plus issuing it first guarantees that.
-        self.network.send(COORDINATOR_ID, action.destination, receive)
+        self.network.send(self.coordinator_id, action.destination, receive)
         for source in action.sources:
             self.network.send(
-                COORDINATOR_ID,
+                self.coordinator_id,
                 source,
                 SendCommand(
                     stripe_id=action.stripe_id,
@@ -794,6 +896,7 @@ class Coordinator:
                     packet_size=packet_size,
                     attempt=attempt,
                     epoch=self.epoch,
+                    reply_to=self.coordinator_id,
                 ),
             )
 
@@ -809,7 +912,7 @@ class Coordinator:
         chain = list(action.sources)
         last = chain[-1]
         self.network.send(
-            COORDINATOR_ID,
+            self.coordinator_id,
             action.destination,
             ReceiveCommand(
                 stripe_id=action.stripe_id,
@@ -819,6 +922,7 @@ class Coordinator:
                 sources={last: 1},
                 attempt=attempt,
                 epoch=self.epoch,
+                reply_to=self.coordinator_id,
             ),
         )
         # Register stages downstream-first so each hop (usually) exists
@@ -827,7 +931,7 @@ class Coordinator:
             node = chain[i]
             next_hop = action.destination if i == len(chain) - 1 else chain[i + 1]
             self.network.send(
-                COORDINATOR_ID,
+                self.coordinator_id,
                 node,
                 RelayCommand(
                     stripe_id=action.stripe_id,
@@ -840,6 +944,7 @@ class Coordinator:
                     upstream=chain[i - 1] if i > 0 else -1,
                     attempt=attempt,
                     epoch=self.epoch,
+                    reply_to=self.coordinator_id,
                 ),
             )
 

@@ -38,7 +38,14 @@ from ..core.serde import Schema
 FAULT_PLAN_SCHEMA = Schema(
     kind="FaultPlan",
     version=1,
-    fields=("crashes", "links", "slow_nics", "coordinator_crashes", "seed"),
+    fields=(
+        "crashes",
+        "links",
+        "slow_nics",
+        "coordinator_crashes",
+        "domain_crashes",
+        "seed",
+    ),
     error=TypeError,
     implicit_version=1,  # hand-written fault-plan JSON predates versions
 )
@@ -166,6 +173,47 @@ class CoordinatorCrashFault:
             raise ValueError("after_round must be non-negative")
 
 
+@dataclass(frozen=True)
+class DomainCrashFault:
+    """A whole failure domain (rack or machine) dies at once.
+
+    Correlated failures are the reason multi-coordinator repair exists:
+    one rack losing power takes out every agent in it *and* any
+    coordinator co-located there, in the same instant.  A domain crash
+    is declared against the topology's domain index and expanded into
+    per-node :class:`CrashFault`\\ s by :meth:`FaultPlan.resolve_domains`
+    (the testbed does this automatically when given a topology).
+
+    Attributes:
+        kind: ``"rack"`` or ``"machine"`` (see
+            :data:`repro.cluster.topology.DOMAIN_KINDS`).
+        index: the domain's index within the topology.
+        at_time: seconds after :meth:`FaultInjector.start` at which the
+            whole domain goes dark.
+        coordinators: shard indices whose coordinator is co-located in
+            the dying domain; the injector kills each through its
+            ``on_kill_coordinator`` callback at the same instant the
+            domain's nodes crash.
+    """
+
+    kind: str
+    index: int
+    at_time: float = 0.0
+    coordinators: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in ("rack", "machine"):
+            raise ValueError(
+                f"unknown failure domain kind {self.kind!r}; "
+                "expected 'rack' or 'machine'"
+            )
+        if self.at_time < 0:
+            raise ValueError("at_time must be non-negative")
+        object.__setattr__(self, "coordinators", tuple(self.coordinators))
+        if any(s < 0 for s in self.coordinators):
+            raise ValueError("coordinator shard indices must be >= 0")
+
+
 @dataclass
 class FaultPlan:
     """A declarative, seeded set of faults for one repair run."""
@@ -176,12 +224,42 @@ class FaultPlan:
     coordinator_crashes: List[CoordinatorCrashFault] = field(
         default_factory=list
     )
+    domain_crashes: List[DomainCrashFault] = field(default_factory=list)
     seed: int = 0
 
     def crash_times(self) -> List[CrashFault]:
         """Time-triggered crashes, sorted (for the simulator mirror)."""
         timed = [c for c in self.crashes if c.at_time is not None]
         return sorted(timed, key=lambda c: c.at_time)
+
+    def resolve_domains(self, topology) -> "FaultPlan":
+        """Expand domain crashes into per-node crash faults.
+
+        Returns a new plan whose ``crashes`` list additionally contains
+        one time-triggered :class:`CrashFault` per node of each dying
+        domain (nodes that already have a crash fault are skipped — the
+        earliest trigger wins at the injector).  The ``domain_crashes``
+        are kept: the injector still needs them to fire co-located
+        coordinator kills.
+
+        Args:
+            topology: a :class:`~repro.cluster.topology.RackTopology`
+                covering the nodes; a machine-kind crash requires its
+                machine map.
+        """
+        if not self.domain_crashes:
+            return self
+        already = {c.node for c in self.crashes}
+        expanded: List[CrashFault] = []
+        for domain in self.domain_crashes:
+            for node in topology.nodes_in_domain(domain.kind, domain.index):
+                if node in already:
+                    continue
+                already.add(node)
+                expanded.append(
+                    CrashFault(node=node, at_time=domain.at_time)
+                )
+        return replace(self, crashes=self.crashes + expanded)
 
     def to_dict(self) -> dict:
         """JSON-compatible form (``fastpr repair --fault-plan``)."""
@@ -194,15 +272,29 @@ class FaultPlan:
                 "coordinator_crashes": [
                     asdict(c) for c in self.coordinator_crashes
                 ],
+                "domain_crashes": [
+                    {**asdict(d), "coordinators": list(d.coordinators)}
+                    for d in self.domain_crashes
+                ],
             }
         )
 
     @classmethod
-    def from_dict(cls, document: dict) -> "FaultPlan":
+    def from_dict(
+        cls, document: dict, node_ids: Optional[Set[NodeId]] = None
+    ) -> "FaultPlan":
         """Rebuild a plan from :meth:`to_dict` output (or hand-written
-        JSON); unknown keys raise ``TypeError`` so typos surface."""
+        JSON); unknown keys raise ``TypeError`` so typos surface.
+
+        Args:
+            node_ids: when given (e.g. the node set of the cluster
+                snapshot the plan will run against), crash events
+                targeting any node outside it raise ``ValueError`` at
+                load time — instead of silently never firing at run
+                time.
+        """
         body = FAULT_PLAN_SCHEMA.load(document)
-        return cls(
+        plan = cls(
             crashes=[CrashFault(**c) for c in body.get("crashes", [])],
             links=[LinkFault(**f) for f in body.get("links", [])],
             slow_nics=[SlowNicFault(**s) for s in body.get("slow_nics", [])],
@@ -210,8 +302,36 @@ class FaultPlan:
                 CoordinatorCrashFault(**c)
                 for c in body.get("coordinator_crashes", [])
             ],
+            domain_crashes=[
+                DomainCrashFault(
+                    kind=d["kind"],
+                    index=d["index"],
+                    at_time=d.get("at_time", 0.0),
+                    coordinators=tuple(d.get("coordinators", ())),
+                )
+                for d in body.get("domain_crashes", [])
+            ],
             seed=body.get("seed", 0),
         )
+        if node_ids is not None:
+            plan.validate_nodes(node_ids)
+        return plan
+
+    def validate_nodes(self, node_ids: Set[NodeId]) -> None:
+        """Reject crash events that target nodes outside ``node_ids``.
+
+        Raises:
+            ValueError: naming every unknown crash target.
+        """
+        known = set(node_ids)
+        unknown = sorted(
+            {c.node for c in self.crashes if c.node not in known}
+        )
+        if unknown:
+            raise ValueError(
+                f"fault plan crashes unknown node(s) {unknown}; "
+                f"snapshot has {len(known)} nodes"
+            )
 
 
 @dataclass(frozen=True)
@@ -234,22 +354,33 @@ class FaultInjector:
     Thread-safe; consulted by :meth:`Network.send` on every message.
 
     Args:
-        plan: the faults to inject.
+        plan: the faults to inject.  Domain crashes must already be
+            resolved against a topology (:meth:`FaultPlan.resolve_domains`)
+            for their *node* deaths to fire; their co-located
+            coordinator kills fire regardless, via
+            ``on_kill_coordinator``.
         on_crash: callback invoked exactly once per node death (the
             testbed uses it to stand the node's agent down).  Called
             from whichever thread happened to trip the trigger — keep
             it non-blocking.
+        on_kill_coordinator: callback invoked exactly once per shard
+            index listed in a due domain crash's ``coordinators`` (the
+            multi-coordinator testbed arms the shard journal's
+            ``kill_on_next_append``).  Same threading caveat.
     """
 
     def __init__(
         self,
         plan: Optional[FaultPlan] = None,
         on_crash: Optional[Callable[[NodeId], None]] = None,
+        on_kill_coordinator: Optional[Callable[[int], None]] = None,
     ):
         self.plan = plan or FaultPlan()
         self.on_crash = on_crash
+        self.on_kill_coordinator = on_kill_coordinator
         self._lock = threading.Lock()
         self._crashed: Set[NodeId] = set()
+        self._killed_shards: Set[int] = set()
         self._epoch: Optional[float] = None
         self._sent_bytes: Dict[NodeId, int] = {}
         self._recv_bytes: Dict[NodeId, int] = {}
@@ -298,14 +429,25 @@ class FaultInjector:
     def _fire_due_crashes(self) -> None:
         now = self._now()
         due = []
+        due_shards = []
         with self._lock:
             for crash in self.plan.crashes:
                 if crash.node in self._crashed:
                     continue
                 if crash.at_time is not None and now >= crash.at_time:
                     due.append(crash.node)
+            for domain in self.plan.domain_crashes:
+                if now < domain.at_time:
+                    continue
+                for shard in domain.coordinators:
+                    if shard not in self._killed_shards:
+                        self._killed_shards.add(shard)
+                        due_shards.append(shard)
         for node in due:
             self._mark_crashed(node)
+        if self.on_kill_coordinator is not None:
+            for shard in due_shards:
+                self.on_kill_coordinator(shard)
 
     def _count_bytes(self, src: NodeId, dst: NodeId, nbytes: int) -> None:
         due = []

@@ -118,8 +118,29 @@ class RepairFinished:
     epoch: int
 
 
+@dataclass(frozen=True)
+class ShardTakeover:
+    """A surviving coordinator adopted this shard after its owner died.
+
+    Appended by the successor (under its bumped ``epoch``) right after
+    journal replay, before any re-issued command — so the journal
+    itself shows who owned the shard when.  ``adopter`` is the shard
+    whose coordinator performed the takeover (or ``-1`` when the
+    orchestrating driver did it directly).
+    """
+
+    epoch: int
+    shard: int
+    adopter: int
+
+
 JournalRecord = Union[
-    PlanCommitted, RoundStarted, ActionCompleted, RoundCompleted, RepairFinished
+    PlanCommitted,
+    RoundStarted,
+    ActionCompleted,
+    RoundCompleted,
+    RepairFinished,
+    ShardTakeover,
 ]
 
 _RECORD_TYPES: Dict[str, Type[JournalRecord]] = {
@@ -128,6 +149,7 @@ _RECORD_TYPES: Dict[str, Type[JournalRecord]] = {
     "action_completed": ActionCompleted,
     "round_completed": RoundCompleted,
     "repair_finished": RepairFinished,
+    "shard_takeover": ShardTakeover,
 }
 _TYPE_NAMES = {cls: name for name, cls in _RECORD_TYPES.items()}
 
@@ -241,6 +263,19 @@ class RepairJournal:
         ):
             self.close()
             raise CoordinatorCrash(self.records_written)
+
+    def kill_on_next_append(self) -> None:
+        """Arm an immediate crash: the next append raises.
+
+        Fault-injection hook for correlated failures: a rack-level
+        event that takes a coordinator down cannot interrupt a Python
+        thread at an arbitrary point, so it arms the journal instead —
+        the coordinator dies at its next write-ahead append, exactly
+        where a killed process would leave the log.  No-op on a journal
+        that is already closed (the coordinator is already dead).
+        """
+        if not self._file.closed:
+            self.crash_after_records = self.records_written + 1
 
     def reset(self) -> None:
         """Drop every record: a fresh repair run owns the whole file.

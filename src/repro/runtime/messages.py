@@ -174,6 +174,9 @@ class ReceiveCommand:
         attempt: retry generation; packets from other attempts are
             ignored by the assembly.
         epoch: issuing coordinator's epoch (fencing + staleness).
+        reply_to: endpoint id of the issuing coordinator; ACKs, NACKs
+            and epoch fencing are scoped to this endpoint so several
+            shard coordinators can drive the same agent concurrently.
     """
 
     stripe_id: StripeId
@@ -183,6 +186,7 @@ class ReceiveCommand:
     sources: Dict[NodeId, int] = field(default_factory=dict)
     attempt: int = 0
     epoch: int = 0
+    reply_to: NodeId = -1
 
     @property
     def key(self) -> ActionKey:
@@ -206,6 +210,8 @@ class SendCommand:
     packet_size: int
     attempt: int = 0
     epoch: int = 0
+    #: issuing coordinator endpoint (fencing + reply routing)
+    reply_to: NodeId = -1
 
     @property
     def key(self) -> ActionKey:
@@ -237,6 +243,8 @@ class RelayCommand:
     upstream: NodeId = -1
     attempt: int = 0
     epoch: int = 0
+    #: issuing coordinator endpoint (fencing + reply routing)
+    reply_to: NodeId = -1
 
     @property
     def key(self) -> ActionKey:
@@ -345,6 +353,8 @@ class Ping:
     """Coordinator -> agent: liveness probe; answer with a Pong."""
 
     nonce: int
+    #: endpoint the Pong should be sent to (issuing coordinator)
+    reply_to: NodeId = -1
 
 
 @wire_message("pong", 9)
@@ -364,11 +374,15 @@ class InventoryQuery:
     Also announces the successor coordinator's ``epoch``: receiving
     agents bump (and persist) their highest-seen epoch, aborting any
     in-flight work from older epochs, so the pre-crash coordinator is
-    fenced the moment its successor takes over.
+    fenced the moment its successor takes over.  Epochs (and the
+    fencing they drive) are tracked per ``reply_to`` endpoint, so each
+    shard coordinator fences only its own predecessors.
     """
 
     epoch: int
     nonce: int
+    #: endpoint the InventoryReply should be sent to
+    reply_to: NodeId = -1
 
 
 @wire_message("inventory_reply", 11, coerce=_coerce_inventory_reply)

@@ -28,7 +28,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..cluster.chunk import NodeId
 from ..cluster.cluster import StorageCluster
+from ..cluster.topology import RackTopology
 from ..core.plan import RepairPlan
+from ..core.scheduling import HelperBudget
 from ..ec.codec import ErasureCodec
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Tracer
@@ -38,6 +40,7 @@ from .coordinator import COORDINATOR_ID, Coordinator, RuntimeResult
 from .datanode import ChunkStore
 from .faults import CoordinatorCrashFault, FaultInjector, FaultPlan
 from .journal import RepairJournal
+from .multicoord import MultiCoordinator, MultiRepairResult
 from .throttle import RateLimiter
 from .transport import Network
 
@@ -103,6 +106,11 @@ class EmulatedTestbed:
             node to it and, when a fault plan is given, installs its
             injector on it.  Defaults to a fresh in-memory
             :class:`~repro.runtime.transport.Network`.
+        topology: optional rack/machine failure domains.  A fault
+            plan's ``domain_crashes`` are resolved against it (one
+            injection then crashes a whole rack of agents, plus any
+            co-located shard coordinator when :meth:`execute_sharded`
+            is driving the run).
     """
 
     def __init__(
@@ -118,6 +126,7 @@ class EmulatedTestbed:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         network: Optional[Network] = None,
+        topology: Optional[RackTopology] = None,
     ):
         self.cluster = cluster
         self.codec = codec
@@ -127,10 +136,22 @@ class EmulatedTestbed:
         self.config = config or RuntimeConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        self.topology = topology
         self.faults: Optional[FaultInjector] = None
         self._crash_faults: List[CoordinatorCrashFault] = []
         if faults is not None:
-            self.faults = FaultInjector(faults, on_crash=self._on_node_crash)
+            if topology is not None:
+                faults = faults.resolve_domains(topology)
+            elif faults.domain_crashes:
+                raise ValueError(
+                    "fault plan has domain_crashes but the testbed was "
+                    "given no topology to resolve them against"
+                )
+            self.faults = FaultInjector(
+                faults,
+                on_crash=self._on_node_crash,
+                on_kill_coordinator=self._on_kill_coordinator,
+            )
             self._crash_faults = list(faults.coordinator_crashes)
         if network is None:
             network = Network(
@@ -173,6 +194,7 @@ class EmulatedTestbed:
             tracer=self.tracer,
         )
         self._arm_next_coordinator_crash()
+        self.multi: Optional[MultiCoordinator] = None
         self._started = False
 
     def _build_nodes(self) -> None:
@@ -231,6 +253,8 @@ class EmulatedTestbed:
         for agent in self.agents.values():
             agent.stop()
         self.coordinator.close()
+        if self.multi is not None:
+            self.multi.close()
         self._started = False
         errors = {
             node_id: agent.errors
@@ -270,6 +294,10 @@ class EmulatedTestbed:
         agent = self.agents.get(node_id)
         if agent is not None:
             agent.crash()
+
+    def _on_kill_coordinator(self, shard: int) -> None:
+        if self.multi is not None:
+            self.multi.kill_shard(shard)
 
     # -- coordinator crash / recovery hooks ----------------------------
 
@@ -364,6 +392,56 @@ class EmulatedTestbed:
         if self.faults is not None:
             self.faults.start()
         result = self.coordinator.execute(plan, packet_size=packet_size)
+        self._raise_agent_errors()
+        return result
+
+    def execute_sharded(
+        self,
+        plan: RepairPlan,
+        num_coordinators: int = 2,
+        packet_size: Optional[int] = None,
+        budget: Optional[HelperBudget] = None,
+    ) -> MultiRepairResult:
+        """Run a plan under ``num_coordinators`` shard coordinators.
+
+        The default single coordinator's endpoint is handed over to
+        shard 0 (same id ``-1``, so agent heartbeats stay addressed);
+        each shard journals to ``workdir/shards/shard-<k>.journal`` and
+        a crashed shard is adopted by a survivor (see
+        :class:`~repro.runtime.multicoord.MultiCoordinator`).  Domain
+        crash faults that list co-located ``coordinators`` kill the
+        matching shard's coordinator mid-run.
+        """
+        if not self._started:
+            raise RuntimeError("call start() (or use as a context manager) first")
+        if self.multi is None:
+            # Shard 0 inherits endpoint -1: retire the single
+            # coordinator first so the id is free to re-attach.
+            self.coordinator.close()
+            try:
+                self.network.detach(COORDINATOR_ID)
+            except KeyError:
+                pass
+            self.multi = MultiCoordinator(
+                self.network,
+                self.cluster,
+                self.codec,
+                self.packet_size,
+                journal_dir=self.workdir / "shards",
+                num_shards=num_coordinators,
+                config=self.config,
+                budget=budget,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
+        elif self.multi.shard_map.num_shards != num_coordinators:
+            raise RuntimeError(
+                "testbed already built a MultiCoordinator with "
+                f"{self.multi.shard_map.num_shards} shards"
+            )
+        if self.faults is not None:
+            self.faults.start()
+        result = self.multi.execute(plan, packet_size=packet_size)
         self._raise_agent_errors()
         return result
 

@@ -3,7 +3,14 @@
 from .cost_model import CostModelSimulator, evaluate_plan
 from .events import Acquire, Delay, Process, Release, Resource, Simulation, SimulationError, use
 from .resources import DeviceMap, NodeDevices
-from .simulator import DeviceUtilization, RepairResult, RepairSimulator, simulate_repair
+from .simulator import (
+    DeviceUtilization,
+    RepairResult,
+    RepairSimulator,
+    ShardedRepairResult,
+    simulate_repair,
+    simulate_sharded_repair,
+)
 from .timeline import (
     ClusterLifetime,
     EventKind,
@@ -36,6 +43,7 @@ __all__ = [
     "RepairResult",
     "RepairSimulator",
     "Resource",
+    "ShardedRepairResult",
     "Simulation",
     "SimulationConfig",
     "SimulationError",
@@ -43,5 +51,6 @@ __all__ = [
     "build_cluster_with_stf",
     "fixed_stf_chunk_count",
     "simulate_repair",
+    "simulate_sharded_repair",
     "use",
 ]

@@ -32,7 +32,14 @@ from typing import Dict, List, Optional, Set
 
 from ..cluster.chunk import NodeId
 from ..cluster.cluster import StorageCluster
-from ..core.plan import ChunkRepairAction, RepairMethod, RepairPlan
+from ..cluster.topology import RackTopology
+from ..core.plan import (
+    ChunkRepairAction,
+    RepairMethod,
+    RepairPlan,
+    ShardMap,
+    split_plan,
+)
 from ..core.planner import heal_action
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import SimClock, Tracer
@@ -88,6 +95,20 @@ class RepairResult:
         if self.bytes_written == 0:
             return 0.0
         return self.bytes_transferred / self.bytes_written
+
+
+@dataclass
+class ShardedRepairResult(RepairResult):
+    """Outcome of simulating a sharded (multi-coordinator) repair.
+
+    ``round_times`` concatenates every shard's rounds (sorted by
+    shard); ``per_shard_rounds`` keeps them separated.  A takeover
+    counts as one ``coordinator_restarts`` too, so single- and
+    multi-coordinator results read alike.
+    """
+
+    takeovers: int = 0
+    per_shard_rounds: Dict[int, List[float]] = field(default_factory=dict)
 
 
 class RepairSimulator:
@@ -284,6 +305,167 @@ class RepairSimulator:
         )
         return result
 
+    def run_sharded(
+        self,
+        plan: RepairPlan,
+        num_shards: int = 2,
+        faults: Optional[FaultPlan] = None,
+        topology: Optional[RackTopology] = None,
+        detection_delay: float = 0.0,
+        recovery_delay: float = 0.0,
+    ) -> ShardedRepairResult:
+        """Mirror a multi-coordinator repair at round granularity.
+
+        The stripe space splits exactly like the runtime's
+        (:func:`~repro.core.plan.split_plan` over the same consistent
+        hash), and every shard advances through its own round sequence
+        *concurrently*, contending for the same per-node disks and
+        NICs — the contention the live runtime's shared
+        :class:`~repro.core.scheduling.HelperBudget` arbitrates emerges
+        here from the device queues.
+
+        Faults mirror at round granularity, as in :meth:`run`: node
+        crashes whose ``at_time`` has passed heal at each shard's next
+        round start.  A :class:`~repro.runtime.faults.DomainCrashFault`
+        naming coordinators additionally kills those shards — the shard
+        pays one ``recovery_delay`` pause before its next round
+        (journal replay plus inventory reconciliation; completed rounds
+        survive, exactly the runtime takeover) and the run counts one
+        takeover.  Pass ``topology`` to resolve domain crashes here, or
+        pre-resolve with ``faults.resolve_domains(topology)``.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if faults is not None and faults.domain_crashes and topology is not None:
+            faults = faults.resolve_domains(topology)
+        sub_plans = split_plan(plan, ShardMap(num_shards))
+        devices = DeviceMap(self.cluster)
+        sim = Simulation()
+        clock = self._clock
+        clock.advance_to(sim.now)
+        crashes = faults.crash_times() if faults is not None else []
+        kill_times: Dict[int, float] = {}
+        for dc in faults.domain_crashes if faults is not None else []:
+            for shard in dc.coordinators:
+                if shard < num_shards:
+                    kill_times[shard] = min(
+                        dc.at_time, kill_times.get(shard, dc.at_time)
+                    )
+        state = {"replans": 0, "converted": 0, "takeovers": 0}
+        dead: Set[NodeId] = set()
+        per_shard_rounds: Dict[int, List[float]] = {
+            shard: [] for shard in range(num_shards)
+        }
+        repair_span = self.tracer.start_span(
+            "repair",
+            stf=plan.stf_node,
+            scenario=plan.scenario.value,
+            rounds=plan.num_rounds,
+            chunks=plan.total_chunks,
+            epoch=0,
+            resumed=False,
+            shards=num_shards,
+        )
+
+        def drive(shard: int, rounds: List, index: int) -> None:
+            """Advance one shard to its next round (or finish it)."""
+            if index >= len(rounds):
+                return
+            if shard in kill_times and kill_times[shard] <= sim.now:
+                # The shard's coordinator died: a survivor replays its
+                # journal and resumes.  Completed rounds survive, so the
+                # cost is one recovery pause before the next round.
+                del kill_times[shard]
+                state["takeovers"] += 1
+                if recovery_delay > 0:
+                    sim.spawn(
+                        _pause(recovery_delay),
+                        on_done=lambda _now: start_round(shard, rounds, index),
+                    )
+                    return
+            start_round(shard, rounds, index)
+
+        def start_round(shard: int, rounds: List, index: int) -> None:
+            newly_dead = {
+                crash.node
+                for crash in crashes
+                if crash.at_time <= sim.now and crash.node not in dead
+            }
+            if newly_dead:
+                dead.update(newly_dead)
+                state["replans"] += 1
+                self._replans_counter.inc()
+                if detection_delay > 0:
+                    sim.spawn(
+                        _pause(detection_delay),
+                        on_done=lambda _now: launch_round(shard, rounds, index),
+                    )
+                    return
+            launch_round(shard, rounds, index)
+
+        def launch_round(shard: int, rounds: List, index: int) -> None:
+            round_ = rounds[index]
+            actions = list(round_.actions())
+            if dead:
+                healed_actions = []
+                for action in actions:
+                    healed = heal_action(
+                        self.cluster, plan.stf_node, action, dead, plan.scenario
+                    )
+                    if (
+                        healed.method is RepairMethod.RECONSTRUCTION
+                        and action.method is RepairMethod.MIGRATION
+                    ):
+                        state["converted"] += 1
+                        self._converted_counter.inc()
+                    healed_actions.append(healed)
+                actions = healed_actions
+            clock.advance_to(sim.now)
+            round_span = self.tracer.start_span(
+                "round", parent=repair_span, round=round_.index, shard=shard
+            )
+            begin = sim.now
+
+            def round_done(now: float) -> None:
+                clock.advance_to(now)
+                round_span.finish(actions=len(actions))
+                self._round_hist.observe(now - begin)
+                per_shard_rounds[shard].append(now - begin)
+                drive(shard, rounds, index + 1)
+
+            self._spawn_actions_counted(
+                sim, devices, plan.stf_node, actions, round_span, round_done
+            )
+
+        for shard, sub_plan in enumerate(sub_plans):
+            sim.spawn(
+                _pause(0.0),
+                on_done=lambda _now, s=shard, r=list(sub_plan.rounds): drive(
+                    s, r, 0
+                ),
+            )
+        total = sim.run()
+        clock.advance_to(total)
+        repair_span.finish(takeovers=state["takeovers"])
+        round_times: List[float] = []
+        for shard in sorted(per_shard_rounds):
+            round_times.extend(per_shard_rounds[shard])
+        return ShardedRepairResult(
+            total_time=total,
+            round_times=round_times,
+            chunks_repaired=plan.total_chunks,
+            bytes_read=devices.bytes_read,
+            bytes_transferred=devices.bytes_transferred,
+            bytes_written=devices.bytes_written,
+            utilization=self._utilization(devices, total),
+            replans=state["replans"],
+            converted_migrations=state["converted"],
+            dead_nodes=sorted(dead),
+            coordinator_restarts=state["takeovers"],
+            takeovers=state["takeovers"],
+            per_shard_rounds=per_shard_rounds,
+        )
+
     @staticmethod
     def _utilization(devices: DeviceMap, total_time: float):
         if total_time <= 0:
@@ -320,6 +502,51 @@ class RepairSimulator:
                 self._spawn_reconstruction(
                     sim, devices, action, self._action_span(action, round_span)
                 )
+
+    def _spawn_actions_counted(
+        self,
+        sim: Simulation,
+        devices: DeviceMap,
+        stf_node: NodeId,
+        actions: List[ChunkRepairAction],
+        round_span,
+        on_round_done,
+    ) -> None:
+        """Like :meth:`_spawn_actions`, but reports round completion.
+
+        The sharded mirror runs several shards in one simulation, so
+        ``sim.run()`` can no longer serve as the per-round barrier; the
+        round instead completes when its migration chain and every
+        reconstruction write have finished.
+        """
+        migrations = [a for a in actions if a.method is RepairMethod.MIGRATION]
+        reconstructions = [
+            a for a in actions if a.method is RepairMethod.RECONSTRUCTION
+        ]
+        pending = {"count": (1 if migrations else 0) + len(reconstructions)}
+        if pending["count"] == 0:
+            sim.spawn(_pause(0.0), on_done=on_round_done)
+            return
+
+        def task_done(now: float) -> None:
+            pending["count"] -= 1
+            if pending["count"] == 0:
+                on_round_done(now)
+
+        if migrations:
+            spans = [self._action_span(a, round_span) for a in migrations]
+            sim.spawn(
+                self._migration_chain(devices, stf_node, migrations, sim, spans),
+                on_done=task_done,
+            )
+        for action in reconstructions:
+            self._spawn_reconstruction(
+                sim,
+                devices,
+                action,
+                self._action_span(action, round_span),
+                on_complete=task_done,
+            )
 
     def _action_span(self, action: ChunkRepairAction, round_span):
         return self.tracer.start_span(
@@ -358,6 +585,7 @@ class RepairSimulator:
         devices: DeviceMap,
         action: ChunkRepairAction,
         span=None,
+        on_complete=None,
     ) -> None:
         """Helpers read+send in parallel; the destination gathers and writes."""
         size = self.chunk_size
@@ -366,6 +594,8 @@ class RepairSimulator:
         def write_done(now: float) -> None:
             if span is not None:
                 self._finish_action(span, now, RepairMethod.RECONSTRUCTION)
+            if on_complete is not None:
+                on_complete(now)
 
         def helper_done(_now: float) -> None:
             pending["count"] -= 1
@@ -390,6 +620,31 @@ class RepairSimulator:
 
 def _pause(duration: float) -> Process:
     yield Delay(duration)
+
+
+def simulate_sharded_repair(
+    cluster: StorageCluster,
+    plan: RepairPlan,
+    num_shards: int = 2,
+    chunk_size: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
+    topology: Optional[RackTopology] = None,
+    detection_delay: float = 0.0,
+    recovery_delay: float = 0.0,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> ShardedRepairResult:
+    """One-call convenience wrapper around :meth:`RepairSimulator.run_sharded`."""
+    return RepairSimulator(
+        cluster, chunk_size=chunk_size, metrics=metrics, tracer=tracer
+    ).run_sharded(
+        plan,
+        num_shards=num_shards,
+        faults=faults,
+        topology=topology,
+        detection_delay=detection_delay,
+        recovery_delay=recovery_delay,
+    )
 
 
 def simulate_repair(

@@ -1,0 +1,59 @@
+"""Reconnect backoff jitter (satellite of the multi-coordinator PR).
+
+A rack power event makes every agent of that rack reconnect at once;
+un-jittered exponential backoff keeps them synchronized and they
+stampede the coordinator's accept queue on every retry wave.  Equal
+jitter spreads each wave over ``[b/2, b]``.
+"""
+
+import random
+
+from repro.net.launch import parse_peer_spec, sharded_peer_spec
+from repro.net.tcp import TcpNetwork, reconnect_delay
+from repro.runtime import COORDINATOR_ID
+
+
+class TestReconnectDelay:
+    def test_zero_backoff_is_immediate(self):
+        assert reconnect_delay(0.0, random.Random(1)) == 0.0
+
+    def test_equal_jitter_bounds(self):
+        rng = random.Random(7)
+        for backoff in (0.05, 0.4, 3.2):
+            for _ in range(200):
+                delay = reconnect_delay(backoff, rng)
+                assert backoff / 2 <= delay <= backoff
+
+    def test_spreads_a_reconnect_wave(self):
+        """Two agents with different RNGs don't retry in lockstep."""
+        a = [reconnect_delay(0.8, random.Random(1)) for _ in range(20)]
+        b = [reconnect_delay(0.8, random.Random(2)) for _ in range(20)]
+        assert a != b
+
+    def test_deterministic_given_seeded_rng(self):
+        assert [
+            reconnect_delay(0.8, random.Random(5)) for _ in range(5)
+        ] == [reconnect_delay(0.8, random.Random(5)) for _ in range(5)]
+
+    def test_network_exposes_swappable_rng(self):
+        network = TcpNetwork()
+        assert isinstance(network.reconnect_rng, random.Random)
+        network.reconnect_rng = random.Random(3)  # deterministic tests
+        network.close()
+
+
+class TestShardedPeerSpec:
+    def test_aliases_every_shard_at_the_driver_address(self):
+        peers = {COORDINATOR_ID: ("10.0.0.1", 9000), 0: ("10.0.0.2", 9001)}
+        extended = sharded_peer_spec(peers, 3)
+        assert extended[-1] == ("10.0.0.1", 9000)
+        assert extended[-2] == ("10.0.0.1", 9000)
+        assert extended[-3] == ("10.0.0.1", 9000)
+        assert extended[0] == ("10.0.0.2", 9001)
+
+    def test_parse_round_trip_with_shard_aliases(self):
+        spec = "coordinator=127.0.0.1:9000,coordinator1=127.0.0.1:9000,3=127.0.0.1:9003"
+        peers = parse_peer_spec(spec)
+        assert peers[-1] == ("127.0.0.1", 9000)
+        assert peers[-2] == ("127.0.0.1", 9000)
+        assert peers[3] == ("127.0.0.1", 9003)

@@ -1,0 +1,130 @@
+"""Failure domains: machine/rack topology and correlated crash faults."""
+
+import pytest
+
+from repro.cluster.topology import DOMAIN_KINDS, RackTopology
+from repro.runtime.faults import CrashFault, DomainCrashFault, FaultPlan
+
+
+# ----------------------------------------------------------------------
+# topology domains
+# ----------------------------------------------------------------------
+
+
+class TestMachineDomains:
+    def test_uniform_without_machines(self):
+        topo = RackTopology.uniform(list(range(6)), 3)
+        assert topo.machine_of is None
+        assert topo.machines() == []
+        assert topo.nodes_in_machine(0) == []
+
+    def test_uniform_with_machines(self):
+        topo = RackTopology.uniform(list(range(8)), 2, nodes_per_machine=2)
+        # Machines are dealt round-robin onto racks, never straddling.
+        assert topo.machines() == [0, 1, 2, 3]
+        for machine in topo.machines():
+            racks = {topo.rack_of[n] for n in topo.nodes_in_machine(machine)}
+            assert len(racks) == 1, f"machine {machine} straddles racks"
+        assert topo.nodes_in_machine(0) == [0, 1]
+
+    def test_nodes_in_domain(self):
+        topo = RackTopology.uniform(list(range(8)), 2, nodes_per_machine=2)
+        assert set(DOMAIN_KINDS) == {"rack", "machine"}
+        assert topo.nodes_in_domain("rack", 0) == topo.nodes_in_rack(0)
+        assert topo.nodes_in_domain("machine", 1) == topo.nodes_in_machine(1)
+        with pytest.raises(ValueError):
+            topo.nodes_in_domain("datacenter", 0)
+
+    def test_machine_domain_requires_machine_map(self):
+        topo = RackTopology.uniform(list(range(6)), 3)
+        with pytest.raises(ValueError):
+            topo.nodes_in_domain("machine", 0)
+
+
+# ----------------------------------------------------------------------
+# domain crash faults
+# ----------------------------------------------------------------------
+
+
+class TestDomainCrashFault:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DomainCrashFault(kind="datacenter", index=0)
+        with pytest.raises(ValueError):
+            DomainCrashFault(kind="rack", index=0, at_time=-1.0)
+        with pytest.raises(ValueError):
+            DomainCrashFault(kind="rack", index=0, coordinators=(-1,))
+        fault = DomainCrashFault(
+            kind="rack", index=1, at_time=2.0, coordinators=[1, 0]
+        )
+        assert fault.coordinators == (1, 0)
+
+    def test_resolve_domains_expands_to_node_crashes(self):
+        topo = RackTopology.uniform(list(range(9)), 3)
+        plan = FaultPlan(
+            domain_crashes=[
+                DomainCrashFault(kind="rack", index=1, at_time=3.0)
+            ]
+        )
+        resolved = plan.resolve_domains(topo)
+        crashed = {c.node for c in resolved.crashes}
+        assert crashed == set(topo.nodes_in_rack(1))
+        assert all(c.at_time == 3.0 for c in resolved.crashes)
+        # Domain entries survive so injectors can fire coordinator kills.
+        assert resolved.domain_crashes == plan.domain_crashes
+
+    def test_resolve_domains_skips_already_crashed_nodes(self):
+        topo = RackTopology.uniform(list(range(6)), 2)
+        plan = FaultPlan(
+            crashes=[CrashFault(node=0, at_time=0.5)],
+            domain_crashes=[
+                DomainCrashFault(kind="rack", index=0, at_time=9.0)
+            ],
+        )
+        resolved = plan.resolve_domains(topo)
+        zero = [c for c in resolved.crashes if c.node == 0]
+        assert len(zero) == 1 and zero[0].at_time == 0.5
+
+    def test_round_trip_through_dict(self):
+        plan = FaultPlan(
+            domain_crashes=[
+                DomainCrashFault(
+                    kind="machine", index=2, at_time=1.5, coordinators=(0,)
+                )
+            ],
+            seed=9,
+        )
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again.domain_crashes == plan.domain_crashes
+
+
+# ----------------------------------------------------------------------
+# load-time node validation (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestLoadTimeValidation:
+    def test_from_dict_rejects_unknown_crash_targets(self):
+        document = FaultPlan(
+            crashes=[CrashFault(node=99, at_time=1.0)]
+        ).to_dict()
+        with pytest.raises(ValueError, match="unknown node"):
+            FaultPlan.from_dict(document, node_ids=range(10))
+
+    def test_from_dict_accepts_known_targets(self):
+        document = FaultPlan(
+            crashes=[CrashFault(node=3, at_time=1.0)]
+        ).to_dict()
+        plan = FaultPlan.from_dict(document, node_ids=range(10))
+        assert plan.crashes[0].node == 3
+
+    def test_validate_nodes_names_the_offenders(self):
+        plan = FaultPlan(
+            crashes=[
+                CrashFault(node=7, at_time=0.0),
+                CrashFault(node=42, at_time=0.0),
+            ]
+        )
+        with pytest.raises(ValueError, match="42"):
+            plan.validate_nodes([7, 8, 9])
+        plan.validate_nodes([7, 42])  # fine when all known

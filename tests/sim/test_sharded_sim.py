@@ -1,0 +1,140 @@
+"""Round-granularity multi-coordinator mirror in the simulator."""
+
+import random
+
+import pytest
+
+from repro.cluster.cluster import StorageCluster
+from repro.cluster.topology import RackAwarePlacement, RackTopology
+from repro.core.planner import FastPRPlanner
+from repro.runtime.faults import DomainCrashFault, FaultPlan
+from repro.sim import (
+    ShardedRepairResult,
+    simulate_repair,
+    simulate_sharded_repair,
+)
+
+CHUNK = 1 << 20
+
+
+def make_cluster(num_stripes=40, seed=7):
+    cluster = StorageCluster(
+        num_nodes=15, num_hot_standby=3, chunk_size=CHUNK
+    )
+    topology = RackTopology.uniform(sorted(cluster.nodes), 5)
+    placer = RackAwarePlacement(topology, max_per_rack=1, seed=seed)
+    for _ in range(num_stripes):
+        cluster.add_stripe(5, 3, placer.choose(cluster, 5))
+    cluster.node(0).mark_soon_to_fail()
+    return cluster, topology
+
+
+def make_plan(cluster, seed=0):
+    return FastPRPlanner(seed=seed).plan(cluster, 0)
+
+
+class TestShardedSimulation:
+    def test_repairs_every_chunk(self):
+        cluster, _ = make_cluster()
+        plan = make_plan(cluster)
+        single = simulate_repair(cluster, plan)
+        sharded = simulate_sharded_repair(cluster, plan, num_shards=2)
+        assert isinstance(sharded, ShardedRepairResult)
+        assert sharded.chunks_repaired == single.chunks_repaired
+        assert sharded.bytes_written == single.bytes_written
+        assert sharded.takeovers == 0
+        assert sum(len(r) for r in sharded.per_shard_rounds.values()) == len(
+            sharded.round_times
+        )
+
+    def test_one_shard_matches_single_coordinator(self):
+        cluster, _ = make_cluster()
+        plan = make_plan(cluster)
+        single = simulate_repair(cluster, plan)
+        sharded = simulate_sharded_repair(cluster, plan, num_shards=1)
+        assert sharded.total_time == pytest.approx(single.total_time)
+        assert sharded.round_times == pytest.approx(single.round_times)
+
+    def test_contention_never_beats_the_devices(self):
+        """Sharding can reorder work but moves the same bytes."""
+        cluster, _ = make_cluster()
+        plan = make_plan(cluster)
+        single = simulate_repair(cluster, plan)
+        for shards in (2, 3):
+            result = simulate_sharded_repair(cluster, plan, num_shards=shards)
+            assert result.bytes_transferred == single.bytes_transferred
+            assert result.bytes_read == single.bytes_read
+
+    def test_rejects_zero_shards(self):
+        cluster, _ = make_cluster()
+        with pytest.raises(ValueError):
+            simulate_sharded_repair(cluster, make_plan(cluster), num_shards=0)
+
+
+class TestShardedFaults:
+    def fault(self, coordinators=(1,), at_time=0.0):
+        return FaultPlan(
+            domain_crashes=[
+                DomainCrashFault(
+                    kind="rack",
+                    index=1,
+                    at_time=at_time,
+                    coordinators=coordinators,
+                )
+            ]
+        )
+
+    def test_rack_kill_pays_one_takeover(self):
+        cluster, topology = make_cluster()
+        plan = make_plan(cluster)
+        clean = simulate_sharded_repair(cluster, plan, num_shards=2)
+        faulted = simulate_sharded_repair(
+            cluster,
+            plan,
+            num_shards=2,
+            faults=self.fault(),
+            topology=topology,
+            recovery_delay=2.0,
+        )
+        assert faulted.takeovers == 1
+        assert faulted.coordinator_restarts == 1
+        assert faulted.replans >= 1
+        assert set(faulted.dead_nodes) == set(topology.nodes_in_rack(1))
+        assert faulted.total_time > clean.total_time
+        assert faulted.chunks_repaired == plan.total_chunks
+
+    def test_pre_resolved_plan_works_without_topology(self):
+        cluster, topology = make_cluster()
+        plan = make_plan(cluster)
+        resolved = self.fault().resolve_domains(topology)
+        result = simulate_sharded_repair(
+            cluster, plan, num_shards=2, faults=resolved, recovery_delay=1.0
+        )
+        assert result.takeovers == 1
+        assert set(result.dead_nodes) == set(topology.nodes_in_rack(1))
+
+    def test_takeover_cost_scales_with_recovery_delay(self):
+        cluster, topology = make_cluster()
+        plan = make_plan(cluster)
+        cheap = simulate_sharded_repair(
+            cluster, plan, num_shards=2, faults=self.fault(),
+            topology=topology, recovery_delay=0.5,
+        )
+        dear = simulate_sharded_repair(
+            cluster, plan, num_shards=2, faults=self.fault(),
+            topology=topology, recovery_delay=5.0,
+        )
+        assert dear.total_time >= cheap.total_time + 4.0
+
+    def test_kill_of_out_of_range_shard_is_ignored(self):
+        cluster, topology = make_cluster()
+        plan = make_plan(cluster)
+        result = simulate_sharded_repair(
+            cluster,
+            plan,
+            num_shards=2,
+            faults=self.fault(coordinators=(7,)),
+            topology=topology,
+            recovery_delay=2.0,
+        )
+        assert result.takeovers == 0

@@ -22,34 +22,47 @@ PUBLIC_API = [
     "make_codec",
     # cluster model
     "ChunkLocation",
+    "RackTopology",
     "StorageCluster",
     "Stripe",
     # planning + analysis
     "AnalyticalModel",
     "BandwidthProfile",
+    "BudgetTimeout",
     "FastPRPlanner",
+    "HelperBudget",
     "MigrationOnlyPlanner",
     "ReconstructionOnlyPlanner",
     "RepairPlan",
     "RepairRound",
     "RepairScenario",
+    "ShardMap",
     "find_reconstruction_sets",
+    "split_plan",
+    "stagger_concurrent_plans",
     # emulated runtime backend
     "Agent",
     "Coordinator",
     "CoordinatorCrash",
+    "DomainCrashFault",
     "EmulatedTestbed",
     "FaultPlan",
+    "MultiCoordinator",
+    "MultiRepairResult",
     "RepairAgent",
     "RepairFailedError",
     "RuntimeConfig",
     "Scrubber",
+    "ShardFailedError",
     "StorageClient",
+    "TakeoverEvent",
     "TcpNetwork",
     "Testbed",
     # simulator backend
     "RepairSimulator",
+    "ShardedRepairResult",
     "simulate_repair",
+    "simulate_sharded_repair",
     # observability
     "MetricsRegistry",
     "Tracer",
