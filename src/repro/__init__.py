@@ -55,11 +55,14 @@ from .runtime import (
     Agent,
     Coordinator,
     CoordinatorCrash,
+    DaemonCrash,
+    DaemonCrashFault,
     DomainCrashFault,
     EmulatedTestbed,
     FaultPlan,
     MultiCoordinator,
     MultiRepairResult,
+    RepairDaemon,
     RepairFailedError,
     RuntimeConfig,
     Scrubber,
@@ -68,8 +71,14 @@ from .runtime import (
     TakeoverEvent,
 )
 from .sim import (
+    LifetimeConfig,
+    LifetimeReport,
     RepairSimulator,
     ShardedRepairResult,
+    TraceReplayProcess,
+    WeibullFailureProcess,
+    durability_study,
+    run_lifetime,
     simulate_repair,
     simulate_sharded_repair,
 )
@@ -109,12 +118,15 @@ __all__ = [
     "Agent",
     "Coordinator",
     "CoordinatorCrash",
+    "DaemonCrash",
+    "DaemonCrashFault",
     "DomainCrashFault",
     "EmulatedTestbed",
     "FaultPlan",
     "MultiCoordinator",
     "MultiRepairResult",
     "RepairAgent",
+    "RepairDaemon",
     "RepairFailedError",
     "RuntimeConfig",
     "Scrubber",
@@ -124,8 +136,14 @@ __all__ = [
     "TcpNetwork",
     "Testbed",
     # simulator backend
+    "LifetimeConfig",
+    "LifetimeReport",
     "RepairSimulator",
     "ShardedRepairResult",
+    "TraceReplayProcess",
+    "WeibullFailureProcess",
+    "durability_study",
+    "run_lifetime",
     "simulate_repair",
     "simulate_sharded_repair",
     # observability

@@ -16,6 +16,8 @@ Operational commands::
     fastpr scrub --snapshot c.json [--corrupt 3]
     fastpr fleet --disks 200 --days 120 -o fleet.csv
     fastpr predict --fleet fleet.csv
+    fastpr daemon --snapshot c.json --fleet fleet.csv --scrub-interval 7
+    fastpr lifetime --trials 50 --code "rs(9,6)" --process both -o d.json
 
 Multi-process mode (DESIGN.md §10) — every storage node a real OS
 process, messages as length-prefixed CRC-checked frames over TCP::
@@ -309,6 +311,134 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the evaluation metrics as JSON",
     )
 
+    daemon = sub.add_parser(
+        "daemon",
+        help="run the always-on repair daemon: replay a SMART fleet "
+        "against a snapshot, queueing and executing predictive/reactive "
+        "repairs day by day (journaled, crash-resumable)",
+    )
+    daemon.add_argument("--snapshot", required=True)
+    daemon.add_argument(
+        "--fleet",
+        required=True,
+        help="SMART fleet CSV ('fastpr fleet'); trace i drives storage "
+        "node i's disk",
+    )
+    daemon.add_argument(
+        "--model",
+        choices=("threshold", "logistic", "cart"),
+        default="threshold",
+        help="failure predictor watching the fleet (logistic/cart train "
+        "on the fleet itself)",
+    )
+    daemon.add_argument(
+        "--scenario",
+        choices=("scattered", "hot_standby"),
+        default="scattered",
+    )
+    daemon.add_argument("--seed", type=int, default=0)
+    daemon.add_argument(
+        "--journal",
+        default=None,
+        help="daemon queue journal (default: <workdir>/daemon.journal); "
+        "reuse with --resume to continue after a crash",
+    )
+    daemon.add_argument(
+        "--workdir",
+        default=None,
+        help="directory for chunk stores + journals (default: temp dir)",
+    )
+    daemon.add_argument(
+        "--helper-budget",
+        type=int,
+        default=None,
+        help="max repairs admitted per day; when spent, predictive "
+        "repairs defer to the next day (reactive always admit)",
+    )
+    daemon.add_argument(
+        "--scrub-interval",
+        type=int,
+        default=0,
+        help="run a scrub cycle every N days (0 disables)",
+    )
+    daemon.add_argument(
+        "--max-days",
+        type=int,
+        default=None,
+        help="observe at most N telemetry days (default: full horizon)",
+    )
+    daemon.add_argument(
+        "--fault-plan",
+        default=None,
+        help="JSON FaultPlan; coordinator_crashes and daemon_crashes "
+        "kill the daemon mid-queue (it recovers from its journals)",
+    )
+    daemon.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the run's metrics registry (queue depth, task "
+        "outcomes, scrub counters) as JSON",
+    )
+    daemon.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the daemon report (events, repairs, crashes) as JSON",
+    )
+
+    lifetime = sub.add_parser(
+        "lifetime",
+        help="Monte-Carlo cluster-lifetime simulation: lost-stripe "
+        "probability over simulated years, predictive vs reactive",
+    )
+    lifetime.add_argument("--trials", type=int, default=50)
+    lifetime.add_argument("--years", type=float, default=1.0)
+    lifetime.add_argument("--disks", type=int, default=30)
+    lifetime.add_argument("--stripes", type=int, default=120)
+    lifetime.add_argument("--code", default="rs(9,6)")
+    lifetime.add_argument(
+        "--process",
+        choices=("weibull", "trace-replay", "both"),
+        default="weibull",
+    )
+    lifetime.add_argument(
+        "--fleet",
+        default=None,
+        help="SMART fleet CSV for the trace-replay process (synthesized "
+        "when omitted)",
+    )
+    lifetime.add_argument(
+        "--afr",
+        type=float,
+        default=0.04,
+        help="annual disk failure rate of the Weibull process",
+    )
+    lifetime.add_argument(
+        "--concurrency",
+        type=int,
+        default=2,
+        help="simultaneous whole-disk repairs the cluster sustains",
+    )
+    lifetime.add_argument(
+        "--latent-rate",
+        type=float,
+        default=0.0,
+        help="latent sector errors per disk-year (0 disables)",
+    )
+    lifetime.add_argument(
+        "--scrub-interval",
+        type=float,
+        default=14.0,
+        help="scrub sweep period in days surfacing latent errors",
+    )
+    lifetime.add_argument("--seed", type=int, default=0)
+    lifetime.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the durability study (both modes per process) as JSON",
+    )
+
     report = sub.add_parser(
         "report",
         help="render a per-round breakdown from a repair trace "
@@ -485,7 +615,7 @@ def _cmd_repair(args) -> int:
     from .core.plan import RepairScenario
     from .core.planner import FastPRPlanner
     from .runtime import CoordinatorCrash, FaultPlan, Scrubber
-    from .runtime.testbed import EmulatedTestbed
+    from .runtime.testbed import EmulatedTestbed, VerificationError
 
     config = _load_runtime_config(args.config)
     cluster = snapshot_mod.load(args.snapshot)
@@ -574,7 +704,26 @@ def _cmd_repair(args) -> int:
                 f"{len(report.corrupt)} corrupt"
             )
             if not report.clean:
+                for corrupt in report.corrupt:
+                    print(
+                        f"corrupt chunk: stripe {corrupt.stripe_id} "
+                        f"index {corrupt.chunk_index} at node "
+                        f"{corrupt.node_id}",
+                        file=sys.stderr,
+                    )
                 return 1
+    except VerificationError as exc:
+        # Verification failure must surface as a non-zero exit with the
+        # full list of mismatching chunk ids, never a silent success.
+        print(f"post-repair verification failed: {exc}", file=sys.stderr)
+        for mismatch in getattr(exc, "mismatches", []):
+            print(
+                f"mismatching chunk: stripe {mismatch.stripe_id} "
+                f"index {mismatch.chunk_index} at node {mismatch.node_id} "
+                f"({mismatch.reason})",
+                file=sys.stderr,
+            )
+        return 1
     except Exception as exc:
         print(f"repair failed: {exc}", file=sys.stderr)
         return 1
@@ -608,6 +757,7 @@ def _cmd_repair_tcp(
         sharded_peer_spec,
     )
     from .obs import MetricsRegistry, Tracer
+    from .runtime.testbed import VerificationError
 
     if args.peers is None or args.workdir is None:
         print(
@@ -674,6 +824,16 @@ def _cmd_repair_tcp(
                 agent_timeout=args.agent_timeout,
                 faults=faults,
             )
+    except VerificationError as exc:
+        print(f"post-repair verification failed: {exc}", file=sys.stderr)
+        for mismatch in getattr(exc, "mismatches", []):
+            print(
+                f"mismatching chunk: stripe {mismatch.stripe_id} "
+                f"index {mismatch.chunk_index} at node {mismatch.node_id} "
+                f"({mismatch.reason})",
+                file=sys.stderr,
+            )
+        return 1
     except Exception as exc:
         print(f"repair failed: {exc}", file=sys.stderr)
         return 1
@@ -926,6 +1086,188 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _cmd_daemon(args) -> int:
+    import json as json_mod
+    from pathlib import Path
+
+    from .cluster import snapshot as snapshot_mod
+    from .core.plan import RepairScenario
+    from .failure import (
+        CartPredictor,
+        ClusterFailureMonitor,
+        LogisticPredictor,
+        ThresholdPredictor,
+        load_traces,
+    )
+    from .runtime import CoordinatorCrash, FaultPlan
+    from .runtime.daemon import DaemonCrash, RepairDaemon
+    from .runtime.testbed import EmulatedTestbed
+
+    cluster = snapshot_mod.load(args.snapshot)
+    codec = _infer_codec(cluster)
+    traces = load_traces(args.fleet)
+    storage_nodes = cluster.storage_node_ids()
+    if len(traces) > len(storage_nodes):
+        traces = traces[: len(storage_nodes)]
+    try:
+        if args.model == "logistic":
+            predictor = LogisticPredictor(seed=args.seed).fit(traces)
+        elif args.model == "cart":
+            predictor = CartPredictor().fit(traces)
+        else:
+            predictor = ThresholdPredictor()
+    except ValueError as exc:
+        print(f"training failed: {exc}", file=sys.stderr)
+        return 2
+    faults = None
+    if args.fault_plan is not None:
+        with open(args.fault_plan) as f:
+            try:
+                faults = FaultPlan.from_dict(
+                    json_mod.load(f), node_ids=cluster.nodes
+                )
+            except ValueError as exc:
+                print(f"bad --fault-plan: {exc}", file=sys.stderr)
+                return 2
+    testbed = EmulatedTestbed(
+        cluster,
+        codec,
+        workdir=Path(args.workdir) if args.workdir else None,
+        faults=faults,
+    )
+    journal_path = (
+        Path(args.journal) if args.journal else testbed.workdir / "daemon.journal"
+    )
+    monitor = ClusterFailureMonitor(cluster, traces, predictor)
+    crashes = 0
+    with testbed:
+        testbed.load_random_data(seed=args.seed)
+        daemon = RepairDaemon(
+            testbed,
+            monitor,
+            journal_path=journal_path,
+            scenario=RepairScenario(args.scenario),
+            seed=args.seed,
+            helper_budget=args.helper_budget,
+            scrub_interval_days=args.scrub_interval,
+        )
+        # Supervised loop: an injected daemon/coordinator death is
+        # survived by a successor on the same journals — the always-on
+        # property the deployment story needs.
+        while True:
+            try:
+                daemon.resume()
+                report = daemon.run(max_days=args.max_days)
+                break
+            except (CoordinatorCrash, DaemonCrash) as crash:
+                crashes += 1
+                print(f"daemon died ({crash}); restarting from journal")
+                daemon.close()
+                daemon = RepairDaemon(
+                    testbed,
+                    monitor,
+                    journal_path=journal_path,
+                    scenario=RepairScenario(args.scenario),
+                    seed=args.seed,
+                    helper_budget=args.helper_budget,
+                    scrub_interval_days=args.scrub_interval,
+                )
+        daemon.close()
+    print(
+        f"daemon observed {daemon.next_day} days: "
+        f"{len(report.stf_events)} predictive alarms "
+        f"({len(report.suppressed_alarms)} suppressed), "
+        f"{len(report.missed_failures)} missed failures, "
+        f"{daemon.completed_tasks} repairs completed, "
+        f"{daemon.queue_depth} queued, {crashes} restarts"
+    )
+    if args.metrics_out is not None:
+        testbed.metrics.save(args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
+    if args.output is not None:
+        document = {
+            "version": 1,
+            "days_observed": daemon.next_day,
+            "stf_events": len(report.stf_events),
+            "suppressed_alarms": len(report.suppressed_alarms),
+            "missed_failures": len(report.missed_failures),
+            "repairs_completed": daemon.completed_tasks,
+            "queue_depth": daemon.queue_depth,
+            "restarts": crashes,
+        }
+        with open(args.output, "w") as f:
+            json_mod.dump(document, f, indent=2)
+        print(f"wrote daemon report to {args.output}")
+    return 0
+
+
+def _cmd_lifetime(args) -> int:
+    import json as json_mod
+
+    from .ec import make_codec
+    from .failure import SmartTraceGenerator, ThresholdPredictor, load_traces
+    from .sim.lifetime import (
+        LifetimeConfig,
+        TraceReplayProcess,
+        WeibullFailureProcess,
+        durability_study,
+    )
+
+    codec = make_codec(args.code)
+    config = LifetimeConfig(
+        num_disks=args.disks,
+        num_stripes=args.stripes,
+        n=codec.n,
+        k=codec.k,
+        years=args.years,
+        repair_concurrency=args.concurrency,
+        latent_errors_per_disk_year=args.latent_rate,
+        scrub_interval_days=args.scrub_interval,
+    )
+    processes = []
+    if args.process in ("weibull", "both"):
+        processes.append(
+            WeibullFailureProcess(annual_failure_rate=args.afr)
+        )
+    if args.process in ("trace-replay", "both"):
+        if args.fleet is not None:
+            traces = load_traces(args.fleet)
+        else:
+            traces = SmartTraceGenerator(
+                max(args.disks, 50),
+                annual_failure_rate=max(args.afr, 0.05),
+                seed=args.seed,
+            ).generate()
+        processes.append(
+            TraceReplayProcess(traces, ThresholdPredictor())
+        )
+    entries = durability_study(
+        processes, config, trials=args.trials, seed=args.seed
+    )
+    for entry in entries:
+        for mode in ("predictive", "reactive"):
+            summary = entry[mode]
+            print(
+                f"{entry['process']:13s} {mode:10s} "
+                f"P(loss)={summary['lost_stripe_probability']:.4f}  "
+                f"lost/trial={summary['mean_lost_stripes']:.3f}  "
+                f"chunk-days at risk={summary['mean_chunk_days_at_risk']:.1f}  "
+                f"max queue={summary['max_queue_depth']}"
+            )
+    if args.output is not None:
+        document = {
+            "version": 1,
+            "trials": args.trials,
+            "years": args.years,
+            "code": args.code,
+            "processes": entries,
+        }
+        with open(args.output, "w") as f:
+            json_mod.dump(document, f, indent=2)
+        print(f"wrote durability study to {args.output}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from .obs import (
         TraceError,
@@ -975,6 +1317,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scrub": _cmd_scrub,
         "fleet": _cmd_fleet,
         "predict": _cmd_predict,
+        "daemon": _cmd_daemon,
+        "lifetime": _cmd_lifetime,
         "report": _cmd_report,
     }[args.command]
     return handler(args)

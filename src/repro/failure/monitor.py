@@ -11,7 +11,7 @@ necessary, even though the STF node is a false alarm").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..cluster.chunk import NodeId
 from ..cluster.cluster import StorageCluster
@@ -57,6 +57,11 @@ class MonitorReport:
     stf_events: List[StfEvent] = field(default_factory=list)
     missed_failures: List[MissedFailure] = field(default_factory=list)
     plans: Dict[NodeId, RepairPlan] = field(default_factory=dict)
+    #: alarms swallowed because their node was already under repair —
+    #: multiple disks bound to one node (or a re-alarm before
+    #: :meth:`ClusterFailureMonitor.complete_repair`) must not spawn a
+    #: second concurrent repair of the same node
+    suppressed_alarms: List[StfEvent] = field(default_factory=list)
 
     @property
     def false_alarms(self) -> List[StfEvent]:
@@ -98,6 +103,97 @@ class ClusterFailureMonitor:
                 trace.disk_id: node_ids[i] for i, trace in enumerate(self.traces)
             }
         self.node_bindings = node_bindings
+        #: disks whose first alarm (or failure) has already been handled
+        self._alarmed: Set[int] = set()
+        #: nodes with a repair in flight — further alarms for them are
+        #: suppressed until :meth:`complete_repair` re-arms the node
+        self._active_repairs: Set[NodeId] = set()
+        #: disks currently suppressed (one suppressed event per disk,
+        #: not one per day); cleared when their node's repair completes
+        self._suppressed: Set[int] = set()
+
+    @property
+    def horizon(self) -> int:
+        """Days covered by the trace fleet (last sample day + 1)."""
+        return max(s.day for t in self.traces for s in t.samples) + 1
+
+    @property
+    def active_repairs(self) -> Set[NodeId]:
+        """Nodes whose repair is in flight (alarms for them dedupe)."""
+        return set(self._active_repairs)
+
+    def complete_repair(self, node_id: NodeId) -> None:
+        """Mark ``node_id``'s repair finished; its alarms fire again.
+
+        While a node is under repair, repeated predictor alarms for it
+        (a second degrading disk bound to the same node, or the same
+        disk re-crossing the threshold) are deduplicated into
+        :attr:`MonitorReport.suppressed_alarms` instead of emitting a
+        duplicate :class:`StfEvent`.  Callers that execute repairs
+        (e.g. :class:`repro.runtime.daemon.RepairDaemon`) call this
+        when the repair lands, so a *later* degradation of the
+        replaced/repaired node raises a fresh alarm.
+        """
+        self._active_repairs.discard(node_id)
+        for disk_id, bound in self.node_bindings.items():
+            if bound == node_id:
+                self._suppressed.discard(disk_id)
+
+    def observe_day(
+        self,
+        day: int,
+        report: MonitorReport,
+        on_stf: Optional[Callable[[StfEvent], Optional[RepairPlan]]] = None,
+        on_failure: Optional[Callable[[MissedFailure], None]] = None,
+    ) -> None:
+        """Process one day of telemetry (incremental form of :meth:`run`).
+
+        Monitor state (which disks have alarmed, which nodes are under
+        repair) lives on the instance, so a daemon can interleave
+        ``observe_day`` with repair execution and
+        :meth:`complete_repair` calls.
+        """
+        for trace in self.traces:
+            node_id = self.node_bindings[trace.disk_id]
+            if trace.disk_id in self._alarmed:
+                continue
+            # Actual failure without a preceding alarm: missed.
+            if trace.failure_day is not None and day >= trace.failure_day:
+                self._alarmed.add(trace.disk_id)
+                self._suppressed.discard(trace.disk_id)
+                self.cluster.node(node_id).mark_failed()
+                missed = MissedFailure(day, node_id, trace.disk_id)
+                report.missed_failures.append(missed)
+                if on_failure is not None:
+                    on_failure(missed)
+                continue
+            window = trace.window(day, self.predictor.window_days)
+            if len(window) < self.predictor.window_days:
+                continue
+            if not self.predictor.predict(window):
+                continue
+            event = StfEvent(
+                day=day,
+                node_id=node_id,
+                disk_id=trace.disk_id,
+                actual_failure_day=trace.failure_day,
+            )
+            if node_id in self._active_repairs:
+                # Dedupe: the node is already being repaired.  Record
+                # the alarm once per disk and re-check after the active
+                # repair completes.
+                if trace.disk_id not in self._suppressed:
+                    self._suppressed.add(trace.disk_id)
+                    report.suppressed_alarms.append(event)
+                continue
+            self._alarmed.add(trace.disk_id)
+            self._active_repairs.add(node_id)
+            self.cluster.node(node_id).mark_soon_to_fail()
+            report.stf_events.append(event)
+            if on_stf is not None:
+                plan = on_stf(event)
+                if plan is not None:
+                    report.plans[node_id] = plan
 
     def run(
         self,
@@ -112,39 +208,13 @@ class ClusterFailureMonitor:
         runs.  ``on_failure`` fires for failures that arrive with no
         prior alarm (the node is already marked failed) — the hook for
         reactive repair.
+
+        Batch callers that finish each repair within its callback may
+        call :meth:`complete_repair` from ``on_stf``; otherwise every
+        node's first alarm wins and later alarms for the same node land
+        in :attr:`MonitorReport.suppressed_alarms`.
         """
         report = MonitorReport()
-        alarmed: set = set()
-        horizon = max(s.day for t in self.traces for s in t.samples) + 1
-        for day in range(horizon):
-            for trace in self.traces:
-                node_id = self.node_bindings[trace.disk_id]
-                if trace.disk_id in alarmed:
-                    continue
-                # Actual failure without a preceding alarm: missed.
-                if trace.failure_day is not None and day >= trace.failure_day:
-                    alarmed.add(trace.disk_id)
-                    self.cluster.node(node_id).mark_failed()
-                    missed = MissedFailure(day, node_id, trace.disk_id)
-                    report.missed_failures.append(missed)
-                    if on_failure is not None:
-                        on_failure(missed)
-                    continue
-                window = trace.window(day, self.predictor.window_days)
-                if len(window) < self.predictor.window_days:
-                    continue
-                if self.predictor.predict(window):
-                    alarmed.add(trace.disk_id)
-                    event = StfEvent(
-                        day=day,
-                        node_id=node_id,
-                        disk_id=trace.disk_id,
-                        actual_failure_day=trace.failure_day,
-                    )
-                    self.cluster.node(node_id).mark_soon_to_fail()
-                    report.stf_events.append(event)
-                    if on_stf is not None:
-                        plan = on_stf(event)
-                        if plan is not None:
-                            report.plans[node_id] = plan
+        for day in range(self.horizon):
+            self.observe_day(day, report, on_stf=on_stf, on_failure=on_failure)
         return report

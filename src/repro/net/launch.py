@@ -51,7 +51,12 @@ from ..runtime.faults import FaultInjector, FaultPlan
 from ..runtime.journal import RepairJournal
 from ..runtime.messages import Shutdown
 from ..runtime.multicoord import MultiCoordinator, MultiRepairResult
-from ..runtime.testbed import VerificationError, iter_encoded_stripes
+from ..runtime.testbed import (
+    ChunkMismatch,
+    VerificationError,
+    iter_encoded_stripes,
+    mismatch_error,
+)
 from ..runtime.throttle import RateLimiter
 from .tcp import TcpNetwork
 
@@ -222,10 +227,12 @@ def verify_actions(
 
     Reads each executed action's destination store directory
     (``workdir/node_<id>``) and compares against the deterministic
-    originals; raises :class:`VerificationError` on any mismatch.
-    Returns the number of chunks verified.
+    originals; raises :class:`VerificationError` on any mismatch,
+    collecting every failing chunk (not just the first) into the
+    error's ``mismatches``.  Returns the number of chunks verified.
     """
     verified = 0
+    mismatches = []
     for action in actions:
         path = (
             Path(workdir)
@@ -233,18 +240,30 @@ def verify_actions(
             / f"stripe_{action.stripe_id}.chunk"
         )
         if not path.exists():
-            raise VerificationError(
-                f"destination {action.destination} has no chunk of "
-                f"stripe {action.stripe_id} ({path})"
+            mismatches.append(
+                ChunkMismatch(
+                    action.stripe_id,
+                    action.chunk_index,
+                    action.destination,
+                    "missing",
+                )
             )
+            continue
         digest = hashlib.sha256(path.read_bytes()).hexdigest()
         expected = checksums[(action.stripe_id, action.chunk_index)]
         if digest != expected:
-            raise VerificationError(
-                f"chunk ({action.stripe_id}, {action.chunk_index}) restored "
-                f"incorrectly at node {action.destination}"
+            mismatches.append(
+                ChunkMismatch(
+                    action.stripe_id,
+                    action.chunk_index,
+                    action.destination,
+                    "mismatch",
+                )
             )
+            continue
         verified += 1
+    if mismatches:
+        raise mismatch_error(mismatches)
     return verified
 
 

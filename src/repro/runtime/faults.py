@@ -44,6 +44,7 @@ FAULT_PLAN_SCHEMA = Schema(
         "slow_nics",
         "coordinator_crashes",
         "domain_crashes",
+        "daemon_crashes",
         "seed",
     ),
     error=TypeError,
@@ -174,6 +175,29 @@ class CoordinatorCrashFault:
 
 
 @dataclass(frozen=True)
+class DaemonCrashFault:
+    """The repair daemon's own process dies at a deterministic point.
+
+    A daemon death is one layer above a coordinator crash: the daemon's
+    queue journal survives, any in-flight coordinator repair is cut at
+    whatever its own journal holds, and a restarted daemon must resume
+    from both journals without double-executing finished repairs
+    (see :class:`repro.runtime.daemon.RepairDaemon.resume`).
+
+    Attributes:
+        after_tasks: die immediately after the Nth repair task of the
+            run is journaled complete (the completion record is on
+            disk; the daemon dies before dequeuing the next task).
+    """
+
+    after_tasks: int
+
+    def __post_init__(self):
+        if self.after_tasks < 1:
+            raise ValueError("after_tasks must be >= 1")
+
+
+@dataclass(frozen=True)
 class DomainCrashFault:
     """A whole failure domain (rack or machine) dies at once.
 
@@ -225,6 +249,7 @@ class FaultPlan:
         default_factory=list
     )
     domain_crashes: List[DomainCrashFault] = field(default_factory=list)
+    daemon_crashes: List[DaemonCrashFault] = field(default_factory=list)
     seed: int = 0
 
     def crash_times(self) -> List[CrashFault]:
@@ -276,6 +301,7 @@ class FaultPlan:
                     {**asdict(d), "coordinators": list(d.coordinators)}
                     for d in self.domain_crashes
                 ],
+                "daemon_crashes": [asdict(c) for c in self.daemon_crashes],
             }
         )
 
@@ -310,6 +336,9 @@ class FaultPlan:
                     coordinators=tuple(d.get("coordinators", ())),
                 )
                 for d in body.get("domain_crashes", [])
+            ],
+            daemon_crashes=[
+                DaemonCrashFault(**c) for c in body.get("daemon_crashes", [])
             ],
             seed=body.get("seed", 0),
         )
@@ -387,6 +416,12 @@ class FaultInjector:
         self._rngs: Dict[Tuple[NodeId, NodeId], "_LinkRng"] = {}
         self._pending_slowdowns = sorted(
             self.plan.slow_nics, key=lambda s: s.at_time
+        )
+        #: daemon deaths not yet fired — shared across daemon
+        #: incarnations so a restarted daemon does not re-trip a fault
+        #: its predecessor already consumed
+        self.daemon_crashes_pending: List[DaemonCrashFault] = list(
+            self.plan.daemon_crashes
         )
         #: telemetry: packets dropped / duplicated / corrupted / delayed
         self.stats = {"dropped": 0, "duplicated": 0, "corrupted": 0, "delayed": 0}

@@ -24,7 +24,8 @@ import shutil
 import tempfile
 import threading
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cluster.chunk import NodeId
 from ..cluster.cluster import StorageCluster
@@ -45,8 +46,42 @@ from .throttle import RateLimiter
 from .transport import Network
 
 
+@dataclass(frozen=True)
+class ChunkMismatch:
+    """One chunk that failed post-repair verification."""
+
+    stripe_id: int
+    chunk_index: int
+    node_id: NodeId
+    #: ``"missing"`` (destination has no chunk) or ``"mismatch"``
+    #: (bytes differ from the load-time original)
+    reason: str
+
+
 class VerificationError(AssertionError):
-    """Raised when a repaired chunk's bytes do not match the original."""
+    """Raised when repaired chunks' bytes do not match the originals.
+
+    Carries *every* failing chunk in :attr:`mismatches` (not just the
+    first), so callers — notably ``fastpr repair`` — can log the full
+    set of mismatching chunk ids and exit non-zero.
+    """
+
+    def __init__(self, message: str, mismatches: Sequence[ChunkMismatch] = ()):
+        super().__init__(message)
+        self.mismatches: List[ChunkMismatch] = list(mismatches)
+
+
+def mismatch_error(mismatches: Sequence[ChunkMismatch]) -> VerificationError:
+    """Build a :class:`VerificationError` naming every failing chunk."""
+    ids = "; ".join(
+        f"stripe {m.stripe_id} chunk {m.chunk_index} at node {m.node_id} "
+        f"({m.reason})"
+        for m in mismatches
+    )
+    return VerificationError(
+        f"{len(mismatches)} chunk(s) failed post-repair verification: {ids}",
+        mismatches,
+    )
 
 
 def iter_encoded_stripes(
@@ -457,26 +492,40 @@ class EmulatedTestbed:
                 checks the *effective* destinations.
 
         Raises:
-            VerificationError: on any mismatch or missing chunk.
+            VerificationError: on any mismatch or missing chunk; every
+                failing chunk is collected into the error's
+                ``mismatches`` (the scan does not stop at the first).
         """
         if result is not None and result.executed_actions:
             actions = result.executed_actions
         else:
             actions = list(plan.actions())
+        mismatches: List[ChunkMismatch] = []
         for action in actions:
             store = self.stores[action.destination]
             if not store.has(action.stripe_id):
-                raise VerificationError(
-                    f"destination {action.destination} has no chunk of "
-                    f"stripe {action.stripe_id}"
+                mismatches.append(
+                    ChunkMismatch(
+                        action.stripe_id,
+                        action.chunk_index,
+                        action.destination,
+                        "missing",
+                    )
                 )
+                continue
             actual = _digest(store.read(action.stripe_id))
             expected = self._checksums[(action.stripe_id, action.chunk_index)]
             if actual != expected:
-                raise VerificationError(
-                    f"chunk ({action.stripe_id}, {action.chunk_index}) "
-                    f"restored incorrectly at node {action.destination}"
+                mismatches.append(
+                    ChunkMismatch(
+                        action.stripe_id,
+                        action.chunk_index,
+                        action.destination,
+                        "mismatch",
+                    )
                 )
+        if mismatches:
+            raise mismatch_error(mismatches)
 
     def _raise_agent_errors(self) -> None:
         for agent in self.agents.values():

@@ -2,12 +2,24 @@
 
 from .cost_model import CostModelSimulator, evaluate_plan
 from .events import Acquire, Delay, Process, Release, Resource, Simulation, SimulationError, use
+from .lifetime import (
+    DiskEvent,
+    LifetimeConfig,
+    LifetimeReport,
+    LifetimeResult,
+    TraceReplayProcess,
+    WeibullFailureProcess,
+    durability_study,
+    run_lifetime,
+)
 from .resources import DeviceMap, NodeDevices
 from .simulator import (
     DeviceUtilization,
+    RepairRateCalibration,
     RepairResult,
     RepairSimulator,
     ShardedRepairResult,
+    calibrate_repair_rates,
     simulate_repair,
     simulate_sharded_repair,
 )
@@ -29,9 +41,15 @@ __all__ = [
     "Acquire",
     "ClusterLifetime",
     "CostModelSimulator",
+    "DiskEvent",
     "EventKind",
+    "LifetimeConfig",
+    "LifetimeReport",
+    "LifetimeResult",
     "TimelineEvent",
     "TimelineReport",
+    "TraceReplayProcess",
+    "WeibullFailureProcess",
     "evaluate_plan",
     "Delay",
     "DeviceMap",
@@ -40,6 +58,7 @@ __all__ = [
     "PAPER_SIM_CONFIG",
     "Process",
     "Release",
+    "RepairRateCalibration",
     "RepairResult",
     "RepairSimulator",
     "Resource",
@@ -49,7 +68,10 @@ __all__ = [
     "SimulationError",
     "build_cluster",
     "build_cluster_with_stf",
+    "calibrate_repair_rates",
+    "durability_study",
     "fixed_stf_chunk_count",
+    "run_lifetime",
     "simulate_repair",
     "simulate_sharded_repair",
     "use",

@@ -91,6 +91,21 @@ class Simulation:
         pid = next(self._seq)
         self._schedule(self.now, lambda: self._step(pid, process, on_done, None))
 
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at absolute virtual time ``time``.
+
+        The public face of the internal scheduler, for event-driven
+        models (e.g. :mod:`repro.sim.lifetime`) that react to point
+        events — a disk failing, a scrub tick — rather than holding
+        resources through generator processes.  Events at equal times
+        fire in scheduling order.
+        """
+        if time < self.now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule at {time} (now is {self.now})"
+            )
+        self._schedule(max(time, self.now), fn)
+
     def run(self) -> float:
         """Run until no events remain; returns the final virtual time."""
         while self._queue:
@@ -99,6 +114,21 @@ class Simulation:
                 raise SimulationError("time went backwards")
             self.now = max(self.now, time)
             fn()
+        return self.now
+
+    def run_until(self, deadline: float) -> float:
+        """Run events with ``time <= deadline``; advance ``now`` to it.
+
+        Events scheduled beyond ``deadline`` stay queued for a later
+        :meth:`run` / :meth:`run_until` call — the hook lifetime-mode
+        uses to cut a simulated horizon without draining renewals that
+        fall past it.
+        """
+        while self._queue and self._queue[0][0] <= deadline:
+            time, _, fn = heapq.heappop(self._queue)
+            self.now = max(self.now, time)
+            fn()
+        self.now = max(self.now, deadline)
         return self.now
 
     # -- internals --------------------------------------------------------

@@ -622,6 +622,75 @@ def _pause(duration: float) -> Process:
     yield Delay(duration)
 
 
+@dataclass(frozen=True)
+class RepairRateCalibration:
+    """Simulated whole-node repair times, predictive vs reactive.
+
+    Produced by :func:`calibrate_repair_rates` and consumed by the
+    lifetime Monte-Carlo engine (:mod:`repro.sim.lifetime`), which
+    needs per-disk repair *durations* rather than per-round traces:
+    ``predictive_seconds`` is FastPR draining a still-readable STF node
+    (migration + reconstruction mix), ``reactive_seconds`` is pure
+    reconstruction around an already-dead node.
+    """
+
+    predictive_seconds: float
+    reactive_seconds: float
+    chunks: int
+
+    @property
+    def predictive_days(self) -> float:
+        return self.predictive_seconds / 86_400.0
+
+    @property
+    def reactive_days(self) -> float:
+        return self.reactive_seconds / 86_400.0
+
+
+def calibrate_repair_rates(
+    cluster: StorageCluster,
+    stf_node: Optional[NodeId] = None,
+    seed: int = 0,
+    chunk_size: Optional[int] = None,
+) -> RepairRateCalibration:
+    """Simulate one representative node repair both ways.
+
+    Plans a FastPR (predictive) and a reconstruction-only (reactive)
+    repair of ``stf_node`` (default: the busiest storage node, the
+    conservative choice) and runs each through the event-driven
+    simulator, returning the two total times.  The node's health flag
+    is restored afterwards, so the cluster can be reused.
+    """
+    from ..core.plan import RepairScenario
+    from ..core.planner import FastPRPlanner, ReconstructionOnlyPlanner
+
+    if stf_node is None:
+        stf_node = max(
+            cluster.storage_node_ids(), key=lambda n: cluster.load_of(n)
+        )
+    node = cluster.node(stf_node)
+    was_healthy = node.is_healthy
+    node.mark_soon_to_fail()
+    try:
+        simulator = RepairSimulator(cluster, chunk_size=chunk_size)
+        chunks = cluster.load_of(stf_node)
+        times = {}
+        for label, planner in (
+            ("predictive", FastPRPlanner(scenario=RepairScenario.SCATTERED, seed=seed)),
+            ("reactive", ReconstructionOnlyPlanner(scenario=RepairScenario.SCATTERED, seed=seed)),
+        ):
+            plan = planner.plan(cluster, stf_node)
+            times[label] = simulator.run(plan).total_time
+    finally:
+        if was_healthy:
+            node.mark_healthy()
+    return RepairRateCalibration(
+        predictive_seconds=times["predictive"],
+        reactive_seconds=times["reactive"],
+        chunks=chunks,
+    )
+
+
 def simulate_sharded_repair(
     cluster: StorageCluster,
     plan: RepairPlan,

@@ -4,9 +4,9 @@ import pytest
 
 from repro.cluster import StorageCluster
 from repro.core.planner import FastPRPlanner, apply_plan
-from repro.failure.monitor import ClusterFailureMonitor
+from repro.failure.monitor import ClusterFailureMonitor, MonitorReport
 from repro.failure.predictor import LogisticPredictor, ThresholdPredictor
-from repro.failure.smart import SmartTraceGenerator
+from repro.failure.smart import DiskTrace, SmartSample, SmartTraceGenerator
 
 
 @pytest.fixture(scope="module")
@@ -115,3 +115,87 @@ class TestMonitor:
         report = monitor.run()
         for event in report.stf_events:
             assert event.node_id == bindings[event.disk_id]
+
+
+# ----------------------------------------------------------------------
+# alarm dedupe while a repair is in flight
+# ----------------------------------------------------------------------
+
+
+def hot_trace(disk_id, alarm_day, horizon=30, failure_day=None):
+    """A trace whose reallocated-sector count crosses 50 at alarm_day."""
+    samples = [
+        SmartSample(
+            disk_id,
+            day,
+            {"smart_5_reallocated_sectors": 100.0 if day >= alarm_day else 0.0},
+        )
+        for day in range(horizon)
+    ]
+    return DiskTrace(disk_id, samples, failure_day=failure_day)
+
+
+class TestAlarmDedupe:
+    """Satellite: one node under repair must not spawn a second repair.
+
+    Two degrading disks bound to the same node (JBOD-style multi-disk
+    nodes), or a re-alarm before ``complete_repair``, dedupe into
+    ``MonitorReport.suppressed_alarms``.
+    """
+
+    def setup_monitor(self, alarm_days=(3, 5), same_node=True):
+        cluster = StorageCluster.random(6, 10, 5, 3, seed=13)
+        traces = [
+            hot_trace(i, alarm_day) for i, alarm_day in enumerate(alarm_days)
+        ]
+        bindings = {0: 0, 1: 0 if same_node else 1}
+        monitor = ClusterFailureMonitor(
+            cluster,
+            traces,
+            ThresholdPredictor(threshold=50.0),
+            node_bindings=bindings,
+        )
+        return cluster, monitor
+
+    def test_second_disk_on_same_node_suppressed(self):
+        cluster, monitor = self.setup_monitor()
+        report = monitor.run()
+        assert [e.disk_id for e in report.stf_events] == [0]
+        assert [e.disk_id for e in report.suppressed_alarms] == [1]
+
+    def test_suppressed_once_per_disk_not_per_day(self):
+        cluster, monitor = self.setup_monitor()
+        report = monitor.run()  # disk 1 stays hot for ~25 days
+        assert len(report.suppressed_alarms) == 1
+
+    def test_distinct_nodes_both_alarm(self):
+        cluster, monitor = self.setup_monitor(same_node=False)
+        report = monitor.run()
+        assert [e.disk_id for e in report.stf_events] == [0, 1]
+        assert report.suppressed_alarms == []
+
+    def test_complete_repair_rearms_node(self):
+        cluster, monitor = self.setup_monitor()
+        report = MonitorReport()
+        for day in range(4):
+            monitor.observe_day(day, report)
+        assert [e.disk_id for e in report.stf_events] == [0]
+        assert monitor.active_repairs == {0}
+
+        monitor.complete_repair(0)
+        cluster.node(0).mark_healthy()
+        assert monitor.active_repairs == set()
+
+        for day in range(4, 10):
+            monitor.observe_day(day, report)
+        # disk 1's alarm, swallowed while disk 0's repair was active,
+        # fires as a fresh event once the node is repaired
+        assert [e.disk_id for e in report.stf_events] == [0, 1]
+
+    def test_suppressed_alarm_keeps_event_details(self):
+        cluster, monitor = self.setup_monitor(alarm_days=(2, 2))
+        report = monitor.run()
+        (suppressed,) = report.suppressed_alarms
+        assert suppressed.node_id == 0
+        assert suppressed.disk_id == 1
+        assert suppressed.day == 2

@@ -1,0 +1,285 @@
+"""Tests for the Monte-Carlo cluster-lifetime simulation."""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.failure.predictor import ThresholdPredictor, first_alarm_day
+from repro.failure.smart import SmartTraceGenerator
+from repro.sim.events import Simulation, SimulationError
+from repro.sim.lifetime import (
+    DiskEvent,
+    LifetimeConfig,
+    TraceReplayProcess,
+    WeibullFailureProcess,
+    durability_study,
+    run_lifetime,
+)
+
+
+class TestDiskEvent:
+    def test_needs_some_event(self):
+        with pytest.raises(ValueError, match="failure or an alarm"):
+            DiskEvent(0, None, None)
+
+    def test_alarm_must_precede_failure(self):
+        with pytest.raises(ValueError, match="alarm_day"):
+            DiskEvent(0, fail_day=10.0, alarm_day=12.0)
+
+    def test_false_alarm_and_miss_are_legal(self):
+        assert DiskEvent(0, None, 5.0).fail_day is None
+        assert DiskEvent(0, 5.0, None).alarm_day is None
+
+
+class TestSimulationSchedule:
+    def test_schedule_at_runs_in_time_order(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule_at(2.0, lambda: seen.append("b"))
+        sim.schedule_at(1.0, lambda: seen.append("a"))
+        sim.run()
+        assert seen == ["a", "b"]
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulation()
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="cannot schedule"):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_run_until_leaves_later_events_queued(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule_at(1.0, lambda: seen.append(1))
+        sim.schedule_at(10.0, lambda: seen.append(10))
+        assert sim.run_until(5.0) == 5.0
+        assert seen == [1]
+        sim.run()
+        assert seen == [1, 10]
+
+
+class TestWeibullProcess:
+    def test_deterministic_per_seed(self):
+        process = WeibullFailureProcess(annual_failure_rate=0.2)
+        a = process.events(random.Random(1), 20, 365.0)
+        b = process.events(random.Random(1), 20, 365.0)
+        assert a == b
+
+    def test_failure_rate_roughly_matches_afr(self):
+        # With shape ~1, failures per disk-year ~ AFR; check the scale
+        # calibration lands within a loose statistical band.
+        afr = 0.2
+        process = WeibullFailureProcess(
+            annual_failure_rate=afr, detection_rate=0.0, false_alarm_rate=0.0
+        )
+        events = process.events(random.Random(3), 500, 365.0)
+        failures = sum(1 for e in events if e.fail_day is not None)
+        assert 0.5 * afr * 500 < failures < 2.0 * afr * 500
+
+    def test_alarms_lead_failures(self):
+        process = WeibullFailureProcess(
+            annual_failure_rate=0.5, detection_rate=1.0, lead_days=10.0
+        )
+        events = process.events(random.Random(7), 50, 365.0)
+        predicted = [e for e in events if e.fail_day and e.alarm_day]
+        assert predicted
+        for event in predicted:
+            assert event.alarm_day <= event.fail_day
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            WeibullFailureProcess(shape=0.0)
+        with pytest.raises(ValueError, match="annual_failure_rate"):
+            WeibullFailureProcess(annual_failure_rate=1.5)
+
+
+class TestTraceReplayProcess:
+    @pytest.fixture(scope="class")
+    def traces(self):
+        return SmartTraceGenerator(
+            num_disks=80, annual_failure_rate=0.3, seed=11
+        ).generate()
+
+    def test_alarm_days_come_from_the_predictor(self, traces):
+        predictor = ThresholdPredictor()
+        process = TraceReplayProcess(traces, predictor)
+        spans = {}
+        for trace in traces:
+            alarm = first_alarm_day(predictor, trace)
+            if trace.failure_day is not None and alarm is not None:
+                spans[trace.disk_id] = (alarm, trace.failure_day)
+        events = process.events(random.Random(5), 30, 365.0)
+        predicted = [e for e in events if e.fail_day and e.alarm_day]
+        assert predicted  # a 30% AFR fleet predicts *something*
+        for event in predicted:
+            assert event.alarm_day < event.fail_day
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            TraceReplayProcess([], ThresholdPredictor())
+
+    def test_tiles_past_the_trace_span(self, traces):
+        process = TraceReplayProcess(traces, ThresholdPredictor())
+        events = process.events(random.Random(9), 10, 5 * 365.0)
+        # A 120-day fleet only covers 5 years by tiling replacements.
+        assert any(e.fail_day and e.fail_day > 365.0 for e in events)
+
+
+AGGRESSIVE = LifetimeConfig(
+    num_disks=12,
+    num_stripes=60,
+    n=6,
+    k=5,
+    years=2.0,
+    repair_concurrency=1,
+    reactive_repair_days=12.0,
+    replacement_delay_days=3.0,
+    predictive_repair_days=0.5,
+)
+
+
+class TestRunLifetime:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="k < n"):
+            LifetimeConfig(n=3, k=3)
+        with pytest.raises(ValueError, match="disks"):
+            LifetimeConfig(num_disks=5, n=9, k=6)
+        with pytest.raises(ValueError, match="concurrency"):
+            LifetimeConfig(repair_concurrency=0)
+
+    def test_placement_shared_across_trials(self):
+        config = LifetimeConfig(num_disks=12, num_stripes=10, n=9, k=6)
+        assert config.placement() == config.placement()
+        for disks in config.placement():
+            assert len(set(disks)) == config.n
+
+    def test_deterministic_per_seed(self):
+        process = WeibullFailureProcess(annual_failure_rate=0.3)
+        config = LifetimeConfig(num_disks=12, num_stripes=30, n=9, k=6)
+        a = run_lifetime(process, config, trials=5, seed=4)
+        b = run_lifetime(process, config, trials=5, seed=4)
+        assert a.to_dict() == b.to_dict()
+
+    def test_predictive_repair_cuts_exposure_and_loss(self):
+        process = WeibullFailureProcess(
+            annual_failure_rate=0.5, detection_rate=0.97, lead_days=20.0
+        )
+        predictive = run_lifetime(process, AGGRESSIVE, trials=15, seed=9)
+        reactive = run_lifetime(
+            process, replace(AGGRESSIVE, predictive=False), trials=15, seed=9
+        )
+        # Under slow single-crew repair and a hot failure process, the
+        # paper's mechanism is the difference between losing stripes
+        # and not: alarms drain disks before they die.
+        assert reactive.lost_stripe_probability > 0
+        assert (
+            predictive.lost_stripe_probability
+            < reactive.lost_stripe_probability
+        )
+        assert (
+            predictive.mean_chunk_days_at_risk
+            < reactive.mean_chunk_days_at_risk
+        )
+
+    def test_reactive_mode_ignores_alarms(self):
+        process = WeibullFailureProcess(
+            annual_failure_rate=0.4, detection_rate=1.0
+        )
+        config = replace(AGGRESSIVE, predictive=False)
+        report = run_lifetime(process, config, trials=5, seed=2)
+        totals = {}
+        for result in report.results:
+            for kind, count in result.repairs_completed.items():
+                totals[kind] = totals.get(kind, 0) + count
+        assert totals.get("predictive", 0) == 0
+        assert totals.get("reactive", 0) > 0
+
+    def test_queue_depth_tracked_under_contention(self):
+        process = WeibullFailureProcess(annual_failure_rate=0.6)
+        report = run_lifetime(process, AGGRESSIVE, trials=5, seed=6)
+        assert report.max_queue_depth >= 1
+        assert report.mean_max_queue_depth > 0
+
+    def test_latent_errors_found_by_scrub(self):
+        config = LifetimeConfig(
+            num_disks=12,
+            num_stripes=40,
+            n=6,
+            k=5,
+            years=1.0,
+            latent_errors_per_disk_year=2.0,
+            scrub_interval_days=10.0,
+        )
+        process = WeibullFailureProcess(annual_failure_rate=0.05)
+        report = run_lifetime(process, config, trials=5, seed=8)
+        latent = sum(r.latent_errors for r in report.results)
+        detected = sum(r.scrub_detections for r in report.results)
+        chunk_repairs = sum(
+            r.repairs_completed.get("chunk", 0) for r in report.results
+        )
+        assert latent > 0
+        assert 0 < detected <= latent
+        assert chunk_repairs > 0
+
+    def test_unscrubbed_latent_errors_accumulate_risk(self):
+        base = LifetimeConfig(
+            num_disks=12,
+            num_stripes=40,
+            n=6,
+            k=5,
+            years=1.0,
+            latent_errors_per_disk_year=2.0,
+            scrub_interval_days=5.0,
+        )
+        process = WeibullFailureProcess(annual_failure_rate=0.05)
+        scrubbed = run_lifetime(process, base, trials=5, seed=8)
+        unscrubbed = run_lifetime(
+            process, replace(base, scrub_interval_days=0.0), trials=5, seed=8
+        )
+        assert (
+            unscrubbed.mean_chunk_days_at_risk
+            > scrubbed.mean_chunk_days_at_risk
+        )
+
+    def test_trials_must_be_positive(self):
+        with pytest.raises(ValueError, match="trials"):
+            run_lifetime(
+                WeibullFailureProcess(), LifetimeConfig(), trials=0
+            )
+
+    def test_report_dict_shape(self):
+        process = WeibullFailureProcess(annual_failure_rate=0.2)
+        config = LifetimeConfig(num_disks=12, num_stripes=20, n=9, k=6)
+        document = run_lifetime(process, config, trials=3, seed=1).to_dict()
+        for key in (
+            "process",
+            "predictive",
+            "trials",
+            "lost_stripe_probability",
+            "mean_chunk_days_at_risk",
+            "max_queue_depth",
+            "disk_failures",
+            "repairs_completed",
+        ):
+            assert key in document
+        assert document["trials"] == 3
+        assert "summary" not in document
+
+
+class TestDurabilityStudy:
+    def test_both_modes_per_process(self):
+        traces = SmartTraceGenerator(
+            num_disks=40, annual_failure_rate=0.3, seed=3
+        ).generate()
+        processes = [
+            WeibullFailureProcess(annual_failure_rate=0.1),
+            TraceReplayProcess(traces, ThresholdPredictor()),
+        ]
+        config = LifetimeConfig(num_disks=12, num_stripes=30, n=9, k=6)
+        entries = durability_study(processes, config, trials=3, seed=2)
+        assert [e["process"] for e in entries] == ["weibull", "trace-replay"]
+        for entry in entries:
+            assert entry["predictive"]["predictive"] is True
+            assert entry["reactive"]["predictive"] is False
+            assert entry["predictive"]["trials"] == 3

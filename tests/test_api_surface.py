@@ -44,12 +44,15 @@ PUBLIC_API = [
     "Agent",
     "Coordinator",
     "CoordinatorCrash",
+    "DaemonCrash",
+    "DaemonCrashFault",
     "DomainCrashFault",
     "EmulatedTestbed",
     "FaultPlan",
     "MultiCoordinator",
     "MultiRepairResult",
     "RepairAgent",
+    "RepairDaemon",
     "RepairFailedError",
     "RuntimeConfig",
     "Scrubber",
@@ -59,8 +62,14 @@ PUBLIC_API = [
     "TcpNetwork",
     "Testbed",
     # simulator backend
+    "LifetimeConfig",
+    "LifetimeReport",
     "RepairSimulator",
     "ShardedRepairResult",
+    "TraceReplayProcess",
+    "WeibullFailureProcess",
+    "durability_study",
+    "run_lifetime",
     "simulate_repair",
     "simulate_sharded_repair",
     # observability

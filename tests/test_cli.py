@@ -199,6 +199,34 @@ class TestRepairAndScrub:
         assert main(["repair", "--snapshot", str(path), "--stf", "9"]) == 2
         assert "already failed" in capsys.readouterr().err
 
+    def test_repair_verification_failure_exits_nonzero(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # Satellite: a post-repair mismatch must surface as exit 1 with
+        # every mismatching chunk id on stderr, never a silent success.
+        from repro.runtime.testbed import (
+            ChunkMismatch,
+            EmulatedTestbed,
+            mismatch_error,
+        )
+
+        path = self.snapshot(tmp_path, capsys)
+        mismatches = [
+            ChunkMismatch(3, 1, 9, "bytes differ"),
+            ChunkMismatch(5, 0, 4, "missing"),
+        ]
+
+        def fail_verify(self, plan, result=None):
+            raise mismatch_error(mismatches)
+
+        monkeypatch.setattr(EmulatedTestbed, "verify_plan", fail_verify)
+        assert main(["repair", "--snapshot", str(path), "--stf", "0"]) == 1
+        captured = capsys.readouterr()
+        assert "verified byte-identical" not in captured.out
+        assert "post-repair verification failed" in captured.err
+        assert "mismatching chunk: stripe 3 index 1 at node 9" in captured.err
+        assert "mismatching chunk: stripe 5 index 0 at node 4" in captured.err
+
     def test_scrub_repairs_injected_corruption(self, tmp_path, capsys):
         path = self.snapshot(tmp_path, capsys)
         assert (
@@ -277,6 +305,117 @@ class TestFleetAndPredict:
         path = tmp_path / "tiny.csv"
         save_traces(SmartTraceGenerator(1, seed=1).generate(), path)
         assert main(["predict", "--fleet", str(path)]) == 2
+
+
+class TestDaemonAndLifetime:
+    def setup_inputs(self, tmp_path, capsys):
+        snapshot = tmp_path / "cluster.json"
+        main(
+            [
+                "snapshot", "--nodes", "12", "--stripes", "8",
+                "--code", "rs(5,3)", "--seed", "7",
+                "--chunk-size", "65536", "-o", str(snapshot),
+            ]
+        )
+        fleet = tmp_path / "fleet.csv"
+        main(
+            [
+                "fleet", "--disks", "12", "--days", "60",
+                "--afr", "0.9", "--seed", "21", "-o", str(fleet),
+            ]
+        )
+        capsys.readouterr()
+        return snapshot, fleet
+
+    def test_daemon_runs_to_horizon(self, tmp_path, capsys):
+        snapshot, fleet = self.setup_inputs(tmp_path, capsys)
+        out_path = tmp_path / "daemon.json"
+        assert (
+            main(
+                [
+                    "daemon", "--snapshot", str(snapshot),
+                    "--fleet", str(fleet), "--seed", "3",
+                    "--workdir", str(tmp_path / "bed"),
+                    "--scrub-interval", "20", "-o", str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "daemon observed 60 days" in out
+        assert "0 queued" in out
+        document = json.loads(out_path.read_text())
+        assert document["days_observed"] == 60
+        assert document["repairs_completed"] > 0
+        assert document["queue_depth"] == 0
+        assert document["restarts"] == 0
+        assert (tmp_path / "bed" / "daemon.journal").exists()
+
+    def test_daemon_survives_injected_daemon_crash(self, tmp_path, capsys):
+        snapshot, fleet = self.setup_inputs(tmp_path, capsys)
+        faults = tmp_path / "faults.json"
+        faults.write_text(json.dumps({"daemon_crashes": [{"after_tasks": 1}]}))
+        out_path = tmp_path / "daemon.json"
+        assert (
+            main(
+                [
+                    "daemon", "--snapshot", str(snapshot),
+                    "--fleet", str(fleet), "--seed", "3",
+                    "--workdir", str(tmp_path / "bed"),
+                    "--fault-plan", str(faults), "-o", str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "restarting from journal" in out
+        document = json.loads(out_path.read_text())
+        assert document["restarts"] == 1
+        assert document["queue_depth"] == 0
+
+    def test_daemon_metrics_out(self, tmp_path, capsys):
+        snapshot, fleet = self.setup_inputs(tmp_path, capsys)
+        metrics = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "daemon", "--snapshot", str(snapshot),
+                    "--fleet", str(fleet), "--seed", "3",
+                    "--workdir", str(tmp_path / "bed"),
+                    "--max-days", "30", "--metrics-out", str(metrics),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        names = {m["name"] for m in json.loads(metrics.read_text())["metrics"]}
+        assert "daemon_queue_depth" in names
+        assert "daemon_tasks_total" in names
+
+    def test_lifetime_study(self, tmp_path, capsys):
+        out_path = tmp_path / "life.json"
+        assert (
+            main(
+                [
+                    "lifetime", "--trials", "4", "--years", "0.5",
+                    "--disks", "12", "--stripes", "20",
+                    "--code", "rs(5,3)", "--process", "both",
+                    "--afr", "0.3", "--seed", "2", "-o", str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "weibull" in out and "trace-replay" in out
+        assert "P(loss)=" in out
+        document = json.loads(out_path.read_text())
+        assert document["trials"] == 4
+        assert [p["process"] for p in document["processes"]] == [
+            "weibull", "trace-replay",
+        ]
+        for process in document["processes"]:
+            assert process["predictive"]["trials"] == 4
+            assert process["reactive"]["trials"] == 4
 
 
 class TestParser:
