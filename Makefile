@@ -1,0 +1,30 @@
+# Developer entry points.  CI runs the same commands (see
+# .github/workflows/ci.yml); PYTHONPATH=src keeps everything runnable
+# without an editable install.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test bench-smoke bench-hotpath profile
+
+test:
+	$(PY) -m pytest -x -q tests/
+
+# Regenerate the committed bench documents.  --fail-on-regression
+# compares each figure against the committed file before overwriting:
+# a schema-identical config that comes out >30% slower exits non-zero.
+bench-smoke:
+	$(PY) -m repro.bench.smoke -o BENCH_repair_rounds.json \
+		--net-output BENCH_net_throughput.json \
+		--hotpath BENCH_hotpath.json \
+		--fail-on-regression
+
+# Hot-path sweep only (GF kernels + per-transport throughput).
+bench-hotpath:
+	$(PY) -m repro.bench.smoke -o /tmp/bench_repair_rounds.json \
+		--net-output '' --hotpath BENCH_hotpath.json
+
+# cProfile the instrumented repair; profile.prof feeds any flamegraph
+# tool (e.g. snakeviz/flameprof), profile.txt is readable as-is.
+profile:
+	$(PY) -m repro.bench.smoke -o /tmp/bench_repair_rounds.json \
+		--net-output '' --profile-out profile

@@ -49,7 +49,7 @@ from .core import (
     split_plan,
     stagger_concurrent_plans,
 )
-from .net import TcpNetwork
+from .net import ShmNetwork, TcpNetwork
 from .obs import MetricsRegistry, Tracer
 from .runtime import (
     Agent,
@@ -133,6 +133,7 @@ __all__ = [
     "ShardFailedError",
     "StorageClient",
     "TakeoverEvent",
+    "ShmNetwork",
     "TcpNetwork",
     "Testbed",
     # simulator backend

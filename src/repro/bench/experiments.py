@@ -478,6 +478,82 @@ def fig15_microbench(
     return exp
 
 
+def hotpath_codec(
+    batches: Sequence[int] = (1, 4, 16, 64),
+    chunk_bytes: int = 4096,
+    scheme: str = "rs(9,6)",
+    repeats: int = 3,
+) -> Experiment:
+    """Batched codec hot path vs the per-stripe loop it replaced.
+
+    Sweeps the stripe batch size at a fixed chunk size and reports
+    encode/decode throughput (MB of source data per second) for the
+    old per-stripe calls against ``encode_batch``/``decode_batch``.
+    The batched entry points fold the whole window into one wide
+    GF(256) matrix product (DESIGN.md §13).  Small chunks are the
+    interesting regime: per-call overhead dominates and a single
+    chunk sits right at the uint16 paired-lookup threshold, so only
+    the widened batch runs the fast kernel.  At chunk sizes past
+    ~32 KiB both paths are kernel-bound and the gap closes.
+    """
+    import random
+
+    codec = make_codec(scheme)
+    rng = random.Random(7)
+    exp = Experiment(
+        "hotpath_codec", f"Batched vs per-stripe codec hot path [{scheme}]"
+    )
+    panel_enc = Panel(
+        "Encode — per-stripe loop vs encode_batch",
+        "stripes per batch",
+        ylabel="MB/s of source data",
+    )
+    panel_dec = Panel(
+        "Decode (1 lost chunk) — per-stripe loop vs decode_batch",
+        "stripes per batch",
+        ylabel="MB/s of helper data",
+    )
+    mb = 1024 * 1024
+
+    def best(fn) -> float:
+        elapsed = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn()
+            elapsed = min(elapsed, time.perf_counter() - started)
+        return elapsed
+
+    for batch in batches:
+        stripes = [
+            [rng.randbytes(chunk_bytes) for _ in range(codec.k)]
+            for _ in range(batch)
+        ]
+        data_mb = batch * codec.k * chunk_bytes / mb
+        t_loop = best(lambda: [codec.encode(s) for s in stripes])
+        t_batch = best(lambda: codec.encode_batch(stripes))
+        panel_enc.add_point(
+            batch,
+            {"per_stripe": data_mb / t_loop, "batched": data_mb / t_batch},
+        )
+
+        coded = codec.encode_batch(stripes)
+        # predictive repair's common case: one failed chunk, identical
+        # erasure set across the window, k helpers per stripe.
+        available = [
+            {i: chunks[i] for i in range(1, codec.n)} for chunks in coded
+        ]
+        wanted = [0]
+        t_loop = best(lambda: [codec.decode(a, wanted) for a in available])
+        t_batch = best(lambda: codec.decode_batch(available, wanted))
+        panel_dec.add_point(
+            batch,
+            {"per_stripe": data_mb / t_loop, "batched": data_mb / t_batch},
+        )
+    exp.panels.append(panel_enc)
+    exp.panels.append(panel_dec)
+    return exp
+
+
 #: registry used by the CLI and the bench files
 ALL_EXPERIMENTS = {
     "fig2": fig2_math_scattered,
@@ -490,4 +566,5 @@ ALL_EXPERIMENTS = {
     "fig13": fig13_codes,
     "fig14": fig14_bandwidth,
     "fig15": fig15_microbench,
+    "hotpath_codec": hotpath_codec,
 }

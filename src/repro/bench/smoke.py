@@ -15,10 +15,20 @@ The module also measures the socket transport itself: a loopback
 ``BENCH_net_throughput.json`` — so a wire-codec or event-loop
 regression shows up as a number, not a hunch.
 
+The hot-path sweep (``--hotpath``) goes further: GF(256) kernel GB/s,
+plus single-stream and parallel DataPacket throughput on *every*
+transport backend (in-memory, TCP, shared-memory rings), with the
+pre-PR loopback TCP numbers embedded as a fixed baseline so the
+committed ``BENCH_hotpath.json`` carries its own speedup evidence.
+``--fail-on-regression`` turns the committed documents into a gate:
+re-running against a schema-identical config that comes out more than
+the tolerance slower exits non-zero (``make bench-smoke``).
+
 Usage::
 
     python -m repro.bench.smoke -o BENCH_repair_rounds.json \
-        --net-output BENCH_net_throughput.json
+        --net-output BENCH_net_throughput.json \
+        --hotpath BENCH_hotpath.json --fail-on-regression
 """
 
 from __future__ import annotations
@@ -190,6 +200,333 @@ def validate_net(document: dict) -> dict:
     return body
 
 
+# ----------------------------------------------------------------------
+# hot-path bench: GF kernels + per-transport repair-stream throughput
+# ----------------------------------------------------------------------
+
+HOTPATH_SCHEMA = Schema(
+    "bench-hotpath",
+    version=1,
+    fields=("kernels", "transports", "baseline"),
+    required=("kernels", "transports", "baseline"),
+)
+
+#: loopback TCP MB/s measured at the commit before the hot-path PR
+#: (per-frame queue round-trips, payload joins, per-row GF loops) —
+#: the fixed reference the committed speedups are computed against.
+_PRE_PR_TCP_MB_S = {"65536": 83.5, "1048576": 163.1}
+
+#: transports the hot-path sweep covers
+_HOTPATH_TRANSPORTS = ("memory", "tcp", "shm")
+
+
+def run_gf_kernels(buffer_bytes: int = 8 << 20, repeats: int = 3) -> dict:
+    """Time the vectorized GF(256) kernels; returns GB/s figures.
+
+    Reported rates are input bytes over best-of-``repeats`` wall time:
+    ``gf_mul_gb_s``/``gf_addmul_gb_s`` stream one flat buffer,
+    ``gf_matmul_gb_s`` is the input rate of a parity-shaped (3, 6)
+    coefficient matrix over six 1 MiB shards — the decode-side product
+    the repair pipeline runs per stripe group.
+    """
+    import numpy as np
+
+    from ..ec.galois import gf_addmul_bytes, gf_matmul_bytes, gf_mul_bytes
+
+    def best(fn) -> float:
+        times = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - started)
+        return min(times)
+
+    data = np.tile(np.arange(256, dtype=np.uint8), buffer_bytes // 256)
+    out = np.empty_like(data)
+    acc = np.zeros_like(data)
+    t_mul = best(lambda: gf_mul_bytes(37, data, out=out))
+    t_addmul = best(lambda: gf_addmul_bytes(acc, 91, data))
+    rows, shards_n, length = 3, 6, 1 << 20
+    shards = np.tile(
+        np.arange(256, dtype=np.uint8), shards_n * length // 256
+    ).reshape(shards_n, length)
+    matrix = np.arange(1, rows * shards_n + 1, dtype=np.uint8).reshape(
+        rows, shards_n
+    )
+    t_matmul = best(lambda: gf_matmul_bytes(matrix, shards))
+    return {
+        "buffer_bytes": buffer_bytes,
+        "gf_mul_gb_s": buffer_bytes / t_mul / 1e9,
+        "gf_addmul_gb_s": buffer_bytes / t_addmul / 1e9,
+        "matmul_shape": [rows, shards_n, length],
+        "gf_matmul_gb_s": shards_n * length / t_matmul / 1e9,
+    }
+
+
+def _make_loopback(transport: str, num_nodes: int):
+    """A wired loopback network with nodes ``0..num_nodes-1`` attached.
+
+    Odd node ids are registered as peers (tcp/shm), so every frame for
+    them crosses the real backend; even ids send.  The in-memory fabric
+    needs no wiring.
+    """
+    if transport == "memory":
+        from ..runtime.transport import Network
+
+        net = Network()
+        for i in range(num_nodes):
+            net.attach(i, None)
+        return net
+    if transport == "tcp":
+        from ..net import TcpNetwork
+
+        net = TcpNetwork(send_queue_capacity=128)
+        for i in range(num_nodes):
+            net.attach(i, None)
+        host, port = net.listen()
+        for i in range(1, num_nodes, 2):
+            net.add_peer(i, host, port)
+        return net
+    if transport == "shm":
+        from ..net import ShmNetwork
+
+        net = ShmNetwork(ring_capacity=32 << 20)
+        for i in range(num_nodes):
+            net.attach(i, None)
+        name = net.listen()
+        for i in range(1, num_nodes, 2):
+            net.add_peer(i, name)
+        return net
+    raise ValueError(f"unknown transport {transport!r}")
+
+
+def _stream(net, src: int, dst: int, size: int, frames: int) -> float:
+    """Send ``frames`` DataPackets src->dst and drain them; seconds."""
+    from ..runtime.messages import DataPacket
+
+    payload = bytes(size)
+    inbox = net.endpoint(dst).inbox
+    # one warm-up frame establishes the connection off the clock
+    net.send(src, dst, DataPacket(0, 0, 0, 0, payload))
+    inbox.get(timeout=120)
+    started = time.perf_counter()
+    for i in range(frames):
+        net.send(src, dst, DataPacket(0, 0, 0, i * size, payload))
+    for _ in range(frames):
+        inbox.get(timeout=120)
+    return time.perf_counter() - started
+
+
+def run_transport_throughput(
+    transport: str,
+    sizes: Sequence[int] = _NET_PAYLOAD_SIZES,
+    frames: int = 32,
+    parallel_streams: int = 4,
+    parallel_frames: int = 16,
+    parallel_size: int = 1 << 20,
+    repeats: int = 3,
+) -> dict:
+    """One transport's single-stream and parallel repair throughput.
+
+    Single-stream replays ``run_net_throughput``'s shape per payload
+    size; the parallel figure runs ``parallel_streams`` concurrent
+    sender threads on disjoint node pairs of the *same* network —
+    loopback TCP shares one event loop, shm shares one ring — and
+    reports aggregate MB/s over wall time, which is what a multi-chunk
+    repair round actually pushes through the backend.
+
+    These figures gate commits (``--fail-on-regression``), so they are
+    measured best-of-``repeats`` and small payloads stream at least
+    8 MiB — scheduler hiccups must not read as regressions.
+    """
+    import threading as threading_mod
+
+    single = []
+    for size in sizes:
+        n_frames = max(frames, (8 << 20) // size)
+        net = _make_loopback(transport, 2)
+        try:
+            elapsed = min(
+                _stream(net, 0, 1, size, n_frames) for _ in range(repeats)
+            )
+        finally:
+            if hasattr(net, "close"):
+                net.close()
+        single.append(
+            {
+                "payload_bytes": size,
+                "frames": n_frames,
+                "seconds": elapsed,
+                "frames_per_s": n_frames / elapsed,
+                "mb_per_s": n_frames * size / elapsed / 1e6,
+            }
+        )
+    net = _make_loopback(transport, 2 * parallel_streams)
+    errors: list = []
+
+    def worker(pair: int) -> None:
+        try:
+            _stream(net, 2 * pair, 2 * pair + 1, parallel_size, parallel_frames)
+        except BaseException as exc:  # surfaced after join
+            errors.append(exc)
+
+    try:
+        threads = [
+            threading_mod.Thread(target=worker, args=(pair,))
+            for pair in range(parallel_streams)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+    finally:
+        if hasattr(net, "close"):
+            net.close()
+    if errors:
+        raise errors[0]
+    total = parallel_streams * parallel_frames * parallel_size
+    return {
+        "transport": transport,
+        "single": single,
+        "parallel": {
+            "streams": parallel_streams,
+            "payload_bytes": parallel_size,
+            "frames": parallel_frames,
+            "seconds": elapsed,
+            "mb_per_s": total / elapsed / 1e6,
+        },
+    }
+
+
+def run_hotpath(frames: int = 32, parallel_streams: int = 4) -> dict:
+    """The hot-path bench document (``BENCH_hotpath.json``).
+
+    GF kernel GB/s plus single-stream and parallel DataPacket
+    throughput on every transport backend, with the pre-PR loopback TCP
+    numbers embedded as the fixed baseline and the measured speedup
+    computed against them.
+    """
+    from ..net import shm_available
+
+    kernels = run_gf_kernels()
+    transports = []
+    for transport in _HOTPATH_TRANSPORTS:
+        if transport == "shm" and not shm_available():
+            continue
+        transports.append(
+            run_transport_throughput(
+                transport, frames=frames, parallel_streams=parallel_streams
+            )
+        )
+    tcp = next(t for t in transports if t["transport"] == "tcp")
+    speedup = {}
+    for run in tcp["single"]:
+        key = str(run["payload_bytes"])
+        if key in _PRE_PR_TCP_MB_S:
+            speedup[key] = run["mb_per_s"] / _PRE_PR_TCP_MB_S[key]
+    return HOTPATH_SCHEMA.dump(
+        {
+            "kernels": kernels,
+            "transports": transports,
+            "baseline": {
+                "pre_pr_tcp_mb_per_s": dict(_PRE_PR_TCP_MB_S),
+                "tcp_speedup": speedup,
+            },
+        }
+    )
+
+
+def validate_hotpath(document: dict) -> dict:
+    """Schema-check a hot-path document; reject degenerate sweeps."""
+    body = HOTPATH_SCHEMA.load(document)
+    for key in ("gf_mul_gb_s", "gf_addmul_gb_s", "gf_matmul_gb_s"):
+        if body["kernels"].get(key, 0) <= 0:
+            raise ValueError(f"degenerate kernel rate {key}")
+    if not body["transports"]:
+        raise ValueError("hotpath document covers no transports")
+    for entry in body["transports"]:
+        if not entry["single"] or entry["parallel"]["mb_per_s"] <= 0:
+            raise ValueError(
+                f"degenerate throughput for {entry['transport']!r}"
+            )
+        for run in entry["single"]:
+            if run["mb_per_s"] <= 0:
+                raise ValueError(f"degenerate single-stream run: {run}")
+    if not body["baseline"].get("tcp_speedup"):
+        raise ValueError("hotpath document computed no baseline speedup")
+    return body
+
+
+# ----------------------------------------------------------------------
+# regression gate: committed bench documents must not get slower
+# ----------------------------------------------------------------------
+
+#: leaf suffixes that are performance figures (higher is better)
+_PERF_SUFFIXES = ("mb_per_s", "frames_per_s", "_gb_s")
+
+#: path components that vary run-to-run and are neither config nor a
+#: gated performance figure
+_VOLATILE_COMPONENTS = ("seconds", "speedup", "total_time")
+
+
+def _numeric_leaves(node, path="") -> dict:
+    out = {}
+    if isinstance(node, dict):
+        for key in node:
+            out.update(_numeric_leaves(node[key], f"{path}.{key}"))
+    elif isinstance(node, (list, tuple)):
+        for i, item in enumerate(node):
+            out.update(_numeric_leaves(item, f"{path}[{i}]"))
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[path] = float(node)
+    return out
+
+
+def check_regressions(
+    old: dict, new: dict, tolerance: float = 0.30
+) -> list:
+    """Compare two bench documents; list perf figures that regressed.
+
+    Only *schema-identical configs* gate: the documents must carry the
+    same schema version, and every shared non-volatile, non-perf
+    numeric leaf (payload sizes, frame counts, matrix shapes, embedded
+    baselines) must match exactly — otherwise the sweep measured
+    something else and the result is ``[]`` (not comparable, not a
+    failure).  A perf leaf regresses when the new value drops more than
+    ``tolerance`` below the committed one.
+    """
+
+    def is_perf(path: str) -> bool:
+        return path.endswith(_PERF_SUFFIXES)
+
+    def is_volatile(path: str) -> bool:
+        return any(part in path for part in _VOLATILE_COMPONENTS)
+
+    if old.get("version") != new.get("version"):
+        return []
+    old_leaves = _numeric_leaves(old)
+    new_leaves = _numeric_leaves(new)
+    shared = set(old_leaves) & set(new_leaves)
+    for path in shared:
+        if is_perf(path) or is_volatile(path):
+            continue
+        if old_leaves[path] != new_leaves[path]:
+            return []  # different config: not comparable
+    problems = []
+    for path in sorted(shared):
+        if not is_perf(path):
+            continue
+        committed, measured = old_leaves[path], new_leaves[path]
+        if committed > 0 and measured < committed * (1 - tolerance):
+            problems.append(
+                f"{path}: {measured:.2f} is more than {tolerance:.0%} "
+                f"below the committed {committed:.2f}"
+            )
+    return problems
+
+
 DURABILITY_SCHEMA = Schema(
     "bench-durability",
     version=1,
@@ -341,6 +678,37 @@ def main(argv: Optional[list] = None) -> int:
         action="store_true",
         help="run only the durability study (skip repair + net benches)",
     )
+    parser.add_argument(
+        "--hotpath",
+        nargs="?",
+        const="BENCH_hotpath.json",
+        default="",
+        metavar="PATH",
+        help="write the hot-path bench (GF kernel GB/s, per-transport "
+        "single-stream + parallel throughput, pre-PR baseline speedup); "
+        "default path BENCH_hotpath.json",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default="",
+        metavar="PREFIX",
+        help="profile the instrumented repair under cProfile; writes "
+        "PREFIX.prof (binary, flamegraph-able) and PREFIX.txt (pstats "
+        "top functions by cumulative time)",
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="before overwriting a committed bench document, compare "
+        "perf figures on schema-identical configs and exit non-zero "
+        "when any drops more than --regression-tolerance",
+    )
+    parser.add_argument(
+        "--regression-tolerance",
+        type=float,
+        default=0.30,
+        help="fractional slowdown tolerated by --fail-on-regression",
+    )
     args = parser.parse_args(argv)
     if args.durability_only and not args.durability_output:
         args.durability_output = "BENCH_durability.json"
@@ -367,7 +735,40 @@ def main(argv: Optional[list] = None) -> int:
             )
         if args.durability_only:
             return 0
-    document = run_smoke(seed=args.seed)
+    regressions = []
+
+    def gate(path: str, new_doc: dict) -> None:
+        """Collect regressions against the committed document at path."""
+        if not args.fail_on_regression:
+            return
+        try:
+            with open(path) as f:
+                committed = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            return  # nothing committed yet, or unreadable: nothing to gate
+        for problem in check_regressions(
+            committed, new_doc, tolerance=args.regression_tolerance
+        ):
+            regressions.append(f"{path}: {problem}")
+
+    if args.profile_out:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        document = run_smoke(seed=args.seed)
+        profiler.disable()
+        profiler.dump_stats(args.profile_out + ".prof")
+        with open(args.profile_out + ".txt", "w") as f:
+            stats = pstats.Stats(profiler, stream=f)
+            stats.sort_stats("cumulative").print_stats(60)
+        print(
+            f"wrote profile to {args.profile_out}.prof and "
+            f"{args.profile_out}.txt"
+        )
+    else:
+        document = run_smoke(seed=args.seed)
     validate(document)
     with open(args.output, "w") as f:
         json.dump(document, f, indent=2, sort_keys=True)
@@ -381,6 +782,7 @@ def main(argv: Optional[list] = None) -> int:
     if args.net_output:
         net_doc = run_net_throughput(frames=args.net_frames)
         validate_net(net_doc)
+        gate(args.net_output, net_doc)
         with open(args.net_output, "w") as f:
             json.dump(net_doc, f, indent=2, sort_keys=True)
             f.write("\n")
@@ -390,6 +792,38 @@ def main(argv: Optional[list] = None) -> int:
                 f"at {run['frames_per_s']:.0f} frames/s, "
                 f"{run['mb_per_s']:.1f} MB/s"
             )
+    if args.hotpath:
+        hotpath_doc = run_hotpath(frames=args.net_frames)
+        validate_hotpath(hotpath_doc)
+        gate(args.hotpath, hotpath_doc)
+        with open(args.hotpath, "w") as f:
+            json.dump(hotpath_doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        kernels = hotpath_doc["kernels"]
+        print(
+            f"wrote {args.hotpath}: gf_mul {kernels['gf_mul_gb_s']:.2f} "
+            f"GB/s, gf_matmul {kernels['gf_matmul_gb_s']:.2f} GB/s"
+        )
+        for entry in hotpath_doc["transports"]:
+            best = max(run["mb_per_s"] for run in entry["single"])
+            print(
+                f"  {entry['transport']}: single-stream up to "
+                f"{best:.1f} MB/s, {entry['parallel']['streams']} streams "
+                f"{entry['parallel']['mb_per_s']:.1f} MB/s aggregate"
+            )
+        for size, factor in sorted(
+            hotpath_doc["baseline"]["tcp_speedup"].items(), key=lambda i: int(i[0])
+        ):
+            print(f"  tcp speedup vs pre-PR @{size} B: {factor:.2f}x")
+    if regressions:
+        for problem in regressions:
+            print(f"bench regression: {problem}", file=sys.stderr)
+        print(
+            f"{len(regressions)} bench figure(s) regressed beyond "
+            f"{args.regression_tolerance:.0%}; failing",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

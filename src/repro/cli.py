@@ -162,11 +162,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     repair.add_argument(
         "--transport",
-        choices=("memory", "tcp"),
+        choices=("memory", "tcp", "shm"),
         default="memory",
         help="'memory' runs the whole repair in-process on the emulated "
         "fabric; 'tcp' drives standalone 'fastpr agent' processes over "
-        "real sockets",
+        "real sockets; 'shm' drives same-host agent processes over "
+        "shared-memory rings (no peer spec — names derive from "
+        "--workdir)",
     )
     repair.add_argument(
         "--peers",
@@ -177,13 +179,13 @@ def build_parser() -> argparse.ArgumentParser:
     repair.add_argument(
         "--workdir",
         default=None,
-        help="(tcp) shared directory holding each agent's chunk store "
+        help="(tcp/shm) shared directory holding each agent's chunk store "
         "(node_<id>/); used to verify repaired chunks byte-identical",
     )
     repair.add_argument(
         "--resume",
         action="store_true",
-        help="(tcp) recover from --journal instead of starting fresh: "
+        help="(tcp/shm) recover from --journal instead of starting fresh: "
         "fence the dead coordinator's epoch and re-issue unfinished "
         "actions",
     )
@@ -191,7 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--agent-timeout",
         type=float,
         default=60.0,
-        help="(tcp) seconds to wait for every agent to answer a ping "
+        help="(tcp/shm) seconds to wait for every agent to answer a ping "
         "before giving up",
     )
     repair.add_argument(
@@ -221,22 +223,29 @@ def build_parser() -> argparse.ArgumentParser:
     agent = sub.add_parser(
         "agent",
         help="run one storage node's repair agent as a standalone "
-        "process (serves TCP repair traffic until the coordinator "
-        "sends Shutdown)",
+        "process (serves repair traffic over TCP or shared memory "
+        "until the coordinator sends Shutdown)",
     )
     agent.add_argument("--snapshot", required=True)
     agent.add_argument(
         "--node", type=int, required=True, help="this agent's node id"
     )
     agent.add_argument(
+        "--transport",
+        choices=("tcp", "shm"),
+        default="tcp",
+        help="'tcp' listens on --listen and dials --peers; 'shm' derives "
+        "every ring name from --workdir (no --listen/--peers needed)",
+    )
+    agent.add_argument(
         "--listen",
-        required=True,
-        help="host:port this agent accepts frames on",
+        default=None,
+        help="(tcp) host:port this agent accepts frames on",
     )
     agent.add_argument(
         "--peers",
-        required=True,
-        help="node=host:port list or @file.json; must include "
+        default=None,
+        help="(tcp) node=host:port list or @file.json; must include "
         "'coordinator=host:port'",
     )
     agent.add_argument(
@@ -645,8 +654,8 @@ def _cmd_repair(args) -> int:
     ).plan(cluster, args.stf)
     plan.validate(cluster)
     print(plan.summary())
-    if args.transport == "tcp":
-        return _cmd_repair_tcp(
+    if args.transport in ("tcp", "shm"):
+        return _cmd_repair_wire(
             args, cluster, codec, plan, faults, config, topology
         )
     testbed = EmulatedTestbed(
@@ -743,7 +752,7 @@ def _load_runtime_config(path):
         return RuntimeConfig.from_dict(json_mod.load(f))
 
 
-def _cmd_repair_tcp(
+def _cmd_repair_wire(
     args, cluster, codec, plan, faults=None, config=None, topology=None
 ) -> int:
     import json as json_mod
@@ -752,16 +761,20 @@ def _cmd_repair_tcp(
     from .net import (
         PeerSpecError,
         parse_peer_spec,
+        run_shm_repair,
         run_tcp_multicoord_repair,
         run_tcp_repair,
         sharded_peer_spec,
+        shm_available,
     )
     from .obs import MetricsRegistry, Tracer
     from .runtime.testbed import VerificationError
 
-    if args.peers is None or args.workdir is None:
+    if args.workdir is None or (args.transport == "tcp" and args.peers is None):
         print(
-            "--transport tcp needs --peers and --workdir", file=sys.stderr
+            f"--transport {args.transport} needs --workdir"
+            + (" and --peers" if args.transport == "tcp" else ""),
+            file=sys.stderr,
         )
         return 2
     if args.resume and args.journal is None:
@@ -774,16 +787,49 @@ def _cmd_repair_tcp(
             file=sys.stderr,
         )
         return 2
-    try:
-        peers = parse_peer_spec(args.peers)
-    except PeerSpecError as exc:
-        print(f"bad --peers: {exc}", file=sys.stderr)
-        return 2
+    peers = {}
+    if args.transport == "shm":
+        if not shm_available():
+            print(
+                "shared-memory transport needs POSIX shm + flock",
+                file=sys.stderr,
+            )
+            return 2
+        if args.coordinators > 1:
+            print(
+                "--transport shm runs a single coordinator; use tcp for "
+                "sharded repair",
+                file=sys.stderr,
+            )
+            return 2
+        peers = {node_id: None for node_id in cluster.nodes}
+    else:
+        try:
+            peers = parse_peer_spec(args.peers)
+        except PeerSpecError as exc:
+            print(f"bad --peers: {exc}", file=sys.stderr)
+            return 2
     metrics = MetricsRegistry()
     tracer = Tracer()
     takeovers = 0
     try:
-        if args.coordinators > 1:
+        if args.transport == "shm":
+            result, verified = run_shm_repair(
+                cluster,
+                codec,
+                plan,
+                Path(args.workdir),
+                seed=args.seed,
+                config=config,
+                packet_size=args.packet_size,
+                journal_path=Path(args.journal) if args.journal else None,
+                metrics=metrics,
+                tracer=tracer,
+                resume=args.resume,
+                agent_timeout=args.agent_timeout,
+                faults=faults,
+            )
+        elif args.coordinators > 1:
             result, verified = run_tcp_multicoord_repair(
                 cluster,
                 codec,
@@ -846,7 +892,7 @@ def _cmd_repair_tcp(
     if args.output is not None:
         summary = {
             "version": 1,
-            "transport": "tcp",
+            "transport": args.transport,
             "chunks_repaired": result.chunks_repaired,
             "recovered_chunks": result.recovered_chunks,
             "total_time_s": result.total_time,
@@ -868,8 +914,9 @@ def _cmd_repair_tcp(
         else ""
     )
     agent_count = sum(1 for node_id in peers if node_id >= 0)
+    wire = "shared memory" if args.transport == "shm" else "TCP"
     print(
-        f"repaired {result.chunks_repaired} chunks over TCP in "
+        f"repaired {result.chunks_repaired} chunks over {wire} in "
         f"{result.total_time:.2f}s across {agent_count} agent "
         f"processes{sharded}; {verified} chunks verified byte-identical"
     )
@@ -881,7 +928,13 @@ def _cmd_agent(args) -> int:
     from pathlib import Path
 
     from .cluster import snapshot as snapshot_mod
-    from .net import PeerSpecError, parse_peer_spec, run_agent_process
+    from .net import (
+        PeerSpecError,
+        parse_peer_spec,
+        run_agent_process,
+        run_shm_agent_process,
+        shm_available,
+    )
     from .runtime import FaultPlan
     from .runtime.coordinator import COORDINATOR_ID
 
@@ -897,6 +950,30 @@ def _cmd_agent(args) -> int:
             except ValueError as exc:
                 print(f"bad --fault-plan: {exc}", file=sys.stderr)
                 return 2
+    if args.transport == "shm":
+        if not shm_available():
+            print(
+                "shared-memory transport needs POSIX shm + flock",
+                file=sys.stderr,
+            )
+            return 2
+        loaded = run_shm_agent_process(
+            cluster,
+            codec,
+            args.node,
+            Path(args.workdir),
+            seed=args.seed,
+            config=_load_runtime_config(args.config),
+            load_data=not args.no_load,
+            faults=faults,
+        )
+        print(f"agent {args.node} done ({loaded} chunks served)")
+        return 0
+    if args.peers is None or args.listen is None:
+        print(
+            "--transport tcp needs --listen and --peers", file=sys.stderr
+        )
+        return 2
     try:
         peers = parse_peer_spec(args.peers)
     except PeerSpecError as exc:

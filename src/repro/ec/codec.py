@@ -22,6 +22,25 @@ class DecodeError(ValueError):
     """Raised when the surviving chunks cannot rebuild the lost ones."""
 
 
+def normalize_wanted(wanted: Sequence, batch: int) -> List[List[int]]:
+    """Expand a ``decode_batch`` wanted spec to one index list per stripe.
+
+    Accepts either a flat list of chunk indices (broadcast to every
+    stripe) or a sequence of ``batch`` per-stripe index lists.
+    """
+    wanted = list(wanted)
+    if not wanted or not hasattr(wanted[0], "__iter__"):
+        flat = [int(w) for w in wanted]
+        return [list(flat) for _ in range(batch)]
+    per_stripe = [[int(i) for i in w] for w in wanted]
+    if len(per_stripe) != batch:
+        raise ValueError(
+            f"per-stripe wanted needs one entry per stripe: "
+            f"{len(per_stripe)} != {batch}"
+        )
+    return per_stripe
+
+
 @dataclass(frozen=True)
 class RepairCost:
     """Cost of repairing a single lost chunk.
@@ -73,6 +92,40 @@ class ErasureCodec(ABC):
         Raises:
             DecodeError: if ``available`` is insufficient.
         """
+
+    def encode_batch(
+        self, stripes: Sequence[Sequence[bytes]]
+    ) -> List[List[bytes]]:
+        """Encode many stripes at once.
+
+        Semantically identical to ``[self.encode(s) for s in stripes]``.
+        Codecs whose math is a GF matrix product override this to stack
+        the batch into one wide matrix multiply, which amortizes the
+        per-call Python overhead over ``B * L`` bytes instead of ``L``.
+        """
+        return [self.encode(stripe) for stripe in stripes]
+
+    def decode_batch(
+        self,
+        stripes: Sequence[Dict[int, bytes]],
+        wanted: Sequence,
+    ) -> List[Dict[int, bytes]]:
+        """Rebuild the ``wanted`` indices of many stripes at once.
+
+        ``wanted`` is either one flat index list shared by every stripe
+        or a per-stripe sequence of index lists (one entry per stripe,
+        as produced by mixed erasure sets).  Semantically identical to
+        ``[self.decode(a, w) for a, w in zip(stripes, wanted)]`` with
+        the shared form broadcast.  Overrides may batch stripes that
+        share the same availability and wanted sets into a single
+        matrix operation.
+        """
+        stripes = list(stripes)
+        per_stripe = normalize_wanted(wanted, len(stripes))
+        return [
+            self.decode(available, want)
+            for available, want in zip(stripes, per_stripe)
+        ]
 
     @abstractmethod
     def repair_helpers(self, lost_index: int, alive: Sequence[int]) -> List[int]:

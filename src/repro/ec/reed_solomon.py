@@ -21,10 +21,11 @@ from .codec import (
     DecodeError,
     ErasureCodec,
     check_equal_sizes,
+    normalize_wanted,
     register_codec,
 )
 from .galois import gf_matmul_bytes
-from .matrix import cauchy, identity, invert, SingularMatrixError
+from .matrix import cauchy, identity, invert, matmul, SingularMatrixError
 
 
 class ReedSolomonCodec(ErasureCodec):
@@ -68,6 +69,129 @@ class ReedSolomonCodec(ErasureCodec):
         coded = [bytes(c) for c in data_chunks]
         coded.extend(parity[i].tobytes() for i in range(self.n - self.k))
         return coded
+
+    def encode_batch(
+        self, stripes: Sequence[Sequence[bytes]]
+    ) -> List[List[bytes]]:
+        """Encode a batch of stripes with one wide parity matmul.
+
+        The ``B`` stripes' data shards are laid side by side into a
+        single ``(k, B*L)`` matrix, so the GF kernel runs once over the
+        whole batch instead of once per stripe — same bytes out as
+        ``[self.encode(s) for s in stripes]``, far less per-call
+        overhead.
+        """
+        stripes = list(stripes)
+        if not stripes:
+            return []
+        if len(stripes) == 1:
+            return [self.encode(stripes[0])]
+        for stripe in stripes:
+            if len(stripe) != self.k:
+                raise ValueError(
+                    f"RS({self.n},{self.k}) expects {self.k} data chunks, "
+                    f"got {len(stripe)}"
+                )
+        size = check_equal_sizes(
+            [chunk for stripe in stripes for chunk in stripe]
+        )
+        batch = len(stripes)
+        shards = np.empty((self.k, batch * size), dtype=np.uint8)
+        for b, stripe in enumerate(stripes):
+            for row, chunk in enumerate(stripe):
+                shards[row, b * size : (b + 1) * size] = np.frombuffer(
+                    chunk, dtype=np.uint8
+                )
+        parity = gf_matmul_bytes(self._generator[self.k :, :], shards)
+        coded: List[List[bytes]] = []
+        for b, stripe in enumerate(stripes):
+            rows = [bytes(chunk) for chunk in stripe]
+            rows.extend(
+                parity[i, b * size : (b + 1) * size].tobytes()
+                for i in range(self.n - self.k)
+            )
+            coded.append(rows)
+        return coded
+
+    def decode_batch(
+        self,
+        stripes: Sequence[Dict[int, bytes]],
+        wanted: Sequence,
+    ) -> List[Dict[int, bytes]]:
+        """Rebuild ``wanted`` across many stripes, batching by erasure set.
+
+        ``wanted`` is a flat index list shared by every stripe or one
+        index list per stripe.  Stripes sharing the same available and
+        wanted index sets need the same decode matrix, so each such
+        group collapses into one wide matrix product over its
+        concatenated helper shards.
+        """
+        stripes = list(stripes)
+        per_stripe = normalize_wanted(wanted, len(stripes))
+        results: List[Dict[int, bytes]] = [None] * len(stripes)  # type: ignore
+        groups: Dict[tuple, List[int]] = {}
+        for i, available in enumerate(stripes):
+            key = (
+                tuple(sorted(available)),
+                tuple(sorted(per_stripe[i])),
+            )
+            groups.setdefault(key, []).append(i)
+        for (avail_key, want_key), members in groups.items():
+            if len(members) == 1:
+                i = members[0]
+                results[i] = self.decode(stripes[i], per_stripe[i])
+                continue
+            for idx in want_key:
+                if not 0 <= idx < self.n:
+                    raise ValueError(
+                        f"chunk index {idx} outside stripe of {self.n}"
+                    )
+            missing = [i for i in want_key if i not in avail_key]
+            if not missing:
+                for i in members:
+                    results[i] = {
+                        w: bytes(stripes[i][w]) for w in per_stripe[i]
+                    }
+                continue
+            if len(avail_key) < self.k:
+                raise DecodeError(
+                    f"need {self.k} chunks to decode, have {len(avail_key)}"
+                )
+            helper_ids = list(avail_key)[: self.k]
+            size = check_equal_sizes(
+                [stripes[members[0]][h] for h in helper_ids]
+            )
+            helpers = np.empty((self.k, len(members) * size), dtype=np.uint8)
+            for col, i in enumerate(members):
+                check_equal_sizes(
+                    [stripes[i][h] for h in helper_ids], expected=size
+                )
+                for row, h in enumerate(helper_ids):
+                    helpers[row, col * size : (col + 1) * size] = (
+                        np.frombuffer(stripes[i][h], dtype=np.uint8)
+                    )
+            sub = self._generator[helper_ids, :]
+            try:
+                sub_inv = invert(sub)
+            except SingularMatrixError as exc:  # pragma: no cover
+                raise DecodeError(f"singular decode submatrix: {exc}") from exc
+            # rebuild = G[missing] @ inv(G[helpers]) @ helpers: fold the
+            # two small matrices first so only one wide product runs.
+            rebuild = gf_matmul_bytes(
+                matmul(self._generator[missing, :], sub_inv), helpers
+            )
+            for col, i in enumerate(members):
+                out = {
+                    w: bytes(stripes[i][w])
+                    for w in per_stripe[i]
+                    if w in stripes[i]
+                }
+                for row, idx in enumerate(missing):
+                    out[idx] = rebuild[
+                        row, col * size : (col + 1) * size
+                    ].tobytes()
+                results[i] = out
+        return results
 
     def decode(
         self,
@@ -146,8 +270,6 @@ class ReedSolomonCodec(ErasureCodec):
             sub_inv = invert(sub)
         except SingularMatrixError as exc:
             raise DecodeError(f"singular helper submatrix: {exc}") from exc
-        from .matrix import matmul
-
         row = matmul(self._generator[[lost_index], :], sub_inv)[0]
         return {helper: int(row[i]) for i, helper in enumerate(helper_ids)}
 

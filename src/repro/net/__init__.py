@@ -18,11 +18,15 @@ from .launch import (
     load_node_data,
     parse_peer_spec,
     run_agent_process,
+    run_shm_agent_process,
+    run_shm_repair,
     run_tcp_multicoord_repair,
     run_tcp_repair,
     sharded_peer_spec,
+    shm_ring_name,
     stripe_checksums,
 )
+from .shm import ShmNetwork, ShmRing, shm_available
 from .tcp import TcpNetwork
 from .wire import (
     HEADER,
@@ -33,6 +37,7 @@ from .wire import (
     WireError,
     decode_frame,
     encode_frame,
+    encode_frame_parts,
 )
 
 __all__ = [
@@ -42,18 +47,25 @@ __all__ = [
     "MAX_META",
     "MAX_PAYLOAD",
     "PeerSpecError",
+    "ShmNetwork",
+    "ShmRing",
     "TcpNetwork",
     "WIRE_VERSION",
     "WireError",
     "allocate_ports",
     "decode_frame",
     "encode_frame",
+    "encode_frame_parts",
+    "shm_available",
     "format_peer_spec",
     "load_node_data",
     "parse_peer_spec",
     "run_agent_process",
+    "run_shm_agent_process",
+    "run_shm_repair",
     "run_tcp_multicoord_repair",
     "run_tcp_repair",
     "sharded_peer_spec",
+    "shm_ring_name",
     "stripe_checksums",
 ]

@@ -58,12 +58,38 @@ from ..runtime.testbed import (
     mismatch_error,
 )
 from ..runtime.throttle import RateLimiter
+from .shm import ShmNetwork
 from .tcp import TcpNetwork
 
 #: peer-spec alias for the coordinator's node id
 COORDINATOR_ALIAS = "coordinator"
 
 PeerMap = Dict[NodeId, Tuple[str, int]]
+
+
+# ----------------------------------------------------------------------
+# shared-memory topology: ring names derived from the workdir
+# ----------------------------------------------------------------------
+
+
+def shm_ring_name(workdir: Path, node_id: NodeId) -> str:
+    """Deterministic ring name for a node's process under a workdir.
+
+    Every process of one repair shares the ``--workdir``, so hashing
+    its absolute path gives all of them the same namespace without any
+    peer spec: node ``n`` listens on ``fpr<hash>-<n>``, the coordinator
+    on ``fpr<hash>-c`` (shard ``k`` on ``fpr<hash>-c<k>``).
+    """
+    digest = hashlib.sha1(
+        str(Path(workdir).resolve()).encode("utf-8")
+    ).hexdigest()[:10]
+    if node_id == COORDINATOR_ID:
+        key = "c"
+    elif node_id < 0:
+        key = f"c{-node_id - 1}"
+    else:
+        key = str(node_id)
+    return f"fpr{digest}-{key}"
 
 
 class PeerSpecError(ValueError):
@@ -358,6 +384,71 @@ def run_agent_process(
     return loaded
 
 
+def run_shm_agent_process(
+    cluster: StorageCluster,
+    codec: ErasureCodec,
+    node_id: NodeId,
+    workdir: Path,
+    seed: Optional[int] = None,
+    config: Optional[RuntimeConfig] = None,
+    load_data: bool = True,
+    metrics: Optional[MetricsRegistry] = None,
+    faults: Optional[FaultPlan] = None,
+) -> int:
+    """Shared-memory twin of :func:`run_agent_process`.
+
+    No peer spec: the topology is derived entirely from the shared
+    ``workdir`` via :func:`shm_ring_name` — this agent listens on its
+    node's ring and registers every other node plus the coordinator as
+    a peer.  Rings attach lazily, so processes may start in any order.
+    """
+    cfg = config or DEFAULT_CONFIG
+    node = cluster.node(node_id)
+    injector = None
+    agent_box: list = []
+    if faults is not None:
+        def _on_crash(victim: NodeId) -> None:
+            if victim == node_id and agent_box:
+                agent_box[0].crash()
+
+        injector = FaultInjector(faults, on_crash=_on_crash)
+    network = ShmNetwork(
+        faults=injector,
+        metrics=metrics,
+        inbox_capacity=cfg.inbox_capacity,
+        connect_timeout=cfg.connect_timeout,
+    )
+    network.attach(
+        node_id, node.network_bandwidth or cluster.network_bandwidth
+    )
+    network.listen(shm_ring_name(workdir, node_id))
+    for peer_id in list(cluster.nodes) + [COORDINATOR_ID]:
+        if peer_id != node_id:
+            network.add_peer(peer_id, shm_ring_name(workdir, peer_id))
+    store = node_store(cluster, Path(workdir), node_id)
+    loaded = 0
+    if load_data:
+        loaded = load_node_data(cluster, codec, seed, store, node_id)
+    agent = Agent(
+        node_id,
+        store,
+        network,
+        coordinator_id=COORDINATOR_ID,
+        config=cfg,
+        metrics=metrics,
+    )
+    agent_box.append(agent)
+    if injector is not None:
+        injector.start()
+    agent.start(heartbeat=True)
+    try:
+        agent.done.wait()
+    finally:
+        agent.stop()
+        network.close()
+    return loaded
+
+
 # ----------------------------------------------------------------------
 # coordinator-side TCP repair driver
 # ----------------------------------------------------------------------
@@ -447,7 +538,6 @@ def run_tcp_repair(
     Returns ``(result, chunks_verified)``.
     """
     cfg = config or DEFAULT_CONFIG
-    packet = packet_size or max(cluster.chunk_size // 16, 4096)
     listen = peers.get(COORDINATOR_ID)
     # Coordinator-side injector covers control traffic and time-based
     # triggers; each agent process runs the same plan for data packets.
@@ -458,6 +548,101 @@ def run_tcp_repair(
     network = build_coordinator_network(
         peers, cfg, metrics=metrics, listen=listen
     )
+    return _drive_repair(
+        network,
+        cluster,
+        codec,
+        plan,
+        peers,
+        workdir,
+        seed=seed,
+        cfg=cfg,
+        packet_size=packet_size,
+        journal_path=journal_path,
+        metrics=metrics,
+        tracer=tracer,
+        resume=resume,
+        agent_timeout=agent_timeout,
+        injector=injector,
+    )
+
+
+def run_shm_repair(
+    cluster: StorageCluster,
+    codec: ErasureCodec,
+    plan: RepairPlan,
+    workdir: Path,
+    seed: Optional[int] = None,
+    config: Optional[RuntimeConfig] = None,
+    packet_size: Optional[int] = None,
+    journal_path: Optional[Path] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    resume: bool = False,
+    agent_timeout: float = 60.0,
+    faults: Optional[FaultPlan] = None,
+) -> Tuple[RuntimeResult, int]:
+    """Shared-memory twin of :func:`run_tcp_repair`.
+
+    Same driver contract — the agents are
+    :func:`run_shm_agent_process` processes on this host, and every
+    frame crosses a ``multiprocessing.shared_memory`` ring instead of a
+    socket.  No peer spec: the topology derives from the shared
+    ``workdir`` (see :func:`shm_ring_name`).
+    """
+    cfg = config or DEFAULT_CONFIG
+    injector = FaultInjector(faults) if faults is not None else None
+    network = ShmNetwork(
+        faults=None,
+        metrics=metrics,
+        inbox_capacity=cfg.inbox_capacity,
+        connect_timeout=cfg.connect_timeout,
+    )
+    network.listen(shm_ring_name(workdir, COORDINATOR_ID))
+    for node_id in cluster.nodes:
+        network.add_peer(node_id, shm_ring_name(workdir, node_id))
+    return _drive_repair(
+        network,
+        cluster,
+        codec,
+        plan,
+        {node_id: None for node_id in cluster.nodes},
+        workdir,
+        seed=seed,
+        cfg=cfg,
+        packet_size=packet_size,
+        journal_path=journal_path,
+        metrics=metrics,
+        tracer=tracer,
+        resume=resume,
+        agent_timeout=agent_timeout,
+        injector=injector,
+    )
+
+
+def _drive_repair(
+    network,
+    cluster: StorageCluster,
+    codec: ErasureCodec,
+    plan: RepairPlan,
+    peers,
+    workdir: Path,
+    seed: Optional[int],
+    cfg: RuntimeConfig,
+    packet_size: Optional[int],
+    journal_path: Optional[Path],
+    metrics: Optional[MetricsRegistry],
+    tracer: Optional[Tracer],
+    resume: bool,
+    agent_timeout: float,
+    injector: Optional[FaultInjector],
+) -> Tuple[RuntimeResult, int]:
+    """Transport-agnostic single-coordinator repair driver body.
+
+    ``network`` must already listen and know every agent as a peer;
+    ``peers`` is only consulted for the shutdown broadcast's node ids.
+    """
+    packet = packet_size or max(cluster.chunk_size // 16, 4096)
     journal = None
     if journal_path is not None and not resume:
         journal = RepairJournal(

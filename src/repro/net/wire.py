@@ -66,8 +66,16 @@ class WireError(ValueError):
     """A frame that must not be trusted (bad magic/version/CRC/schema)."""
 
 
-def encode_frame(src: NodeId, dst: NodeId, message) -> bytes:
-    """Encode one routed message as a complete binary frame.
+def encode_frame_parts(src: NodeId, dst: NodeId, message) -> Tuple[bytes, bytes]:
+    """Encode one routed message as an iovec of two wire buffers.
+
+    Returns ``(head, payload)`` where ``head`` is the packed header
+    plus JSON meta and ``payload`` is the message's own payload buffer,
+    *not* copied — a ``DataPacket``'s chunk bytes go out exactly as the
+    sender holds them (bytes, memoryview or numpy-backed view).  The
+    caller hands both buffers to a scatter-gather write; the payload
+    must not be mutated after this call (the transport may still
+    reference it from its send queue).
 
     Raises:
         WireError: if the message type is not wire-registered.
@@ -86,7 +94,7 @@ def encode_frame(src: NodeId, dst: NodeId, message) -> bytes:
         separators=(",", ":"),
     ).encode("utf-8")
     crc = zlib.crc32(meta)
-    if payload:
+    if len(payload):
         crc = zlib.crc32(payload, crc)
     header = HEADER.pack(
         MAGIC,
@@ -97,7 +105,19 @@ def encode_frame(src: NodeId, dst: NodeId, message) -> bytes:
         len(payload),
         crc,
     )
-    return header + meta + payload
+    return header + meta, payload
+
+
+def encode_frame(src: NodeId, dst: NodeId, message) -> bytes:
+    """Encode one routed message as a complete contiguous frame.
+
+    Convenience join of :func:`encode_frame_parts` for tests and
+    loopback paths; the socket hot path writes the parts directly.
+
+    Raises:
+        WireError: if the message type is not wire-registered.
+    """
+    return b"".join(encode_frame_parts(src, dst, message))
 
 
 def parse_header(header: bytes) -> Tuple[int, int, int, int, int]:
@@ -131,17 +151,22 @@ def decode_body(
 ) -> Tuple[NodeId, NodeId, object]:
     """Decode a frame body; returns ``(src, dst, message)``.
 
+    ``meta`` and ``payload`` may be any bytes-like buffers (the socket
+    path passes ``memoryview`` slices into its receive buffer); the
+    payload view is handed to the message verbatim, so a ``DataPacket``
+    carries a zero-copy view of the received frame.
+
     Raises:
         WireError: on CRC mismatch, malformed JSON, envelope/schema
             violations, or a type-code/envelope disagreement.
     """
     actual = zlib.crc32(meta)
-    if payload:
+    if len(payload):
         actual = zlib.crc32(payload, actual)
     if actual != crc:
         raise WireError("frame CRC mismatch (corrupted in flight)")
     try:
-        envelope = ENVELOPE_SCHEMA.load(json.loads(meta.decode("utf-8")))
+        envelope = ENVELOPE_SCHEMA.load(json.loads(str(meta, "utf-8")))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise WireError(f"undecodable frame meta: {exc}") from None
     except SerdeError as exc:

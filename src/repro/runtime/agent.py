@@ -52,7 +52,7 @@ from typing import Dict, Optional, Set, Tuple
 import numpy as np
 
 from ..cluster.chunk import NodeId
-from ..ec.galois import gf_addmul_bytes
+from ..ec.galois import gf_addmul_bytes, gf_mul_bytes
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Tracer
 from .config import DEFAULT_CONFIG, RuntimeConfig
@@ -115,6 +115,10 @@ class _Assembly:
         #: duplicated packets, which would otherwise double-apply coeffs)
         self._arrived: Dict[int, Set[NodeId]] = {}
         self._remaining_offsets = self._count_offsets()
+        #: completed regions queued to the staging-writer thread, so
+        #: the (throttled) disk write overlaps the next packet's GF math
+        self._writes: "queue.Queue" = queue.Queue()
+        self._write_error: Optional[BaseException] = None
         #: telemetry accumulated over the assembly's lifetime
         self.decode_seconds = 0.0
         self.staging_seconds = 0.0
@@ -130,6 +134,34 @@ class _Assembly:
         """Unblock the decode thread; it discards staging and exits."""
         self.packets.put(_ABORT)
 
+    def _staging_writer(self) -> None:
+        """Writer-thread body: flush completed regions to the .part file.
+
+        Each queued region is final — every source has contributed and
+        duplicates are dropped by the arrived-set — so the decode
+        thread never touches those buffer bytes again and the write
+        can proceed without copying them out (no ``tobytes``).
+        """
+        size = self.command.chunk_size
+        while True:
+            item = self._writes.get()
+            if item is None:
+                return
+            offset, end = item
+            started = time.perf_counter()
+            try:
+                self.store.write_packet(
+                    self.command.stripe_id,
+                    offset,
+                    self._buffer[offset:end],
+                    size,
+                    staged=True,
+                )
+            except BaseException as exc:  # surfaced by run() after join
+                self._write_error = exc
+                return
+            self.staging_seconds += time.perf_counter() - started
+
     def run(self) -> bool:
         """Decode-thread body; returns False if aborted before done.
 
@@ -138,55 +170,70 @@ class _Assembly:
         """
         num_sources = len(self.command.sources)
         size = self.command.chunk_size
-        while self._remaining_offsets > 0:
-            packet = self.packets.get()
-            if packet is _ABORT:
-                self.store.discard_staged(self.command.stripe_id)
-                return False
-            if (
-                packet.attempt != self.command.attempt
-                or packet.epoch != self.command.epoch
-            ):
-                continue  # stale retry traffic (or a fenced epoch's)
-            if (
-                packet.checksum is not None
-                and zlib.crc32(packet.payload) != packet.checksum
-            ):
-                continue  # corrupted in flight; the round trip will stall
-            coeff = self.command.sources.get(packet.source)
-            if coeff is None:
-                raise AgentError(
-                    f"unexpected packet source {packet.source} for "
-                    f"{self.command.key}"
-                )
-            data = np.frombuffer(packet.payload, dtype=np.uint8)
-            end = packet.offset + len(data)
-            if end > size:
-                raise AgentError(f"packet overruns chunk at {packet.offset}")
-            arrived = self._arrived.setdefault(packet.offset, set())
-            if packet.source in arrived:
-                continue  # duplicated delivery
-            arrived.add(packet.source)
-            self.bytes_received += len(data)
-            started = time.perf_counter()
-            gf_addmul_bytes(self._buffer[packet.offset : end], coeff, data)
-            self.decode_seconds += time.perf_counter() - started
-            if len(arrived) == num_sources:
-                # Keep the arrived set for the assembly's lifetime:
-                # dropping it would let a duplicate delivered after the
-                # offset completed double-apply its coefficient and
-                # re-trigger the completion below.
-                self._remaining_offsets -= 1
-                # Fully decoded packet: write it out (throttled).
+        writer = threading.Thread(
+            target=self._staging_writer,
+            name=f"agent-staging-{self.command.key}",
+            daemon=True,
+        )
+        writer.start()
+        try:
+            while self._remaining_offsets > 0:
+                packet = self.packets.get()
+                if packet is _ABORT:
+                    return False
+                if (
+                    packet.attempt != self.command.attempt
+                    or packet.epoch != self.command.epoch
+                ):
+                    continue  # stale retry traffic (or a fenced epoch's)
+                if (
+                    packet.checksum is not None
+                    and zlib.crc32(packet.payload) != packet.checksum
+                ):
+                    continue  # corrupted in flight; the round trip stalls
+                coeff = self.command.sources.get(packet.source)
+                if coeff is None:
+                    raise AgentError(
+                        f"unexpected packet source {packet.source} for "
+                        f"{self.command.key}"
+                    )
+                data = np.frombuffer(packet.payload, dtype=np.uint8)
+                end = packet.offset + len(data)
+                if end > size:
+                    raise AgentError(
+                        f"packet overruns chunk at {packet.offset}"
+                    )
+                arrived = self._arrived.setdefault(packet.offset, set())
+                if packet.source in arrived:
+                    continue  # duplicated delivery
+                arrived.add(packet.source)
+                self.bytes_received += len(data)
                 started = time.perf_counter()
-                self.store.write_packet(
-                    self.command.stripe_id,
-                    packet.offset,
-                    self._buffer[packet.offset : end].tobytes(),
-                    size,
-                    staged=True,
-                )
-                self.staging_seconds += time.perf_counter() - started
+                gf_addmul_bytes(self._buffer[packet.offset : end], coeff, data)
+                self.decode_seconds += time.perf_counter() - started
+                if len(arrived) == num_sources:
+                    # Keep the arrived set for the assembly's lifetime:
+                    # dropping it would let a duplicate delivered after
+                    # the offset completed double-apply its coefficient
+                    # and re-trigger the completion below.
+                    self._remaining_offsets -= 1
+                    # Fully decoded region: hand it to the writer.
+                    self._writes.put((packet.offset, end))
+                if self._write_error is not None:
+                    break
+            return self._finish_writer(writer)
+        finally:
+            if writer.is_alive():
+                self._writes.put(None)
+                writer.join()
+            if self._remaining_offsets > 0:
+                self.store.discard_staged(self.command.stripe_id)
+
+    def _finish_writer(self, writer: threading.Thread) -> bool:
+        self._writes.put(None)
+        writer.join()
+        if self._write_error is not None:
+            raise self._write_error
         return True
 
 
@@ -217,42 +264,81 @@ class _Relay:
                 f"{command.chunk_size}"
             )
         packet_size = min(command.packet_size, size)
-        from ..ec.galois import gf_mul_bytes
+        offsets = range(0, size, packet_size)
+        # Double-buffered chunk reads: a reader thread fills one
+        # preallocated buffer while the GF math consumes the other, so
+        # (throttled) disk I/O overlaps compute.  Buffers cycle through
+        # a free-list, so one is never refilled before the math is done
+        # with it.
+        bufs = [
+            np.empty(packet_size, dtype=np.uint8),
+            np.empty(packet_size, dtype=np.uint8),
+        ]
+        free: "queue.Queue" = queue.Queue()
+        free.put(0)
+        free.put(1)
+        ready: "queue.Queue" = queue.Queue()
 
-        for offset in range(0, size, packet_size):
-            length = min(packet_size, size - offset)
-            own = np.frombuffer(
-                self.store.read_packet(command.stripe_id, offset, length),
-                dtype=np.uint8,
-            )
-            out = gf_mul_bytes(command.coeff, own)
-            if not command.first:
-                upstream = self._next_upstream(offset)
-                if upstream is None:
-                    return  # aborted or superseded
-                np.bitwise_xor(
-                    out,
-                    np.frombuffer(upstream.payload, dtype=np.uint8),
-                    out=out,
+        def read_ahead():
+            try:
+                for offset in offsets:
+                    length = min(packet_size, size - offset)
+                    index = free.get()
+                    if index is None:
+                        return  # relay finished early (abort/supersede)
+                    self.store.read_packet_into(
+                        command.stripe_id, offset, bufs[index][:length]
+                    )
+                    ready.put((index, length))
+            except Exception as exc:
+                ready.put(exc)
+
+        reader = threading.Thread(
+            target=read_ahead,
+            name=f"agent-{self.agent.node_id}-relay-read",
+            daemon=True,
+        )
+        reader.start()
+        try:
+            for offset in offsets:
+                item = ready.get()
+                if isinstance(item, BaseException):
+                    raise item
+                index, length = item
+                own = bufs[index][:length]
+                # Fresh output per packet: the transport may reference
+                # the payload from its send queue after we return, so
+                # send buffers are never reused (ownership transfers).
+                out = gf_mul_bytes(command.coeff, own)
+                free.put(index)  # own is consumed; reader may refill
+                if not command.first:
+                    upstream = self._next_upstream(offset)
+                    if upstream is None:
+                        return  # aborted or superseded
+                    np.bitwise_xor(
+                        out,
+                        np.frombuffer(upstream.payload, dtype=np.uint8),
+                        out=out,
+                    )
+                payload = out.data  # zero-copy view; no bytes join
+                self.agent._bytes_sent.inc(length, node=self.agent.node_id)
+                self.agent.network.send(
+                    self.agent.node_id,
+                    command.destination,
+                    DataPacket(
+                        stripe_id=command.stripe_id,
+                        chunk_index=command.chunk_index,
+                        source=self.agent.node_id,
+                        offset=offset,
+                        payload=payload,
+                        attempt=command.attempt,
+                        epoch=command.epoch,
+                        checksum=zlib.crc32(payload),
+                    ),
                 )
-            payload = out.tobytes()
-            self.agent._bytes_sent.inc(
-                len(payload), node=self.agent.node_id
-            )
-            self.agent.network.send(
-                self.agent.node_id,
-                command.destination,
-                DataPacket(
-                    stripe_id=command.stripe_id,
-                    chunk_index=command.chunk_index,
-                    source=self.agent.node_id,
-                    offset=offset,
-                    payload=payload,
-                    attempt=command.attempt,
-                    epoch=command.epoch,
-                    checksum=zlib.crc32(payload),
-                ),
-            )
+        finally:
+            free.put(None)  # unblock the reader if it is still ahead
+            reader.join()
 
     def _next_upstream(self, offset: int) -> Optional[DataPacket]:
         """Next valid upstream packet for ``offset``; None on abort."""

@@ -79,6 +79,25 @@ class ChunkStore:
             )
         return data
 
+    def read_packet_into(self, stripe_id: StripeId, offset: int, out) -> int:
+        """Read one packet into a caller-owned buffer (throttled).
+
+        ``out`` is any writable buffer (memoryview, numpy array); the
+        read fills it completely.  This is the allocation-free variant
+        of :meth:`read_packet` used by double-buffered pipelines.
+        """
+        length = len(out)
+        self.disk.throttle(length)
+        with open(self._path(stripe_id), "rb") as f:
+            f.seek(offset)
+            read = f.readinto(out)
+        if read != length:
+            raise IOError(
+                f"short read on stripe {stripe_id} at {offset}: "
+                f"{read} < {length}"
+            )
+        return read
+
     def write_packet(
         self,
         stripe_id: StripeId,

@@ -98,12 +98,23 @@ def iter_encoded_stripes(
     """
     rng = random.Random(seed)
     chunk_size = cluster.chunk_size
-    for stripe in cluster.stripes():
-        data_chunks = [
-            rng.getrandbits(8 * chunk_size).to_bytes(chunk_size, "little")
-            for _ in range(stripe.k)
+    stripes = list(cluster.stripes())
+    # Encode in windows through ``encode_batch`` (one wide GF matmul per
+    # window).  The RNG stream is untouched: data chunks are still drawn
+    # sequentially in stripe order, so the bytes are identical to the
+    # one-stripe-at-a-time path.
+    window = 16
+    for start in range(0, len(stripes), window):
+        batch = stripes[start : start + window]
+        data = [
+            [
+                rng.getrandbits(8 * chunk_size).to_bytes(chunk_size, "little")
+                for _ in range(stripe.k)
+            ]
+            for stripe in batch
         ]
-        yield stripe, codec.encode(data_chunks)
+        for stripe, coded in zip(batch, codec.encode_batch(data)):
+            yield stripe, coded
 
 
 class EmulatedTestbed:

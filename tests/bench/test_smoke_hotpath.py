@@ -1,0 +1,133 @@
+"""The hot-path bench (BENCH_hotpath.json) and the regression gate."""
+
+import copy
+
+import pytest
+
+from repro.bench.smoke import (
+    HOTPATH_SCHEMA,
+    check_regressions,
+    run_gf_kernels,
+    run_transport_throughput,
+    validate_hotpath,
+)
+from repro.net import shm_available
+
+
+def test_gf_kernels_report_positive_rates():
+    kernels = run_gf_kernels(buffer_bytes=1 << 20, repeats=1)
+    assert kernels["buffer_bytes"] == 1 << 20
+    for key in ("gf_mul_gb_s", "gf_addmul_gb_s", "gf_matmul_gb_s"):
+        assert kernels[key] > 0
+
+
+@pytest.mark.parametrize(
+    "transport",
+    [
+        "memory",
+        "tcp",
+        pytest.param(
+            "shm",
+            marks=pytest.mark.skipif(
+                not shm_available(), reason="needs POSIX shm + flock"
+            ),
+        ),
+    ],
+)
+def test_transport_throughput_single_and_parallel(transport):
+    entry = run_transport_throughput(
+        transport,
+        sizes=(1 << 12,),
+        frames=4,
+        parallel_streams=2,
+        parallel_frames=2,
+        parallel_size=1 << 12,
+        repeats=1,
+    )
+    assert entry["transport"] == transport
+    (run,) = entry["single"]
+    # small payloads are padded up to a meaningful stream length
+    assert run["frames"] >= 4
+    assert run["mb_per_s"] > 0
+    assert entry["parallel"]["streams"] == 2
+    assert entry["parallel"]["mb_per_s"] > 0
+
+
+def _hotpath_doc(mb_per_s=100.0, gb_s=1.0):
+    return HOTPATH_SCHEMA.dump(
+        {
+            "kernels": {
+                "buffer_bytes": 1 << 20,
+                "gf_mul_gb_s": gb_s,
+                "gf_addmul_gb_s": gb_s,
+                "matmul_shape": [3, 6, 1 << 20],
+                "gf_matmul_gb_s": gb_s,
+            },
+            "transports": [
+                {
+                    "transport": "tcp",
+                    "single": [
+                        {
+                            "payload_bytes": 1 << 16,
+                            "frames": 32,
+                            "seconds": 0.1,
+                            "frames_per_s": 320.0,
+                            "mb_per_s": mb_per_s,
+                        }
+                    ],
+                    "parallel": {
+                        "streams": 4,
+                        "payload_bytes": 1 << 20,
+                        "frames": 16,
+                        "seconds": 0.1,
+                        "mb_per_s": mb_per_s,
+                    },
+                }
+            ],
+            "baseline": {
+                "pre_pr_tcp_mb_per_s": {"65536": 83.5},
+                "tcp_speedup": {"65536": mb_per_s / 83.5},
+            },
+        }
+    )
+
+
+def test_validate_hotpath_accepts_wellformed_doc():
+    body = validate_hotpath(_hotpath_doc())
+    assert body["transports"][0]["transport"] == "tcp"
+
+
+def test_validate_hotpath_rejects_degenerate_kernel():
+    with pytest.raises(ValueError, match="kernel"):
+        validate_hotpath(_hotpath_doc(gb_s=0.0))
+
+
+def test_regression_gate_fires_beyond_tolerance():
+    committed = _hotpath_doc(mb_per_s=100.0)
+    slower = _hotpath_doc(mb_per_s=60.0)  # 40% drop
+    problems = check_regressions(committed, slower, tolerance=0.30)
+    assert problems, "40% slowdown must trip a 30% gate"
+    assert any("mb_per_s" in p for p in problems)
+
+
+def test_regression_gate_tolerates_noise():
+    committed = _hotpath_doc(mb_per_s=100.0)
+    noisy = _hotpath_doc(mb_per_s=80.0)  # 20% drop, inside tolerance
+    assert check_regressions(committed, noisy, tolerance=0.30) == []
+    faster = _hotpath_doc(mb_per_s=500.0)
+    assert check_regressions(committed, faster, tolerance=0.30) == []
+
+
+def test_regression_gate_skips_different_configs():
+    committed = _hotpath_doc(mb_per_s=100.0)
+    different = copy.deepcopy(_hotpath_doc(mb_per_s=10.0))
+    # a different payload size is a different experiment, not a slowdown
+    different["transports"][0]["single"][0]["payload_bytes"] = 1 << 20
+    assert check_regressions(committed, different, tolerance=0.30) == []
+
+
+def test_regression_gate_skips_schema_version_changes():
+    committed = _hotpath_doc(mb_per_s=100.0)
+    new = copy.deepcopy(_hotpath_doc(mb_per_s=10.0))
+    new["version"] = committed["version"] + 1
+    assert check_regressions(committed, new, tolerance=0.30) == []

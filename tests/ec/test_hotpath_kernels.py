@@ -1,0 +1,214 @@
+"""Property tests for the vectorized hot-path kernels (DESIGN.md §13).
+
+The batched/in-place GF(256) kernels and the batch codec entry points
+must be bit-exact with the scalar reference on every shape: random
+lengths (covering the uint16 paired-lookup threshold and its odd
+tails), coefficients 0 and 1, aliased ``out=`` buffers, non-contiguous
+views, and stripes grouped by arbitrary availability sets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ec import make_codec
+from repro.ec.galois import (
+    gf_addmul_bytes,
+    gf_matmul_bytes,
+    gf_mul,
+    gf_mul_bytes,
+)
+
+coeffs = st.integers(min_value=0, max_value=255)
+#: always exercise 0 and 1 (identity/annihilator fast paths) heavily
+edge_coeffs = st.sampled_from([0, 1, 2, 255])
+
+
+def ref_mul(coeff: int, data) -> np.ndarray:
+    """Byte-at-a-time scalar reference for every vectorized kernel."""
+    return np.array(
+        [gf_mul(coeff, int(b)) for b in np.asarray(data).ravel()],
+        dtype=np.uint8,
+    ).reshape(np.asarray(data).shape)
+
+
+class TestMulBytesProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(coeff=coeffs, data=st.binary(max_size=300))
+    def test_matches_scalar_reference(self, coeff, data):
+        arr = np.frombuffer(data, dtype=np.uint8)
+        assert np.array_equal(gf_mul_bytes(coeff, arr), ref_mul(coeff, arr))
+
+    @settings(max_examples=60, deadline=None)
+    @given(coeff=coeffs, data=st.binary(min_size=1, max_size=300))
+    def test_out_aliasing_input_is_safe(self, coeff, data):
+        arr = np.frombuffer(bytearray(data), dtype=np.uint8).copy()
+        expected = ref_mul(coeff, arr)
+        result = gf_mul_bytes(coeff, arr, out=arr)
+        assert result is arr
+        assert np.array_equal(arr, expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(coeff=edge_coeffs, data=st.binary(max_size=100))
+    def test_identity_and_annihilator(self, coeff, data):
+        arr = np.frombuffer(data, dtype=np.uint8)
+        result = gf_mul_bytes(coeff, arr)
+        if coeff == 0:
+            assert not result.any()
+        elif coeff == 1:
+            assert np.array_equal(result, arr)
+        assert np.array_equal(result, ref_mul(coeff, arr))
+
+    @pytest.mark.parametrize("size", [4096, 4097, 8191, 65536])
+    @pytest.mark.parametrize("coeff", [2, 37, 255])
+    def test_u16_fast_path_matches_table_lookup(self, size, coeff):
+        """Sizes past the paired-lookup threshold, incl. odd tails."""
+        from repro.ec.galois import _MUL_TABLE
+
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 256, size=size, dtype=np.uint8)
+        expected = _MUL_TABLE[coeff][data]
+        assert np.array_equal(gf_mul_bytes(coeff, data), expected)
+        # aliased out= through the same fast path
+        scratch = data.copy()
+        gf_mul_bytes(coeff, scratch, out=scratch)
+        assert np.array_equal(scratch, expected)
+
+    def test_non_contiguous_view(self):
+        rng = np.random.default_rng(11)
+        data = rng.integers(0, 256, size=8192, dtype=np.uint8)
+        strided = data[::2]
+        assert np.array_equal(
+            gf_mul_bytes(91, strided), ref_mul(91, strided)
+        )
+
+    def test_out_must_match_shape_and_dtype(self):
+        data = np.zeros(16, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            gf_mul_bytes(3, data, out=np.zeros(8, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            gf_mul_bytes(3, data, out=np.zeros(16, dtype=np.uint16))
+
+
+class TestAddmulBytesProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(coeff=coeffs, data=st.binary(min_size=1, max_size=300))
+    def test_accumulates_xor_of_product(self, coeff, data):
+        arr = np.frombuffer(data, dtype=np.uint8)
+        rng = np.random.default_rng(3)
+        acc = rng.integers(0, 256, size=len(arr), dtype=np.uint8)
+        expected = acc ^ ref_mul(coeff, arr)
+        gf_addmul_bytes(acc, coeff, arr)
+        assert np.array_equal(acc, expected)
+
+    @pytest.mark.parametrize("size", [4096, 4099])
+    def test_large_accumulation_is_allocation_path_exact(self, size):
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 256, size=size, dtype=np.uint8)
+        acc = rng.integers(0, 256, size=size, dtype=np.uint8)
+        expected = acc ^ ref_mul(77, data)
+        gf_addmul_bytes(acc, 77, data)
+        assert np.array_equal(acc, expected)
+
+
+class TestMatmulBytesProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=st.integers(1, 4),
+        shards_n=st.integers(1, 4),
+        length=st.integers(1, 48),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_matches_double_loop_reference(self, rows, shards_n, length, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 256, size=(rows, shards_n), dtype=np.uint8)
+        shards = rng.integers(0, 256, size=(shards_n, length), dtype=np.uint8)
+        expected = np.zeros((rows, length), dtype=np.uint8)
+        for r in range(rows):
+            for s in range(shards_n):
+                expected[r] ^= ref_mul(int(matrix[r, s]), shards[s])
+        assert np.array_equal(gf_matmul_bytes(matrix, shards), expected)
+
+    def test_out_buffer_is_filled_and_returned(self):
+        rng = np.random.default_rng(9)
+        matrix = rng.integers(0, 256, size=(2, 3), dtype=np.uint8)
+        shards = rng.integers(0, 256, size=(3, 64), dtype=np.uint8)
+        out = np.full((2, 64), 0xAB, dtype=np.uint8)
+        result = gf_matmul_bytes(matrix, shards, out=out)
+        assert result is out
+        assert np.array_equal(out, gf_matmul_bytes(matrix, shards))
+
+    def test_zero_rows_clear_stale_out_contents(self):
+        matrix = np.zeros((2, 2), dtype=np.uint8)
+        shards = np.ones((2, 8), dtype=np.uint8)
+        out = np.full((2, 8), 0xFF, dtype=np.uint8)
+        gf_matmul_bytes(matrix, shards, out=out)
+        assert not out.any()
+
+    def test_out_aliasing_shards_rejected(self):
+        shards = np.ones((2, 8), dtype=np.uint8)
+        matrix = np.ones((2, 2), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            gf_matmul_bytes(matrix, shards, out=shards)
+
+    def test_out_shape_mismatch_rejected(self):
+        shards = np.ones((2, 8), dtype=np.uint8)
+        matrix = np.ones((3, 2), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            gf_matmul_bytes(
+                matrix, shards, out=np.zeros((2, 8), dtype=np.uint8)
+            )
+
+
+class TestBatchedCodec:
+    @pytest.mark.parametrize("batch", [1, 2, 7])
+    def test_encode_batch_matches_per_stripe(self, batch):
+        codec = make_codec("rs(5,3)")
+        rng = np.random.default_rng(batch)
+        stripes = [
+            [rng.bytes(512) for _ in range(codec.k)] for _ in range(batch)
+        ]
+        batched = codec.encode_batch(stripes)
+        assert batched == [codec.encode(stripe) for stripe in stripes]
+
+    def test_encode_batch_rejects_wrong_k(self):
+        codec = make_codec("rs(5,3)")
+        with pytest.raises(ValueError):
+            codec.encode_batch([[b"x" * 8] * (codec.k - 1)])
+
+    def test_encode_batch_rejects_unequal_sizes(self):
+        codec = make_codec("rs(5,3)")
+        with pytest.raises(ValueError):
+            codec.encode_batch(
+                [[b"x" * 8] * codec.k, [b"x" * 16] * codec.k]
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), batch=st.integers(1, 6))
+    def test_decode_batch_matches_per_stripe(self, seed, batch):
+        """Mixed availability sets per stripe, grouped internally."""
+        codec = make_codec("rs(5,3)")
+        rng = np.random.default_rng(seed)
+        coded = [
+            codec.encode([rng.bytes(128) for _ in range(codec.k)])
+            for _ in range(batch)
+        ]
+        stripes, wanted = [], []
+        for chunks in coded:
+            lost = sorted(
+                rng.choice(codec.n, size=rng.integers(0, 3), replace=False)
+            )
+            available = {
+                i: chunks[i] for i in range(codec.n) if i not in lost
+            }
+            stripes.append(available)
+            wanted.append([int(i) for i in lost])
+        batched = codec.decode_batch(stripes, wanted)
+        expected = [
+            codec.decode(avail, want)
+            for avail, want in zip(stripes, wanted)
+        ]
+        assert batched == expected
+        for chunks, rebuilt, want in zip(coded, batched, wanted):
+            for index in want:
+                assert rebuilt[index] == chunks[index]

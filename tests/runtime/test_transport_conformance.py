@@ -1,14 +1,16 @@
-"""Transport conformance: one contract, two backends.
+"""Transport conformance: one contract, three backends.
 
-Every test in :class:`TestTransportContract` runs against both the
-in-memory fabric and a loopback-wired :class:`~repro.net.TcpNetwork`
+Every test in :class:`TestTransportContract` runs against the
+in-memory fabric, a loopback-wired :class:`~repro.net.TcpNetwork`
 (each node registered as a peer of the network's own listen port, so
-every message crosses a real socket).  The runtime must not be able to
-tell the backends apart: ordering, payload fidelity, backpressure,
-silent-drop and error semantics all match.
+every message crosses a real socket) and a loopback-wired
+:class:`~repro.net.ShmNetwork` (each node registered as a peer of the
+network's own ring, so every message crosses shared memory).  The
+runtime must not be able to tell the backends apart: ordering, payload
+fidelity, backpressure, silent-drop and error semantics all match.
 
-Socket-only behaviors (frame rejection, reconnection, coordinator
-kill/resume across the TCP path) are exercised in the tcp-specific
+Backend-only behaviors (frame rejection, reconnection, coordinator
+kill/resume across the wire path) are exercised in the backend-specific
 classes below.
 """
 
@@ -21,7 +23,7 @@ import pytest
 from repro.cluster import StorageCluster
 from repro.core.planner import FastPRPlanner
 from repro.ec import make_codec
-from repro.net import TcpNetwork
+from repro.net import ShmNetwork, TcpNetwork, shm_available
 from repro.obs import MetricsRegistry
 from repro.runtime import (
     COORDINATOR_ID,
@@ -70,6 +72,8 @@ class Backend:
     def make(self, **kwargs):
         if self.kind == "tcp":
             net = TcpNetwork(**kwargs)
+        elif self.kind == "shm":
+            net = ShmNetwork(**kwargs)
         else:
             from repro.runtime.transport import Network
 
@@ -78,19 +82,34 @@ class Backend:
         return net
 
     def wire(self, net, node_ids):
-        """Make ``node_ids`` reachable; on TCP, via a real socket."""
+        """Make ``node_ids`` reachable; on tcp/shm, across the wire."""
         if self.kind == "tcp":
             host, port = net.listen()
             for node_id in node_ids:
                 net.add_peer(node_id, host, port)
+        elif self.kind == "shm":
+            name = net.listen()
+            for node_id in node_ids:
+                net.add_peer(node_id, name)
 
     def close(self):
         for net in self.networks:
-            if isinstance(net, TcpNetwork):
+            if isinstance(net, (TcpNetwork, ShmNetwork)):
                 net.close()
 
 
-@pytest.fixture(params=["memory", "tcp"])
+@pytest.fixture(
+    params=[
+        "memory",
+        "tcp",
+        pytest.param(
+            "shm",
+            marks=pytest.mark.skipif(
+                not shm_available(), reason="needs POSIX shm + flock"
+            ),
+        ),
+    ]
+)
 def backend(request):
     b = Backend(request.param)
     yield b
@@ -286,6 +305,126 @@ class TestTcpOnly:
         # Delivery happened before the sockets went down.
         got = drain(net.endpoint(1), 50, timeout=5.0)
         assert [m.nonce for m in got] == list(range(50))
+
+
+@pytest.mark.skipif(not shm_available(), reason="needs POSIX shm + flock")
+class TestShmOnly:
+    """Ring-path behaviors with no in-memory or socket analogue."""
+
+    def test_ring_wraparound_preserves_frames(self):
+        from repro.net import ShmRing
+
+        ring = ShmRing("fpr-test-wrap", capacity=1 << 12, create=True)
+        try:
+            sent = []
+            for i in range(64):  # far more bytes than one ring fill
+                frame = bytes([i]) * (200 + i)
+                sent.append(frame)
+                assert ring.write([frame], timeout=1.0)
+                for got in ring.read_frames():
+                    assert got == sent.pop(0)
+            assert not sent
+        finally:
+            ring.close()
+
+    def test_oversized_frame_raises(self):
+        from repro.net import ShmRing
+
+        ring = ShmRing("fpr-test-big", capacity=1 << 10, create=True)
+        try:
+            with pytest.raises(ValueError, match="ring capacity"):
+                ring.write([b"x" * (1 << 11)], timeout=0.1)
+        finally:
+            ring.close()
+
+    def test_full_ring_blocks_then_drops_after_timeout(self):
+        from repro.net import ShmRing
+
+        net = ShmNetwork(connect_timeout=0.2)
+        sink = ShmRing("fpr-test-full", capacity=1 << 12, create=True)
+        try:
+            net.attach(0, None)
+            # A peer whose ring is never drained: sends fill it, block
+            # for connect_timeout, then count as dropped.
+            net.add_peer(2, "fpr-test-full")
+            for i in range(64):  # far more bytes than the sink holds
+                net.send(0, 2, Pong(node_id=0, nonce=i))
+                if net.net.frames_dropped.total() > 0:
+                    break
+            assert net.net.frames_dropped.total() > 0
+        finally:
+            sink.close()
+            net.close()
+
+    def test_corrupt_frame_skipped_stream_survives(self):
+        net = ShmNetwork()
+        try:
+            net.attach(0, None)
+            net.attach(1, None)
+            name = net.listen()
+            net.add_peer(1, name)
+            from repro.net import ShmRing
+
+            writer = ShmRing(name)
+            try:
+                writer.write([b"\x00" * 40], timeout=1.0)  # bad magic
+            finally:
+                writer.close()
+            net.send(0, 1, Pong(node_id=0, nonce=9))
+            (got,) = drain(net.endpoint(1), 1)
+            assert got.nonce == 9
+            assert net.net.frames_rejected.total() == 1
+        finally:
+            net.close()
+
+
+@pytest.mark.skipif(not shm_available(), reason="needs POSIX shm + flock")
+class TestKillResumeOverShm:
+    def test_coordinator_crash_and_recovery_across_rings(self, tmp_path):
+        cluster = StorageCluster.random(
+            num_nodes=8,
+            num_stripes=10,
+            n=5,
+            k=3,
+            num_hot_standby=0,
+            seed=5,
+            chunk_size=1 << 14,
+        )
+        cluster.node(0).mark_soon_to_fail()
+        net = ShmNetwork(metrics=MetricsRegistry())
+        name = net.listen()
+        for node_id in list(cluster.nodes) + [COORDINATOR_ID]:
+            net.add_peer(node_id, name)
+        testbed = EmulatedTestbed(
+            cluster,
+            make_codec("rs(5,3)"),
+            packet_size=1 << 12,
+            workdir=tmp_path / "bed",
+            config=FAST,
+            journal_path=tmp_path / "repair.journal",
+            network=net,
+        )
+        try:
+            testbed.start()
+            testbed.load_random_data(seed=5)
+            plan = FastPRPlanner(seed=5).plan(cluster, 0)
+            plan.validate(cluster)
+            testbed.kill_coordinator_after(3)
+            with pytest.raises(CoordinatorCrash):
+                testbed.execute(plan)
+            successor = testbed.restart_coordinator()
+            assert successor.epoch == 1
+            result = testbed.resume()
+            assert result.chunks_repaired + result.recovered_chunks == (
+                plan.total_chunks
+            )
+            testbed.verify_plan(plan, result)
+            assert Scrubber(testbed).scan().clean
+            # The repair's frames really crossed the ring layer.
+            assert net.net.frames_received.total() > 0
+        finally:
+            testbed.shutdown()
+            net.close()
 
 
 class TestKillResumeOverTcp:

@@ -59,6 +59,7 @@ PUBLIC_API = [
     "ShardFailedError",
     "StorageClient",
     "TakeoverEvent",
+    "ShmNetwork",
     "TcpNetwork",
     "Testbed",
     # simulator backend
