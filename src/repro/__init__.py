@@ -70,6 +70,12 @@ from .runtime import (
     StorageClient,
     TakeoverEvent,
 )
+from .session import (
+    PIPELINING_MODES,
+    RepairSession,
+    RepairSummary,
+    apply_pipelining,
+)
 from .sim import (
     LifetimeConfig,
     LifetimeReport,
@@ -136,6 +142,11 @@ __all__ = [
     "ShmNetwork",
     "TcpNetwork",
     "Testbed",
+    # unified repair-session front door
+    "PIPELINING_MODES",
+    "RepairSession",
+    "RepairSummary",
+    "apply_pipelining",
     # simulator backend
     "LifetimeConfig",
     "LifetimeReport",

@@ -137,7 +137,7 @@ def validate(document: dict) -> dict:
 NET_BENCH_SCHEMA = Schema(
     "bench-net-throughput",
     version=1,
-    fields=("transport", "runs"),
+    fields=("transport", "runs", "pipelining"),
     required=("transport", "runs"),
 )
 
@@ -197,7 +197,100 @@ def validate_net(document: dict) -> dict:
     for run in body["runs"]:
         if run["frames"] <= 0 or run["mb_per_s"] <= 0:
             raise ValueError(f"degenerate net bench run: {run}")
+    pipelining = body.get("pipelining")
+    if pipelining is not None:
+        for mode in ("star", "chain"):
+            if pipelining[mode]["seconds"] <= 0:
+                raise ValueError(f"degenerate pipelining {mode} run")
+        if pipelining["chunks"] <= 0:
+            raise ValueError("pipelining bench repaired no chunks")
     return body
+
+
+#: the chained-repair latency gate: chain must finish in at most this
+#: fraction of the star (store-and-forward) run on the same plan
+_MAX_CHAIN_RATIO = 0.5
+
+
+def run_pipelining_bench(
+    slices: int = 16,
+    seed: int = 7,
+    chunk_bytes: int = 4 << 20,
+    network_mb_s: float = 40.0,
+    stripes: int = 4,
+) -> dict:
+    """Chained versus store-and-forward repair on a bandwidth-bound rig.
+
+    An in-memory RS(9,6) testbed with the NIC as the bottleneck
+    (4 MiB chunks at 40 MB/s links, disks an order of magnitude
+    faster) runs the *same* reconstruction plan twice through
+    :class:`repro.RepairSession`: once star (every helper fans in to
+    the destination, whose ingest serializes ``k`` uploads) and once
+    chained with slice-granular streaming (each helper adds its
+    coefficient-scaled slice and forwards one stream).  Repair
+    pipelining bounds the chained time by roughly ``1/k`` of the
+    fan-in time plus the pipeline fill; the committed gate only
+    demands ``chain <= 0.5 * star``, loose enough for scheduler noise
+    and strict enough that losing the overlap (the whole point of the
+    chain) fails the bench.
+    """
+    from ..cluster import StorageCluster
+    from ..core.planner import ReconstructionOnlyPlanner
+    from ..ec import make_codec
+    from ..session import RepairSession
+
+    codec = make_codec("rs(9,6)")
+    cluster = StorageCluster.random(
+        12,
+        stripes,
+        codec.n,
+        codec.k,
+        seed=seed,
+        disk_bandwidth=10 * network_mb_s * 1e6,
+        network_bandwidth=network_mb_s * 1e6,
+        chunk_size=chunk_bytes,
+    )
+    stf = max(cluster.storage_node_ids(), key=cluster.load_of)
+    cluster.node(stf).mark_soon_to_fail()
+    plan = ReconstructionOnlyPlanner(seed=seed).plan(cluster, stf)
+    summaries = {}
+    for mode, num_slices in (("off", 0), ("chain", slices)):
+        session = RepairSession(
+            cluster,
+            codec,
+            plan,
+            pipelining=mode,
+            slices=num_slices,
+            seed=seed,
+        )
+        summaries[mode] = session.run()
+    star, chain = summaries["off"], summaries["chain"]
+    return {
+        "code": f"rs({codec.n},{codec.k})",
+        "chunk_bytes": cluster.chunk_size,
+        "chunks": star.chunks_repaired,
+        "slices": slices,
+        "network_mb_s": network_mb_s,
+        "star": {"seconds": star.total_time},
+        "chain": {"seconds": chain.total_time},
+        # "speedup" in the name keeps the ratio out of the exact-match
+        # comparability check (it varies run to run); the hard latency
+        # gate below is what enforces the bound.
+        "chain_vs_star_speedup": star.total_time / chain.total_time,
+        "max_chain_ratio": _MAX_CHAIN_RATIO,
+    }
+
+
+def check_pipelining_gate(pipelining: dict) -> Optional[str]:
+    """The chained-latency acceptance bar; a problem string or None."""
+    ratio = pipelining["chain"]["seconds"] / pipelining["star"]["seconds"]
+    limit = pipelining["max_chain_ratio"]
+    if ratio > limit:
+        return (
+            f"chained repair ran at {ratio:.2f}x of store-and-forward "
+            f"(gate: <= {limit:.2f}x); the chain lost its overlap"
+        )
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -656,6 +749,20 @@ def main(argv: Optional[list] = None) -> int:
         help="frames streamed per payload size in the throughput sweep",
     )
     parser.add_argument(
+        "--pipelining",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="measure chained vs store-and-forward repair latency on a "
+        "bandwidth-bound RS(9,6) rig and embed the section in the net "
+        "throughput document (--no-pipelining skips it)",
+    )
+    parser.add_argument(
+        "--pipelining-slices",
+        type=int,
+        default=16,
+        help="slices per chunk in the chained pipelining bench",
+    )
+    parser.add_argument(
         "--durability-output",
         default="",
         help="where to write the Monte-Carlo durability document "
@@ -781,8 +888,16 @@ def main(argv: Optional[list] = None) -> int:
     )
     if args.net_output:
         net_doc = run_net_throughput(frames=args.net_frames)
+        if args.pipelining:
+            net_doc["pipelining"] = run_pipelining_bench(
+                slices=args.pipelining_slices, seed=args.seed
+            )
         validate_net(net_doc)
         gate(args.net_output, net_doc)
+        if args.fail_on_regression and "pipelining" in net_doc:
+            problem = check_pipelining_gate(net_doc["pipelining"])
+            if problem is not None:
+                regressions.append(f"{args.net_output}: {problem}")
         with open(args.net_output, "w") as f:
             json.dump(net_doc, f, indent=2, sort_keys=True)
             f.write("\n")
@@ -791,6 +906,17 @@ def main(argv: Optional[list] = None) -> int:
                 f"wrote {args.net_output}: {run['payload_bytes']} B frames "
                 f"at {run['frames_per_s']:.0f} frames/s, "
                 f"{run['mb_per_s']:.1f} MB/s"
+            )
+        if "pipelining" in net_doc:
+            section = net_doc["pipelining"]
+            print(
+                f"wrote {args.net_output}: pipelining {section['code']} "
+                f"{section['chunks']} chunks of "
+                f"{section['chunk_bytes'] >> 20} MiB — star "
+                f"{section['star']['seconds']:.2f}s, chain "
+                f"{section['chain']['seconds']:.2f}s "
+                f"({section['chain_vs_star_speedup']:.1f}x, gate "
+                f"<= {section['max_chain_ratio']:.2f}x of star)"
             )
     if args.hotpath:
         hotpath_doc = run_hotpath(frames=args.net_frames)

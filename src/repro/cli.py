@@ -219,6 +219,23 @@ def build_parser() -> argparse.ArgumentParser:
         "fault plan's domain crashes (kind: rack) resolve to node "
         "crashes plus co-located coordinator kills",
     )
+    repair.add_argument(
+        "--pipelining",
+        choices=("off", "chain"),
+        default="off",
+        help="'chain' streams each reconstruction's partial sums "
+        "through an ordered helper chain (slowest links first) instead "
+        "of star fan-in; works uniformly across every --transport and "
+        "--coordinators setting",
+    )
+    repair.add_argument(
+        "--slices",
+        type=int,
+        default=0,
+        help="(with --pipelining chain) carve each chunk into N slices "
+        "streamed as SlicePacket frames with per-slice completion "
+        "reports; 0 keeps packet-granular chaining",
+    )
 
     agent = sub.add_parser(
         "agent",
@@ -623,8 +640,10 @@ def _cmd_repair(args) -> int:
     from .cluster import snapshot as snapshot_mod
     from .core.plan import RepairScenario
     from .core.planner import FastPRPlanner
-    from .runtime import CoordinatorCrash, FaultPlan, Scrubber
-    from .runtime.testbed import EmulatedTestbed, VerificationError
+    from .obs import MetricsRegistry, Tracer
+    from .runtime import FaultPlan
+    from .runtime.testbed import VerificationError
+    from .session import RepairSession
 
     config = _load_runtime_config(args.config)
     cluster = snapshot_mod.load(args.snapshot)
@@ -649,228 +668,58 @@ def _cmd_repair(args) -> int:
         from .cluster.topology import RackTopology
 
         topology = RackTopology.uniform(sorted(cluster.nodes), args.racks)
-    plan = FastPRPlanner(
-        scenario=RepairScenario(args.scenario), seed=args.seed
-    ).plan(cluster, args.stf)
-    plan.validate(cluster)
-    print(plan.summary())
-    if args.transport in ("tcp", "shm"):
-        return _cmd_repair_wire(
-            args, cluster, codec, plan, faults, config, topology
-        )
-    testbed = EmulatedTestbed(
-        cluster,
-        codec,
-        packet_size=args.packet_size,
-        config=config,
-        faults=faults,
-        journal_path=args.journal if args.coordinators <= 1 else None,
-        topology=topology,
-    )
-    try:
-        with testbed:
-            testbed.load_random_data(seed=args.seed)
-            restarts = 0
-            if args.coordinators > 1:
-                result = testbed.execute_sharded(
-                    plan, num_coordinators=args.coordinators
-                )
-                restarts = len(result.takeovers)
-                for event in result.takeovers:
-                    print(
-                        f"shard {event.shard} taken over by shard "
-                        f"{event.adopter} (epoch {event.epoch})"
-                    )
-            else:
-                try:
-                    result = testbed.execute(plan)
-                except CoordinatorCrash as crash:
-                    print(
-                        f"coordinator crashed: {crash}; recovering from journal"
-                    )
-                    while True:
-                        restarts += 1
-                        testbed.restart_coordinator()
-                        try:
-                            result = testbed.resume()
-                            break
-                        except CoordinatorCrash as crash:
-                            print(
-                                f"coordinator crashed again: {crash}; recovering"
-                            )
-            testbed.verify_plan(plan, result)
-            report = Scrubber(testbed).scan()
-            _write_repair_outputs(args, testbed, result, report, restarts)
-            print(
-                f"repaired {result.chunks_repaired} chunks "
-                f"(+{result.recovered_chunks} recovered) in "
-                f"{result.total_time:.2f}s over {len(result.round_times)} "
-                f"rounds; retries={result.retries} replans={result.replans} "
-                f"coordinator_restarts={restarts}"
-            )
-            print(
-                f"post-repair scrub: {report.chunks_checked} chunks checked, "
-                f"{len(report.corrupt)} corrupt"
-            )
-            if not report.clean:
-                for corrupt in report.corrupt:
-                    print(
-                        f"corrupt chunk: stripe {corrupt.stripe_id} "
-                        f"index {corrupt.chunk_index} at node "
-                        f"{corrupt.node_id}",
-                        file=sys.stderr,
-                    )
-                return 1
-    except VerificationError as exc:
-        # Verification failure must surface as a non-zero exit with the
-        # full list of mismatching chunk ids, never a silent success.
-        print(f"post-repair verification failed: {exc}", file=sys.stderr)
-        for mismatch in getattr(exc, "mismatches", []):
-            print(
-                f"mismatching chunk: stripe {mismatch.stripe_id} "
-                f"index {mismatch.chunk_index} at node {mismatch.node_id} "
-                f"({mismatch.reason})",
-                file=sys.stderr,
-            )
-        return 1
-    except Exception as exc:
-        print(f"repair failed: {exc}", file=sys.stderr)
-        return 1
-    print("all repaired chunks verified byte-identical")
-    return 0
-
-
-def _load_runtime_config(path):
-    """Load a RuntimeConfig JSON file, or None when no path given."""
-    if path is None:
-        return None
-    import json as json_mod
-
-    from .runtime import RuntimeConfig
-
-    with open(path) as f:
-        return RuntimeConfig.from_dict(json_mod.load(f))
-
-
-def _cmd_repair_wire(
-    args, cluster, codec, plan, faults=None, config=None, topology=None
-) -> int:
-    import json as json_mod
-    from pathlib import Path
-
-    from .net import (
-        PeerSpecError,
-        parse_peer_spec,
-        run_shm_repair,
-        run_tcp_multicoord_repair,
-        run_tcp_repair,
-        sharded_peer_spec,
-        shm_available,
-    )
-    from .obs import MetricsRegistry, Tracer
-    from .runtime.testbed import VerificationError
-
-    if args.workdir is None or (args.transport == "tcp" and args.peers is None):
-        print(
-            f"--transport {args.transport} needs --workdir"
-            + (" and --peers" if args.transport == "tcp" else ""),
-            file=sys.stderr,
-        )
-        return 2
-    if args.resume and args.journal is None:
-        print("--resume needs --journal", file=sys.stderr)
-        return 2
-    if args.resume and args.coordinators > 1:
-        print(
-            "--resume applies to single-coordinator runs; sharded runs "
-            "recover crashed shards internally",
-            file=sys.stderr,
-        )
-        return 2
-    peers = {}
     if args.transport == "shm":
+        from .net import shm_available
+
         if not shm_available():
             print(
                 "shared-memory transport needs POSIX shm + flock",
                 file=sys.stderr,
             )
             return 2
-        if args.coordinators > 1:
-            print(
-                "--transport shm runs a single coordinator; use tcp for "
-                "sharded repair",
-                file=sys.stderr,
-            )
-            return 2
-        peers = {node_id: None for node_id in cluster.nodes}
-    else:
-        try:
-            peers = parse_peer_spec(args.peers)
-        except PeerSpecError as exc:
-            print(f"bad --peers: {exc}", file=sys.stderr)
-            return 2
+    plan = FastPRPlanner(
+        scenario=RepairScenario(args.scenario), seed=args.seed
+    ).plan(cluster, args.stf)
+    plan.validate(cluster)
+    print(plan.summary())
     metrics = MetricsRegistry()
     tracer = Tracer()
-    takeovers = 0
     try:
-        if args.transport == "shm":
-            result, verified = run_shm_repair(
-                cluster,
-                codec,
-                plan,
-                Path(args.workdir),
-                seed=args.seed,
-                config=config,
-                packet_size=args.packet_size,
-                journal_path=Path(args.journal) if args.journal else None,
-                metrics=metrics,
-                tracer=tracer,
-                resume=args.resume,
-                agent_timeout=args.agent_timeout,
-                faults=faults,
-            )
-        elif args.coordinators > 1:
-            result, verified = run_tcp_multicoord_repair(
-                cluster,
-                codec,
-                plan,
-                sharded_peer_spec(peers, args.coordinators),
-                Path(args.workdir),
-                num_coordinators=args.coordinators,
-                seed=args.seed,
-                config=config,
-                packet_size=args.packet_size,
-                journal_dir=Path(args.journal) if args.journal else None,
-                metrics=metrics,
-                tracer=tracer,
-                agent_timeout=args.agent_timeout,
-                faults=faults,
-                topology=topology,
-            )
-            takeovers = len(result.takeovers)
-            for event in result.takeovers:
-                print(
-                    f"shard {event.shard} taken over by shard "
-                    f"{event.adopter} (epoch {event.epoch})"
-                )
-        else:
-            result, verified = run_tcp_repair(
-                cluster,
-                codec,
-                plan,
-                peers,
-                Path(args.workdir),
-                seed=args.seed,
-                config=config,
-                packet_size=args.packet_size,
-                journal_path=Path(args.journal) if args.journal else None,
-                metrics=metrics,
-                tracer=tracer,
-                resume=args.resume,
-                agent_timeout=args.agent_timeout,
-                faults=faults,
-            )
+        # The session builder is the single validator for transport /
+        # coordinators / pipelining combinations: a bad mix fails here,
+        # before any process, journal or data load exists.
+        session = RepairSession(
+            cluster,
+            codec,
+            plan,
+            transport=args.transport,
+            coordinators=args.coordinators,
+            pipelining=args.pipelining,
+            slices=args.slices,
+            peers=args.peers,
+            workdir=args.workdir,
+            seed=args.seed,
+            config=config,
+            packet_size=args.packet_size,
+            journal_path=args.journal if args.coordinators <= 1 else None,
+            journal_dir=args.journal if args.coordinators > 1 else None,
+            faults=faults,
+            topology=topology,
+            metrics=metrics,
+            tracer=tracer,
+            resume=args.resume,
+            agent_timeout=args.agent_timeout,
+            scrub=(args.transport == "memory"),
+            log=print,
+        )
+    except ValueError as exc:
+        print(f"bad repair invocation: {exc}", file=sys.stderr)
+        return 2
+    try:
+        summary = session.run()
     except VerificationError as exc:
+        # Verification failure must surface as a non-zero exit with the
+        # full list of mismatching chunk ids, never a silent success.
         print(f"post-repair verification failed: {exc}", file=sys.stderr)
         for mismatch in getattr(exc, "mismatches", []):
             print(
@@ -889,38 +738,78 @@ def _cmd_repair_wire(
     if args.trace_out is not None:
         tracer.save(args.trace_out)
         print(f"wrote trace to {args.trace_out}")
+    report = summary.scrub_report
     if args.output is not None:
-        summary = {
+        document = {
             "version": 1,
-            "transport": args.transport,
-            "chunks_repaired": result.chunks_repaired,
-            "recovered_chunks": result.recovered_chunks,
-            "total_time_s": result.total_time,
-            "round_times_s": list(result.round_times),
-            "bytes_transferred": result.bytes_transferred,
-            "retries": result.retries,
-            "replans": result.replans,
-            "nacks": result.nacks,
-            "chunks_verified": verified,
-            "coordinators": args.coordinators,
-            "takeovers": takeovers,
+            **summary.to_dict(),
+            "recovered_chunks": getattr(
+                summary.result, "recovered_chunks", 0
+            ),
+            "converted_migrations": getattr(
+                summary.result, "converted_migrations", 0
+            ),
         }
+        if report is not None:
+            document["scrub"] = {
+                "chunks_checked": report.chunks_checked,
+                "corrupt": len(report.corrupt),
+            }
         with open(args.output, "w") as f:
-            json_mod.dump(summary, f, indent=2)
+            json_mod.dump(document, f, indent=2)
         print(f"wrote run summary to {args.output}")
+    pipelined = ""
+    if args.pipelining != "off":
+        pipelined = f" pipelining={args.pipelining}"
+        if args.slices:
+            pipelined += f" slices={args.slices}"
+    if args.transport == "memory":
+        print(
+            f"repaired {summary.chunks_repaired} chunks "
+            f"(+{getattr(summary.result, 'recovered_chunks', 0)} recovered) "
+            f"in {summary.total_time:.2f}s over {len(summary.round_times)} "
+            f"rounds; retries={summary.retries} replans={summary.replans} "
+            f"coordinator_restarts={summary.restarts}{pipelined}"
+        )
+        print(
+            f"post-repair scrub: {report.chunks_checked} chunks checked, "
+            f"{len(report.corrupt)} corrupt"
+        )
+        if not report.clean:
+            for corrupt in report.corrupt:
+                print(
+                    f"corrupt chunk: stripe {corrupt.stripe_id} "
+                    f"index {corrupt.chunk_index} at node "
+                    f"{corrupt.node_id}",
+                    file=sys.stderr,
+                )
+            return 1
+        print("all repaired chunks verified byte-identical")
+        return 0
     sharded = (
-        f" ({args.coordinators} coordinators, {takeovers} takeovers)"
+        f" ({args.coordinators} coordinators, {summary.restarts} takeovers)"
         if args.coordinators > 1
         else ""
     )
-    agent_count = sum(1 for node_id in peers if node_id >= 0)
     wire = "shared memory" if args.transport == "shm" else "TCP"
     print(
-        f"repaired {result.chunks_repaired} chunks over {wire} in "
-        f"{result.total_time:.2f}s across {agent_count} agent "
-        f"processes{sharded}; {verified} chunks verified byte-identical"
+        f"repaired {summary.chunks_repaired} chunks over {wire} in "
+        f"{summary.total_time:.2f}s{sharded}{pipelined}; "
+        f"{summary.chunks_verified} chunks verified byte-identical"
     )
     return 0
+
+
+def _load_runtime_config(path):
+    """Load a RuntimeConfig JSON file, or None when no path given."""
+    if path is None:
+        return None
+    import json as json_mod
+
+    from .runtime import RuntimeConfig
+
+    with open(path) as f:
+        return RuntimeConfig.from_dict(json_mod.load(f))
 
 
 def _cmd_agent(args) -> int:
@@ -1000,45 +889,6 @@ def _cmd_agent(args) -> int:
     )
     print(f"agent {args.node} done ({loaded} chunks served)")
     return 0
-
-
-def _write_repair_outputs(args, testbed, result, scrub_report, restarts) -> int:
-    """Write --metrics-out / --trace-out / -o artifacts of a repair run."""
-    import json as json_mod
-
-    written = 0
-    if args.metrics_out is not None:
-        testbed.metrics.save(args.metrics_out)
-        print(f"wrote metrics to {args.metrics_out}")
-        written += 1
-    if args.trace_out is not None:
-        testbed.tracer.save(args.trace_out)
-        print(f"wrote trace to {args.trace_out}")
-        written += 1
-    if args.output is not None:
-        summary = {
-            "version": 1,
-            "chunks_repaired": result.chunks_repaired,
-            "recovered_chunks": result.recovered_chunks,
-            "total_time_s": result.total_time,
-            "round_times_s": list(result.round_times),
-            "bytes_transferred": result.bytes_transferred,
-            "retries": result.retries,
-            "replans": result.replans,
-            "nacks": result.nacks,
-            "converted_migrations": result.converted_migrations,
-            "dead_nodes": list(result.dead_nodes),
-            "coordinator_restarts": restarts,
-            "scrub": {
-                "chunks_checked": scrub_report.chunks_checked,
-                "corrupt": len(scrub_report.corrupt),
-            },
-        }
-        with open(args.output, "w") as f:
-            json_mod.dump(summary, f, indent=2)
-        print(f"wrote run summary to {args.output}")
-        written += 1
-    return written
 
 
 def _cmd_scrub(args) -> int:

@@ -175,6 +175,32 @@ def schedule_migration_only(
     return [RoundComposition(migration=list(chunks))]
 
 
+def order_chain(
+    helpers: Sequence[NodeId],
+    weights: Optional[Dict[NodeId, float]] = None,
+) -> List[NodeId]:
+    """Order a repair chain's helpers slowest link first.
+
+    Multi-level pipelined repair over heterogeneous links places the
+    slowest helper at the head of the chain: its single upload then
+    overlaps every faster downstream hop instead of throttling the
+    stream mid-chain, so the chain's completion time is governed by
+    ``max`` of the link times rather than their sum over the slow
+    tail.  ``weights`` maps node -> effective bandwidth (any consistent
+    unit: bytes/s, or a (0, 1] scale); missing nodes count as
+    ``+inf`` (never slower than a weighted one).  The sort is stable,
+    so a uniform-bandwidth chain comes back in its original order and
+    plans without fault-injected slowdowns are byte-identical to the
+    unordered ones.
+    """
+    chain = list(helpers)
+    if not weights:
+        return chain
+    return sorted(
+        chain, key=lambda node: weights.get(node, float("inf"))
+    )
+
+
 class BudgetTimeout(RuntimeError):
     """A budget acquisition did not complete within its timeout."""
 

@@ -10,6 +10,10 @@ defines the length-prefixed CRC-checked frame format and
 ``fastpr agent`` and ``fastpr repair --transport tcp``.
 """
 
+import functools
+import warnings
+
+from . import launch as _launch
 from .launch import (
     COORDINATOR_ALIAS,
     PeerSpecError,
@@ -19,12 +23,35 @@ from .launch import (
     parse_peer_spec,
     run_agent_process,
     run_shm_agent_process,
-    run_shm_repair,
-    run_tcp_multicoord_repair,
-    run_tcp_repair,
     sharded_peer_spec,
     shm_ring_name,
     stripe_checksums,
+)
+
+
+def _deprecated_driver(func):
+    """One-release shim: the per-transport drivers moved behind
+    :class:`repro.RepairSession`; these names keep working for one
+    release but warn on every call."""
+
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        warnings.warn(
+            f"repro.net.{func.__name__} is deprecated; use "
+            "repro.RepairSession(..., transport=...) instead "
+            "(removal after one release)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return func(*args, **kwargs)
+
+    return wrapper
+
+
+run_tcp_repair = _deprecated_driver(_launch.run_tcp_repair)
+run_shm_repair = _deprecated_driver(_launch.run_shm_repair)
+run_tcp_multicoord_repair = _deprecated_driver(
+    _launch.run_tcp_multicoord_repair
 )
 from .shm import ShmNetwork, ShmRing, shm_available
 from .tcp import TcpNetwork

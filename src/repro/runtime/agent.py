@@ -47,7 +47,7 @@ import queue
 import threading
 import time
 import zlib
-from typing import Dict, Optional, Set, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -70,10 +70,28 @@ from .messages import (
     RepairAck,
     SendCommand,
     Shutdown,
+    SlicePacket,
+    SliceReport,
     WriteComplete,
     nack,
 )
 from .transport import Network
+
+
+def slice_granularity(
+    chunk_size: int, packet_size: int, num_slices: int
+) -> int:
+    """Effective transfer granularity of a (possibly sliced) stream.
+
+    Sliced chained reconstruction carves the chunk into ``num_slices``
+    equal slices (the last may run short); ``num_slices == 0`` keeps
+    the command's packet size.  Relays and assemblies both derive
+    their offsets from this, so slice boundaries agree across every
+    hop of a chain regardless of the packet size the run was tuned to.
+    """
+    if num_slices > 0:
+        return max(1, -(-chunk_size // num_slices))
+    return packet_size
 
 #: ordering handle for staleness: a bigger (epoch, attempt) supersedes
 Generation = Tuple[int, int]
@@ -106,7 +124,12 @@ class _Assembly:
     never publishes a torn chunk.
     """
 
-    def __init__(self, command: ReceiveCommand, store: ChunkStore):
+    def __init__(
+        self,
+        command: ReceiveCommand,
+        store: ChunkStore,
+        on_slice: Optional[Callable[[int, float], None]] = None,
+    ):
         self.command = command
         self.store = store
         self.packets: "queue.Queue" = queue.Queue()
@@ -114,7 +137,13 @@ class _Assembly:
         #: offset -> set of sources that already contributed (dedupes
         #: duplicated packets, which would otherwise double-apply coeffs)
         self._arrived: Dict[int, Set[NodeId]] = {}
+        #: transfer granularity; for sliced streams this *is* the slice
+        self._granularity = slice_granularity(
+            command.chunk_size, command.packet_size, command.num_slices
+        )
         self._remaining_offsets = self._count_offsets()
+        #: best-effort per-slice progress hook (slice_index, elapsed_s)
+        self._on_slice = on_slice
         #: completed regions queued to the staging-writer thread, so
         #: the (throttled) disk write overlaps the next packet's GF math
         self._writes: "queue.Queue" = queue.Queue()
@@ -127,7 +156,7 @@ class _Assembly:
         self.span = None
 
     def _count_offsets(self) -> int:
-        size, packet = self.command.chunk_size, self.command.packet_size
+        size, packet = self.command.chunk_size, self._granularity
         return (size + packet - 1) // packet
 
     def abort(self) -> None:
@@ -176,6 +205,7 @@ class _Assembly:
             daemon=True,
         )
         writer.start()
+        started_at = time.perf_counter()
         try:
             while self._remaining_offsets > 0:
                 packet = self.packets.get()
@@ -219,6 +249,14 @@ class _Assembly:
                     self._remaining_offsets -= 1
                     # Fully decoded region: hand it to the writer.
                     self._writes.put((packet.offset, end))
+                    if (
+                        self._on_slice is not None
+                        and self.command.num_slices > 0
+                    ):
+                        self._on_slice(
+                            packet.offset // self._granularity,
+                            time.perf_counter() - started_at,
+                        )
                 if self._write_error is not None:
                     break
             return self._finish_writer(writer)
@@ -263,7 +301,9 @@ class _Relay:
                 f"relay chunk size mismatch: stored {size}, command "
                 f"{command.chunk_size}"
             )
-        packet_size = min(command.packet_size, size)
+        packet_size = slice_granularity(
+            size, min(command.packet_size, size), command.num_slices
+        )
         offsets = range(0, size, packet_size)
         # Double-buffered chunk reads: a reader thread fills one
         # preallocated buffer while the GF math consumes the other, so
@@ -322,10 +362,8 @@ class _Relay:
                     )
                 payload = out.data  # zero-copy view; no bytes join
                 self.agent._bytes_sent.inc(length, node=self.agent.node_id)
-                self.agent.network.send(
-                    self.agent.node_id,
-                    command.destination,
-                    DataPacket(
+                if command.num_slices > 0:
+                    packet = SlicePacket(
                         stripe_id=command.stripe_id,
                         chunk_index=command.chunk_index,
                         source=self.agent.node_id,
@@ -334,7 +372,23 @@ class _Relay:
                         attempt=command.attempt,
                         epoch=command.epoch,
                         checksum=zlib.crc32(payload),
-                    ),
+                        slice_index=offset // packet_size,
+                        num_slices=command.num_slices,
+                        chain_pos=command.chain_pos,
+                    )
+                else:
+                    packet = DataPacket(
+                        stripe_id=command.stripe_id,
+                        chunk_index=command.chunk_index,
+                        source=self.agent.node_id,
+                        offset=offset,
+                        payload=payload,
+                        attempt=command.attempt,
+                        epoch=command.epoch,
+                        checksum=zlib.crc32(payload),
+                    )
+                self.agent.network.send(
+                    self.agent.node_id, command.destination, packet
                 )
         finally:
             free.put(None)  # unblock the reader if it is still ahead
@@ -364,6 +418,11 @@ class _Relay:
             ):
                 continue  # corrupted partial sum; wait for a retry
             if upstream.offset != offset:
+                if upstream.offset < offset:
+                    # Duplicated delivery of an already-consumed partial
+                    # sum (the links may replay frames); drop and keep
+                    # waiting for the expected offset.
+                    continue
                 raise AgentError(
                     f"pipeline packet out of order: got offset "
                     f"{upstream.offset}, expected {offset}"
@@ -763,7 +822,31 @@ class Agent:
     def _start_assembly(self, command: ReceiveCommand) -> None:
         if not self._note_attempt(command.key, _generation(command)):
             return
-        assembly = _Assembly(command, self.store)
+        on_slice = None
+        if command.num_slices > 0:
+
+            def on_slice(slice_index: int, elapsed: float) -> None:
+                # Best-effort progress stream: a lost report only dims
+                # the coordinator's per-slice journal, never the repair.
+                try:
+                    self.network.send(
+                        self.node_id,
+                        command.reply_to,
+                        SliceReport(
+                            stripe_id=command.stripe_id,
+                            chunk_index=command.chunk_index,
+                            node_id=self.node_id,
+                            slice_index=slice_index,
+                            num_slices=command.num_slices,
+                            attempt=command.attempt,
+                            epoch=command.epoch,
+                            elapsed=elapsed,
+                        ),
+                    )
+                except Exception:
+                    pass
+
+        assembly = _Assembly(command, self.store, on_slice=on_slice)
         assembly.span = self.tracer.start_span(
             "assembly",
             node=self.node_id,

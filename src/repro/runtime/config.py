@@ -38,6 +38,7 @@ RUNTIME_CONFIG_SCHEMA = Schema(
         "send_queue_capacity",
         "connect_timeout",
         "drain_timeout",
+        "pipeline_slices",
     ),
     implicit_version=1,
 )
@@ -93,6 +94,12 @@ class RuntimeConfig:
             that peer are dropped as undeliverable.
         drain_timeout: seconds :meth:`TcpNetwork.close` waits for each
             peer's queued frames to flush before force-closing.
+        pipeline_slices: slice count for chained (pipelined)
+            reconstructions — each chunk is carved into this many
+            slices streamed through the helper chain as
+            :class:`~repro.runtime.messages.SlicePacket` frames with
+            per-slice completion reports.  ``0`` keeps the legacy
+            packet-granular chaining (no slice protocol on the wire).
     """
 
     ack_timeout: float = 120.0
@@ -113,6 +120,7 @@ class RuntimeConfig:
     send_queue_capacity: int = 64
     connect_timeout: float = 30.0
     drain_timeout: float = 10.0
+    pipeline_slices: int = 0
 
     def __post_init__(self):
         if self.ack_timeout <= 0 or self.min_deadline <= 0:
@@ -133,6 +141,10 @@ class RuntimeConfig:
             raise ValueError("send_queue_capacity must be positive")
         if self.connect_timeout <= 0 or self.drain_timeout <= 0:
             raise ValueError("net timeouts must be positive")
+        if self.pipeline_slices < 0:
+            raise ValueError(
+                "pipeline_slices must be non-negative (0 = packet-granular)"
+            )
 
     def backoff(self, retry: int) -> float:
         """Backoff before the ``retry``-th reissue (1-based)."""

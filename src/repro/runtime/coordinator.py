@@ -51,7 +51,7 @@ from ..cluster.chunk import NodeId, StripeId
 from ..cluster.cluster import StorageCluster
 from ..core.plan import ChunkRepairAction, RepairMethod, RepairPlan
 from ..core.planner import UnrecoverableChunkError, heal_action
-from ..core.scheduling import HelperBudget
+from ..core.scheduling import HelperBudget, order_chain
 from ..ec.codec import ErasureCodec
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Span, Tracer
@@ -66,6 +66,7 @@ from .journal import (
     RepairJournal,
     RoundCompleted,
     RoundStarted,
+    SliceCompleted,
 )
 from .messages import (
     ActionKey,
@@ -78,6 +79,7 @@ from .messages import (
     RelayCommand,
     RepairAck,
     SendCommand,
+    SliceReport,
 )
 from .transport import Network
 
@@ -142,6 +144,8 @@ class RuntimeResult:
     #: actions found already durably complete when resuming (journal
     #: or agent inventory); ``chunks_repaired`` counts only this run's
     recovered_chunks: int = 0
+    #: per-slice completions reported by destinations (chained repairs)
+    slices_completed: int = 0
 
     @property
     def time_per_chunk(self) -> float:
@@ -269,6 +273,15 @@ HelperBudget`; when set, each round's helper/destination node slots
         self._endpoint = network.attach(self.coordinator_id, None)
         #: nodes declared permanently dead (persists across rounds)
         self._dead: Set[NodeId] = set()
+        #: runtime-observed link degradation (node -> scale in (0, 1]);
+        #: halved each time a node survives a probe that a stalled
+        #: round triggered, so chain ordering demotes flaky-but-alive
+        #: helpers to the head of subsequent chains
+        self._observed_scales: Dict[NodeId, float] = {}
+        self._slices_counter = m.counter(
+            "repair_slices_total",
+            "slices assembled at destinations (chained repairs)",
+        )
         self._last_seen: Dict[NodeId, float] = {}
         self._deferred: List[object] = []
         self._nonce = 0
@@ -649,6 +662,31 @@ HelperBudget`; when set, each round's helper/destination node slots
                 self._last_seen[message.node_id] = time.monotonic()
             elif isinstance(message, InventoryReply):
                 continue  # late reply from a recovery inventory sweep
+            elif isinstance(message, SliceReport):
+                self._last_seen[message.node_id] = time.monotonic()
+                key = message.key
+                if (
+                    message.epoch != self.epoch
+                    or key not in pending
+                    or message.attempt != attempts.get(key, -1)
+                ):
+                    continue  # fenced epoch or a superseded attempt
+                # Informational progress record: recovery ignores it
+                # (only ActionCompleted is durable progress) but the
+                # journal now shows how far a chained repair streamed.
+                self._journal(
+                    SliceCompleted(
+                        self.epoch,
+                        round_index,
+                        message.stripe_id,
+                        message.chunk_index,
+                        message.slice_index,
+                        message.num_slices,
+                        message.attempt,
+                    )
+                )
+                result.slices_completed += 1
+                self._slices_counter.inc()
             elif isinstance(message, RepairAck):
                 self._last_seen[message.node_id] = time.monotonic()
                 key = message.key
@@ -739,6 +777,13 @@ HelperBudget`; when set, each round's helper/destination node slots
             return
         # Every suspect answered: the stall is transient (lost packets,
         # wedged transfer).  Bounded retry with exponential backoff.
+        # The suspects are alive but were slow enough to stall a round:
+        # halve their observed link scale so reissued chains place them
+        # early (slowest first), where their lag overlaps the pipeline.
+        for node in sorted(suspects):
+            self._observed_scales[node] = (
+                self._observed_scales.get(node, 1.0) * 0.5
+            )
         for key in sorted(keys):
             retries[key] += 1
             if retries[key] > cfg.max_retries:
@@ -900,6 +945,25 @@ HelperBudget`; when set, each round's helper/destination node slots
                 ),
             )
 
+    def _chain_weights(self) -> Dict[NodeId, float]:
+        """Effective link scale per node, for slowest-first chain order.
+
+        Folds the fault plan's slow-NIC scales (via
+        :meth:`~repro.runtime.faults.FaultPlan.link_bandwidths`, the
+        same numbers the injector applies to the NIC limiters and the
+        cost model prices) with runtime-observed degradation from
+        probe-surviving stalls.  Nodes absent from the result run at
+        full speed and sort to the chain's tail.
+        """
+        weights: Dict[NodeId, float] = {}
+        faults = getattr(self.network, "faults", None)
+        plan = getattr(faults, "plan", None)
+        if plan is not None:
+            weights.update(plan.link_bandwidths())
+        for node, scale in self._observed_scales.items():
+            weights[node] = weights.get(node, 1.0) * scale
+        return weights
+
     def _issue_pipelined(
         self,
         action: ChunkRepairAction,
@@ -907,9 +971,19 @@ HelperBudget`; when set, each round's helper/destination node slots
         packet_size: int,
         attempt: int,
     ) -> None:
-        """Repair pipelining: helpers chain partial sums to the destination."""
+        """Repair pipelining: helpers chain partial sums to the destination.
+
+        The chain runs slowest link first (:func:`order_chain` over
+        :meth:`_chain_weights`), so a degraded helper's upload overlaps
+        every faster downstream hop instead of throttling mid-chain.
+        With ``config.pipeline_slices > 0`` the transfer is carved into
+        that many slices carried as :class:`SlicePacket` frames and the
+        destination streams back per-slice :class:`SliceReport`
+        progress; at 0 the legacy packet-granular protocol is used.
+        """
         coeffs = self._source_coefficients(action)
-        chain = list(action.sources)
+        chain = order_chain(action.sources, self._chain_weights())
+        num_slices = self.config.pipeline_slices
         last = chain[-1]
         self.network.send(
             self.coordinator_id,
@@ -923,6 +997,7 @@ HelperBudget`; when set, each round's helper/destination node slots
                 attempt=attempt,
                 epoch=self.epoch,
                 reply_to=self.coordinator_id,
+                num_slices=num_slices,
             ),
         )
         # Register stages downstream-first so each hop (usually) exists
@@ -945,6 +1020,8 @@ HelperBudget`; when set, each round's helper/destination node slots
                     attempt=attempt,
                     epoch=self.epoch,
                     reply_to=self.coordinator_id,
+                    num_slices=num_slices,
+                    chain_pos=i,
                 ),
             )
 

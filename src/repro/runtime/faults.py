@@ -257,6 +257,30 @@ class FaultPlan:
         timed = [c for c in self.crashes if c.at_time is not None]
         return sorted(timed, key=lambda c: c.at_time)
 
+    def link_bandwidths(
+        self, at_time: Optional[float] = None
+    ) -> Dict[NodeId, float]:
+        """Effective per-node NIC bandwidth scales under this plan.
+
+        The injector applies :class:`SlowNicFault` factors to the NIC
+        limiters as their triggers come due, but nothing upstream could
+        see those numbers: chain ordering and the cost model priced
+        repairs as if every link still ran at full speed.  This
+        accessor is the shared source of truth — node -> scale in
+        (0, 1], folding every slow-NIC fault due by ``at_time`` (all of
+        them when ``at_time`` is None: the steady state a whole repair
+        run converges to).  Repeated faults on one node compose
+        multiplicatively, exactly how the injector applies them
+        (``network.scale_bandwidth`` multiplies the limiter rate).
+        Nodes without a due fault are omitted (scale 1.0).
+        """
+        scales: Dict[NodeId, float] = {}
+        for slow in self.slow_nics:
+            if at_time is not None and slow.at_time > at_time:
+                continue
+            scales[slow.node] = scales.get(slow.node, 1.0) * slow.factor
+        return scales
+
     def resolve_domains(self, topology) -> "FaultPlan":
         """Expand domain crashes into per-node crash faults.
 

@@ -104,6 +104,27 @@ class ActionCompleted:
 
 
 @dataclass(frozen=True)
+class SliceCompleted:
+    """One slice of a chained (pipelined) reconstruction assembled.
+
+    Sliced repairs stream partial sums through a helper chain; the
+    destination reports each completed slice and the coordinator
+    journals it, so a post-crash operator can see exactly how far a
+    partial reconstruction got.  Purely informational for recovery:
+    only a chunk-level :class:`ActionCompleted` marks durable progress
+    (a partially sliced chunk is re-reconstructed from scratch).
+    """
+
+    epoch: int
+    round_index: int
+    stripe_id: int
+    chunk_index: int
+    slice_index: int
+    num_slices: int
+    attempt: int
+
+
+@dataclass(frozen=True)
 class RoundCompleted:
     """Every action of round ``round_index`` is complete."""
 
@@ -138,6 +159,7 @@ JournalRecord = Union[
     PlanCommitted,
     RoundStarted,
     ActionCompleted,
+    SliceCompleted,
     RoundCompleted,
     RepairFinished,
     ShardTakeover,
@@ -147,6 +169,7 @@ _RECORD_TYPES: Dict[str, Type[JournalRecord]] = {
     "plan_committed": PlanCommitted,
     "round_started": RoundStarted,
     "action_completed": ActionCompleted,
+    "slice_completed": SliceCompleted,
     "round_completed": RoundCompleted,
     "repair_finished": RepairFinished,
     "shard_takeover": ShardTakeover,

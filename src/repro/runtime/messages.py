@@ -187,6 +187,10 @@ class ReceiveCommand:
     attempt: int = 0
     epoch: int = 0
     reply_to: NodeId = -1
+    #: >0: expect :class:`SlicePacket` streams carved into this many
+    #: slices (sliced chained reconstruction); 0 keeps the legacy
+    #: packet-granular protocol.
+    num_slices: int = 0
 
     @property
     def key(self) -> ActionKey:
@@ -245,6 +249,12 @@ class RelayCommand:
     epoch: int = 0
     #: issuing coordinator endpoint (fencing + reply routing)
     reply_to: NodeId = -1
+    #: >0: carve the chunk into this many slices and emit
+    #: :class:`SlicePacket` frames tagged with slice index + chain
+    #: position; 0 keeps the legacy packet-granular relay.
+    num_slices: int = 0
+    #: this helper's position in the chain (0 = first; -1 = unsliced)
+    chain_pos: int = -1
 
     @property
     def key(self) -> ActionKey:
@@ -269,6 +279,53 @@ class DataPacket:
     attempt: int = 0
     epoch: int = 0
     checksum: Optional[int] = None
+
+    @property
+    def key(self) -> ActionKey:
+        return (self.stripe_id, self.chunk_index)
+
+
+@wire_message("slice", 13)
+@dataclass(frozen=True)
+class SlicePacket(DataPacket):
+    """One slice-granular partial sum flowing through a repair chain.
+
+    A :class:`DataPacket` specialization (it inherits NIC throttling,
+    link-fault injection and CRC verification on every transport) that
+    additionally names which of the chunk's ``num_slices`` slices it
+    carries and which chain position emitted it.  ``offset`` remains
+    the byte offset of the slice within the chunk, so legacy assembly
+    bookkeeping (dedupe, completion tracking) applies unchanged.
+    """
+
+    #: index of the slice within the chunk, ``0 <= slice_index < num_slices``
+    slice_index: int = 0
+    #: total slices the chunk was carved into
+    num_slices: int = 0
+    #: chain position of the emitting helper (0 = chain head)
+    chain_pos: int = -1
+
+
+@wire_message("slice_report", 14)
+@dataclass(frozen=True)
+class SliceReport:
+    """Destination -> coordinator: one slice fully assembled.
+
+    Streams per-slice completion progress so the coordinator can track
+    partial reconstructions in its journal and observe effective chain
+    throughput (``elapsed`` is seconds since assembly start), feeding
+    the bandwidth-aware re-sort of later chains.
+    """
+
+    stripe_id: StripeId
+    chunk_index: int
+    node_id: NodeId
+    slice_index: int
+    num_slices: int
+    attempt: int = 0
+    epoch: int = 0
+    #: seconds between assembly start and this slice's completion
+    elapsed: float = 0.0
 
     @property
     def key(self) -> ActionKey:

@@ -20,8 +20,9 @@ bench_ablation_contention.py` quantifies the difference.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
+from ..cluster.chunk import NodeId
 from ..cluster.cluster import StorageCluster
 from ..core.analysis import AnalyticalModel, BandwidthProfile
 from ..core.plan import RepairPlan, RepairScenario
@@ -36,6 +37,14 @@ class CostModelSimulator:
         cluster: supplies M, h, bandwidths and the chunk size.
         profile: bandwidth override (defaults to the cluster's).
         k_prime: repair fan-in override for repair-efficient codes.
+        link_scales: per-node NIC bandwidth scales in (0, 1] — the
+            same numbers :meth:`~repro.runtime.faults.FaultPlan.\
+link_bandwidths` feeds the runtime's chain ordering.  A *chained*
+            (pipelined) round streams through every helper link in
+            series, so its network term is divided by the slowest
+            involved link's scale; the star-topology paths keep the
+            paper's uniform-bandwidth model.  ``None``/empty leaves
+            every time unchanged.
     """
 
     def __init__(
@@ -43,10 +52,12 @@ class CostModelSimulator:
         cluster: StorageCluster,
         profile: Optional[BandwidthProfile] = None,
         k_prime: Optional[int] = None,
+        link_scales: Optional[Dict[NodeId, float]] = None,
     ):
         self.cluster = cluster
         self.profile = profile or profile_from_cluster(cluster)
         self.k_prime = k_prime
+        self.link_scales = link_scales or {}
 
     def run(self, plan: RepairPlan) -> RepairResult:
         """Compute the plan's repair time and traffic."""
@@ -72,13 +83,17 @@ class CostModelSimulator:
                     # Repair pipelining: the destination ingests one
                     # chunk's worth instead of k — per chunk the cost
                     # collapses to read + transfer + write (plus a
-                    # per-hop packet drain the model neglects).
+                    # per-hop packet drain the model neglects).  The
+                    # chain streams through every helper link in
+                    # series, so the slowest involved link throttles
+                    # the whole transfer.
                     p = self.profile
-                    t_round = p.disk_time + p.network_time + p.disk_time
+                    net = p.network_time / self._round_scale(round_)
+                    t_round = p.disk_time + net + p.disk_time
                     if hot_standby is not None:
                         t_round = p.disk_time + (
                             round_.cr / hot_standby
-                        ) * (p.network_time + p.disk_time)
+                        ) * (net + p.disk_time)
                 else:
                     t_round = model.reconstruction_time(groups=round_.cr)
                 bytes_read += round_.cr * fanin * chunk
@@ -98,6 +113,19 @@ class CostModelSimulator:
             bytes_read=bytes_read,
             bytes_transferred=bytes_transferred,
             bytes_written=bytes_written,
+        )
+
+    def _round_scale(self, round_) -> float:
+        """Slowest link scale touched by the round's chained repairs."""
+        if not self.link_scales:
+            return 1.0
+        involved = set()
+        for action in round_.reconstructions:
+            involved.update(action.sources)
+            involved.add(action.destination)
+        return min(
+            (self.link_scales.get(node, 1.0) for node in involved),
+            default=1.0,
         )
 
     def _round_k(self, round_) -> int:
@@ -122,6 +150,9 @@ def evaluate_plan(
     plan: RepairPlan,
     profile: Optional[BandwidthProfile] = None,
     k_prime: Optional[int] = None,
+    link_scales: Optional[Dict[NodeId, float]] = None,
 ) -> RepairResult:
     """One-call convenience wrapper around :class:`CostModelSimulator`."""
-    return CostModelSimulator(cluster, profile=profile, k_prime=k_prime).run(plan)
+    return CostModelSimulator(
+        cluster, profile=profile, k_prime=k_prime, link_scales=link_scales
+    ).run(plan)

@@ -4,7 +4,9 @@ import pytest
 
 from repro.bench.smoke import (
     NET_BENCH_SCHEMA,
+    check_pipelining_gate,
     run_net_throughput,
+    run_pipelining_bench,
     validate_net,
 )
 
@@ -42,4 +44,42 @@ def test_validate_rejects_degenerate_run():
         }
     )
     with pytest.raises(ValueError, match="degenerate"):
+        validate_net(document)
+
+
+def test_pipelining_section_validates_and_chain_wins():
+    # A small, fast rig (1 MiB chunks): the section must validate and
+    # the chain must at least beat star fan-in; the committed document
+    # is measured on the bigger default rig where the 0.5x gate holds.
+    section = run_pipelining_bench(slices=8, chunk_bytes=1 << 20,
+                                   network_mb_s=50.0, stripes=2)
+    document = run_net_throughput(sizes=(1 << 12,), frames=8)
+    document["pipelining"] = section
+    body = validate_net(document)
+    assert body["pipelining"]["code"] == "rs(9,6)"
+    assert body["pipelining"]["chunks"] > 0
+    assert body["pipelining"]["chain_vs_star_speedup"] > 1.0
+
+
+def test_pipelining_gate_passes_and_fails():
+    section = {
+        "star": {"seconds": 10.0},
+        "chain": {"seconds": 4.0},
+        "max_chain_ratio": 0.5,
+    }
+    assert check_pipelining_gate(section) is None
+    section["chain"]["seconds"] = 6.0
+    problem = check_pipelining_gate(section)
+    assert problem is not None and "0.60x" in problem
+
+
+def test_validate_rejects_degenerate_pipelining_run():
+    document = run_net_throughput(sizes=(1 << 12,), frames=8)
+    document["pipelining"] = {
+        "star": {"seconds": 0.0},
+        "chain": {"seconds": 0.0},
+        "chunks": 0,
+        "max_chain_ratio": 0.5,
+    }
+    with pytest.raises(ValueError, match="degenerate pipelining"):
         validate_net(document)

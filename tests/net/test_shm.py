@@ -51,8 +51,22 @@ def test_ring_names_deterministic_per_workdir(tmp_path):
     assert shm_ring_name(tmp_path, COORDINATOR_ID).endswith("-c")
 
 
-def test_multiprocess_shm_repair(tmp_path):
-    """RS(5,3) repair, one process per node, zero sockets."""
+@pytest.mark.parametrize(
+    "pipelining",
+    ["off", "chain"],
+    ids=["star", "chained-sliced"],
+)
+def test_multiprocess_shm_repair(tmp_path, pipelining):
+    """RS(5,3) repair, one process per node, zero sockets.
+
+    The ``chained-sliced`` variant routes every reconstruction through
+    an ordered helper chain in 4-slice granularity — the same frames,
+    the same rings, and the repaired bytes must still come out
+    byte-identical.
+    """
+    extra_repair_args = ()
+    if pipelining == "chain":
+        extra_repair_args = ("--pipelining", "chain", "--slices", "4")
     snap = tmp_path / "cluster.json"
     work = tmp_path / "work"
     work.mkdir()
@@ -85,12 +99,15 @@ def test_multiprocess_shm_repair(tmp_path):
                 "--journal", str(tmp_path / "repair.journal"),
                 "--metrics-out", str(tmp_path / "metrics.json"),
                 "-o", str(tmp_path / "summary.json"),
+                *extra_repair_args,
             ),
             env=_env(), capture_output=True, text=True, timeout=240,
         )
         assert repair.returncode == 0, repair.stdout + repair.stderr
         assert "verified byte-identical" in repair.stdout
         assert "over shared memory" in repair.stdout
+        if pipelining == "chain":
+            assert "pipelining=chain slices=4" in repair.stdout
 
         # The coordinator's Shutdown broadcast must end every agent.
         deadline = time.monotonic() + 30
@@ -102,6 +119,11 @@ def test_multiprocess_shm_repair(tmp_path):
 
         summary = json.loads((tmp_path / "summary.json").read_text())
         assert summary["transport"] == "shm"
+        assert summary["pipelining"] == pipelining
+        if pipelining == "chain":
+            # Every chained reconstruction assembles all 4 slices.
+            assert summary["slices_completed"] > 0
+            assert summary["slices_completed"] % 4 == 0
         assert summary["chunks_repaired"] >= 1
         assert summary["chunks_verified"] == (
             summary["chunks_repaired"] + summary["recovered_chunks"]

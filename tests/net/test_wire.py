@@ -35,6 +35,8 @@ from repro.runtime.messages import (
     RepairAck,
     SendCommand,
     Shutdown,
+    SlicePacket,
+    SliceReport,
     WriteComplete,
     nack,
 )
@@ -73,6 +75,15 @@ SAMPLES = [
     InventoryQuery(epoch=4, nonce=99),
     InventoryReply(node_id=5, epoch=4, nonce=99, stripes=(1, 7, 30)),
     Shutdown(),
+    SlicePacket(
+        stripe_id=7, chunk_index=2, source=3, offset=1024,
+        payload=bytes(range(256)) * 2, attempt=1, epoch=4,
+        checksum=0xDEADBEEF, slice_index=2, num_slices=8, chain_pos=1,
+    ),
+    SliceReport(
+        stripe_id=7, chunk_index=2, node_id=5, slice_index=2,
+        num_slices=8, attempt=1, epoch=4, elapsed=0.125,
+    ),
 ]
 
 
@@ -125,7 +136,8 @@ class TestRoundTrip:
             1: "receive", 2: "send", 3: "relay", 4: "data",
             5: "repair_ack", 6: "write_complete", 7: "heartbeat",
             8: "ping", 9: "pong", 10: "inventory_query",
-            11: "inventory_reply", 12: "shutdown",
+            11: "inventory_reply", 12: "shutdown", 13: "slice",
+            14: "slice_report",
         }
 
 

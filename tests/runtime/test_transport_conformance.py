@@ -17,6 +17,7 @@ classes below.
 import socket
 import threading
 import time
+import zlib
 
 import pytest
 
@@ -43,6 +44,8 @@ from repro.runtime.messages import (
     Pong,
     ReceiveCommand,
     RepairAck,
+    SlicePacket,
+    SliceReport,
 )
 from repro.runtime.testbed import EmulatedTestbed
 from repro.runtime.throttle import RateLimiter
@@ -203,6 +206,99 @@ class TestTransportContract:
         assert net.net.frames_sent.total() >= 2
         assert net.net.frames_received.total() >= 2
         assert net.net.bytes_sent.total() == 100
+
+    def test_slice_packet_survives_backend_bit_exact(self, backend):
+        # SlicePacket is a DataPacket specialization; every backend
+        # must carry the slice-protocol fields and the payload intact.
+        net = backend.make()
+        net.attach(0, 1e9)
+        net.attach(1, 1e9)
+        backend.wire(net, [1])
+        payload = bytes(range(256)) * 16
+        net.send(
+            0,
+            1,
+            SlicePacket(
+                stripe_id=3,
+                chunk_index=1,
+                source=0,
+                offset=4096,
+                payload=payload,
+                attempt=2,
+                epoch=1,
+                checksum=zlib.crc32(payload),
+                slice_index=1,
+                num_slices=4,
+                chain_pos=2,
+            ),
+        )
+        (got,) = drain(net.endpoint(1), 1)
+        assert isinstance(got, SlicePacket)
+        assert got.payload == payload
+        # The memory fabric carries the per-packet checksum verbatim;
+        # the wire backends drop it (the frame CRC covers meta+payload)
+        # — either way the payload integrity contract holds.
+        assert got.checksum in (None, zlib.crc32(payload))
+        assert (got.slice_index, got.num_slices, got.chain_pos) == (1, 4, 2)
+        assert (got.stripe_id, got.chunk_index, got.offset) == (3, 1, 4096)
+        assert (got.attempt, got.epoch) == (2, 1)
+        assert net.bytes_transferred == len(payload)
+
+    def test_slice_stream_ordered_per_peer(self, backend):
+        # A chain hop consumes upstream partial sums strictly in slice
+        # order; the transport must never reorder them.
+        net = backend.make()
+        net.attach(0, 1e9)
+        net.attach(1, 1e9)
+        backend.wire(net, [1])
+        num_slices = 32
+        for index in range(num_slices):
+            payload = bytes([index]) * 512
+            net.send(
+                0,
+                1,
+                SlicePacket(
+                    stripe_id=0,
+                    chunk_index=0,
+                    source=0,
+                    offset=index * 512,
+                    payload=payload,
+                    checksum=zlib.crc32(payload),
+                    slice_index=index,
+                    num_slices=num_slices,
+                ),
+            )
+        got = drain(net.endpoint(1), num_slices)
+        assert [p.slice_index for p in got] == list(range(num_slices))
+        assert all(p.payload == bytes([p.slice_index]) * 512 for p in got)
+
+    def test_slice_report_roundtrip(self, backend):
+        # The destination's per-slice progress stream reaches the
+        # coordinator with its timing intact.
+        net = backend.make()
+        net.attach(0, None)
+        net.attach(COORDINATOR_ID, None)
+        backend.wire(net, [COORDINATOR_ID])
+        net.send(
+            0,
+            COORDINATOR_ID,
+            SliceReport(
+                stripe_id=7,
+                chunk_index=2,
+                node_id=0,
+                slice_index=3,
+                num_slices=8,
+                attempt=1,
+                epoch=2,
+                elapsed=0.125,
+            ),
+        )
+        (got,) = drain(net.endpoint(COORDINATOR_ID), 1)
+        assert isinstance(got, SliceReport)
+        assert got.key == (7, 2)
+        assert (got.node_id, got.slice_index, got.num_slices) == (0, 3, 8)
+        assert (got.attempt, got.epoch) == (1, 2)
+        assert got.elapsed == pytest.approx(0.125)
 
     def test_epoch_fencing_nacks_stale_commands(self, backend, tmp_path):
         net = backend.make()
