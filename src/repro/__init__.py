@@ -49,6 +49,14 @@ from .core import (
     split_plan,
     stagger_concurrent_plans,
 )
+from .gateway import (
+    GatewayError,
+    GatewayServer,
+    ObjectClient,
+    ObjectManifest,
+    ObjectStore,
+    TrafficArbiter,
+)
 from .net import ShmNetwork, TcpNetwork
 from .obs import MetricsRegistry, Tracer
 from .runtime import (
@@ -147,6 +155,13 @@ __all__ = [
     "RepairSession",
     "RepairSummary",
     "apply_pipelining",
+    # client-facing object gateway
+    "GatewayError",
+    "GatewayServer",
+    "ObjectClient",
+    "ObjectManifest",
+    "ObjectStore",
+    "TrafficArbiter",
     # simulator backend
     "LifetimeConfig",
     "LifetimeReport",

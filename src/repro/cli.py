@@ -290,6 +290,85 @@ def build_parser() -> argparse.ArgumentParser:
         "e.g. when resuming)",
     )
 
+    gateway = sub.add_parser(
+        "gateway",
+        help="client-facing object store: serve PUT/GET over live "
+        "agents, or act as the object client",
+    )
+    gsub = gateway.add_subparsers(dest="gateway_command")
+    gserve = gsub.add_parser(
+        "serve",
+        help="run the object gateway against a live agent cluster "
+        "(stripes PUTs through the codec, serves GETs degraded when a "
+        "datanode is down)",
+    )
+    gserve.add_argument("--snapshot", required=True)
+    gserve.add_argument(
+        "--transport",
+        choices=("tcp", "shm"),
+        default="shm",
+        help="'shm' derives every ring from --workdir; 'tcp' listens "
+        "on --listen and dials --peers",
+    )
+    gserve.add_argument(
+        "--workdir",
+        required=True,
+        help="the repair cluster's shared workdir (shm ring namespace, "
+        "manifest directory)",
+    )
+    gserve.add_argument(
+        "--listen", default=None, help="(tcp) host:port for the gateway"
+    )
+    gserve.add_argument(
+        "--peers",
+        default=None,
+        help="(tcp) node=host:port list or @file.json; include "
+        "'client=host:port' so replies reach the object client",
+    )
+    gserve.add_argument(
+        "--chunk-size",
+        type=int,
+        default=64 * 1024,
+        help="bytes per erasure-coded chunk (default 64 KiB)",
+    )
+    gserve.add_argument(
+        "--client-floor",
+        type=float,
+        default=0.5,
+        help="fraction of NIC bandwidth guaranteed to client traffic "
+        "by the QoS arbiter (default 0.5)",
+    )
+    gserve.add_argument(
+        "--max-seconds",
+        type=float,
+        default=0.0,
+        help="exit after this many seconds (0 = serve until ^C)",
+    )
+    for gcmd, ghelp in (
+        ("put", "store a file (or stdin) as an object"),
+        ("get", "fetch an object to a file (or stdout)"),
+    ):
+        gp = gsub.add_parser(gcmd, help=ghelp)
+        gp.add_argument("key", help="object key, e.g. videos/cat.mp4")
+        gp.add_argument(
+            "path",
+            nargs="?",
+            default="-",
+            help="local file ('-' = stdin/stdout)",
+        )
+        gp.add_argument(
+            "--transport", choices=("tcp", "shm"), default="shm"
+        )
+        gp.add_argument("--workdir", required=True)
+        gp.add_argument("--listen", default=None)
+        gp.add_argument("--peers", default=None)
+        gp.add_argument(
+            "--timeout",
+            type=float,
+            default=30.0,
+            help="seconds to wait for the gateway's reply",
+        )
+
     scrub = sub.add_parser(
         "scrub",
         help="checksum-verify every chunk and repair silent corruption",
@@ -891,6 +970,169 @@ def _cmd_agent(args) -> int:
     return 0
 
 
+def _gateway_tcp_network(args, own_id: int):
+    """Build a listening TcpNetwork for a gateway-side CLI process."""
+    from .net import PeerSpecError, TcpNetwork, parse_peer_spec
+
+    if args.listen is None or args.peers is None:
+        print(
+            "--transport tcp needs --listen and --peers", file=sys.stderr
+        )
+        return None
+    try:
+        peers = parse_peer_spec(args.peers)
+    except PeerSpecError as exc:
+        print(f"bad --peers: {exc}", file=sys.stderr)
+        return None
+    host, sep, port = args.listen.rpartition(":")
+    if not sep:
+        print("--listen must be host:port", file=sys.stderr)
+        return None
+    network = TcpNetwork()
+    network.listen(host, int(port))
+    for peer_id, (peer_host, peer_port) in peers.items():
+        if peer_id != own_id:
+            network.add_peer(peer_id, peer_host, peer_port)
+    return network
+
+
+def _gateway_shm_network(args, own_id: int, peer_ids):
+    """Build a listening ShmNetwork keyed off the shared workdir."""
+    from pathlib import Path
+
+    from .net import ShmNetwork, shm_available, shm_ring_name
+
+    if not shm_available():
+        print(
+            "shared-memory transport needs POSIX shm + flock",
+            file=sys.stderr,
+        )
+        return None
+    workdir = Path(args.workdir)
+    network = ShmNetwork()
+    ring = shm_ring_name(workdir, own_id)
+    try:
+        network.listen(ring)
+    except FileExistsError:
+        # A crashed previous process (usually a one-shot client) left
+        # its segment linked; reclaim the name and retry once.
+        from multiprocessing import shared_memory
+
+        stale = shared_memory.SharedMemory(name=ring)
+        stale.close()
+        stale.unlink()
+        network.listen(ring)
+    for peer_id in peer_ids:
+        if peer_id != own_id:
+            network.add_peer(peer_id, shm_ring_name(workdir, peer_id))
+    return network
+
+
+def _cmd_gateway(args) -> int:
+    if args.gateway_command is None:
+        print(
+            "gateway needs a subcommand: serve, put or get",
+            file=sys.stderr,
+        )
+        return 2
+    if args.gateway_command == "serve":
+        return _cmd_gateway_serve(args)
+    return _cmd_gateway_client(args)
+
+
+def _cmd_gateway_serve(args) -> int:
+    import time as time_mod
+    from pathlib import Path
+
+    from .cluster import snapshot as snapshot_mod
+    from .gateway import CLIENT_ID, GATEWAY_ID, GatewayServer, TrafficArbiter
+
+    cluster = snapshot_mod.load(args.snapshot)
+    codec = _infer_codec(cluster)
+    workdir = Path(args.workdir)
+    if args.transport == "shm":
+        network = _gateway_shm_network(
+            args, GATEWAY_ID, list(cluster.nodes) + [CLIENT_ID]
+        )
+    else:
+        network = _gateway_tcp_network(args, GATEWAY_ID)
+    if network is None:
+        return 2
+    arbiter = TrafficArbiter(
+        cluster.network_bandwidth, client_floor=args.client_floor
+    )
+    network.arbiter = arbiter
+    server = GatewayServer(
+        cluster,
+        codec,
+        network,
+        bandwidth=cluster.network_bandwidth,
+        chunk_size=args.chunk_size,
+        manifest_dir=workdir / "manifests",
+    )
+    print(
+        f"gateway serving {codec!r} objects over {args.transport} "
+        f"(client floor {args.client_floor:.0%}); ^C to stop"
+    )
+    try:
+        if args.max_seconds > 0:
+            time_mod.sleep(args.max_seconds)
+        else:
+            while True:
+                time_mod.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        network.close()
+    print(f"gateway done ({len(server.keys())} objects cataloged)")
+    return 0
+
+
+def _cmd_gateway_client(args) -> int:
+    from pathlib import Path
+
+    from .gateway import CLIENT_ID, GATEWAY_ID, GatewayError, ObjectClient
+
+    if args.transport == "shm":
+        network = _gateway_shm_network(args, CLIENT_ID, [GATEWAY_ID])
+    else:
+        network = _gateway_tcp_network(args, CLIENT_ID)
+    if network is None:
+        return 2
+    client = ObjectClient(network, timeout=args.timeout)
+    try:
+        if args.gateway_command == "put":
+            if args.path == "-":
+                data = sys.stdin.buffer.read()
+            else:
+                data = Path(args.path).read_bytes()
+            reply = client.put(args.key, data)
+            print(
+                f"put {args.key}: {reply.size} bytes across "
+                f"{len(reply.stripes)} stripe(s) {list(reply.stripes)}"
+            )
+        else:
+            reply = client.get(args.key)
+            if args.path == "-":
+                sys.stdout.buffer.write(reply.payload)
+                sys.stdout.buffer.flush()
+            else:
+                Path(args.path).write_bytes(reply.payload)
+            mode = "degraded" if reply.degraded else "healthy"
+            print(
+                f"get {args.key}: {len(reply.payload)} bytes ({mode})",
+                file=sys.stderr,
+            )
+        return 0
+    except GatewayError as exc:
+        print(f"gateway error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+        network.close()
+
+
 def _cmd_scrub(args) -> int:
     import random as random_mod
 
@@ -1241,6 +1483,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": _cmd_plan,
         "repair": _cmd_repair,
         "agent": _cmd_agent,
+        "gateway": _cmd_gateway,
         "scrub": _cmd_scrub,
         "fleet": _cmd_fleet,
         "predict": _cmd_predict,

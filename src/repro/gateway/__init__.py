@@ -1,0 +1,48 @@
+"""Client-facing object gateway: PUT/GET that stay fast during repair.
+
+The front door the paper's evaluation implies but never shows: named
+objects striped through :mod:`repro.ec` onto live repair agents, read
+back degraded when a datanode dies or is flagged soon-to-fail, with a
+:class:`TrafficArbiter` guaranteeing foreground GETs a bandwidth floor
+while repair storms run (DESIGN.md §15).
+"""
+
+from .arbiter import CLASSES, TrafficArbiter, traffic_class
+from .manifest import (
+    MANIFEST_SCHEMA,
+    ManifestError,
+    ManifestStore,
+    ObjectManifest,
+    StripeRef,
+    digest,
+)
+from .store import (
+    CLIENT_ID,
+    GATEWAY_ID,
+    GatewayError,
+    GatewayServer,
+    GetResult,
+    ObjectClient,
+    ObjectStore,
+    RpcEndpoint,
+)
+
+__all__ = [
+    "CLASSES",
+    "CLIENT_ID",
+    "GATEWAY_ID",
+    "GatewayError",
+    "GatewayServer",
+    "GetResult",
+    "MANIFEST_SCHEMA",
+    "ManifestError",
+    "ManifestStore",
+    "ObjectClient",
+    "ObjectManifest",
+    "ObjectStore",
+    "RpcEndpoint",
+    "StripeRef",
+    "TrafficArbiter",
+    "digest",
+    "traffic_class",
+]

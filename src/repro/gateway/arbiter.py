@@ -1,0 +1,245 @@
+"""QoS arbitration between client, repair, and scrub traffic.
+
+The testbed's NIC :class:`~repro.runtime.throttle.RateLimiter`s emulate
+*capacity*; they are deliberately class-blind, so a repair storm that
+keeps every NIC busy starves foreground GETs — exactly the failure mode
+predictive repair exists to avoid (PAPER.md; cf. the client/repair
+bandwidth arbitration in Zhou et al., arXiv:2011.01410).  The
+:class:`TrafficArbiter` adds the missing policy layer: every throttled
+transfer is classified by its message's ``TRAFFIC_CLASS`` attribute
+(``"client"`` for gateway chunk ops, ``"repair"`` for
+:class:`~repro.runtime.messages.DataPacket`, ``"scrub"`` for the
+daemon's verification sweeps).  Background classes are charged against
+per-class token buckets; the client class is *never delayed* — its
+floor is enforced by pacing everyone else.
+
+Invariants (DESIGN.md §15):
+
+* client transfers are admitted with zero added latency, always —
+  arbitration policy must not tax the traffic it exists to protect;
+* while the client class is busy (a registered flow, or any client
+  admit within :data:`BUSY_WINDOW`), the background classes together
+  are paced to at most ``(1 - client_floor) * rate``, leaving the
+  floor's worth of capacity to foreground traffic;
+* the arbiter is *work-conserving*: an idle class lends its share to
+  the busy ones, so repair runs at full line rate while the gateway
+  is idle and scrub is quiet;
+* admission never reorders within a class.
+
+The arbiter sits *in front of* the NIC limiters (transports call
+:meth:`TrafficArbiter.admit` before reserving NIC time), so capacity
+emulation stays exact; the arbiter only decides *when* a background
+transfer may start competing for the NIC.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+#: every traffic class the arbiter knows about
+CLASSES = ("client", "repair", "scrub")
+
+#: class assumed for messages without a ``TRAFFIC_CLASS`` attribute
+DEFAULT_CLASS = "repair"
+
+#: a class with an admit in the last this-many seconds counts as busy
+BUSY_WINDOW = 0.25
+
+
+def traffic_class(message) -> str:
+    """The arbitration class of a wire message (``TRAFFIC_CLASS``)."""
+    cls = getattr(type(message), "TRAFFIC_CLASS", DEFAULT_CLASS)
+    return cls if cls in CLASSES else DEFAULT_CLASS
+
+
+class _ClassState:
+    """Token bucket + activity tracking for one traffic class."""
+
+    __slots__ = ("tokens", "last_refill", "last_seen", "flows")
+
+    def __init__(self) -> None:
+        self.tokens = 0.0
+        self.last_refill = 0.0
+        self.last_seen = float("-inf")
+        self.flows = 0
+
+
+class TrafficArbiter:
+    """Token-based traffic classifier with a client bandwidth floor.
+
+    Args:
+        rate: shared link rate in bytes/second that the buckets refill
+            against — normally the testbed's per-node NIC bandwidth.
+            ``None`` or ``inf`` disables arbitration entirely.
+        client_floor: fraction of ``rate`` withheld from background
+            classes while the client class is busy (0 ≤ floor < 1).
+        burst: bucket depth in bytes; a background class may burst
+            this far ahead of its refill before admission starts
+            delaying it.  Defaults to 0.1 s of line rate (min 256 KiB).
+        metrics: optional :class:`~repro.obs.MetricsRegistry`; records
+            ``arbiter_bytes_total`` / ``arbiter_wait_seconds`` /
+            ``arbiter_active_flows``, all labeled by ``cls``.
+        stop: optional shutdown event; a set event aborts any
+            admission wait immediately.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        client_floor: float = 0.5,
+        burst: Optional[float] = None,
+        metrics=None,
+        stop: Optional[threading.Event] = None,
+    ):
+        if not 0.0 <= client_floor < 1.0:
+            raise ValueError(
+                f"client_floor must be in [0, 1), got {client_floor}"
+            )
+        self.rate = rate
+        self.client_floor = client_floor
+        if burst is None and rate is not None and rate != float("inf"):
+            burst = max(rate * 0.1, 256 * 1024)
+        self.burst = burst or 0.0
+        self.stop = stop
+        self._lock = threading.Lock()
+        self._classes: Dict[str, _ClassState] = {
+            cls: _ClassState() for cls in CLASSES
+        }
+        self._bytes = None
+        self._wait = None
+        self._flows = None
+        if metrics is not None:
+            self._bytes = metrics.counter(
+                "arbiter_bytes_total",
+                "bytes admitted per traffic class",
+            )
+            self._wait = metrics.histogram(
+                "arbiter_wait_seconds",
+                "admission delay imposed per transfer",
+            )
+            self._flows = metrics.gauge(
+                "arbiter_active_flows",
+                "registered flows per traffic class",
+            )
+
+    @property
+    def disabled(self) -> bool:
+        return self.rate is None or self.rate == float("inf")
+
+    # ------------------------------------------------------------------
+    # flow registration
+
+    @contextmanager
+    def register(self, cls: str):
+        """Mark a flow of class ``cls`` active for the context's span.
+
+        Repair sessions and the daemon wrap their work in this so the
+        arbiter knows repair/scrub is contending even between packets,
+        and gateway request handling registers client flows so the
+        floor holds across a multi-stripe GET's think time.
+        """
+        if cls not in CLASSES:
+            raise ValueError(f"unknown traffic class {cls!r}")
+        with self._lock:
+            self._classes[cls].flows += 1
+            flows = self._classes[cls].flows
+        if self._flows is not None:
+            self._flows.set(flows, cls=cls)
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._classes[cls].flows -= 1
+                flows = self._classes[cls].flows
+            if self._flows is not None:
+                self._flows.set(flows, cls=cls)
+
+    def active_flows(self, cls: str) -> int:
+        with self._lock:
+            return self._classes[cls].flows
+
+    # ------------------------------------------------------------------
+    # admission
+
+    def admit(
+        self,
+        message,
+        nbytes: int,
+        stop: Optional[threading.Event] = None,
+    ) -> float:
+        """Admit a transfer; background classes sleep when over-share.
+
+        Client-class transfers are admitted immediately (their arrival
+        just marks the class busy, which clamps the background shares).
+        Returns the admission delay imposed (seconds); the wait is
+        interruptible by ``stop`` (or the arbiter's own stop event).
+        """
+        if self.disabled or nbytes <= 0:
+            return 0.0
+        cls = traffic_class(message)
+        now = time.monotonic()
+        if cls == "client":
+            with self._lock:
+                self._classes[cls].last_seen = now
+            if self._bytes is not None:
+                self._bytes.inc(nbytes, cls=cls)
+                self._wait.observe(0.0, cls=cls)
+            return 0.0
+        with self._lock:
+            state = self._classes[cls]
+            refill_rate = self.rate * self._share(cls, now)
+            if state.last_refill:
+                state.tokens = min(
+                    state.tokens + (now - state.last_refill) * refill_rate,
+                    self.burst,
+                )
+            else:
+                state.tokens = self.burst
+            state.last_refill = now
+            state.last_seen = now
+            state.tokens -= nbytes
+            wait = (
+                -state.tokens / refill_rate if state.tokens < 0 else 0.0
+            )
+        if self._bytes is not None:
+            self._bytes.inc(nbytes, cls=cls)
+            self._wait.observe(wait, cls=cls)
+        if wait > 0:
+            event = stop or self.stop
+            if event is not None:
+                event.wait(timeout=wait)
+            else:
+                time.sleep(wait)
+        return wait
+
+    def _share(self, cls: str, now: float) -> float:
+        """Effective rate share of background class ``cls`` (locked).
+
+        The background classes split ``1 - client_floor`` evenly; an
+        idle background class lends its split to the busy ones.  The
+        client floor itself is only lent out while the client class is
+        completely idle (no flows, no admit within
+        :data:`BUSY_WINDOW`).
+        """
+        background = [c for c in CLASSES if c != "client"]
+        split = (1.0 - self.client_floor) / len(background)
+        busy = {
+            c
+            for c in background
+            if c == cls
+            or self._classes[c].flows > 0
+            or now - self._classes[c].last_seen < BUSY_WINDOW
+        }
+        share = split + split * len(
+            [c for c in background if c not in busy]
+        ) / len(busy)
+        client = self._classes["client"]
+        client_busy = (
+            client.flows > 0 or now - client.last_seen < BUSY_WINDOW
+        )
+        if not client_busy:
+            share += self.client_floor / len(busy)
+        return share

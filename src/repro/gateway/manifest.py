@@ -1,0 +1,172 @@
+"""Object manifests: the gateway's durable key → stripes mapping.
+
+A manifest records everything needed to read an object back without
+the cluster snapshot that produced it: the erasure scheme, the chunk
+geometry, a content hash, and each stripe's id plus its placement
+(chunk index → node id).  Manifests ride the shared
+:class:`~repro.core.serde.Schema` protocol, so versioning and
+unknown-key rejection behave exactly like fault plans and cluster
+snapshots (DESIGN.md §15).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster.chunk import NodeId, StripeId
+from ..core.serde import Schema
+
+
+class ManifestError(ValueError):
+    """Raised for malformed or missing manifests."""
+
+
+#: on-disk/wire schema for one object manifest
+MANIFEST_SCHEMA = Schema(
+    "gateway-manifest",
+    version=1,
+    fields=(
+        "key", "size", "chunk_size", "n", "k", "sha256", "stripes",
+    ),
+    required=(
+        "key", "size", "chunk_size", "n", "k", "sha256", "stripes",
+    ),
+    error=ManifestError,
+)
+
+
+@dataclass(frozen=True)
+class StripeRef:
+    """One stripe of an object: id plus chunk placement."""
+
+    stripe_id: StripeId
+    #: node id holding each chunk, indexed by chunk index (len == n)
+    placement: Tuple[NodeId, ...]
+
+    def to_dict(self) -> Dict:
+        return {
+            "stripe_id": self.stripe_id,
+            "placement": list(self.placement),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "StripeRef":
+        return cls(
+            stripe_id=int(data["stripe_id"]),
+            placement=tuple(int(n) for n in data["placement"]),
+        )
+
+
+@dataclass(frozen=True)
+class ObjectManifest:
+    """Durable description of one stored object."""
+
+    key: str
+    #: original object size in bytes (the tail stripe is zero-padded)
+    size: int
+    chunk_size: int
+    n: int
+    k: int
+    #: hex sha256 of the original bytes — GET verifies against this
+    sha256: str
+    stripes: Tuple[StripeRef, ...] = field(default_factory=tuple)
+
+    @property
+    def scheme(self) -> str:
+        return f"rs({self.n},{self.k})"
+
+    @property
+    def stripe_ids(self) -> Tuple[StripeId, ...]:
+        return tuple(ref.stripe_id for ref in self.stripes)
+
+    def to_dict(self) -> Dict:
+        return MANIFEST_SCHEMA.dump({
+            "key": self.key,
+            "size": self.size,
+            "chunk_size": self.chunk_size,
+            "n": self.n,
+            "k": self.k,
+            "sha256": self.sha256,
+            "stripes": [ref.to_dict() for ref in self.stripes],
+        })
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "ObjectManifest":
+        body = MANIFEST_SCHEMA.load(document)
+        return cls(
+            key=body["key"],
+            size=int(body["size"]),
+            chunk_size=int(body["chunk_size"]),
+            n=int(body["n"]),
+            k=int(body["k"]),
+            sha256=body["sha256"],
+            stripes=tuple(
+                StripeRef.from_dict(ref) for ref in body["stripes"]
+            ),
+        )
+
+
+def digest(data: bytes) -> str:
+    """The content hash manifests carry (hex sha256)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class ManifestStore:
+    """Thread-safe manifest catalog, optionally persisted to a directory.
+
+    Keys may contain ``/``; on disk each manifest lives in a file named
+    by the key's sha256, with the key itself inside the document (the
+    same trick object stores use for flat namespaces).
+    """
+
+    def __init__(self, directory: Optional[Path] = None):
+        self._lock = threading.Lock()
+        self._manifests: Dict[str, ObjectManifest] = {}
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            for path in sorted(self.directory.glob("*.json")):
+                manifest = ObjectManifest.from_dict(
+                    json.loads(path.read_text())
+                )
+                self._manifests[manifest.key] = manifest
+
+    def _path(self, key: str) -> Path:
+        name = hashlib.sha256(key.encode()).hexdigest()[:32]
+        return self.directory / f"{name}.json"
+
+    def save(self, manifest: ObjectManifest) -> None:
+        with self._lock:
+            self._manifests[manifest.key] = manifest
+            if self.directory is not None:
+                self._path(manifest.key).write_text(
+                    json.dumps(manifest.to_dict(), indent=2, sort_keys=True)
+                )
+
+    def load(self, key: str) -> ObjectManifest:
+        with self._lock:
+            try:
+                return self._manifests[key]
+            except KeyError:
+                raise ManifestError(f"no such object: {key!r}") from None
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._manifests.pop(key, None)
+            if self.directory is not None:
+                path = self._path(key)
+                if path.exists():
+                    path.unlink()
+
+    def has(self, key: str) -> bool:
+        with self._lock:
+            return key in self._manifests
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return sorted(self._manifests)

@@ -8,12 +8,13 @@ defines the length-prefixed CRC-checked frame format and
 :class:`~repro.runtime.transport.Transport` interface on asyncio TCP.
 :mod:`repro.net.launch` holds the process-per-node drivers behind
 ``fastpr agent`` and ``fastpr repair --transport tcp``.
+
+The per-transport repair drivers (``run_tcp_repair`` and friends) are
+internal to :mod:`repro.net.launch` since the one-release deprecation
+shims were removed; drive repairs through
+:class:`repro.RepairSession` instead.
 """
 
-import functools
-import warnings
-
-from . import launch as _launch
 from .launch import (
     COORDINATOR_ALIAS,
     PeerSpecError,
@@ -26,32 +27,6 @@ from .launch import (
     sharded_peer_spec,
     shm_ring_name,
     stripe_checksums,
-)
-
-
-def _deprecated_driver(func):
-    """One-release shim: the per-transport drivers moved behind
-    :class:`repro.RepairSession`; these names keep working for one
-    release but warn on every call."""
-
-    @functools.wraps(func)
-    def wrapper(*args, **kwargs):
-        warnings.warn(
-            f"repro.net.{func.__name__} is deprecated; use "
-            "repro.RepairSession(..., transport=...) instead "
-            "(removal after one release)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return func(*args, **kwargs)
-
-    return wrapper
-
-
-run_tcp_repair = _deprecated_driver(_launch.run_tcp_repair)
-run_shm_repair = _deprecated_driver(_launch.run_shm_repair)
-run_tcp_multicoord_repair = _deprecated_driver(
-    _launch.run_tcp_multicoord_repair
 )
 from .shm import ShmNetwork, ShmRing, shm_available
 from .tcp import TcpNetwork
@@ -89,9 +64,6 @@ __all__ = [
     "parse_peer_spec",
     "run_agent_process",
     "run_shm_agent_process",
-    "run_shm_repair",
-    "run_tcp_multicoord_repair",
-    "run_tcp_repair",
     "sharded_peer_spec",
     "shm_ring_name",
     "stripe_checksums",

@@ -35,6 +35,7 @@ from ..cluster.chunk import NodeId
 from ..cluster.cluster import StorageCluster
 from ..core.plan import RepairPlan
 from ..ec.codec import ErasureCodec
+from ..gateway.store import CLIENT_ID, GATEWAY_ID
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Tracer
 from ..cluster.topology import RackTopology
@@ -63,6 +64,10 @@ from .tcp import TcpNetwork
 
 #: peer-spec alias for the coordinator's node id
 COORDINATOR_ALIAS = "coordinator"
+#: peer-spec alias for the object gateway's endpoint
+GATEWAY_ALIAS = "gateway"
+#: peer-spec alias for the object client's endpoint
+CLIENT_ALIAS = "client"
 
 PeerMap = Dict[NodeId, Tuple[str, int]]
 
@@ -78,13 +83,19 @@ def shm_ring_name(workdir: Path, node_id: NodeId) -> str:
     Every process of one repair shares the ``--workdir``, so hashing
     its absolute path gives all of them the same namespace without any
     peer spec: node ``n`` listens on ``fpr<hash>-<n>``, the coordinator
-    on ``fpr<hash>-c`` (shard ``k`` on ``fpr<hash>-c<k>``).
+    on ``fpr<hash>-c`` (shard ``k`` on ``fpr<hash>-c<k>``), the object
+    gateway on ``fpr<hash>-g`` and the object client on
+    ``fpr<hash>-u``.
     """
     digest = hashlib.sha1(
         str(Path(workdir).resolve()).encode("utf-8")
     ).hexdigest()[:10]
     if node_id == COORDINATOR_ID:
         key = "c"
+    elif node_id == GATEWAY_ID:
+        key = "g"
+    elif node_id == CLIENT_ID:
+        key = "u"
     elif node_id < 0:
         key = f"c{-node_id - 1}"
     else:
@@ -129,6 +140,10 @@ def parse_peer_spec(spec: str) -> PeerMap:
     for name, address in entries.items():
         if name == COORDINATOR_ALIAS:
             node_id = COORDINATOR_ID
+        elif name == GATEWAY_ALIAS:
+            node_id = GATEWAY_ID
+        elif name == CLIENT_ALIAS:
+            node_id = CLIENT_ID
         elif name.startswith(COORDINATOR_ALIAS):
             try:
                 node_id = shard_coordinator_id(int(name[len(COORDINATOR_ALIAS):]))
@@ -158,6 +173,10 @@ def format_peer_spec(peers: PeerMap) -> str:
         host, port = peers[node_id]
         if node_id == COORDINATOR_ID:
             name = COORDINATOR_ALIAS
+        elif node_id == GATEWAY_ID:
+            name = GATEWAY_ALIAS
+        elif node_id == CLIENT_ID:
+            name = CLIENT_ALIAS
         elif node_id < 0:
             name = f"{COORDINATOR_ALIAS}{-node_id - 1}"
         else:
@@ -422,7 +441,11 @@ def run_shm_agent_process(
         node_id, node.network_bandwidth or cluster.network_bandwidth
     )
     network.listen(shm_ring_name(workdir, node_id))
-    for peer_id in list(cluster.nodes) + [COORDINATOR_ID]:
+    # Rings attach lazily, so the gateway/client endpoints are
+    # registered unconditionally — chunk RPC replies reach them when a
+    # gateway happens to share the workdir, and cost nothing otherwise.
+    peer_ids = list(cluster.nodes) + [COORDINATOR_ID, GATEWAY_ID, CLIENT_ID]
+    for peer_id in peer_ids:
         if peer_id != node_id:
             network.add_peer(peer_id, shm_ring_name(workdir, peer_id))
     store = node_store(cluster, Path(workdir), node_id)

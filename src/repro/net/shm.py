@@ -305,6 +305,15 @@ class ShmNetwork:
     # -- Transport interface (delegated local topology) ----------------
 
     @property
+    def arbiter(self):
+        """QoS policy shared with the local fabric (see :class:`Network`)."""
+        return self._inner.arbiter
+
+    @arbiter.setter
+    def arbiter(self, arbiter) -> None:
+        self._inner.arbiter = arbiter
+
+    @property
     def faults(self) -> Optional[FaultInjector]:
         return self._inner.faults
 
@@ -395,6 +404,23 @@ class ShmNetwork:
         """Registered remote nodes and their ring names."""
         return {p.node_id: p.ring_name for p in self._peers.values()}
 
+    def refresh_peer(self, node_id: NodeId) -> None:
+        """Drop a cached ring attachment; the next send re-opens by name.
+
+        Transient peer processes (one-shot gateway clients) unlink and
+        re-create their inbound ring on every run.  A mapping cached
+        from the previous incarnation still accepts writes — into dead
+        memory — so frames vanish without an error.  Unknown peers are
+        ignored.
+        """
+        peer = self._peers.get(node_id)
+        if peer is None:
+            return
+        with peer.lock:
+            if peer.ring is not None:
+                peer.ring.close()
+                peer.ring = None
+
     # -- send ----------------------------------------------------------
 
     def send(self, src: NodeId, dst: NodeId, message) -> None:
@@ -437,7 +463,10 @@ class ShmNetwork:
                 # so the receiver's frame CRC rejects it (same model
                 # as the TCP path).
                 payload = corrupt_payload
+            arbiter = self.arbiter
             for _ in range(copies):
+                if arbiter is not None:
+                    arbiter.admit(message, nbytes, stop=sender.nic_out.stop)
                 deadline = sender.nic_out.reserve(nbytes)
                 sleep_until(deadline + extra_delay, stop=sender.nic_out.stop)
                 with self._lock:

@@ -169,6 +169,15 @@ class TcpNetwork:
     # -- Transport interface (delegated local topology) ------------------
 
     @property
+    def arbiter(self):
+        """QoS policy shared with the local fabric (see :class:`Network`)."""
+        return self._inner.arbiter
+
+    @arbiter.setter
+    def arbiter(self, arbiter) -> None:
+        self._inner.arbiter = arbiter
+
+    @property
     def faults(self) -> Optional[FaultInjector]:
         return self._inner.faults
 
@@ -317,7 +326,10 @@ class TcpNetwork:
                 # CRC rejects it — the wire-level analogue of the
                 # in-memory fabric's stale-checksum packets.
                 payload = corrupt_payload
+            arbiter = self.arbiter
             for _ in range(copies):
+                if arbiter is not None:
+                    arbiter.admit(message, nbytes, stop=sender.nic_out.stop)
                 # Sender-side egress reservation only: the receiver's
                 # ingress is charged in its own process at delivery.
                 deadline = sender.nic_out.reserve(nbytes)

@@ -59,6 +59,11 @@ from .config import DEFAULT_CONFIG, RuntimeConfig
 from .datanode import ChunkStore
 from .messages import (
     ActionKey,
+    ChunkDelete,
+    ChunkRead,
+    ChunkReadReply,
+    ChunkWrite,
+    ChunkWriteReply,
     DataPacket,
     Heartbeat,
     InventoryQuery,
@@ -514,6 +519,10 @@ class Agent:
         self._epoch_for(coordinator_id)
         self._assembly_lock = threading.Lock()
         self._send_queue: "queue.Queue" = queue.Queue()
+        #: gateway chunk ops (ChunkRead/ChunkWrite/ChunkDelete) are
+        #: served off the dispatcher thread so a throttled client read
+        #: never delays repair traffic dispatch
+        self._client_queue: "queue.Queue" = queue.Queue()
         self._write_acks: Dict[tuple, threading.Event] = {}
         self._ack_lock = threading.Lock()
         self._threads = []
@@ -537,6 +546,7 @@ class Agent:
         loops = [
             (self._dispatch_loop, "dispatch"),
             (self._send_loop, "send"),
+            (self._client_loop, "client"),
         ]
         if heartbeat and self.config.heartbeat_interval > 0:
             loops.append((self._heartbeat_loop, "heartbeat"))
@@ -554,6 +564,7 @@ class Agent:
         self._stop_event.set()
         self._endpoint.inbox.put(Shutdown())
         self._send_queue.put(None)
+        self._client_queue.put(None)
         for thread in self._threads:
             thread.join(timeout=self.config.join_timeout)
         self._threads = []
@@ -582,6 +593,7 @@ class Agent:
                 event.set()
         self._endpoint.inbox.put(Shutdown())
         self._send_queue.put(None)
+        self._client_queue.put(None)
 
     def _guard(
         self,
@@ -754,6 +766,11 @@ class Agent:
             message, (ReceiveCommand, SendCommand, RelayCommand)
         ) and not self._admit_command(message):
             return  # fenced: a stale-epoch coordinator mutates nothing
+        # Gateway chunk ops first: ChunkWrite subclasses DataPacket, so
+        # it must be claimed before the generic packet-routing branch.
+        if isinstance(message, (ChunkWrite, ChunkRead, ChunkDelete)):
+            self._client_queue.put(message)
+            return
         if isinstance(message, ReceiveCommand):
             self._start_assembly(message)
         elif isinstance(message, SendCommand):
@@ -992,6 +1009,111 @@ class Agent:
                 pending.append(packet)
                 return
         target.packets.put(packet)
+
+    # -- gateway chunk service (DESIGN.md §15) -------------------------
+
+    def _client_loop(self) -> None:
+        """Serve gateway chunk ops (reads, writes, deletes) in order.
+
+        One worker per node serializes client disk I/O — the same
+        serial-device discipline the repair path's throttled store
+        models — while keeping it off the dispatcher thread.
+        """
+        while True:
+            message = self._client_queue.get()
+            if message is None:
+                return
+            if self.crashed or self._stop_event.is_set():
+                return
+            try:
+                self._serve_client(message)
+            except Exception as exc:
+                if self.crashed:
+                    return
+                self.errors.append(exc)
+
+    def _client_reply(self, reply_to: NodeId, reply) -> None:
+        try:
+            self.network.send(self.node_id, reply_to, reply)
+        except KeyError:
+            pass  # gateway gone; nothing to tell
+
+    def _serve_client(self, message) -> None:
+        if isinstance(message, ChunkRead):
+            try:
+                payload = self.store.read(message.stripe_id, throttled=True)
+            except (KeyError, OSError) as exc:
+                self._client_reply(
+                    message.reply_to,
+                    ChunkReadReply(
+                        stripe_id=message.stripe_id,
+                        chunk_index=message.chunk_index,
+                        source=self.node_id,
+                        offset=0,
+                        payload=b"",
+                        nonce=message.nonce,
+                        ok=False,
+                        detail=f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+                return
+            self._client_reply(
+                message.reply_to,
+                ChunkReadReply(
+                    stripe_id=message.stripe_id,
+                    chunk_index=message.chunk_index,
+                    source=self.node_id,
+                    offset=0,
+                    payload=payload,
+                    checksum=zlib.crc32(payload),
+                    nonce=message.nonce,
+                ),
+            )
+            return
+        if isinstance(message, ChunkWrite):
+            ok, detail = True, ""
+            payload = bytes(message.payload)
+            if (
+                message.checksum is not None
+                and zlib.crc32(payload) != message.checksum
+            ):
+                ok, detail = False, "payload checksum mismatch"
+            else:
+                try:
+                    self.store.put(message.stripe_id, payload, throttled=True)
+                except OSError as exc:
+                    ok, detail = False, f"{type(exc).__name__}: {exc}"
+            self._client_reply(
+                message.reply_to,
+                ChunkWriteReply(
+                    stripe_id=message.stripe_id,
+                    chunk_index=message.chunk_index,
+                    node_id=self.node_id,
+                    nonce=message.nonce,
+                    ok=ok,
+                    detail=detail,
+                ),
+            )
+            return
+        if isinstance(message, ChunkDelete):
+            try:
+                self.store.delete(message.stripe_id)
+                ok, detail = True, ""
+            except OSError as exc:
+                ok, detail = False, f"{type(exc).__name__}: {exc}"
+            self._client_reply(
+                message.reply_to,
+                ChunkWriteReply(
+                    stripe_id=message.stripe_id,
+                    chunk_index=message.chunk_index,
+                    node_id=self.node_id,
+                    nonce=message.nonce,
+                    ok=ok,
+                    detail=detail,
+                ),
+            )
+            return
+        raise AgentError(f"unknown client op {message!r}")
 
     # ------------------------------------------------------------------
 

@@ -38,6 +38,7 @@ import os
 import struct
 import time
 import zlib
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
@@ -491,8 +492,20 @@ class RepairDaemon:
         self._day_gauge.set(day)
 
     def scrub(self, day: int) -> None:
-        """One scrub cycle: find latent corruption, repair it in place."""
-        report = Scrubber(self.testbed).scrub()
+        """One scrub cycle: find latent corruption, repair it in place.
+
+        The cycle runs as a registered ``scrub`` flow when the testbed
+        carries a :class:`repro.gateway.TrafficArbiter`, so scrub
+        traffic is paced against the client bandwidth floor.
+        """
+        arbiter = getattr(self.testbed, "arbiter", None)
+        flow = (
+            arbiter.register("scrub")
+            if arbiter is not None
+            else nullcontext()
+        )
+        with flow:
+            report = Scrubber(self.testbed).scrub()
         self._scrub_corrupt_total.inc(len(report.corrupt))
         self._scrub_repaired_total.inc(len(report.repaired))
         self.journal.append(

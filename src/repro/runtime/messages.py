@@ -461,3 +461,245 @@ class InventoryReply:
 @dataclass(frozen=True)
 class Shutdown:
     """Coordinator -> agent: stop the dispatcher loop."""
+
+
+# ----------------------------------------------------------------------
+# gateway protocol (client-facing object store, DESIGN.md §15)
+# ----------------------------------------------------------------------
+#
+# Two layers share the codes-≥15 block:
+#
+# * gateway <-> agent chunk ops (`ChunkWrite`/`ChunkRead`/`ChunkDelete`
+#   + replies): the gateway reads and writes whole chunks on datanodes
+#   by ``(stripe_id, chunk_index)``;
+# * client <-> gateway object ops (`PutRequest`/`GetRequest`/
+#   `DeleteRequest`/`StatRequest` + replies): whole objects keyed by
+#   name, striped through the erasure codec by the gateway.
+#
+# Every payload-carrying message subclasses :class:`DataPacket` so NIC
+# throttling, fault injection and CRC verification apply identically on
+# all transports.  All gateway messages carry ``TRAFFIC_CLASS =
+# "client"`` so an attached :class:`repro.gateway.TrafficArbiter` can
+# tell foreground traffic from repair traffic at the transport layer
+# (repair's :class:`DataPacket`/:class:`SlicePacket` default to
+# ``"repair"``).
+
+DataPacket.TRAFFIC_CLASS = "repair"
+
+#: matched request/reply pairs share a nonce; one object operation
+#: (which may fan out into many chunk ops) reuses its nonce throughout.
+
+
+@wire_message("chunk_write", 15)
+@dataclass(frozen=True)
+class ChunkWrite(DataPacket):
+    """Gateway -> datanode: durably store one whole chunk.
+
+    A :class:`DataPacket` subclass (the payload is the full chunk), so
+    the transfer pays NIC bandwidth and is CRC-checked.  The agent
+    writes it through the throttled disk and answers with a
+    :class:`ChunkWriteReply` to ``reply_to``.
+    """
+
+    nonce: int = 0
+    reply_to: NodeId = -1
+
+
+ChunkWrite.TRAFFIC_CLASS = "client"
+
+
+@wire_message("chunk_write_reply", 16)
+@dataclass(frozen=True)
+class ChunkWriteReply:
+    """Datanode -> gateway: outcome of a ChunkWrite (or ChunkDelete)."""
+
+    stripe_id: StripeId
+    chunk_index: int
+    node_id: NodeId
+    nonce: int = 0
+    ok: bool = True
+    detail: str = ""
+
+
+ChunkWriteReply.TRAFFIC_CLASS = "client"
+
+
+@wire_message("chunk_read", 17)
+@dataclass(frozen=True)
+class ChunkRead:
+    """Gateway -> datanode: stream back one whole stored chunk.
+
+    ``chunk_index`` is echoed into the reply so the gateway can place
+    the bytes in the stripe's decode matrix without a lookup.
+    """
+
+    stripe_id: StripeId
+    chunk_index: int = -1
+    nonce: int = 0
+    reply_to: NodeId = -1
+
+
+ChunkRead.TRAFFIC_CLASS = "client"
+
+
+@wire_message("chunk_read_reply", 18)
+@dataclass(frozen=True)
+class ChunkReadReply(DataPacket):
+    """Datanode -> gateway: the requested chunk bytes (or a refusal).
+
+    ``ok=False`` (missing/unreadable chunk) carries an empty payload
+    and names the reason in ``detail`` — the gateway then decodes
+    around this node instead of erroring the GET.
+    """
+
+    nonce: int = 0
+    ok: bool = True
+    detail: str = ""
+
+
+ChunkReadReply.TRAFFIC_CLASS = "client"
+
+
+@wire_message("chunk_delete", 19)
+@dataclass(frozen=True)
+class ChunkDelete:
+    """Gateway -> datanode: drop one stored chunk (answers ChunkWriteReply)."""
+
+    stripe_id: StripeId
+    chunk_index: int = -1
+    nonce: int = 0
+    reply_to: NodeId = -1
+
+
+ChunkDelete.TRAFFIC_CLASS = "client"
+
+
+@wire_message("put_request", 20)
+@dataclass(frozen=True)
+class PutRequest(DataPacket):
+    """Client -> gateway: store ``payload`` bytes under object ``key``."""
+
+    key: str = ""
+    nonce: int = 0
+    reply_to: NodeId = -1
+
+
+PutRequest.TRAFFIC_CLASS = "client"
+
+
+def _coerce_put_reply(body: dict) -> dict:
+    if "stripes" in body:
+        body["stripes"] = tuple(body["stripes"])
+    return body
+
+
+@wire_message("put_reply", 21, coerce=_coerce_put_reply)
+@dataclass(frozen=True)
+class PutReply:
+    """Gateway -> client: PUT outcome (stripe ids the object landed on)."""
+
+    key: str
+    nonce: int = 0
+    ok: bool = True
+    detail: str = ""
+    size: int = 0
+    stripes: Tuple[StripeId, ...] = ()
+
+
+PutReply.TRAFFIC_CLASS = "client"
+
+
+@wire_message("get_request", 22)
+@dataclass(frozen=True)
+class GetRequest:
+    """Client -> gateway: fetch object ``key``."""
+
+    key: str
+    nonce: int = 0
+    reply_to: NodeId = -1
+
+
+GetRequest.TRAFFIC_CLASS = "client"
+
+
+@wire_message("get_reply", 23)
+@dataclass(frozen=True)
+class GetReply(DataPacket):
+    """Gateway -> client: the object bytes (throttled like any transfer).
+
+    ``degraded`` reports whether any stripe had to be decoded around a
+    dead/suspect/STF datanode.
+    """
+
+    key: str = ""
+    nonce: int = 0
+    ok: bool = True
+    detail: str = ""
+    degraded: bool = False
+
+
+GetReply.TRAFFIC_CLASS = "client"
+
+
+@wire_message("delete_request", 24)
+@dataclass(frozen=True)
+class DeleteRequest:
+    """Client -> gateway: delete object ``key`` (chunks best-effort)."""
+
+    key: str
+    nonce: int = 0
+    reply_to: NodeId = -1
+
+
+DeleteRequest.TRAFFIC_CLASS = "client"
+
+
+@wire_message("delete_reply", 25)
+@dataclass(frozen=True)
+class DeleteReply:
+    """Gateway -> client: DELETE outcome."""
+
+    key: str
+    nonce: int = 0
+    ok: bool = True
+    detail: str = ""
+
+
+DeleteReply.TRAFFIC_CLASS = "client"
+
+
+@wire_message("stat_request", 26)
+@dataclass(frozen=True)
+class StatRequest:
+    """Client -> gateway: object metadata without the bytes."""
+
+    key: str
+    nonce: int = 0
+    reply_to: NodeId = -1
+
+
+StatRequest.TRAFFIC_CLASS = "client"
+
+
+def _coerce_stat_reply(body: dict) -> dict:
+    if "stripes" in body:
+        body["stripes"] = tuple(body["stripes"])
+    return body
+
+
+@wire_message("stat_reply", 27, coerce=_coerce_stat_reply)
+@dataclass(frozen=True)
+class StatReply:
+    """Gateway -> client: manifest summary for one object."""
+
+    key: str
+    nonce: int = 0
+    ok: bool = True
+    detail: str = ""
+    size: int = 0
+    chunk_size: int = 0
+    scheme: str = ""
+    stripes: Tuple[StripeId, ...] = ()
+
+
+StatReply.TRAFFIC_CLASS = "client"

@@ -23,6 +23,7 @@ import random
 import shutil
 import tempfile
 import threading
+from contextlib import nullcontext
 from pathlib import Path
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -173,6 +174,7 @@ class EmulatedTestbed:
         tracer: Optional[Tracer] = None,
         network: Optional[Network] = None,
         topology: Optional[RackTopology] = None,
+        arbiter=None,
     ):
         self.cluster = cluster
         self.codec = codec
@@ -208,6 +210,11 @@ class EmulatedTestbed:
         elif self.faults is not None:
             network.faults = self.faults
         self.network = network
+        #: optional :class:`repro.gateway.TrafficArbiter` — installed
+        #: on the network so repair traffic cannot starve client GETs
+        self.arbiter = arbiter
+        if arbiter is not None:
+            network.arbiter = arbiter
         #: set at shutdown; interrupts every throttled sleep in flight
         self._stop = threading.Event()
         self.stores: Dict[NodeId, ChunkStore] = {}
@@ -437,9 +444,16 @@ class EmulatedTestbed:
             raise RuntimeError("call start() (or use as a context manager) first")
         if self.faults is not None:
             self.faults.start()
-        result = self.coordinator.execute(plan, packet_size=packet_size)
+        with self._repair_flow():
+            result = self.coordinator.execute(plan, packet_size=packet_size)
         self._raise_agent_errors()
         return result
+
+    def _repair_flow(self):
+        """Registered arbiter flow spanning one repair execution."""
+        if self.arbiter is None:
+            return nullcontext()
+        return self.arbiter.register("repair")
 
     def execute_sharded(
         self,
@@ -487,7 +501,8 @@ class EmulatedTestbed:
             )
         if self.faults is not None:
             self.faults.start()
-        result = self.multi.execute(plan, packet_size=packet_size)
+        with self._repair_flow():
+            result = self.multi.execute(plan, packet_size=packet_size)
         self._raise_agent_errors()
         return result
 

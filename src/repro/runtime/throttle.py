@@ -7,6 +7,18 @@ rate limiters.  Each limiter models one serial device: a request for
 the device next frees up, then sleeps until that reservation completes.
 This matches the serial-resource semantics of the discrete-event
 simulator, but in wall-clock time.
+
+Fairness (DESIGN.md §15): strict FIFO reservation lets one huge
+reservation push ``_next_free`` far into the future, so a 4 KiB client
+request queued behind a 100 MB repair reservation would wait out the
+whole backlog.  Requests of at most ``small_grant_bytes`` therefore
+take a *small-grant fast path* while a larger-than-small reservation
+is still occupying the device: they are granted immediately (serialized
+only against other small grants), and the device's tail is pushed back
+by their duration instead — work-conserving, so the long-run rate is
+unchanged; only the large flow's *future* reservations absorb the
+delay.  With no large reservation pending the limiter behaves exactly
+as before (pure FIFO), so repair-only workloads see identical timing.
 """
 
 from __future__ import annotations
@@ -32,6 +44,9 @@ class RateLimiter:
             into ``ratelimiter_bytes_total``, labeled by ``labels``.
         labels: metric labels identifying this device (e.g.
             ``{"device": "disk", "node": 3}``).
+        small_grant_bytes: requests at most this large take the
+            small-grant fast path while a larger reservation is still
+            pending (see the module docstring); 0 disables it.
     """
 
     def __init__(
@@ -41,14 +56,21 @@ class RateLimiter:
         stop: Optional[threading.Event] = None,
         metrics=None,
         labels: Optional[dict] = None,
+        small_grant_bytes: int = 256 * 1024,
     ):
         if rate is not None and rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
         self.rate = rate
         self.name = name
         self.stop = stop
+        self.small_grant_bytes = max(int(small_grant_bytes), 0)
         self._lock = threading.Lock()
         self._next_free = 0.0  # monotonic timestamp
+        #: serializes concurrent small grants riding the fast path
+        self._small_cursor = 0.0
+        #: deadline of the newest larger-than-small reservation; the
+        #: fast path is live only while this lies in the future
+        self._large_until = 0.0
         #: cumulative bytes passed through (for throughput assertions)
         self.bytes_total = 0
         self.labels = dict(labels or {})
@@ -73,18 +95,41 @@ class RateLimiter:
 
         Does not sleep; callers combine reservations (e.g. sender +
         receiver NIC) before sleeping via :func:`sleep_until`.
+
+        A request of at most ``small_grant_bytes`` arriving while a
+        larger reservation is still pending is granted out of FIFO
+        order with a wait bounded by its own duration (plus any queued
+        small grants); the device tail is extended by the same amount,
+        conserving the long-run rate.
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         now = time.monotonic()
         if self.unlimited:
             return now
+        duration = nbytes / self.rate
         with self._lock:
+            if self._small_fastpath(nbytes, now):
+                start = max(now, self._small_cursor)
+                deadline = start + duration
+                self._small_cursor = deadline
+                self._next_free += duration  # the backlog pays the time
+                self.bytes_total += nbytes
+                return deadline
             start = max(now, self._next_free)
-            deadline = start + nbytes / self.rate
+            deadline = start + duration
             self._next_free = deadline
+            if nbytes > self.small_grant_bytes:
+                self._large_until = deadline
             self.bytes_total += nbytes
             return deadline
+
+    def _small_fastpath(self, nbytes: int, now: float) -> bool:
+        """True when ``nbytes`` may jump the queue (lock must be held)."""
+        return (
+            0 < self.small_grant_bytes >= nbytes
+            and self._large_until > now
+        )
 
     def throttle(self, nbytes: int) -> None:
         """Reserve and sleep until the reservation completes.
@@ -135,13 +180,38 @@ def reserve_transfer(
     with first._lock:
         with second._lock:
             now = time.monotonic()
-            start = now
-            for lim in (sender, receiver):
-                if not lim.unlimited:
-                    start = max(start, lim._next_free)
-            deadline = start + duration
-            for lim in (sender, receiver):
-                if not lim.unlimited:
-                    lim._next_free = deadline
+            limited = [lim for lim in (sender, receiver) if not lim.unlimited]
+            # Small-grant fast path (see RateLimiter.reserve): the
+            # transfer may overtake a limiter's backlog only where a
+            # large reservation is the thing in the way; on the other
+            # limiter it queues normally.  Both NICs still cover the
+            # identical [start, deadline] window.
+            jumping = [
+                lim for lim in limited if lim._small_fastpath(nbytes, now)
+            ]
+            if jumping:
+                start = now
+                for lim in limited:
+                    if lim in jumping:
+                        start = max(start, lim._small_cursor)
+                    else:
+                        start = max(start, lim._next_free)
+                deadline = start + duration
+                for lim in limited:
+                    if lim in jumping:
+                        lim._small_cursor = deadline
+                        lim._next_free += duration  # backlog pays
+                    else:
+                        lim._next_free = deadline
                     lim.bytes_total += nbytes
+                return deadline
+            start = now
+            for lim in limited:
+                start = max(start, lim._next_free)
+            deadline = start + duration
+            for lim in limited:
+                lim._next_free = deadline
+                if nbytes > lim.small_grant_bytes:
+                    lim._large_until = deadline
+                lim.bytes_total += nbytes
             return deadline

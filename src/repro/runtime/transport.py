@@ -185,6 +185,10 @@ class Network:
         self.faults = faults
         self.metrics = metrics
         self.inbox_capacity = inbox_capacity
+        #: optional QoS policy (:class:`repro.gateway.TrafficArbiter`,
+        #: duck-typed): every throttled transfer is admitted through it
+        #: before competing for NIC time
+        self.arbiter = None
         #: total throttled payload bytes moved (telemetry)
         self.bytes_transferred = 0
         #: shared net_* metric family (same shape as the TCP backend)
@@ -314,7 +318,10 @@ class Network:
                 if fate.payload is not None:
                     message = corrupted(message, fate.payload)
             nbytes = len(message.payload)
+            arbiter = self.arbiter
             for _ in range(copies):
+                if arbiter is not None:
+                    arbiter.admit(message, nbytes, stop=sender.nic_out.stop)
                 deadline = reserve_transfer(
                     sender.nic_out, receiver.nic_in, nbytes
                 )

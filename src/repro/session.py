@@ -211,6 +211,7 @@ class RepairSession:
         agent_timeout: float = 60.0,
         max_restarts: int = 8,
         scrub: bool = False,
+        arbiter=None,
         log=None,
     ):
         if transport not in TRANSPORTS:
@@ -291,10 +292,19 @@ class RepairSession:
                 "scrub applies to transport='memory' (process-per-node "
                 "stores are verified through the shared workdir)"
             )
+        if arbiter is not None and transport != "memory":
+            raise ValueError(
+                "arbiter applies to transport='memory' (QoS arbitration "
+                "happens inside the shared in-process fabric)"
+            )
         self.resume = resume
         self.agent_timeout = agent_timeout
         self.max_restarts = max_restarts
         self.scrub = scrub
+        #: optional :class:`repro.gateway.TrafficArbiter`; repair
+        #: traffic is registered as a flow so the session's packets are
+        #: paced against the client bandwidth floor
+        self.arbiter = arbiter
         self.log = log
 
     # -- execution -----------------------------------------------------
@@ -347,6 +357,7 @@ class RepairSession:
             metrics=self.metrics,
             tracer=self.tracer,
             topology=self.topology,
+            arbiter=self.arbiter,
         )
         restarts = 0
         with testbed:

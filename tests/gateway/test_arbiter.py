@@ -1,0 +1,183 @@
+"""TrafficArbiter: the DESIGN.md §15 QoS invariants, unit-level.
+
+The arbiter's contract has three legs — client transfers are never
+delayed, background classes are clamped to ``(1 - client_floor) *
+rate`` while the client is busy, and idle classes lend their share
+(work conservation).  The tests below pin the arithmetic with
+``burst=0`` buckets (wait == nbytes / effective_rate, exactly) and a
+pre-set stop event so no test actually sleeps.
+"""
+
+import threading
+
+import pytest
+
+from repro.gateway import CLASSES, TrafficArbiter, traffic_class
+from repro.obs import MetricsRegistry
+from repro.runtime.messages import (
+    ChunkRead,
+    ChunkWrite,
+    DataPacket,
+    GetRequest,
+    Heartbeat,
+    PutRequest,
+)
+
+RATE = 1000.0  # bytes/s; tiny on purpose so waits are large and exact
+
+
+def make(client_floor=0.5, **kwargs):
+    """An arbiter whose admission waits return instantly.
+
+    ``burst=0`` removes the bucket headroom so the imposed wait is
+    exactly ``nbytes / (rate * share)``; the pre-set stop event makes
+    the internal ``event.wait(timeout=wait)`` a no-op, so tests read
+    the returned delay without paying it in wall-clock.
+    """
+    stop = threading.Event()
+    stop.set()
+    kwargs.setdefault("burst", 0)
+    kwargs.setdefault("stop", stop)
+    return TrafficArbiter(RATE, client_floor=client_floor, **kwargs)
+
+
+class TestTrafficClass:
+    def test_gateway_messages_are_client(self):
+        for message in (
+            ChunkWrite(1, 0, 0, 0, b"x", nonce=1, reply_to=-1),
+            ChunkRead(stripe_id=1, chunk_index=0, nonce=1, reply_to=-1),
+            PutRequest(0, 0, 0, 0, b"x", key="k", nonce=1, reply_to=-1),
+            GetRequest(key="k", nonce=1, reply_to=-1),
+        ):
+            assert traffic_class(message) == "client"
+
+    def test_repair_traffic_is_repair(self):
+        assert traffic_class(DataPacket(1, 0, 0, 0, b"x")) == "repair"
+
+    def test_unclassified_defaults_to_repair(self):
+        assert traffic_class(Heartbeat(node_id=1)) == "repair"
+        assert traffic_class(object()) == "repair"
+
+    def test_classes_are_closed(self):
+        assert set(CLASSES) == {"client", "repair", "scrub"}
+
+
+class TestClientNeverDelayed:
+    def test_client_admit_is_free_at_any_size(self):
+        arbiter = make()
+        message = GetRequest(key="k", nonce=1, reply_to=-1)
+        # 10^6x the per-second rate: still zero imposed latency.
+        assert arbiter.admit(message, int(RATE * 1e6)) == 0.0
+
+    def test_client_admit_is_free_under_repair_pressure(self):
+        arbiter = make()
+        packet = DataPacket(1, 0, 0, 0, b"x")
+        request = ChunkRead(stripe_id=1, chunk_index=0, nonce=1, reply_to=-1)
+        with arbiter.register("repair"):
+            arbiter.admit(packet, 10_000)  # deep repair token debt
+            assert arbiter.admit(request, 10_000) == 0.0
+
+
+class TestBackgroundClamp:
+    def test_repair_runs_at_line_rate_while_client_idle(self):
+        # Idle client + idle scrub lend everything: share == 1.0.
+        arbiter = make(client_floor=0.5)
+        wait = arbiter.admit(DataPacket(1, 0, 0, 0, b""), 1000)
+        assert wait == pytest.approx(1000 / RATE)
+
+    def test_repair_clamped_while_client_flow_registered(self):
+        arbiter = make(client_floor=0.5)
+        with arbiter.register("client"):
+            wait = arbiter.admit(DataPacket(1, 0, 0, 0, b""), 1000)
+        # Scrub is idle and lends its split, so repair gets the whole
+        # background budget: (1 - floor) * rate.
+        assert wait == pytest.approx(1000 / (RATE * 0.5))
+
+    def test_recent_client_admit_counts_as_busy(self):
+        arbiter = make(client_floor=0.5)
+        request = ChunkRead(stripe_id=1, chunk_index=0, nonce=1, reply_to=-1)
+        arbiter.admit(request, 1)  # no flow object, just an admit
+        wait = arbiter.admit(DataPacket(1, 0, 0, 0, b""), 1000)
+        assert wait == pytest.approx(1000 / (RATE * 0.5))
+
+    def test_busy_scrub_halves_the_repair_share(self):
+        arbiter = make(client_floor=0.5)
+        with arbiter.register("client"), arbiter.register("scrub"):
+            wait = arbiter.admit(DataPacket(1, 0, 0, 0, b""), 1000)
+        # Both background classes busy: each gets (1 - floor) / 2.
+        assert wait == pytest.approx(1000 / (RATE * 0.25))
+
+    def test_higher_floor_means_slower_background(self):
+        waits = []
+        for floor in (0.2, 0.5, 0.8):
+            arbiter = make(client_floor=floor)
+            with arbiter.register("client"):
+                waits.append(
+                    arbiter.admit(DataPacket(1, 0, 0, 0, b""), 1000)
+                )
+        assert waits == sorted(waits)
+        assert waits[0] < waits[-1]
+
+    def test_burst_absorbs_small_transfers(self):
+        stop = threading.Event()
+        stop.set()
+        arbiter = TrafficArbiter(
+            RATE, client_floor=0.5, burst=4096, stop=stop
+        )
+        assert arbiter.admit(DataPacket(1, 0, 0, 0, b""), 1024) == 0.0
+
+
+class TestFlowsAndLifecycle:
+    def test_register_counts_and_unwinds(self):
+        arbiter = make()
+        assert arbiter.active_flows("repair") == 0
+        with arbiter.register("repair"):
+            assert arbiter.active_flows("repair") == 1
+            with arbiter.register("repair"):
+                assert arbiter.active_flows("repair") == 2
+        assert arbiter.active_flows("repair") == 0
+
+    def test_register_unwinds_on_exception(self):
+        arbiter = make()
+        with pytest.raises(RuntimeError):
+            with arbiter.register("scrub"):
+                raise RuntimeError("boom")
+        assert arbiter.active_flows("scrub") == 0
+
+    def test_unknown_class_rejected(self):
+        arbiter = make()
+        with pytest.raises(ValueError):
+            with arbiter.register("bulk"):
+                pass  # pragma: no cover
+
+    def test_disabled_when_rate_is_none_or_inf(self):
+        for rate in (None, float("inf")):
+            arbiter = TrafficArbiter(rate)
+            assert arbiter.disabled
+            assert arbiter.admit(DataPacket(1, 0, 0, 0, b""), 1 << 30) == 0.0
+
+    def test_client_floor_validated(self):
+        for floor in (-0.1, 1.0, 1.5):
+            with pytest.raises(ValueError):
+                TrafficArbiter(RATE, client_floor=floor)
+
+    def test_zero_byte_transfers_are_free(self):
+        arbiter = make()
+        assert arbiter.admit(DataPacket(1, 0, 0, 0, b""), 0) == 0.0
+
+
+class TestMetrics:
+    def test_bytes_wait_and_flows_recorded_per_class(self):
+        registry = MetricsRegistry()
+        arbiter = make(metrics=registry)
+        request = ChunkRead(stripe_id=1, chunk_index=0, nonce=1, reply_to=-1)
+        with arbiter.register("repair"):
+            arbiter.admit(DataPacket(1, 0, 0, 0, b""), 500)
+            arbiter.admit(request, 300)
+        by_name = {m.name: m for m in registry}
+        assert by_name["arbiter_bytes_total"].value(cls="repair") == 500
+        assert by_name["arbiter_bytes_total"].value(cls="client") == 300
+        assert by_name["arbiter_wait_seconds"].count(cls="repair") == 1
+        assert by_name["arbiter_wait_seconds"].count(cls="client") == 1
+        # flows gauge returned to zero after the context exited
+        assert by_name["arbiter_active_flows"].value(cls="repair") == 0

@@ -1,0 +1,113 @@
+"""Object manifests: schema round-trip and the durable catalog."""
+
+import json
+
+import pytest
+
+from repro.gateway import (
+    MANIFEST_SCHEMA,
+    ManifestError,
+    ManifestStore,
+    ObjectManifest,
+    StripeRef,
+    digest,
+)
+
+
+def sample(key="videos/cat.mp4"):
+    return ObjectManifest(
+        key=key,
+        size=1_000_000,
+        chunk_size=65536,
+        n=9,
+        k=6,
+        sha256=digest(b"not the real bytes"),
+        stripes=(
+            StripeRef(stripe_id=12, placement=(0, 1, 2, 3, 4, 5, 6, 7, 8)),
+            StripeRef(stripe_id=13, placement=(3, 4, 5, 6, 7, 8, 9, 10, 11)),
+        ),
+    )
+
+
+class TestManifestSchema:
+    def test_round_trip_preserves_everything(self):
+        manifest = sample()
+        clone = ObjectManifest.from_dict(manifest.to_dict())
+        assert clone == manifest
+        assert clone.scheme == "rs(9,6)"
+        assert clone.stripe_ids == (12, 13)
+
+    def test_round_trips_through_json(self):
+        manifest = sample()
+        wire = json.dumps(manifest.to_dict(), sort_keys=True)
+        assert ObjectManifest.from_dict(json.loads(wire)) == manifest
+
+    def test_unknown_keys_rejected(self):
+        document = sample().to_dict()
+        document["compression"] = "zstd"
+        with pytest.raises(ManifestError):
+            ObjectManifest.from_dict(document)
+
+    def test_missing_required_field_rejected(self):
+        document = sample().to_dict()
+        del document["sha256"]
+        with pytest.raises(ManifestError):
+            ObjectManifest.from_dict(document)
+
+    def test_wrong_schema_version_rejected(self):
+        document = sample().to_dict()
+        document["version"] = MANIFEST_SCHEMA.version + 1
+        with pytest.raises(ManifestError):
+            ObjectManifest.from_dict(document)
+
+
+class TestManifestStore:
+    def test_memory_store_crud(self):
+        store = ManifestStore()
+        manifest = sample()
+        assert not store.has(manifest.key)
+        store.save(manifest)
+        assert store.has(manifest.key)
+        assert store.load(manifest.key) == manifest
+        assert store.keys() == [manifest.key]
+        store.delete(manifest.key)
+        assert not store.has(manifest.key)
+        with pytest.raises(ManifestError):
+            store.load(manifest.key)
+
+    def test_delete_missing_key_is_silent(self):
+        ManifestStore().delete("never/stored")
+
+    def test_persists_and_reloads_from_directory(self, tmp_path):
+        first = sample("a/first")
+        second = sample("b/second")
+        store = ManifestStore(tmp_path)
+        store.save(first)
+        store.save(second)
+        # keys with '/' land in flat hash-named files, not subdirs
+        files = list(tmp_path.glob("*.json"))
+        assert len(files) == 2
+
+        reloaded = ManifestStore(tmp_path)
+        assert reloaded.keys() == ["a/first", "b/second"]
+        assert reloaded.load("a/first") == first
+
+        reloaded.delete("a/first")
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert ManifestStore(tmp_path).keys() == ["b/second"]
+
+    def test_save_overwrites_in_place(self, tmp_path):
+        store = ManifestStore(tmp_path)
+        store.save(sample())
+        bigger = ObjectManifest(
+            key=sample().key,
+            size=2_000_000,
+            chunk_size=65536,
+            n=9,
+            k=6,
+            sha256=digest(b"v2"),
+            stripes=sample().stripes,
+        )
+        store.save(bigger)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert ManifestStore(tmp_path).load(sample().key).size == 2_000_000

@@ -24,12 +24,23 @@ from repro.net.wire import (
 from repro.runtime.messages import (
     WIRE_CODES,
     WIRE_MESSAGES,
+    ChunkDelete,
+    ChunkRead,
+    ChunkReadReply,
+    ChunkWrite,
+    ChunkWriteReply,
     DataPacket,
+    DeleteReply,
+    DeleteRequest,
+    GetReply,
+    GetRequest,
     Heartbeat,
     InventoryQuery,
     InventoryReply,
     Ping,
     Pong,
+    PutReply,
+    PutRequest,
     ReceiveCommand,
     RelayCommand,
     RepairAck,
@@ -37,6 +48,8 @@ from repro.runtime.messages import (
     Shutdown,
     SlicePacket,
     SliceReport,
+    StatReply,
+    StatRequest,
     WriteComplete,
     nack,
 )
@@ -83,6 +96,38 @@ SAMPLES = [
     SliceReport(
         stripe_id=7, chunk_index=2, node_id=5, slice_index=2,
         num_slices=8, attempt=1, epoch=4, elapsed=0.125,
+    ),
+    ChunkWrite(
+        stripe_id=41, chunk_index=3, source=-1000, offset=0,
+        payload=b"\x5a" * 1024, checksum=0xCAFE, nonce=12, reply_to=-1000,
+    ),
+    ChunkWriteReply(stripe_id=41, chunk_index=3, node_id=5, nonce=12),
+    ChunkRead(stripe_id=41, chunk_index=3, nonce=13, reply_to=-1000),
+    ChunkReadReply(
+        stripe_id=41, chunk_index=3, source=5, offset=0,
+        payload=b"\xa5" * 1024, checksum=0xBEEF, nonce=13,
+    ),
+    ChunkDelete(stripe_id=41, chunk_index=3, nonce=14, reply_to=-1000),
+    PutRequest(
+        stripe_id=-1, chunk_index=-1, source=-1001, offset=0,
+        payload=b"object bytes", key="videos/cat.mp4", nonce=15,
+        reply_to=-1001,
+    ),
+    PutReply(
+        key="videos/cat.mp4", nonce=15, size=12, stripes=(41, 42),
+    ),
+    GetRequest(key="videos/cat.mp4", nonce=16, reply_to=-1001),
+    GetReply(
+        stripe_id=-1, chunk_index=-1, source=-1000, offset=0,
+        payload=b"object bytes", key="videos/cat.mp4", nonce=16,
+        degraded=True,
+    ),
+    DeleteRequest(key="videos/cat.mp4", nonce=17, reply_to=-1001),
+    DeleteReply(key="videos/cat.mp4", nonce=17),
+    StatRequest(key="videos/cat.mp4", nonce=18, reply_to=-1001),
+    StatReply(
+        key="videos/cat.mp4", nonce=18, size=12, chunk_size=4096,
+        scheme="rs(9,6)", stripes=(41, 42),
     ),
 ]
 
@@ -137,7 +182,12 @@ class TestRoundTrip:
             5: "repair_ack", 6: "write_complete", 7: "heartbeat",
             8: "ping", 9: "pong", 10: "inventory_query",
             11: "inventory_reply", 12: "shutdown", 13: "slice",
-            14: "slice_report",
+            14: "slice_report", 15: "chunk_write",
+            16: "chunk_write_reply", 17: "chunk_read",
+            18: "chunk_read_reply", 19: "chunk_delete",
+            20: "put_request", 21: "put_reply", 22: "get_request",
+            23: "get_reply", 24: "delete_request", 25: "delete_reply",
+            26: "stat_request", 27: "stat_reply",
         }
 
 

@@ -57,6 +57,104 @@ class TestRateLimiter:
         assert time.monotonic() - start >= 0.09
 
 
+class TestSmallGrantFairness:
+    """A large repair reservation must not starve small client grants."""
+
+    def test_small_grant_jumps_large_backlog(self):
+        limiter = RateLimiter(1_000_000.0, small_grant_bytes=64 * 1024)
+        # Repair dumps a 10 MB reservation: 10 s of backlog.
+        limiter.reserve(10 * 1024 * 1024)
+        now = time.monotonic()
+        # A 4 KiB client request waits out only its own duration,
+        # not the 10 s backlog.
+        deadline = limiter.reserve(4096)
+        assert deadline - now == pytest.approx(4096 / 1e6, abs=0.01)
+
+    def test_small_grants_serialize_among_themselves(self):
+        limiter = RateLimiter(1_000_000.0, small_grant_bytes=64 * 1024)
+        limiter.reserve(10 * 1024 * 1024)
+        d1 = limiter.reserve(32 * 1024)
+        d2 = limiter.reserve(32 * 1024)
+        # Still a serial device for concurrent small grants.
+        assert d2 - d1 == pytest.approx(32 * 1024 / 1e6, abs=0.01)
+
+    def test_fast_path_is_work_conserving(self):
+        limiter = RateLimiter(1_000_000.0, small_grant_bytes=64 * 1024)
+        tail = limiter.reserve(10 * 1024 * 1024)
+        limiter.reserve(4096)
+        # The backlog pays for the jumped grant: the device tail moved
+        # back by exactly the small grant's duration.
+        assert limiter._next_free - tail == pytest.approx(
+            4096 / 1e6, abs=1e-6
+        )
+        assert limiter.bytes_total == 10 * 1024 * 1024 + 4096
+
+    def test_no_large_pending_means_pure_fifo(self):
+        limiter = RateLimiter(1_000_000.0, small_grant_bytes=64 * 1024)
+        # Only small reservations queued: classic FIFO accumulation.
+        d1 = limiter.reserve(4096)
+        d2 = limiter.reserve(4096)
+        assert d2 - d1 == pytest.approx(4096 / 1e6, abs=0.005)
+
+    def test_zero_small_grant_disables_fast_path(self):
+        limiter = RateLimiter(1_000_000.0, small_grant_bytes=0)
+        backlog = limiter.reserve(10 * 1024 * 1024)
+        deadline = limiter.reserve(4096)
+        assert deadline >= backlog
+
+    def test_client_wait_bounded_under_concurrent_repair(self):
+        # End-to-end fairness: repair threads hammer the NIC with large
+        # reservations while a client thread issues small ones; every
+        # client wait must stay bounded by its own duration plus the
+        # small-grant queue, never the repair backlog.
+        import threading
+
+        limiter = RateLimiter(10_000_000.0, small_grant_bytes=256 * 1024)
+        stop = threading.Event()
+
+        def repair():
+            while not stop.is_set():
+                limiter.reserve(5 * 1024 * 1024)  # 0.5 s each
+                time.sleep(0.001)
+
+        workers = [threading.Thread(target=repair) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        try:
+            time.sleep(0.01)  # let the backlog build
+            waits = []
+            for _ in range(20):
+                now = time.monotonic()
+                waits.append(limiter.reserve(8192) - now)
+            # 8 KiB at 10 MB/s is ~0.8 ms; allow the small-grant queue
+            # plus scheduling noise, but nothing near the multi-second
+            # repair backlog.
+            assert max(waits) < 0.25
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join()
+
+    def test_transfer_jumps_backlogged_sender(self):
+        sender = RateLimiter(1_000_000.0, small_grant_bytes=64 * 1024)
+        receiver = RateLimiter(1_000_000.0, small_grant_bytes=64 * 1024)
+        sender.reserve(10 * 1024 * 1024)
+        now = time.monotonic()
+        deadline = reserve_transfer(sender, receiver, 4096)
+        assert deadline - now == pytest.approx(4096 / 1e6, abs=0.01)
+        # Work conservation on the jumped side.
+        assert sender._next_free - now == pytest.approx(
+            (10 * 1024 * 1024 + 4096) / 1e6, rel=0.01
+        )
+
+    def test_transfer_queues_normally_when_no_large_pending(self):
+        sender = RateLimiter(1_000_000.0, small_grant_bytes=64 * 1024)
+        receiver = RateLimiter(1_000_000.0, small_grant_bytes=64 * 1024)
+        d1 = reserve_transfer(sender, receiver, 4096)
+        d2 = reserve_transfer(sender, receiver, 4096)
+        assert d2 - d1 == pytest.approx(4096 / 1e6, abs=0.005)
+
+
 class TestReserveTransfer:
     def test_slower_side_governs(self):
         fast = RateLimiter(1_000_000.0)

@@ -34,9 +34,15 @@ from repro.runtime import (
 )
 from repro.runtime.agent import Agent
 from repro.runtime.datanode import ChunkStore
+from repro.gateway import GATEWAY_ID
 from repro.runtime.messages import (
     ACK_FAILED,
+    ChunkRead,
+    ChunkReadReply,
+    ChunkWrite,
+    ChunkWriteReply,
     DataPacket,
+    GetRequest,
     Heartbeat,
     InventoryQuery,
     InventoryReply,
@@ -46,6 +52,7 @@ from repro.runtime.messages import (
     RepairAck,
     SlicePacket,
     SliceReport,
+    StatReply,
 )
 from repro.runtime.testbed import EmulatedTestbed
 from repro.runtime.throttle import RateLimiter
@@ -325,6 +332,111 @@ class TestTransportContract:
             assert ack.status == ACK_FAILED
             assert "stale epoch" in ack.detail
             assert not store.stripes()  # nothing mutated
+        finally:
+            agent.stop()
+
+    # -- gateway wire messages (type codes 15-27) ----------------------
+
+    def test_gateway_chunk_transfer_checksum_contract(self, backend):
+        # ChunkWrite/ChunkReadReply are DataPacket subclasses: payload
+        # must cross every backend bit-exact, and receivers must honor
+        # the checksum contract — the memory fabric hands the attached
+        # CRC through verbatim, while tcp/shm verify it at the frame
+        # level and strip the field to None.  Gateway code treats
+        # ``checksum is None`` as transport-verified.
+        net = backend.make()
+        net.attach(GATEWAY_ID, 1e9)
+        net.attach(1, 1e9)
+        backend.wire(net, [1, GATEWAY_ID])
+        payload = bytes(range(256)) * 17
+        net.send(GATEWAY_ID, 1, ChunkWrite(
+            stripe_id=9, chunk_index=4, source=GATEWAY_ID, offset=0,
+            payload=payload, checksum=zlib.crc32(payload),
+            nonce=31, reply_to=GATEWAY_ID,
+        ))
+        (got,) = drain(net.endpoint(1), 1)
+        assert isinstance(got, ChunkWrite)
+        assert bytes(got.payload) == payload
+        assert (got.stripe_id, got.chunk_index) == (9, 4)
+        assert (got.nonce, got.reply_to) == (31, GATEWAY_ID)
+        if backend.kind == "memory":
+            assert got.checksum == zlib.crc32(payload)
+        else:
+            assert got.checksum is None
+        net.send(1, GATEWAY_ID, ChunkReadReply(
+            stripe_id=9, chunk_index=4, source=1, offset=0,
+            payload=payload, checksum=zlib.crc32(payload), nonce=32,
+        ))
+        (reply,) = drain(net.endpoint(GATEWAY_ID), 1)
+        assert isinstance(reply, ChunkReadReply)
+        assert bytes(reply.payload) == payload
+        assert reply.ok and reply.nonce == 32
+        assert reply.checksum in (None, zlib.crc32(payload))
+
+    def test_gateway_control_messages_cross_backend(self, backend):
+        # Control-plane object messages (no payload): field fidelity,
+        # including the stripes-tuple coercion on StatReply.
+        net = backend.make()
+        net.attach(GATEWAY_ID, None)
+        net.attach(1, None)
+        backend.wire(net, [1, GATEWAY_ID])
+        net.send(1, GATEWAY_ID, GetRequest(
+            key="videos/a b.mp4", nonce=7, reply_to=1
+        ))
+        (request,) = drain(net.endpoint(GATEWAY_ID), 1)
+        assert isinstance(request, GetRequest)
+        assert (request.key, request.nonce, request.reply_to) == (
+            "videos/a b.mp4", 7, 1
+        )
+        net.send(GATEWAY_ID, 1, StatReply(
+            key="videos/a b.mp4", nonce=7, size=123456, chunk_size=4096,
+            scheme="rs(9,6)", stripes=(5, 6, 7),
+        ))
+        (stat,) = drain(net.endpoint(1), 1)
+        assert isinstance(stat, StatReply)
+        assert stat.stripes == (5, 6, 7)  # tuple, not list, post-wire
+        assert (stat.size, stat.chunk_size, stat.scheme) == (
+            123456, 4096, "rs(9,6)"
+        )
+
+    def test_agent_serves_chunk_write_then_read(self, backend, tmp_path):
+        # The full gateway<->datanode chunk RPC against a live Agent:
+        # write a chunk, read it back, byte-identical — over every
+        # backend.  A read for a chunk the node never stored answers
+        # ok=False instead of going silent (the degraded-read trigger).
+        net = backend.make()
+        net.attach(GATEWAY_ID, 1e9)
+        net.attach(1, 1e9)
+        backend.wire(net, [1, GATEWAY_ID])
+        store = ChunkStore(tmp_path / "n1", 1, RateLimiter(1e9))
+        agent = Agent(1, store, net, coordinator_id=COORDINATOR_ID,
+                      config=FAST)
+        agent.start()
+        try:
+            inbox = net.endpoint(GATEWAY_ID)
+            payload = bytes((i * 7) % 256 for i in range(4096))
+            net.send(GATEWAY_ID, 1, ChunkWrite(
+                stripe_id=2, chunk_index=3, source=GATEWAY_ID, offset=0,
+                payload=payload, checksum=zlib.crc32(payload),
+                nonce=1, reply_to=GATEWAY_ID,
+            ))
+            (ack,) = drain(inbox, 1)
+            assert isinstance(ack, ChunkWriteReply)
+            assert ack.ok and ack.nonce == 1
+            net.send(GATEWAY_ID, 1, ChunkRead(
+                stripe_id=2, chunk_index=3, nonce=2, reply_to=GATEWAY_ID
+            ))
+            (reply,) = drain(inbox, 1)
+            assert isinstance(reply, ChunkReadReply)
+            assert reply.ok and reply.nonce == 2
+            assert bytes(reply.payload) == payload
+            net.send(GATEWAY_ID, 1, ChunkRead(
+                stripe_id=99, chunk_index=0, nonce=3, reply_to=GATEWAY_ID
+            ))
+            (missing,) = drain(inbox, 1)
+            assert not missing.ok
+            assert missing.nonce == 3
+            assert bytes(missing.payload) == b""
         finally:
             agent.stop()
 

@@ -67,6 +67,13 @@ PUBLIC_API = [
     "RepairSession",
     "RepairSummary",
     "apply_pipelining",
+    # client-facing object gateway
+    "GatewayError",
+    "GatewayServer",
+    "ObjectClient",
+    "ObjectManifest",
+    "ObjectStore",
+    "TrafficArbiter",
     # simulator backend
     "LifetimeConfig",
     "LifetimeReport",
@@ -111,25 +118,16 @@ def test_exports_come_from_repro_modules():
         assert module.startswith("repro"), f"{name} leaks {module}"
 
 
-def test_deprecated_net_drivers_warn():
-    # The per-transport drivers moved behind RepairSession; the old
-    # deep imports keep working for one release but must warn.
-    import warnings
-
+def test_deprecated_net_drivers_removed():
+    # The PR-8 one-release DeprecationWarning shims are gone: the
+    # per-transport drivers live only in repro.net.launch, and
+    # RepairSession is the supported way to drive a repair.
     import repro.net as net
 
     for name in ("run_tcp_repair", "run_shm_repair",
                  "run_tcp_multicoord_repair"):
-        shim = getattr(net, name)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            try:
-                shim()  # missing args: the warning fires before the call
-            except TypeError:
-                pass
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        ), name
+        assert not hasattr(net, name), name
+        assert name not in net.__all__, name
 
 
 def test_obs_surface():
